@@ -1,0 +1,63 @@
+//! Criterion bench for Figure 4: the `open`-variant family as a
+//! function of path length.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pf_attacks::safe_open::{
+    install_safe_open_rules, open_nofollow, open_nolink, open_plain, open_race, safe_open,
+    safe_open_pf,
+};
+use pf_os::{standard_world, Kernel};
+use pf_types::{Fd, Gid, PfResult, Pid, Uid};
+
+type Variant = fn(&mut Kernel, Pid, &str) -> PfResult<Fd>;
+
+fn deep_world(n: usize, with_rules: bool) -> (Kernel, Pid, String) {
+    let mut k = standard_world();
+    if with_rules {
+        install_safe_open_rules(&mut k).unwrap();
+    }
+    let pid = k.spawn("user_t", "/bin/bench", Uid(1000), Gid(1000));
+    let mut dir = String::from("/tmp");
+    for i in 0..n.saturating_sub(1) {
+        dir.push_str(&format!("/d{i}"));
+    }
+    let path = format!("{dir}/data");
+    k.mk_dirs(&dir).unwrap();
+    k.put_file(&path, b"payload", 0o644, Uid(1000), Gid(1000))
+        .unwrap();
+    (k, pid, path)
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let variants: [(&str, Variant, bool); 6] = [
+        ("open", open_plain, false),
+        ("open_nfflag", open_nofollow, false),
+        ("open_nolink", open_nolink, false),
+        ("open_race", open_race, false),
+        ("safe_open", safe_open, false),
+        ("safe_open_PF", safe_open_pf, true),
+    ];
+    for n in [1usize, 4, 7] {
+        let mut group = c.benchmark_group(format!("fig4/n{n}"));
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for (name, f, needs_rules) in variants {
+            let (mut k, pid, path) = deep_world(n, needs_rules);
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let fd = f(&mut k, pid, &path).unwrap();
+                    k.close(pid, fd).unwrap();
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

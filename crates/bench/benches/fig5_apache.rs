@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 5: Apache `SymLinksIfOwnerMatch` program
+//! checks vs. Process Firewall rule R8, across path lengths.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pf_attacks::ruleset::R8;
+use pf_attacks::webserver::{add_page, Apache};
+use pf_os::standard_world;
+
+fn bench_fig5(c: &mut Criterion) {
+    for n in [1usize, 3, 5, 9] {
+        let mut group = c.benchmark_group(format!("fig5/n{n}"));
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+
+        // In-program SymLinksIfOwnerMatch checks.
+        {
+            let mut k = standard_world();
+            let mut apache = Apache::start(&mut k);
+            apache.symlinks_if_owner_match = true;
+            let uri = add_page(&mut k, n);
+            group.bench_function("program_checks", |b| {
+                b.iter(|| apache.handle_request(&mut k, &uri).unwrap())
+            });
+        }
+
+        // The equivalent firewall rule.
+        {
+            let mut k = standard_world();
+            let apache = Apache::start(&mut k);
+            k.install_rules([R8]).unwrap();
+            let uri = add_page(&mut k, n);
+            group.bench_function("pf_rule", |b| {
+                b.iter(|| apache.handle_request(&mut k, &uri).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Table 6: per-syscall cost across the
+//! optimization ladder.
+//!
+//! Groups are named `table6/<syscall>` with one function per
+//! configuration column, so `cargo bench` output reads like the table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pf_bench::micro::{op_runner, SYSCALLS};
+use pf_bench::{world_at, RuleSet};
+use pf_core::OptLevel;
+
+fn bench_table6(c: &mut Criterion) {
+    for name in SYSCALLS {
+        let mut group = c.benchmark_group(format!("table6/{name}"));
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for level in OptLevel::ALL {
+            let rules = if matches!(level, OptLevel::Disabled | OptLevel::Base) {
+                RuleSet::None
+            } else {
+                RuleSet::Full
+            };
+            let (mut k, pid) = world_at(level, rules);
+            let mut runner = op_runner(&mut k, pid, name);
+            group.bench_function(level.name(), |b| b.iter(|| runner(&mut k)));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for Table 7: macrobenchmarks under the three
+//! firewall configurations the paper reports.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pf_attacks::workloads::{apache_build, boot, setup_build_tree, web_serve};
+use pf_bench::{world_at, RuleSet};
+use pf_core::OptLevel;
+
+const CONFIGS: [(&str, OptLevel, RuleSet); 3] = [
+    ("without_pf", OptLevel::Disabled, RuleSet::None),
+    ("pf_base", OptLevel::Base, RuleSet::None),
+    ("pf_full", OptLevel::EptSpc, RuleSet::Full),
+];
+
+fn bench_table7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for (cfg, level, rules) in CONFIGS {
+        group.bench_function(format!("apache_build/{cfg}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let (mut k, _) = world_at(level, rules);
+                    setup_build_tree(&mut k);
+                    k
+                },
+                |mut k| apache_build(&mut k).unwrap(),
+            )
+        });
+        group.bench_function(format!("boot/{cfg}"), |b| {
+            b.iter_with_setup(|| world_at(level, rules).0, |mut k| boot(&mut k).unwrap())
+        });
+        group.bench_function(format!("web1/{cfg}"), |b| {
+            b.iter_with_setup(
+                || world_at(level, rules).0,
+                |mut k| web_serve(&mut k, 1, 100).unwrap(),
+            )
+        });
+        group.bench_function(format!("web1000/{cfg}"), |b| {
+            b.iter_with_setup(
+                || world_at(level, rules).0,
+                |mut k| web_serve(&mut k, 1000, 1).unwrap(),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Table 8 analysis pipeline: folding the
+//! 350k-entry synthetic trace into per-entrypoint statistics and
+//! sweeping the paper's thresholds. Distributors run this over multi-
+//! week traces, so its cost matters in practice.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pf_rulegen::classify::accumulate;
+use pf_rulegen::{rules_from_trace, sweep_thresholds, synthetic_trace, PAPER_THRESHOLDS};
+
+fn bench_table8(c: &mut Criterion) {
+    let trace = synthetic_trace();
+    let stats = accumulate(&trace);
+    let mut group = c.benchmark_group("table8");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("accumulate_350k_events", |b| {
+        b.iter(|| accumulate(std::hint::black_box(&trace)))
+    });
+    group.bench_function("sweep_paper_thresholds", |b| {
+        b.iter(|| sweep_thresholds(std::hint::black_box(&stats), &PAPER_THRESHOLDS))
+    });
+    group.bench_function("suggest_rules_t1149", |b| {
+        b.iter(|| rules_from_trace(std::hint::black_box(&stats), 1149))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table8);
+criterion_main!(benches);

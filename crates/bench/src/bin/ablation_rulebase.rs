@@ -1,0 +1,51 @@
+//! Ablation: rule-base size vs. per-syscall cost, linear scan (FULL)
+//! against entrypoint-specific chains (EPTSPC).
+//!
+//! This isolates the Section 4.3 design decision: the paper argues
+//! sequential traversal "becomes impractical" as the base grows and the
+//! automatic chains fix it. Sweep the base from 0 to 2000 rules and
+//! watch the FULL column grow linearly while EPTSPC stays flat.
+
+use pf_attacks::ruleset::full_rule_base;
+use pf_bench::micro::op_runner;
+use pf_bench::{time_per_iter, us, world_at, RuleSet};
+use pf_core::OptLevel;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    println!("Ablation: stat(2) latency (µs) vs rule-base size ({iters} iters)");
+    println!("{:-<56}", "");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "rules", "FULL", "EPTSPC", "speedup"
+    );
+    println!("{:-<56}", "");
+    for total in [0usize, 50, 200, 500, 1218, 2000] {
+        let mut cells = Vec::new();
+        for level in [OptLevel::Full, OptLevel::EptSpc] {
+            let (mut k, pid) = world_at(level, RuleSet::None);
+            if total > 0 {
+                let rules = full_rule_base(total);
+                let refs: Vec<&str> = rules.iter().map(String::as_str).collect();
+                k.install_rules(refs).unwrap();
+            }
+            let mut runner = op_runner(&mut k, pid, "stat");
+            cells.push(time_per_iter(iters, || runner(&mut k)));
+        }
+        println!(
+            "{:>8} {:>14} {:>14} {:>13.1}x",
+            total,
+            us(cells[0]),
+            us(cells[1]),
+            cells[0].as_nanos() as f64 / cells[1].as_nanos() as f64
+        );
+    }
+    println!("{:-<56}", "");
+    println!(
+        "Expectation: FULL grows roughly linearly with the rule count; EPTSPC is\n\
+         insensitive to it (only the applicable entrypoint chain is traversed)."
+    );
+}

@@ -1,0 +1,82 @@
+//! Regenerates the §6.3 qualitative comparison: rules from *test
+//! suites* avoid false positives but miss attacks the deployment-trace
+//! rules catch (false negatives), and the §6.3.2 deployment-consistency
+//! counts.
+
+use pf_rulegen::classify::accumulate;
+use pf_rulegen::coverage::{replay_attacks, RuleCoverage};
+use pf_rulegen::deployment::{analyze, synthetic_launches};
+use pf_rulegen::trace::TraceEvent;
+
+fn ev(ept: u64, low: bool, ts: u64) -> TraceEvent {
+    TraceEvent {
+        ept: (format!("/usr/bin/prog{}", ept / 4), ept),
+        op: "FILE_OPEN".into(),
+        object: String::new(),
+        low_integrity: low,
+        ts,
+    }
+}
+
+fn main() {
+    // 40 entrypoints. In deployment, all are single-class. The test
+    // suite exercises extra configurations that make a quarter of them
+    // look both-class (e.g. Apache with and without .htaccess).
+    let mut deployment = Vec::new();
+    let mut test_suite = Vec::new();
+    let mut ts = 0u64;
+    for e in 0..40u64 {
+        for i in 0..20 {
+            ts += 1;
+            deployment.push(ev(e, e % 3 == 0, ts));
+            let suite_low = if e % 4 == 0 { i % 2 == 0 } else { e % 3 == 0 };
+            test_suite.push(ev(e, suite_low, ts));
+        }
+    }
+    // The attack set: one low-integrity substitution per entrypoint.
+    let attacks: Vec<TraceEvent> = (0..40u64)
+        .filter(|e| e % 3 != 0) // High-only entrypoints are the targets.
+        .map(|e| ev(e, true, 10_000 + e))
+        .collect();
+
+    println!("Rule-source comparison (Section 6.3.1)");
+    println!("{:-<74}", "");
+    println!(
+        "{:<22} {:>8} {:>10} {:>14} {:>14}",
+        "rule source", "rules", "blocked", "false negs", "unprotected"
+    );
+    println!("{:-<74}", "");
+    for (name, trace) in [
+        ("test suites", &test_suite),
+        ("deployment trace", &deployment),
+    ] {
+        let stats = accumulate(trace);
+        let coverage = RuleCoverage::from_stats(&stats, 10);
+        let report = replay_attacks(&coverage, &attacks);
+        println!(
+            "{:<22} {:>8} {:>10} {:>14} {:>14}",
+            name,
+            coverage.len(),
+            report.blocked,
+            report.false_negatives(),
+            report.unprotected_entrypoints
+        );
+    }
+    println!("{:-<74}", "");
+    println!(
+        "Shape check vs paper: test-suite rules cause no false positives but leave\n\
+         entrypoints unprotected (false negatives); deployment-trace rules close\n\
+         the gap at the cost of threshold tuning (Table 8).\n"
+    );
+
+    println!("Deployment consistency (Section 6.3.2)");
+    println!("{:-<74}", "");
+    let verdicts = analyze(&synthetic_launches());
+    let consistent = verdicts.iter().filter(|c| c.consistent).count();
+    println!(
+        "{} of {} programs always launch in their packaged environment (paper: 232 of 318)",
+        consistent,
+        verdicts.len()
+    );
+    println!("=> distributors can ship trace-generated rules for the majority of programs.");
+}

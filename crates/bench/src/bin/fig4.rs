@@ -1,0 +1,80 @@
+//! Regenerates Figure 4: latency of the `open` variants as a function
+//! of path length `n`, program checks vs. Process Firewall rules.
+
+use std::time::Duration;
+
+use pf_attacks::safe_open::{
+    install_safe_open_rules, open_nofollow, open_nolink, open_plain, open_race, safe_open,
+    safe_open_pf,
+};
+use pf_bench::{time_per_iter, us};
+use pf_os::{standard_world, Kernel};
+use pf_types::{Fd, Gid, PfResult, Pid, Uid};
+
+type Variant = fn(&mut Kernel, Pid, &str) -> PfResult<Fd>;
+
+const VARIANTS: [(&str, Variant, bool); 6] = [
+    ("open", open_plain, false),
+    ("open_nfflag", open_nofollow, false),
+    ("open_nolink", open_nolink, false),
+    ("open_race", open_race, false),
+    ("safe_open", safe_open, false),
+    ("safe_open_PF", safe_open_pf, true),
+];
+
+fn deep_world(n: usize, with_rules: bool) -> (Kernel, Pid, String) {
+    let mut k = standard_world();
+    if with_rules {
+        install_safe_open_rules(&mut k).unwrap();
+    }
+    let pid = k.spawn("user_t", "/bin/bench", Uid(1000), Gid(1000));
+    let mut dir = String::from("/tmp");
+    for i in 0..n.saturating_sub(1) {
+        dir.push_str(&format!("/d{i}"));
+    }
+    let path = format!("{dir}/data");
+    k.mk_dirs(&dir).unwrap();
+    k.put_file(&path, b"payload", 0o644, Uid(1000), Gid(1000))
+        .unwrap();
+    (k, pid, path)
+}
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    println!("Figure 4: open-variant latency (µs) vs path length n (mean of {iters} iters)");
+    println!("{:-<70}", "");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}   {:>12}",
+        "variant", "n=1", "n=4", "n=7", "growth 1->7"
+    );
+    println!("{:-<70}", "");
+    for (name, f, needs_rules) in VARIANTS {
+        let mut times: Vec<Duration> = Vec::new();
+        for n in [1usize, 4, 7] {
+            let (mut k, pid, path) = deep_world(n, needs_rules);
+            let per = time_per_iter(iters, || {
+                let fd = f(&mut k, pid, &path).unwrap();
+                k.close(pid, fd).unwrap();
+            });
+            times.push(per);
+        }
+        let growth = times[2].as_nanos() as f64 / times[0].as_nanos() as f64;
+        println!(
+            "{:<14} {:>10} {:>10} {:>10}   {:>11.2}x",
+            name,
+            us(times[0]),
+            us(times[1]),
+            us(times[2]),
+            growth
+        );
+    }
+    println!("{:-<70}", "");
+    println!(
+        "Shape check vs paper: safe_open grows steeply with n (4+ extra syscalls per\n\
+         component; the paper reports +103% at n=7), while safe_open_PF tracks plain\n\
+         open within a few percent at every n."
+    );
+}

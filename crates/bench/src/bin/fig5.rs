@@ -1,0 +1,71 @@
+//! Regenerates Figure 5: Apache requests/second with the in-program
+//! `SymLinksIfOwnerMatch` checks vs. the equivalent firewall rule R8,
+//! across path lengths (n) and concurrent clients (c).
+
+use std::time::Instant;
+
+use pf_attacks::ruleset::R8;
+use pf_attacks::webserver::{add_page, Apache};
+use pf_os::standard_world;
+
+fn requests_per_second(n: usize, clients: usize, use_pf_rule: bool, total_requests: usize) -> f64 {
+    let mut k = standard_world();
+    let mut apache = Apache::start(&mut k);
+    if use_pf_rule {
+        k.install_rules([R8]).unwrap();
+    } else {
+        apache.symlinks_if_owner_match = true;
+    }
+    let uri = add_page(&mut k, n);
+    // Warm-up.
+    for _ in 0..100 {
+        apache.handle_request(&mut k, &uri).unwrap();
+    }
+    let t = Instant::now();
+    let mut served = 0usize;
+    while served < total_requests {
+        // Round-robin across c client streams (each request is one
+        // stream's turn; the simulator serializes them, as the paper's
+        // single machine ultimately did).
+        for _ in 0..clients.min(total_requests - served) {
+            apache.handle_request(&mut k, &uri).unwrap();
+            served += 1;
+        }
+    }
+    served as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let total: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+    println!("Figure 5: Apache requests/second, SymLinksIfOwnerMatch in-program vs PF rule R8");
+    println!("({total} requests per cell)");
+    println!("{:-<72}", "");
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}",
+        "c, n", "Program", "PF Rules", "PF gain"
+    );
+    println!("{:-<72}", "");
+    for &c in &[1usize, 10, 200] {
+        for &n in &[1usize, 3, 5, 9] {
+            let prog = requests_per_second(n, c, false, total);
+            let pf = requests_per_second(n, c, true, total);
+            println!(
+                "c={:<4} n={:<6} {:>13.0} {:>14.0} {:>11.2}%",
+                c,
+                n,
+                prog,
+                pf,
+                (pf / prog - 1.0) * 100.0
+            );
+        }
+    }
+    println!("{:-<72}", "");
+    println!(
+        "Shape check vs paper: the PF rule serves more requests/second at every point,\n\
+         and the gap widens with path length n (the paper reports +3.02% at n=1 up to\n\
+         +8.36% at n=9 for c=200) because the program option pays per-component lstats."
+    );
+}

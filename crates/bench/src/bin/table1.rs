@@ -1,0 +1,46 @@
+//! Regenerates Tables 1 and 2: the resource-access-attack taxonomy.
+
+use pf_types::attack_class::{ATTACK_CLASSES, PCT_TOTAL_CVES_2007_2012, PCT_TOTAL_CVES_PRE_2007};
+
+fn main() {
+    println!("Table 1: Resource access attack classes (CVE survey data)");
+    println!("{:-<78}", "");
+    println!(
+        "{:<24} {:<10} {:>10} {:>12}",
+        "Attack Class", "CWE", "CVE <2007", "CVE 2007-12"
+    );
+    println!("{:-<78}", "");
+    let (mut pre, mut post) = (0u32, 0u32);
+    for c in &ATTACK_CLASSES {
+        println!(
+            "{:<24} {:<10} {:>10} {:>12}",
+            c.name, c.cwe, c.cve_pre_2007, c.cve_2007_2012
+        );
+        pre += c.cve_pre_2007;
+        post += c.cve_2007_2012;
+    }
+    println!("{:-<78}", "");
+    println!("{:<24} {:<10} {:>10} {:>12}", "Total", "", pre, post);
+    println!(
+        "{:<24} {:<10} {:>9.2}% {:>11.2}%",
+        "% of all CVEs", "", PCT_TOTAL_CVES_PRE_2007, PCT_TOTAL_CVES_2007_2012
+    );
+
+    println!();
+    println!("Table 2: Safe vs. unsafe resources and required process context");
+    println!("{:-<110}", "");
+    println!(
+        "{:<24} {:<28} {:<28} {:<30}",
+        "Attack Class", "Safe Resource", "Unsafe Resource", "Process Context"
+    );
+    println!("{:-<110}", "");
+    for c in &ATTACK_CLASSES {
+        println!(
+            "{:<24} {:<28} {:<28} {:<30}",
+            c.name,
+            c.safe.to_string(),
+            c.unsafe_.to_string(),
+            c.context.to_string()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared infrastructure for regenerating the paper's tables & figures.
+//!
+//! Each table/figure has two regeneration paths:
+//!
+//! * a **binary harness** (`src/bin/table*.rs`, `src/bin/fig*.rs`) that
+//!   prints the same rows/series the paper reports, using simple
+//!   wall-clock timing — run with `cargo run --release --bin table6`;
+//! * a **criterion bench** (`benches/*.rs`) for statistically robust
+//!   timing — run with `cargo bench`.
+//!
+//! Absolute numbers cannot match the paper (its substrate was a Linux
+//! kernel on 2010s hardware; ours is a simulator), but the *shape* —
+//! which configuration wins, by roughly what factor, and where the
+//! crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+
+use std::time::{Duration, Instant};
+
+use pf_attacks::ruleset::{full_rule_base, FULL_RULE_COUNT};
+use pf_core::OptLevel;
+use pf_os::{standard_world, Kernel};
+use pf_types::{Gid, Pid, Uid};
+
+/// Which rule base to install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleSet {
+    /// No rules (the BASE configuration).
+    None,
+    /// The ~1218-rule FULL base (Table 5 + generated T1 rules).
+    Full,
+}
+
+/// Builds a standard world with the given firewall configuration and a
+/// benchmark process (`staff_t`, root).
+pub fn world_at(level: OptLevel, rules: RuleSet) -> (Kernel, Pid) {
+    let mut k = standard_world();
+    if rules == RuleSet::Full {
+        let lines = full_rule_base(FULL_RULE_COUNT);
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        k.install_rules(refs).unwrap();
+    }
+    k.firewall.set_level(level);
+    let pid = k.spawn("staff_t", "/usr/bin/bench", Uid::ROOT, Gid::ROOT);
+    // Give the process a realistic call-stack depth: entrypoint
+    // retrieval cost (and hence what CONCACHE saves) scales with it.
+    for depth in 0..BENCH_STACK_DEPTH {
+        let frame = pf_os::Frame {
+            program: k.programs.intern("/usr/bin/bench"),
+            pc: 0x4000 + depth as u64 * 0x20,
+        };
+        k.task_mut(pid).unwrap().push_frame(frame);
+    }
+    (k, pid)
+}
+
+/// Simulated user-stack depth for benchmark processes (typical of a real
+/// application mid-request).
+pub const BENCH_STACK_DEPTH: usize = 24;
+
+/// Times `iters` runs of `f`, returning the mean per-iteration duration.
+pub fn time_per_iter(iters: u64, mut f: impl FnMut()) -> Duration {
+    // Warm-up pass so allocation and cache effects settle.
+    for _ in 0..iters.min(100) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters as u32
+}
+
+/// Formats a duration as microseconds with three decimals.
+pub fn us(d: Duration) -> String {
+    format!("{:.3}", d.as_nanos() as f64 / 1000.0)
+}
+
+/// Percentage overhead of `d` relative to `base`.
+pub fn overhead_pct(base: Duration, d: Duration) -> f64 {
+    if base.is_zero() {
+        return 0.0;
+    }
+    (d.as_nanos() as f64 / base.as_nanos() as f64 - 1.0) * 100.0
+}
+
+/// The Table 6 microbenchmark operations.
+pub mod micro {
+    use super::*;
+    use pf_os::OpenFlags;
+    use pf_types::Fd;
+
+    /// Names of the Table 6 rows, in paper order.
+    pub const SYSCALLS: [&str; 9] = [
+        "null",
+        "stat",
+        "read",
+        "write",
+        "fstat",
+        "open+close",
+        "fork+exit",
+        "fork+execve",
+        "fork+sh -c",
+    ];
+
+    /// Prepares per-row state (open fds) and returns a closure running
+    /// one iteration of the row's syscall mix.
+    pub fn op_runner(k: &mut Kernel, pid: Pid, name: &str) -> Box<dyn FnMut(&mut Kernel)> {
+        match name {
+            "null" => Box::new(move |k| {
+                k.null_syscall(pid).unwrap();
+            }),
+            "stat" => Box::new(move |k| {
+                k.stat(pid, "/etc/passwd").unwrap();
+            }),
+            "read" => {
+                let fd = k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+                Box::new(move |k| {
+                    k.read(pid, fd).unwrap();
+                })
+            }
+            "write" => {
+                let fd = k
+                    .open(pid, "/tmp/bench.out", OpenFlags::creat(0o644))
+                    .unwrap();
+                Box::new(move |k| {
+                    k.write(pid, fd, b"x").unwrap();
+                })
+            }
+            "fstat" => {
+                let fd = k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+                Box::new(move |k| {
+                    k.fstat(pid, fd).unwrap();
+                })
+            }
+            "open+close" => Box::new(move |k| {
+                let fd: Fd = k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+                k.close(pid, fd).unwrap();
+            }),
+            "fork+exit" => Box::new(move |k| {
+                let child = k.fork(pid).unwrap();
+                k.exit(child).unwrap();
+            }),
+            "fork+execve" => Box::new(move |k| {
+                let child = k.fork(pid).unwrap();
+                k.execve(child, "/bin/sh").unwrap();
+                k.exit(child).unwrap();
+            }),
+            "fork+sh -c" => Box::new(move |k| {
+                // sh -c CMD: fork, exec the shell, which forks and execs
+                // the command.
+                let shell = k.fork(pid).unwrap();
+                k.execve(shell, "/bin/sh").unwrap();
+                let cmd = k.fork(shell).unwrap();
+                k.execve(cmd, "/bin/ls").unwrap();
+                k.exit(cmd).unwrap();
+                k.exit(shell).unwrap();
+            }),
+            other => panic!("unknown microbenchmark `{other}`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_build_at_every_level() {
+        for level in OptLevel::ALL {
+            let (k, pid) = world_at(level, RuleSet::Full);
+            assert!(k.task(pid).is_ok());
+        }
+    }
+
+    #[test]
+    fn every_micro_op_runs_under_full_rules() {
+        let (mut k, pid) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        for name in micro::SYSCALLS {
+            let mut runner = micro::op_runner(&mut k, pid, name);
+            for _ in 0..3 {
+                runner(&mut k);
+            }
+            drop(runner);
+        }
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = Duration::from_nanos(100);
+        let d = Duration::from_nanos(150);
+        assert!((overhead_pct(base, d) - 50.0).abs() < 1e-9);
+        assert_eq!(us(Duration::from_nanos(12_345)), "12.345");
+    }
+}

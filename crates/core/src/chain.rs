@@ -1,0 +1,290 @@
+//! Chains and the rule base, including automatic entrypoint chains.
+//!
+//! Network firewalls let administrators organize rules into chains by
+//! hand; the Process Firewall builds chains *automatically* from rule
+//! entrypoints (Section 4.3). Because the rule base contains only deny
+//! rules over a default allow, partitioning entrypoint-bearing rules out
+//! of the linear scan cannot change any verdict — it only changes how
+//! many rules the engine must look at.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pf_types::{PfError, PfResult, ProgramId};
+
+use crate::rule::Rule;
+
+/// A chain designator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChainName {
+    /// Built-in: resource deliveries into the process (the default).
+    Input,
+    /// Built-in: data leaving the process (reserved; parsed, unused).
+    Output,
+    /// Built-in: evaluated at the start of every system call (rule R12).
+    SyscallBegin,
+    /// A user-defined chain reachable via `-j NAME`.
+    User(String),
+}
+
+impl ChainName {
+    /// Parses a chain name; unknown names become user chains.
+    pub fn parse(s: &str) -> ChainName {
+        match s.to_ascii_lowercase().as_str() {
+            "input" => ChainName::Input,
+            "output" => ChainName::Output,
+            "syscallbegin" => ChainName::SyscallBegin,
+            other => ChainName::User(other.to_owned()),
+        }
+    }
+
+    /// The canonical printed name.
+    pub fn name(&self) -> String {
+        match self {
+            ChainName::Input => "input".into(),
+            ChainName::Output => "output".into(),
+            ChainName::SyscallBegin => "syscallbegin".into(),
+            ChainName::User(s) => s.clone(),
+        }
+    }
+}
+
+/// The installed rules, per chain, in evaluation order, plus the compiled
+/// entrypoint index used by the EPTSPC optimization.
+#[derive(Debug, Default)]
+pub struct RuleBase {
+    chains: BTreeMap<ChainName, Vec<Rule>>,
+    /// Indices (into the input chain) of rules without an entrypoint.
+    input_generic: Vec<usize>,
+    /// Entrypoint → indices of input-chain rules bound to it.
+    input_by_ept: HashMap<(ProgramId, u64), Vec<usize>>,
+}
+
+impl RuleBase {
+    /// Creates an empty rule base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends (or with `insert_head`, prepends) a rule to a chain.
+    pub fn add(&mut self, chain: ChainName, rule: Rule, insert_head: bool) {
+        let rules = self.chains.entry(chain.clone()).or_default();
+        if insert_head {
+            rules.insert(0, rule);
+        } else {
+            rules.push(rule);
+        }
+        if chain == ChainName::Input {
+            self.recompile();
+        }
+    }
+
+    /// Deletes the first rule in `chain` whose text equals `text`.
+    pub fn delete(&mut self, chain: &ChainName, text: &str) -> PfResult<()> {
+        let rules = self
+            .chains
+            .get_mut(chain)
+            .ok_or_else(|| PfError::RuleError(format!("no such chain {chain:?}")))?;
+        let pos = rules
+            .iter()
+            .position(|r| r.text == text)
+            .ok_or_else(|| PfError::RuleError(format!("no matching rule in {chain:?}")))?;
+        rules.remove(pos);
+        if *chain == ChainName::Input {
+            self.recompile();
+        }
+        Ok(())
+    }
+
+    /// Removes every rule from every chain.
+    pub fn clear(&mut self) {
+        self.chains.clear();
+        self.recompile();
+    }
+
+    /// Declares an empty user chain (`pftables -N name`).
+    pub fn new_chain(&mut self, chain: ChainName) -> PfResult<()> {
+        if self.chains.contains_key(&chain) {
+            return Err(PfError::RuleError(format!(
+                "chain `{}` already exists",
+                chain.name()
+            )));
+        }
+        self.chains.insert(chain, Vec::new());
+        Ok(())
+    }
+
+    /// Empties one chain (`pftables -F chain`), keeping it declared.
+    pub fn flush(&mut self, chain: &ChainName) -> PfResult<()> {
+        match self.chains.get_mut(chain) {
+            Some(rules) => {
+                rules.clear();
+                if *chain == ChainName::Input {
+                    self.recompile();
+                }
+                Ok(())
+            }
+            None => Err(PfError::RuleError(format!(
+                "no such chain `{}`",
+                chain.name()
+            ))),
+        }
+    }
+
+    /// Deletes an *empty user* chain (`pftables -X name`). Built-in
+    /// chains cannot be deleted, and non-empty chains must be flushed
+    /// first — `iptables` semantics.
+    pub fn delete_chain(&mut self, chain: &ChainName) -> PfResult<()> {
+        if !matches!(chain, ChainName::User(_)) {
+            return Err(PfError::RuleError(format!(
+                "cannot delete built-in chain `{}`",
+                chain.name()
+            )));
+        }
+        match self.chains.get(chain) {
+            Some(rules) if rules.is_empty() => {
+                self.chains.remove(chain);
+                Ok(())
+            }
+            Some(_) => Err(PfError::RuleError(format!(
+                "chain `{}` is not empty (flush it first)",
+                chain.name()
+            ))),
+            None => Err(PfError::RuleError(format!(
+                "no such chain `{}`",
+                chain.name()
+            ))),
+        }
+    }
+
+    /// Rules of one chain, in order.
+    pub fn chain(&self, chain: &ChainName) -> &[Rule] {
+        self.chains.get(chain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total rules across all chains.
+    pub fn len(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(chain, rules)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&ChainName, &[Rule])> {
+        self.chains.iter().map(|(c, r)| (c, r.as_slice()))
+    }
+
+    /// Rebuilds the entrypoint partition of the input chain.
+    fn recompile(&mut self) {
+        self.input_generic.clear();
+        self.input_by_ept.clear();
+        let Some(input) = self.chains.get(&ChainName::Input) else {
+            return;
+        };
+        for (i, rule) in input.iter().enumerate() {
+            match rule.def.entrypoint() {
+                Some(key) => self.input_by_ept.entry(key).or_default().push(i),
+                None => self.input_generic.push(i),
+            }
+        }
+    }
+
+    /// Indices of input-chain rules with no entrypoint (always scanned).
+    pub fn input_generic(&self) -> &[usize] {
+        &self.input_generic
+    }
+
+    /// Indices of input-chain rules bound to `ept`, if any.
+    pub fn input_for_entrypoint(&self, ept: (ProgramId, u64)) -> Option<&[usize]> {
+        self.input_by_ept.get(&ept).map(Vec::as_slice)
+    }
+
+    /// Number of distinct entrypoint-specific chains.
+    pub fn entrypoint_chain_count(&self) -> usize {
+        self.input_by_ept.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{DefaultMatches, Target};
+    use pf_types::InternId;
+
+    fn rule(text: &str, ept: Option<(u32, u64)>) -> Rule {
+        Rule::new(
+            DefaultMatches {
+                program: ept.map(|(p, _)| InternId(p)),
+                entrypoint_pc: ept.map(|(_, pc)| pc),
+                ..Default::default()
+            },
+            vec![],
+            Target::Drop,
+            text.to_owned(),
+        )
+    }
+
+    #[test]
+    fn chain_name_parsing() {
+        assert_eq!(ChainName::parse("input"), ChainName::Input);
+        assert_eq!(ChainName::parse("INPUT"), ChainName::Input);
+        assert_eq!(
+            ChainName::parse("signal_chain"),
+            ChainName::User("signal_chain".into())
+        );
+    }
+
+    #[test]
+    fn add_and_head_insert_ordering() {
+        let mut rb = RuleBase::new();
+        rb.add(ChainName::Input, rule("a", None), false);
+        rb.add(ChainName::Input, rule("b", None), true);
+        let texts: Vec<_> = rb
+            .chain(&ChainName::Input)
+            .iter()
+            .map(|r| r.text.as_str())
+            .collect();
+        assert_eq!(texts, ["b", "a"]);
+    }
+
+    #[test]
+    fn entrypoint_partition() {
+        let mut rb = RuleBase::new();
+        rb.add(ChainName::Input, rule("gen", None), false);
+        rb.add(ChainName::Input, rule("e1", Some((1, 0x10))), false);
+        rb.add(ChainName::Input, rule("e1b", Some((1, 0x10))), false);
+        rb.add(ChainName::Input, rule("e2", Some((2, 0x20))), false);
+        assert_eq!(rb.input_generic(), &[0]);
+        assert_eq!(
+            rb.input_for_entrypoint((InternId(1), 0x10)).unwrap(),
+            &[1, 2]
+        );
+        assert_eq!(rb.entrypoint_chain_count(), 2);
+        assert!(rb.input_for_entrypoint((InternId(9), 0x9)).is_none());
+    }
+
+    #[test]
+    fn delete_by_text() {
+        let mut rb = RuleBase::new();
+        rb.add(ChainName::Input, rule("a", None), false);
+        rb.add(ChainName::Input, rule("b", Some((1, 2))), false);
+        rb.delete(&ChainName::Input, "b").unwrap();
+        assert_eq!(rb.len(), 1);
+        assert!(rb.input_for_entrypoint((InternId(1), 2)).is_none());
+        assert!(rb.delete(&ChainName::Input, "zzz").is_err());
+    }
+
+    #[test]
+    fn user_chains_are_separate() {
+        let mut rb = RuleBase::new();
+        rb.add(
+            ChainName::User("signal_chain".into()),
+            rule("s", None),
+            false,
+        );
+        assert_eq!(rb.chain(&ChainName::Input).len(), 0);
+        assert_eq!(rb.chain(&ChainName::User("signal_chain".into())).len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Firewall configuration and the Table 6 optimization ladder.
+
+/// Individual feature toggles for the firewall engine.
+///
+/// Each flag corresponds to one optimization column of Table 6; the
+/// [`OptLevel`] presets compose them cumulatively the way the paper's
+/// microbenchmark does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfConfig {
+    /// Master switch: `false` means the hook returns immediately
+    /// (the DISABLED column).
+    pub enabled: bool,
+    /// CONCACHE: cache the entrypoint context in the per-syscall task
+    /// cache so repeated invocations within one system call (pathname
+    /// resolution!) do not re-unwind the stack.
+    pub context_caching: bool,
+    /// LAZYCON: gather a context field only when a rule's match actually
+    /// needs it, instead of building the full "packet" up front.
+    pub lazy_context: bool,
+    /// EPTSPC: organize entrypoint-bearing rules into chains keyed by
+    /// (program, pc) so only the applicable chain is traversed.
+    pub entrypoint_chains: bool,
+}
+
+impl Default for PfConfig {
+    fn default() -> Self {
+        OptLevel::EptSpc.config()
+    }
+}
+
+/// The cumulative optimization presets of Table 6.
+///
+/// Each level includes the optimizations of the previous one, mirroring
+/// the table's columns left to right:
+/// `DISABLED → BASE → FULL → CONCACHE → LAZYCON → EPTSPC`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Firewall completely off.
+    Disabled,
+    /// Enabled with (typically) an empty rule base: pure hook overhead.
+    Base,
+    /// Full rule base, no optimizations: eager context, linear scan.
+    Full,
+    /// + context caching.
+    ConCache,
+    /// + lazy context evaluation.
+    LazyCon,
+    /// + entrypoint-specific chains.
+    EptSpc,
+}
+
+impl OptLevel {
+    /// All levels in Table 6 column order.
+    pub const ALL: [OptLevel; 6] = [
+        OptLevel::Disabled,
+        OptLevel::Base,
+        OptLevel::Full,
+        OptLevel::ConCache,
+        OptLevel::LazyCon,
+        OptLevel::EptSpc,
+    ];
+
+    /// The column heading used in Table 6.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Disabled => "DISABLED",
+            OptLevel::Base => "BASE",
+            OptLevel::Full => "FULL",
+            OptLevel::ConCache => "CONCACHE",
+            OptLevel::LazyCon => "LAZYCON",
+            OptLevel::EptSpc => "EPTSPC",
+        }
+    }
+
+    /// Expands the preset into concrete toggles.
+    pub fn config(self) -> PfConfig {
+        match self {
+            OptLevel::Disabled => PfConfig {
+                enabled: false,
+                context_caching: false,
+                lazy_context: false,
+                entrypoint_chains: false,
+            },
+            OptLevel::Base | OptLevel::Full => PfConfig {
+                enabled: true,
+                context_caching: false,
+                lazy_context: false,
+                entrypoint_chains: false,
+            },
+            OptLevel::ConCache => PfConfig {
+                enabled: true,
+                context_caching: true,
+                lazy_context: false,
+                entrypoint_chains: false,
+            },
+            OptLevel::LazyCon => PfConfig {
+                enabled: true,
+                context_caching: true,
+                lazy_context: true,
+                entrypoint_chains: false,
+            },
+            OptLevel::EptSpc => PfConfig {
+                enabled: true,
+                context_caching: true,
+                lazy_context: true,
+                entrypoint_chains: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let full = OptLevel::Full.config();
+        let cc = OptLevel::ConCache.config();
+        let lc = OptLevel::LazyCon.config();
+        let ep = OptLevel::EptSpc.config();
+        assert!(!full.context_caching && !full.lazy_context && !full.entrypoint_chains);
+        assert!(cc.context_caching && !cc.lazy_context);
+        assert!(lc.context_caching && lc.lazy_context && !lc.entrypoint_chains);
+        assert!(ep.context_caching && ep.lazy_context && ep.entrypoint_chains);
+    }
+
+    #[test]
+    fn disabled_is_off() {
+        assert!(!OptLevel::Disabled.config().enabled);
+        assert!(OptLevel::Base.config().enabled);
+    }
+
+    #[test]
+    fn default_is_fully_optimized() {
+        assert_eq!(PfConfig::default(), OptLevel::EptSpc.config());
+    }
+}

@@ -1,0 +1,364 @@
+//! Context fields, the collected-context bitmask, and the lazy packet.
+//!
+//! The firewall constructs its "packet" by fetching process and resource
+//! information through context modules (Figure 3 of the paper). Collected
+//! fields are recorded in a bitmask; with lazy retrieval enabled a field
+//! is fetched only when a rule's match first touches it, and with context
+//! caching enabled the (syscall-stable) entrypoint is preserved in the
+//! task's per-syscall cache across multiple firewall invocations.
+
+use pf_types::{ProgramId, SecId};
+
+use crate::config::PfConfig;
+use crate::env::EvalEnv;
+use crate::stats::PfStats;
+
+/// One retrievable context field.
+///
+/// The `C_*` names are the spellings rules use to reference fields in
+/// match/target options (e.g. `--value C_INO` in rule R5 of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtxField {
+    /// The entrypoint: innermost user frame (program, relative pc).
+    Entrypoint,
+    /// The resource identifier (`C_INO`): dev+ino folded to `u64`.
+    ResourceId,
+    /// The object's MAC label.
+    ObjectSid,
+    /// The object's DAC owner uid (`C_DAC_OWNER`).
+    DacOwner,
+    /// The symlink target's DAC owner uid (`C_TGT_DAC_OWNER`).
+    TgtDacOwner,
+    /// Whether the object is adversary-writable (low integrity).
+    AdvWrite,
+    /// Whether the object is adversary-readable (low secrecy).
+    AdvRead,
+    /// Syscall argument N (`C_ARG0`..`C_ARG3`); arg 0 is the syscall nr
+    /// on the `syscallbegin` chain, matching rule R12.
+    Arg(u8),
+    /// The signal number being delivered (`C_SIGNAL`).
+    SignalNum,
+}
+
+impl CtxField {
+    /// Bit index in the collected-context mask.
+    pub fn bit(self) -> u32 {
+        match self {
+            CtxField::Entrypoint => 0,
+            CtxField::ResourceId => 1,
+            CtxField::ObjectSid => 2,
+            CtxField::DacOwner => 3,
+            CtxField::TgtDacOwner => 4,
+            CtxField::AdvWrite => 5,
+            CtxField::AdvRead => 6,
+            CtxField::Arg(n) => 7 + n as u32,
+            CtxField::SignalNum => 11,
+        }
+    }
+
+    /// The `C_*` spelling, for display.
+    pub fn cname(self) -> &'static str {
+        match self {
+            CtxField::Entrypoint => "C_ENTRYPOINT",
+            CtxField::ResourceId => "C_INO",
+            CtxField::ObjectSid => "C_OBJECT",
+            CtxField::DacOwner => "C_DAC_OWNER",
+            CtxField::TgtDacOwner => "C_TGT_DAC_OWNER",
+            CtxField::AdvWrite => "C_ADV_WRITE",
+            CtxField::AdvRead => "C_ADV_READ",
+            CtxField::Arg(0) => "C_ARG0",
+            CtxField::Arg(1) => "C_ARG1",
+            CtxField::Arg(2) => "C_ARG2",
+            CtxField::Arg(_) => "C_ARG3",
+            CtxField::SignalNum => "C_SIGNAL",
+        }
+    }
+
+    /// Parses a `C_*` context-reference token.
+    pub fn parse_cname(tok: &str) -> Option<CtxField> {
+        Some(match tok {
+            "C_ENTRYPOINT" => CtxField::Entrypoint,
+            "C_INO" => CtxField::ResourceId,
+            "C_OBJECT" => CtxField::ObjectSid,
+            "C_DAC_OWNER" => CtxField::DacOwner,
+            "C_TGT_DAC_OWNER" => CtxField::TgtDacOwner,
+            "C_ADV_WRITE" => CtxField::AdvWrite,
+            "C_ADV_READ" => CtxField::AdvRead,
+            "C_ARG0" => CtxField::Arg(0),
+            "C_ARG1" => CtxField::Arg(1),
+            "C_ARG2" => CtxField::Arg(2),
+            "C_ARG3" => CtxField::Arg(3),
+            "C_SIGNAL" => CtxField::SignalNum,
+            _ => return None,
+        })
+    }
+}
+
+/// Cache slot ids for the per-syscall task cache (CONCACHE).
+const CACHE_EPT_PROG: u8 = 0;
+const CACHE_EPT_PC: u8 = 1;
+const CACHE_EPT_MISSING: u8 = 2;
+
+/// The operation "packet": lazily-materialized context for one firewall
+/// invocation.
+///
+/// Fields memoize within the invocation regardless of configuration; the
+/// configuration decides whether everything is fetched eagerly up front
+/// (FULL) and whether the entrypoint survives across invocations in the
+/// task cache (CONCACHE).
+pub struct Packet<'e> {
+    env: &'e mut dyn EvalEnv,
+    config: PfConfig,
+    /// Bitmask of fields already collected this invocation.
+    collected: u32,
+    entrypoint: Option<(ProgramId, u64)>,
+    object_sid: Option<Option<SecId>>,
+    resource_id: Option<Option<u64>>,
+    dac_owner: Option<Option<u64>>,
+    tgt_dac_owner: Option<Option<u64>>,
+    adv_write: Option<Option<bool>>,
+    adv_read: Option<Option<bool>>,
+    signal_num: Option<Option<u64>>,
+}
+
+impl<'e> Packet<'e> {
+    /// Wraps an evaluation environment for one invocation.
+    pub fn new(env: &'e mut dyn EvalEnv, config: PfConfig) -> Self {
+        Packet {
+            env,
+            config,
+            collected: 0,
+            entrypoint: None,
+            object_sid: None,
+            resource_id: None,
+            dac_owner: None,
+            tgt_dac_owner: None,
+            adv_write: None,
+            adv_read: None,
+            signal_num: None,
+        }
+    }
+
+    /// Access to the underlying environment (for targets and logging).
+    pub fn env(&mut self) -> &mut dyn EvalEnv {
+        self.env
+    }
+
+    /// Shared access to the underlying environment.
+    pub fn env_ref(&self) -> &dyn EvalEnv {
+        self.env
+    }
+
+    /// The bitmask of collected context fields.
+    pub fn collected_mask(&self) -> u32 {
+        self.collected
+    }
+
+    fn mark(&mut self, field: CtxField) {
+        self.collected |= 1 << field.bit();
+    }
+
+    /// Eagerly materializes every context field (the unoptimized FULL
+    /// behaviour: "a naive design simply fetches all process and resource
+    /// contexts", Section 4.2).
+    pub fn fetch_all(&mut self, stats: &PfStats) {
+        self.entrypoint_value(stats);
+        self.object_sid_value(stats);
+        self.resource_id_value(stats);
+        self.dac_owner_value(stats);
+        self.adv_write_value(stats);
+        self.adv_read_value(stats);
+        self.tgt_dac_owner_value(stats);
+        self.signal_value(stats);
+        for n in 0..4 {
+            let _ = self.arg_value(n);
+        }
+    }
+
+    /// The entrypoint, unwound from the user stack (and cached in the
+    /// task's per-syscall cache under CONCACHE). `None` when the stack is
+    /// malformed — the §4.4 sanitization path, which only forfeits the
+    /// process's own protection.
+    pub fn entrypoint_value(&mut self, stats: &PfStats) -> Option<(ProgramId, u64)> {
+        if self.collected & (1 << CtxField::Entrypoint.bit()) != 0 {
+            return self.entrypoint;
+        }
+        self.mark(CtxField::Entrypoint);
+        if self.config.context_caching {
+            if self.env.cache_get(CACHE_EPT_MISSING).is_some() {
+                stats.bump_cache_hits();
+                self.entrypoint = None;
+                return None;
+            }
+            if let (Some(prog), Some(pc)) = (
+                self.env.cache_get(CACHE_EPT_PROG),
+                self.env.cache_get(CACHE_EPT_PC),
+            ) {
+                stats.bump_cache_hits();
+                let ep = (pf_types::InternId(prog as u32), pc);
+                self.entrypoint = Some(ep);
+                return self.entrypoint;
+            }
+        }
+        stats.bump_ctx_fetches();
+        let ep = self.env.unwind_entrypoint();
+        self.entrypoint = ep;
+        if self.config.context_caching {
+            match ep {
+                Some((prog, pc)) => {
+                    self.env.cache_put(CACHE_EPT_PROG, prog.0 as u64);
+                    self.env.cache_put(CACHE_EPT_PC, pc);
+                }
+                None => self.env.cache_put(CACHE_EPT_MISSING, 1),
+            }
+        }
+        ep
+    }
+
+    /// The object's MAC label, if the operation has an object.
+    pub fn object_sid_value(&mut self, stats: &PfStats) -> Option<SecId> {
+        if self.object_sid.is_none() {
+            self.mark(CtxField::ObjectSid);
+            stats.bump_ctx_fetches();
+            self.object_sid = Some(self.env.object().map(|o| o.sid));
+        }
+        self.object_sid.unwrap()
+    }
+
+    /// The resource identifier folded to `u64` (`C_INO`).
+    pub fn resource_id_value(&mut self, stats: &PfStats) -> Option<u64> {
+        if self.resource_id.is_none() {
+            self.mark(CtxField::ResourceId);
+            stats.bump_ctx_fetches();
+            self.resource_id = Some(self.env.object().map(|o| o.resource.as_u64()));
+        }
+        self.resource_id.unwrap()
+    }
+
+    /// The object's DAC owner uid (`C_DAC_OWNER`).
+    pub fn dac_owner_value(&mut self, stats: &PfStats) -> Option<u64> {
+        if self.dac_owner.is_none() {
+            self.mark(CtxField::DacOwner);
+            stats.bump_ctx_fetches();
+            self.dac_owner = Some(self.env.object().map(|o| o.owner.0 as u64));
+        }
+        self.dac_owner.unwrap()
+    }
+
+    /// The symlink target's DAC owner uid (`C_TGT_DAC_OWNER`), available
+    /// only on link-traversal operations.
+    pub fn tgt_dac_owner_value(&mut self, stats: &PfStats) -> Option<u64> {
+        if self.tgt_dac_owner.is_none() {
+            self.mark(CtxField::TgtDacOwner);
+            stats.bump_ctx_fetches();
+            self.tgt_dac_owner = Some(self.env.link_target_owner().map(|u| u.0 as u64));
+        }
+        self.tgt_dac_owner.unwrap()
+    }
+
+    /// Whether the object is adversary-writable (low integrity).
+    pub fn adv_write_value(&mut self, stats: &PfStats) -> Option<bool> {
+        if self.adv_write.is_none() {
+            self.mark(CtxField::AdvWrite);
+            stats.bump_ctx_fetches();
+            let sid = self.object_sid_value(stats);
+            self.adv_write = Some(sid.map(|s| self.env.mac().adversary_writable(s)));
+        }
+        self.adv_write.unwrap()
+    }
+
+    /// Whether the object is adversary-readable (low secrecy).
+    pub fn adv_read_value(&mut self, stats: &PfStats) -> Option<bool> {
+        if self.adv_read.is_none() {
+            self.mark(CtxField::AdvRead);
+            stats.bump_ctx_fetches();
+            let sid = self.object_sid_value(stats);
+            self.adv_read = Some(sid.map(|s| self.env.mac().adversary_readable(s)));
+        }
+        self.adv_read.unwrap()
+    }
+
+    /// Signal number, on signal-delivery operations.
+    pub fn signal_value(&mut self, stats: &PfStats) -> Option<u64> {
+        if self.signal_num.is_none() {
+            self.mark(CtxField::SignalNum);
+            stats.bump_ctx_fetches();
+            self.signal_num = Some(self.env.signal().map(|s| s.signal.0 as u64));
+        }
+        self.signal_num.unwrap()
+    }
+
+    /// Syscall argument `n` (arg 0 is the syscall number).
+    pub fn arg_value(&mut self, n: u8) -> u64 {
+        self.mark(CtxField::Arg(n.min(3)));
+        self.env.syscall_arg(n as usize)
+    }
+
+    /// Resolves a [`CtxField`] to its `u64` encoding, or `None` when the
+    /// field is unavailable for this operation.
+    pub fn field_value(&mut self, field: CtxField, stats: &PfStats) -> Option<u64> {
+        match field {
+            CtxField::Entrypoint => self.entrypoint_value(stats).map(|(p, pc)| {
+                // Fold program and pc for comparisons; rules match the
+                // pair structurally elsewhere.
+                ((p.0 as u64) << 40) ^ pc
+            }),
+            CtxField::ResourceId => self.resource_id_value(stats),
+            CtxField::ObjectSid => self.object_sid_value(stats).map(|s| s.0 as u64),
+            CtxField::DacOwner => self.dac_owner_value(stats),
+            CtxField::TgtDacOwner => self.tgt_dac_owner_value(stats),
+            CtxField::AdvWrite => self.adv_write_value(stats).map(u64::from),
+            CtxField::AdvRead => self.adv_read_value(stats).map(u64::from),
+            CtxField::Arg(n) => Some(self.arg_value(n)),
+            CtxField::SignalNum => self.signal_value(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cname_round_trip() {
+        for f in [
+            CtxField::Entrypoint,
+            CtxField::ResourceId,
+            CtxField::ObjectSid,
+            CtxField::DacOwner,
+            CtxField::TgtDacOwner,
+            CtxField::AdvWrite,
+            CtxField::AdvRead,
+            CtxField::Arg(0),
+            CtxField::Arg(3),
+            CtxField::SignalNum,
+        ] {
+            assert_eq!(CtxField::parse_cname(f.cname()), Some(f));
+        }
+        assert_eq!(CtxField::parse_cname("C_NOPE"), None);
+    }
+
+    #[test]
+    fn bits_are_unique() {
+        let fields = [
+            CtxField::Entrypoint,
+            CtxField::ResourceId,
+            CtxField::ObjectSid,
+            CtxField::DacOwner,
+            CtxField::TgtDacOwner,
+            CtxField::AdvWrite,
+            CtxField::AdvRead,
+            CtxField::Arg(0),
+            CtxField::Arg(1),
+            CtxField::Arg(2),
+            CtxField::Arg(3),
+            CtxField::SignalNum,
+        ];
+        let mut mask = 0u32;
+        for f in fields {
+            let bit = 1 << f.bit();
+            assert_eq!(mask & bit, 0, "duplicate bit for {f:?}");
+            mask |= bit;
+        }
+    }
+}

@@ -1,0 +1,1074 @@
+//! The rule-processing engine (Figure 3 of the paper).
+//!
+//! `evaluate` is the PF hook body: it wraps the caller's [`EvalEnv`] in a
+//! lazily-materialized [`Packet`], selects the starting chain for the
+//! operation, and walks rules until a terminal target produces a verdict.
+//! With no match the default policy is ALLOW — the rule base consists of
+//! deny rules only (Section 4.1), which is also what makes the automatic
+//! entrypoint-chain partitioning sound (Section 4.3).
+
+use std::cell::RefCell;
+
+use pf_types::{Interner, LsmOperation, PfResult, Verdict};
+
+use pf_mac::MacPolicy;
+
+use crate::chain::{ChainName, RuleBase};
+use crate::config::{OptLevel, PfConfig};
+use crate::context::Packet;
+use crate::env::EvalEnv;
+use crate::lang::{parse_command, Command, RuleOp};
+use crate::log::LogEntry;
+use crate::rule::{MatchModule, Rule, Target};
+use crate::stats::PfStats;
+use crate::value::ValueExpr;
+
+/// The outcome of one firewall invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalDecision {
+    /// Allow or deny.
+    pub verdict: Verdict,
+    /// For denies: the chain name and rule index that fired.
+    pub dropped_by: Option<(String, usize)>,
+}
+
+impl EvalDecision {
+    fn allow() -> Self {
+        EvalDecision {
+            verdict: Verdict::Allow,
+            dropped_by: None,
+        }
+    }
+}
+
+/// The Process Firewall: configuration, rule base, statistics, and logs.
+pub struct ProcessFirewall {
+    config: PfConfig,
+    base: RuleBase,
+    stats: PfStats,
+    logs: RefCell<Vec<LogEntry>>,
+}
+
+impl ProcessFirewall {
+    /// Creates a firewall at the given optimization level with no rules.
+    pub fn new(level: OptLevel) -> Self {
+        ProcessFirewall {
+            config: level.config(),
+            base: RuleBase::new(),
+            stats: PfStats::new(),
+            logs: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PfConfig {
+        self.config
+    }
+
+    /// Switches optimization preset (rules are kept).
+    pub fn set_level(&mut self, level: OptLevel) {
+        self.config = level.config();
+    }
+
+    /// Sets an explicit configuration.
+    pub fn set_config(&mut self, config: PfConfig) {
+        self.config = config;
+    }
+
+    /// Parses and applies one `pftables` line (a rule or a
+    /// chain-management command).
+    pub fn install(
+        &mut self,
+        line: &str,
+        mac: &mut MacPolicy,
+        programs: &mut Interner,
+    ) -> PfResult<()> {
+        match parse_command(line, mac, programs)? {
+            Command::Rule(parsed) => match parsed.op {
+                RuleOp::InsertHead(chain) => self.base.add(chain, parsed.rule, true),
+                RuleOp::Append(chain) => self.base.add(chain, parsed.rule, false),
+                RuleOp::Delete(chain) => self.base.delete(&chain, &parsed.rule.text)?,
+            },
+            Command::NewChain(chain) => self.base.new_chain(chain)?,
+            Command::Flush(Some(chain)) => self.base.flush(&chain)?,
+            Command::Flush(None) => self.base.clear(),
+            Command::DeleteChain(chain) => self.base.delete_chain(&chain)?,
+        }
+        Ok(())
+    }
+
+    /// Installs many lines, returning how many were applied.
+    pub fn install_all<'a>(
+        &mut self,
+        lines: impl IntoIterator<Item = &'a str>,
+        mac: &mut MacPolicy,
+        programs: &mut Interner,
+    ) -> PfResult<usize> {
+        let mut n = 0;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            self.install(line, mac, programs)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Removes every installed rule.
+    pub fn clear_rules(&mut self) {
+        self.base.clear();
+    }
+
+    /// Total installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Read access to the rule base.
+    pub fn base(&self) -> &RuleBase {
+        &self.base
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &PfStats {
+        &self.stats
+    }
+
+    /// Drains accumulated LOG records.
+    pub fn take_logs(&self) -> Vec<LogEntry> {
+        std::mem::take(&mut *self.logs.borrow_mut())
+    }
+
+    /// Number of buffered LOG records.
+    pub fn log_count(&self) -> usize {
+        self.logs.borrow().len()
+    }
+
+    /// The PF hook: decide whether this operation may proceed.
+    ///
+    /// Called by the OS substrate *after* DAC and MAC authorize the
+    /// operation (Step 2 of Figure 2). The default verdict is ALLOW.
+    pub fn evaluate(&self, env: &mut dyn EvalEnv, op: LsmOperation) -> EvalDecision {
+        if !self.config.enabled {
+            return EvalDecision::allow();
+        }
+        self.stats.bump_invocations();
+        let mut pkt = Packet::new(env, self.config);
+        // The naive design "simply fetches all process and resource
+        // contexts and then matches them against each invariant"
+        // (Section 4.2) — with no invariants installed there is nothing
+        // to match, so even the unoptimized path skips collection.
+        if !self.config.lazy_context && !self.base.is_empty() {
+            pkt.fetch_all(&self.stats);
+        }
+        let start = if op == LsmOperation::SyscallBegin {
+            ChainName::SyscallBegin
+        } else {
+            ChainName::Input
+        };
+        if self.config.entrypoint_chains && start == ChainName::Input {
+            let input = self.base.chain(&ChainName::Input);
+            let generic = self.base.input_generic().iter().map(|&i| (i, &input[i]));
+            if let Some(d) = self.run_seq(&ChainName::Input, generic, &mut pkt, op, 0) {
+                return d;
+            }
+            if self.base.entrypoint_chain_count() > 0 {
+                if let Some(ept) = pkt.entrypoint_value(&self.stats) {
+                    if let Some(indices) = self.base.input_for_entrypoint(ept) {
+                        let bound = indices.iter().map(|&i| (i, &input[i]));
+                        if let Some(d) = self.run_seq(&ChainName::Input, bound, &mut pkt, op, 0) {
+                            return d;
+                        }
+                    }
+                }
+            }
+            EvalDecision::allow()
+        } else {
+            self.run_chain(&start, &mut pkt, op, 0)
+                .unwrap_or_else(EvalDecision::allow)
+        }
+    }
+
+    fn run_chain(
+        &self,
+        chain: &ChainName,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+        depth: u32,
+    ) -> Option<EvalDecision> {
+        let rules = self.base.chain(chain);
+        self.run_seq(chain, rules.iter().enumerate(), pkt, op, depth)
+    }
+
+    fn run_seq<'r>(
+        &self,
+        chain: &ChainName,
+        rules: impl Iterator<Item = (usize, &'r Rule)>,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+        depth: u32,
+    ) -> Option<EvalDecision> {
+        // A jump-depth limit replaces iptables' saved traversal stack;
+        // the per-process STATE dictionary carries all cross-invocation
+        // state, so traversal itself is re-entrant (Section 5.1).
+        const MAX_DEPTH: u32 = 16;
+        for (index, rule) in rules {
+            self.stats.bump_rules();
+            if !self.rule_matches(rule, pkt, op) {
+                continue;
+            }
+            rule.bump_hits();
+            match &rule.target {
+                Target::Drop => {
+                    self.stats.bump_drops();
+                    self.emit_log(pkt, op, "DROP", "DENY");
+                    return Some(EvalDecision {
+                        verdict: Verdict::Deny,
+                        dropped_by: Some((chain.name(), index)),
+                    });
+                }
+                Target::Accept => {
+                    self.stats.bump_accepts();
+                    return Some(EvalDecision::allow());
+                }
+                Target::Continue => {}
+                Target::Return => return None,
+                Target::Jump(name) => {
+                    if depth < MAX_DEPTH {
+                        let sub = ChainName::parse(name);
+                        if let Some(d) = self.run_chain(&sub, pkt, op, depth + 1) {
+                            return Some(d);
+                        }
+                    }
+                }
+                Target::StateSet { key, value } => {
+                    if let Some(v) = self.resolve(*value, pkt) {
+                        pkt.env().state_set(*key, v);
+                    }
+                }
+                Target::StateUnset { key } => pkt.env().state_unset(*key),
+                Target::Log { tag } => self.emit_log(pkt, op, tag, "ALLOW"),
+            }
+        }
+        None
+    }
+
+    fn resolve(&self, value: ValueExpr, pkt: &mut Packet<'_>) -> Option<u64> {
+        match value {
+            ValueExpr::Lit(v) => Some(v),
+            ValueExpr::Ctx(field) => pkt.field_value(field, &self.stats),
+        }
+    }
+
+    fn rule_matches(&self, rule: &Rule, pkt: &mut Packet<'_>, op: LsmOperation) -> bool {
+        // Cheapest selectors first so lazy context fetches stay minimal.
+        if let Some(rule_op) = rule.def.op {
+            if rule_op != op {
+                return false;
+            }
+        }
+        if let Some(subject) = &rule.def.subject {
+            if !subject.contains(pkt.env_ref().subject_sid()) {
+                return false;
+            }
+        }
+        match rule.def.entrypoint() {
+            Some(want) => {
+                if pkt.entrypoint_value(&self.stats) != Some(want) {
+                    return false;
+                }
+            }
+            None => {
+                // `-p` alone constrains the main program binary.
+                if let Some(prog) = rule.def.program {
+                    if pkt.env_ref().program() != prog {
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some(resource) = rule.def.resource {
+            if pkt.resource_id_value(&self.stats) != Some(resource) {
+                return false;
+            }
+        }
+        if let Some(object) = &rule.def.object {
+            match pkt.object_sid_value(&self.stats) {
+                Some(sid) if object.contains(sid) => {}
+                _ => return false,
+            }
+        }
+        for m in &rule.matches {
+            if !self.module_matches(m, pkt) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn module_matches(&self, m: &MatchModule, pkt: &mut Packet<'_>) -> bool {
+        match m {
+            MatchModule::State { key, cmp, negate } => {
+                let Some(current) = pkt.env_ref().state_get(*key) else {
+                    // A missing key never matches: before the "check" call
+                    // records state, the "use"-side rule must not fire.
+                    return false;
+                };
+                let Some(want) = self.resolve(*cmp, pkt) else {
+                    return false;
+                };
+                (current == want) != *negate
+            }
+            MatchModule::SignalMatch => match pkt.env_ref().signal() {
+                Some(sig) => sig.has_handler && !sig.unblockable,
+                None => false,
+            },
+            MatchModule::SyscallArgs { arg, cmp, negate } => {
+                let v = pkt.arg_value(*arg);
+                let Some(want) = self.resolve(*cmp, pkt) else {
+                    return false;
+                };
+                (v == want) != *negate
+            }
+            MatchModule::Compare { v1, v2, negate } => {
+                let (Some(a), Some(b)) = (self.resolve(*v1, pkt), self.resolve(*v2, pkt)) else {
+                    return false;
+                };
+                (a == b) != *negate
+            }
+            MatchModule::Owner { uid, negate } => match pkt.dac_owner_value(&self.stats) {
+                Some(owner) => (owner == *uid) != *negate,
+                None => false,
+            },
+            MatchModule::Interp { script, line } => match pkt.env_ref().interp_frame() {
+                Some((s, l)) => s == *script && line.map(|want| want == l).unwrap_or(true),
+                None => false,
+            },
+            MatchModule::Caller { program } => pkt.env_ref().program() == *program,
+            MatchModule::AdvAccess { write, want } => {
+                let v = if *write {
+                    pkt.adv_write_value(&self.stats)
+                } else {
+                    pkt.adv_read_value(&self.stats)
+                };
+                v == Some(*want)
+            }
+        }
+    }
+
+    fn emit_log(&self, pkt: &mut Packet<'_>, op: LsmOperation, tag: &str, verdict: &str) {
+        let ept = pkt.entrypoint_value(&self.stats);
+        let adv_write = pkt.adv_write_value(&self.stats).unwrap_or(false);
+        let adv_read = pkt.adv_read_value(&self.stats).unwrap_or(false);
+        let env = pkt.env_ref();
+        let mac = env.mac();
+        let object = env.object();
+        let entry = LogEntry {
+            ts: env.now(),
+            pid: env.pid().0,
+            subject: mac.label_name(env.subject_sid()).to_owned(),
+            program: env.program_name(env.program()),
+            ept_prog: ept.map(|(p, _)| env.program_name(p)).unwrap_or_default(),
+            ept_pc: ept.map(|(_, pc)| pc).unwrap_or(0),
+            op,
+            object: object
+                .map(|o| mac.label_name(o.sid).to_owned())
+                .unwrap_or_default(),
+            resource: object.map(|o| o.resource.to_string()).unwrap_or_default(),
+            adv_write,
+            adv_read,
+            tag: tag.to_owned(),
+            verdict: verdict.to_owned(),
+        };
+        self.logs.borrow_mut().push(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ObjectInfo, SignalInfo};
+    use crate::lang::parse_rule;
+    use pf_mac::ubuntu_mini;
+    use pf_types::{DeviceId, Gid, InodeNum, Mode, Pid, ProgramId, ResourceId, SecId, Uid};
+    use std::collections::HashMap;
+
+    /// A self-contained mock environment for engine unit tests.
+    struct MockEnv {
+        mac: MacPolicy,
+        programs: Interner,
+        subject: SecId,
+        program: ProgramId,
+        stack: Option<(ProgramId, u64)>,
+        object: Option<ObjectInfo>,
+        link_owner: Option<Uid>,
+        args: [u64; 4],
+        signal: Option<SignalInfo>,
+        state: HashMap<u64, u64>,
+        cache: HashMap<u8, u64>,
+        unwind_count: u64,
+    }
+
+    impl MockEnv {
+        fn new() -> Self {
+            let mac = ubuntu_mini();
+            let mut programs = Interner::new();
+            let subject = mac.lookup_label("httpd_t").unwrap();
+            let program = programs.intern("/usr/bin/apache2");
+            MockEnv {
+                mac,
+                programs,
+                subject,
+                program,
+                stack: Some((program, 0x100)),
+                object: None,
+                link_owner: None,
+                args: [0; 4],
+                signal: None,
+                state: HashMap::new(),
+                cache: HashMap::new(),
+                unwind_count: 0,
+            }
+        }
+
+        fn with_object(mut self, label: &str, ino: u64, owner: u32) -> Self {
+            let sid = self.mac.lookup_label(label).unwrap();
+            self.object = Some(ObjectInfo {
+                sid,
+                resource: ResourceId::File {
+                    dev: DeviceId(0),
+                    ino: InodeNum(ino),
+                },
+                owner: Uid(owner),
+                group: Gid(owner),
+                mode: Mode::FILE_DEFAULT,
+            });
+            self
+        }
+    }
+
+    impl EvalEnv for MockEnv {
+        fn subject_sid(&self) -> SecId {
+            self.subject
+        }
+        fn program(&self) -> ProgramId {
+            self.program
+        }
+        fn pid(&self) -> Pid {
+            Pid(1)
+        }
+        fn unwind_entrypoint(&mut self) -> Option<(ProgramId, u64)> {
+            self.unwind_count += 1;
+            self.stack
+        }
+        fn object(&self) -> Option<ObjectInfo> {
+            self.object
+        }
+        fn link_target_owner(&mut self) -> Option<Uid> {
+            self.link_owner
+        }
+        fn syscall_arg(&self, idx: usize) -> u64 {
+            self.args.get(idx).copied().unwrap_or(0)
+        }
+        fn signal(&self) -> Option<SignalInfo> {
+            self.signal
+        }
+        fn mac(&self) -> &MacPolicy {
+            &self.mac
+        }
+        fn program_name(&self, id: ProgramId) -> String {
+            self.programs.resolve(id).to_owned()
+        }
+        fn state_get(&self, key: u64) -> Option<u64> {
+            self.state.get(&key).copied()
+        }
+        fn state_set(&mut self, key: u64, value: u64) {
+            self.state.insert(key, value);
+        }
+        fn state_unset(&mut self, key: u64) {
+            self.state.remove(&key);
+        }
+        fn cache_get(&self, slot: u8) -> Option<u64> {
+            self.cache.get(&slot).copied()
+        }
+        fn cache_put(&mut self, slot: u8, value: u64) {
+            self.cache.insert(slot, value);
+        }
+        fn now(&self) -> u64 {
+            7
+        }
+    }
+
+    fn install(pf: &mut ProcessFirewall, env: &mut MockEnv, line: &str) {
+        pf.install(line, &mut env.mac, &mut env.programs).unwrap();
+    }
+
+    #[test]
+    fn default_policy_is_allow() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow);
+    }
+
+    #[test]
+    fn disabled_firewall_never_blocks() {
+        let mut pf = ProcessFirewall::new(OptLevel::Disabled);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j DROP");
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow);
+        assert_eq!(pf.stats().invocations(), 0);
+    }
+
+    #[test]
+    fn label_match_drops_and_reports_rule() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        assert_eq!(d.dropped_by, Some(("input".into(), 0)));
+        // A different label is untouched.
+        let mut env2 = MockEnv::new().with_object("etc_t", 6, 0);
+        pf.install(
+            "pftables -o FILE_OPEN -d tmp_t -j DROP",
+            &mut env2.mac,
+            &mut env2.programs,
+        )
+        .unwrap();
+        assert_eq!(
+            pf.evaluate(&mut env2, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn negated_set_drops_everything_outside() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o FILE_OPEN -d ~{lib_t|usr_t} -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny
+        );
+        let mut env2 = MockEnv::new().with_object("lib_t", 9, 0);
+        pf.install(
+            "pftables -o FILE_OPEN -d ~{lib_t|usr_t} -j DROP",
+            &mut env2.mac,
+            &mut env2.programs,
+        )
+        .unwrap();
+        assert_eq!(
+            pf.evaluate(&mut env2, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn operation_selector_gates_rule() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_WRITE -j DROP");
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileWrite).verdict,
+            Verdict::Deny
+        );
+    }
+
+    #[test]
+    fn entrypoint_match_requires_program_and_pc() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny
+        );
+        // Different pc: no match.
+        env.stack = Some((env.program, 0x200));
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn malformed_stack_fails_open_for_that_process() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+        );
+        env.stack = None; // §4.4: sanitization aborted the unwind.
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn state_set_then_state_match_tocttou_pair() {
+        // R5/R6-style: record inode at bind, drop chmod on a different one.
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 50, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO",
+        );
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+        );
+        // Bind records inode 50.
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::SocketBind).verdict,
+            Verdict::Allow
+        );
+        assert!(env.state_get(0xbeef).is_some());
+        // Setattr on the same inode: allowed.
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::SocketSetattr).verdict,
+            Verdict::Allow
+        );
+        // The adversary swaps the resource: setattr now sees inode 51.
+        env = MockEnv {
+            state: env.state.clone(),
+            ..MockEnv::new().with_object("tmp_t", 51, 666)
+        };
+        pf.install(
+            "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::SocketSetattr).verdict,
+            Verdict::Deny
+        );
+    }
+
+    #[test]
+    fn state_match_with_missing_key_never_fires() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 51, 666);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::SocketSetattr).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn signal_chain_blocks_nested_handler() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new();
+        for r in [
+            "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+            "pftables -A signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+            "pftables -A signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1",
+        ] {
+            install(&mut pf, &mut env, r);
+        }
+        env.signal = Some(SignalInfo {
+            signal: pf_types::SignalNum::SIGALRM,
+            has_handler: true,
+            unblockable: false,
+            in_handler: false,
+        });
+        // First delivery: allowed, records in-handler state.
+        let d = pf.evaluate(&mut env, LsmOperation::ProcessSignalDelivery);
+        assert_eq!(d.verdict, Verdict::Allow);
+        // Second delivery while the handler runs: dropped.
+        let d2 = pf.evaluate(&mut env, LsmOperation::ProcessSignalDelivery);
+        assert_eq!(d2.verdict, Verdict::Deny);
+        assert_eq!(d2.dropped_by.unwrap().0, "signal_chain");
+    }
+
+    #[test]
+    fn sigreturn_clears_signal_state() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new();
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn \
+             -j STATE --set --key 'sig' --value 0",
+        );
+        env.state_set(crate::value::state_key("sig"), 1);
+        env.args[0] = pf_types::SyscallNr::Sigreturn.as_u64();
+        pf.evaluate(&mut env, LsmOperation::SyscallBegin);
+        assert_eq!(env.state_get(crate::value::state_key("sig")), Some(0));
+    }
+
+    #[test]
+    fn compare_module_owner_mismatch() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        env.link_owner = Some(Uid(666));
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o LINK_READ -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER \
+             --nequal -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::LinkRead).verdict,
+            Verdict::Deny
+        );
+        env.link_owner = Some(Uid(1000)); // Owners match: allowed.
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::LinkRead).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn adv_access_module() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o FILE_OPEN -m ADV_ACCESS --write --accessible -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny,
+            "tmp_t is adversary-writable"
+        );
+        let mut env2 = MockEnv::new().with_object("lib_t", 6, 0);
+        pf.install(
+            "pftables -o FILE_OPEN -m ADV_ACCESS --write --accessible -j DROP",
+            &mut env2.mac,
+            &mut env2.programs,
+        )
+        .unwrap();
+        assert_eq!(
+            pf.evaluate(&mut env2, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn accept_short_circuits_later_drops() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j ACCEPT");
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j DROP");
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+        assert_eq!(pf.stats().accepts(), 1);
+    }
+
+    #[test]
+    fn log_target_records_context_and_continues() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o FILE_OPEN -j LOG --tag trace",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+        let logs = pf.take_logs();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].object, "tmp_t");
+        assert_eq!(logs[0].ept_pc, 0x100);
+        assert!(logs[0].adv_write);
+        assert_eq!(logs[0].tag, "trace");
+        assert_eq!(pf.log_count(), 0, "take_logs drains");
+    }
+
+    #[test]
+    fn drops_are_logged_as_denials() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        let logs = pf.take_logs();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].verdict, "DENY");
+    }
+
+    #[test]
+    fn all_optimization_levels_agree_on_verdicts() {
+        let rules = [
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -d tmp_t -j DROP",
+            "pftables -o FILE_WRITE -d ~{lib_t|etc_t} -j DROP",
+            "pftables -o LINK_READ -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER \
+             --nequal -j DROP",
+        ];
+        let cases: Vec<(&str, u64, u32, LsmOperation)> = vec![
+            ("tmp_t", 5, 1000, LsmOperation::FileOpen),
+            ("lib_t", 6, 0, LsmOperation::FileOpen),
+            ("tmp_t", 5, 1000, LsmOperation::FileWrite),
+            ("etc_t", 7, 0, LsmOperation::FileWrite),
+            ("tmp_t", 5, 1000, LsmOperation::LinkRead),
+        ];
+        let mut verdicts: Vec<Vec<Verdict>> = Vec::new();
+        for level in [
+            OptLevel::Full,
+            OptLevel::ConCache,
+            OptLevel::LazyCon,
+            OptLevel::EptSpc,
+        ] {
+            let mut pf = ProcessFirewall::new(level);
+            let mut vs = Vec::new();
+            for &(label, ino, owner, op) in &cases {
+                let mut env = MockEnv::new().with_object(label, ino, owner);
+                env.link_owner = Some(Uid(666));
+                for r in rules {
+                    pf.install(r, &mut env.mac, &mut env.programs).unwrap();
+                }
+                vs.push(pf.evaluate(&mut env, op).verdict);
+                pf.clear_rules();
+            }
+            verdicts.push(vs);
+        }
+        for later in &verdicts[1..] {
+            assert_eq!(
+                &verdicts[0], later,
+                "optimizations must not change verdicts"
+            );
+        }
+    }
+
+    #[test]
+    fn concache_avoids_repeated_unwinds() {
+        let mut pf = ProcessFirewall::new(OptLevel::ConCache);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -d tmp_t -j LOG",
+        );
+        // Three invocations in the same "syscall" (cache not cleared).
+        for _ in 0..3 {
+            pf.evaluate(&mut env, LsmOperation::FileOpen);
+        }
+        assert_eq!(env.unwind_count, 1, "entrypoint served from task cache");
+        assert!(pf.stats().cache_hits() >= 2);
+    }
+
+    #[test]
+    fn eptspc_skips_unrelated_entrypoint_rules() {
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        let mk = |level: OptLevel, env: &mut MockEnv| {
+            let mut pf = ProcessFirewall::new(level);
+            // 50 rules for other entrypoints + one generic matcher-free op.
+            for i in 0..50 {
+                pf.install(
+                    &format!("pftables -p /bin/other -i {:#x} -o FILE_OPEN -j DROP", i),
+                    &mut env.mac,
+                    &mut env.programs,
+                )
+                .unwrap();
+            }
+            pf
+        };
+        let pf_full = mk(OptLevel::Full, &mut env);
+        pf_full.evaluate(&mut env, LsmOperation::FileOpen);
+        let full_rules = pf_full.stats().rules_evaluated();
+        let pf_ept = mk(OptLevel::EptSpc, &mut env);
+        pf_ept.evaluate(&mut env, LsmOperation::FileOpen);
+        let ept_rules = pf_ept.stats().rules_evaluated();
+        assert_eq!(full_rules, 50);
+        assert_eq!(ept_rules, 0, "no chain for this entrypoint");
+    }
+
+    #[test]
+    fn return_target_ends_chain_without_verdict() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j RETURN");
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j DROP");
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow,
+            "RETURN at top level yields the default policy"
+        );
+    }
+
+    #[test]
+    fn jump_returns_to_caller_on_fallthrough() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -I input -o FILE_OPEN -j SIDE");
+        install(&mut pf, &mut env, "pftables -A side -o FILE_WRITE -j DROP");
+        install(&mut pf, &mut env, "pftables -A input -o FILE_OPEN -j DROP");
+        // side chain has no FILE_OPEN rule, so control returns and the
+        // second input rule fires.
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        assert_eq!(d.dropped_by, Some(("input".into(), 1)));
+    }
+
+    #[test]
+    fn rule_delete_via_install() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        assert_eq!(pf.rule_count(), 1);
+        // `-D` with the same spec removes it (text match ignores the -D).
+        let line = "pftables -o FILE_OPEN -d tmp_t -j DROP";
+        let parsed = parse_rule(line, &mut env.mac, &mut env.programs).unwrap();
+        pf.base
+            .delete(&ChainName::Input, &parsed.rule.text)
+            .unwrap();
+        assert_eq!(pf.rule_count(), 0);
+    }
+
+    #[test]
+    fn jump_to_missing_chain_falls_through() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j NOWHERE");
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "empty jump target is a no-op");
+        assert_eq!(d.dropped_by, Some(("input".into(), 1)));
+    }
+
+    #[test]
+    fn self_jump_cycle_terminates_at_depth_limit() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -I input -o FILE_OPEN -j LOOPY");
+        install(&mut pf, &mut env, "pftables -A loopy -o FILE_OPEN -j LOOPY");
+        // Must return (default allow), not recurse forever.
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow);
+    }
+
+    #[test]
+    fn resource_id_default_match() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        let res = pf_types::ResourceId::File {
+            dev: DeviceId(0),
+            ino: InodeNum(5),
+        }
+        .as_u64();
+        install(
+            &mut pf,
+            &mut env,
+            &format!("pftables -o FILE_OPEN -r {res} -j DROP"),
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny
+        );
+        let mut env2 = MockEnv::new().with_object("tmp_t", 6, 1000);
+        pf.install(
+            &format!("pftables -o FILE_OPEN -r {res} -j DROP"),
+            &mut env2.mac,
+            &mut env2.programs,
+        )
+        .unwrap();
+        assert_eq!(
+            pf.evaluate(&mut env2, LsmOperation::FileOpen).verdict,
+            Verdict::Allow,
+            "different inode: no match"
+        );
+    }
+
+    #[test]
+    fn caller_module_matches_main_binary() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o FILE_OPEN -m CALLER --program /usr/bin/apache2 -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny,
+            "mock task runs apache2"
+        );
+        env.program = env.programs.intern("/bin/other");
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn state_unset_target_removes_entries() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -o FILE_OPEN -j STATE --unset --key 0x77",
+        );
+        env.state_set(0x77, 9);
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(env.state_get(0x77), None);
+    }
+
+    #[test]
+    fn subject_selector_gates_on_process_label() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -s user_t -o FILE_OPEN -j DROP");
+        // Mock subject is httpd_t.
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow
+        );
+        env.subject = env.mac.lookup_label("user_t").unwrap();
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny
+        );
+    }
+
+    #[test]
+    fn install_all_skips_comments_and_blanks() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new();
+        let n = pf
+            .install_all(
+                [
+                    "# comment",
+                    "",
+                    "pftables -o FILE_OPEN -j DROP",
+                    "pftables -o FILE_WRITE -j DROP",
+                ],
+                &mut env.mac,
+                &mut env.programs,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(pf.rule_count(), 2);
+    }
+}

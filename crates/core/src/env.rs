@@ -1,0 +1,109 @@
+//! The evaluation environment: what the OS substrate exposes to the
+//! firewall.
+//!
+//! The kernel prototype reads process state (user stack, `task_struct`
+//! extensions) and resource state (inodes, labels) directly; here the OS
+//! simulator implements [`EvalEnv`] on a view borrowing its internals.
+//! Everything the rule language can match flows through this trait, which
+//! keeps `pf-core` independent of the substrate's data structures.
+
+use pf_mac::MacPolicy;
+use pf_types::{Gid, Mode, Pid, ProgramId, ResourceId, SecId, SignalNum, Uid};
+
+/// Resource context for the object of the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// The object's MAC label.
+    pub sid: SecId,
+    /// The resource identifier (device+inode or signal).
+    pub resource: ResourceId,
+    /// DAC owner.
+    pub owner: Uid,
+    /// DAC group.
+    pub group: Gid,
+    /// Permission bits.
+    pub mode: Mode,
+}
+
+/// Signal-delivery context for `PROCESS_SIGNAL_DELIVERY` operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// The signal being delivered.
+    pub signal: SignalNum,
+    /// Whether the receiving process installed a handler for it.
+    pub has_handler: bool,
+    /// `SIGKILL`/`SIGSTOP` cannot be blocked or dropped.
+    pub unblockable: bool,
+    /// Whether the receiver is already executing a signal handler.
+    pub in_handler: bool,
+}
+
+/// The firewall's window into the process and the resource.
+///
+/// Implementations borrow kernel state for the duration of one
+/// authorization hook. Methods that retrieve process-internal state
+/// (`unwind_entrypoint`) may fail benignly: per Section 4.4 of the paper,
+/// malformed process state aborts context evaluation and merely costs the
+/// process its own protection.
+pub trait EvalEnv {
+    /// The subject (process) MAC label.
+    fn subject_sid(&self) -> SecId;
+
+    /// The process's main program binary.
+    fn program(&self) -> ProgramId;
+
+    /// The calling process id.
+    fn pid(&self) -> Pid;
+
+    /// Unwinds the user stack to the innermost frame: the entrypoint.
+    ///
+    /// Returns `None` for malformed stacks (frame limit exceeded, invalid
+    /// pointers) — the sanitized failure path.
+    fn unwind_entrypoint(&mut self) -> Option<(ProgramId, u64)>;
+
+    /// The object of the operation, when there is one.
+    fn object(&self) -> Option<ObjectInfo>;
+
+    /// For link-traversal operations: the owner of the symlink *target*.
+    fn link_target_owner(&mut self) -> Option<Uid>;
+
+    /// Syscall argument `idx`; argument 0 is the syscall number.
+    fn syscall_arg(&self, idx: usize) -> u64;
+
+    /// Signal-delivery context (only on signal operations).
+    fn signal(&self) -> Option<SignalInfo>;
+
+    /// The MAC policy (for adversary accessibility and label names).
+    fn mac(&self) -> &MacPolicy;
+
+    /// Resolves a program id to its path for logging.
+    fn program_name(&self, id: ProgramId) -> String;
+
+    /// Reads a per-process STATE-dictionary entry.
+    fn state_get(&self, key: u64) -> Option<u64>;
+
+    /// Writes a per-process STATE-dictionary entry.
+    fn state_set(&mut self, key: u64, value: u64);
+
+    /// Removes a per-process STATE-dictionary entry.
+    fn state_unset(&mut self, key: u64);
+
+    /// Reads the per-syscall context cache (cleared at syscall entry).
+    fn cache_get(&self, slot: u8) -> Option<u64>;
+
+    /// Writes the per-syscall context cache.
+    fn cache_put(&mut self, slot: u8, value: u64);
+
+    /// A logical timestamp for log records.
+    fn now(&self) -> u64;
+
+    /// The innermost interpreter-level backtrace frame (script path and
+    /// line), for tasks running PHP/Python/Bash scripts.
+    ///
+    /// The paper adapts each interpreter's backtrace code to run in the
+    /// kernel (Section 4.4); substrates without interpreter support may
+    /// keep the default `None`.
+    fn interp_frame(&self) -> Option<(String, u32)> {
+        None
+    }
+}

@@ -1,0 +1,691 @@
+//! The `pftables` rule language parser (Table 3 of the paper).
+//!
+//! Grammar (whitespace-separated tokens; single quotes group):
+//!
+//! ```text
+//! pftables [-t filter|mangle] [-I|-A|-D chain]
+//!          [-s labelset] [-d labelset] [-i 0xPC] [-p /path/to/binary]
+//!          [-o LSM_OPERATION] [-r resource_id]
+//!          [-m MODULE opts...]* [-j TARGET opts...]
+//! ```
+//!
+//! Label sets are written `lbl_t`, `{a_t|b_t}`, or negated `~{a_t|b_t}`;
+//! the keyword `SYSHIGH` expands to the TCB label set from the MAC policy
+//! at install time (Section 5.2). Context references (`C_INO`,
+//! `C_DAC_OWNER`, `C_TGT_DAC_OWNER`, …) may appear in module options and
+//! are resolved at evaluation time.
+
+use pf_types::{Interner, LabelSet, LsmOperation, PfError, PfResult};
+
+use pf_mac::MacPolicy;
+
+use crate::chain::ChainName;
+use crate::rule::{DefaultMatches, MatchModule, Rule, Target};
+use crate::value::{state_key, ValueExpr};
+
+/// What an installed rule line asks the firewall to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleOp {
+    /// Insert at the head of `chain` (`-I`).
+    InsertHead(ChainName),
+    /// Append to `chain` (`-A`, or the default when no chain op given).
+    Append(ChainName),
+    /// Delete the first matching rule from `chain` (`-D`).
+    Delete(ChainName),
+}
+
+/// A parsed rule line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRule {
+    /// Placement/removal directive.
+    pub op: RuleOp,
+    /// The rule itself.
+    pub rule: Rule,
+}
+
+/// Splits a rule line into tokens, honouring single-quoted groups.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    for ch in line.chars() {
+        match ch {
+            '\'' => quoted = !quoted,
+            c if c.is_whitespace() && !quoted => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks
+}
+
+fn err(msg: impl Into<String>) -> PfError {
+    PfError::RuleError(msg.into())
+}
+
+/// Parses a label-set token, expanding `SYSHIGH` from the MAC policy.
+fn parse_label_set(tok: &str, mac: &mut MacPolicy) -> PfResult<LabelSet> {
+    let (negate, body) = match tok.strip_prefix('~') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let inner = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .unwrap_or(body);
+    if inner.is_empty() {
+        return Err(err(format!("empty label set `{tok}`")));
+    }
+    let mut set = LabelSet::empty();
+    for name in inner.split('|') {
+        if name == "SYSHIGH" {
+            set.extend(mac.syshigh_set());
+        } else {
+            set.extend([mac.intern_label(name)]);
+        }
+    }
+    Ok(if negate { set.negated() } else { set })
+}
+
+/// Parses a hex (`0x…`) or decimal number.
+fn parse_num(tok: &str) -> PfResult<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad number `{tok}`: {e}")))
+    } else {
+        tok.parse()
+            .map_err(|e| err(format!("bad number `{tok}`: {e}")))
+    }
+}
+
+struct Cursor {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, what: &str) -> PfResult<String> {
+        self.next().ok_or_else(|| err(format!("expected {what}")))
+    }
+}
+
+/// A full `pftables` command: a rule operation or chain management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Insert/append/delete a rule.
+    Rule(ParsedRule),
+    /// `-N name`: declare a new (user) chain.
+    NewChain(ChainName),
+    /// `-F [chain]`: flush one chain, or everything when omitted.
+    Flush(Option<ChainName>),
+    /// `-X name`: delete an empty user chain.
+    DeleteChain(ChainName),
+}
+
+/// Parses one `pftables` line: chain-management commands (`-N`, `-F`,
+/// `-X`) or a rule line (see [`parse_rule`]).
+pub fn parse_command(
+    line: &str,
+    mac: &mut MacPolicy,
+    programs: &mut Interner,
+) -> PfResult<Command> {
+    let toks = tokenize(line.trim());
+    if toks.first().map(String::as_str) != Some("pftables") {
+        return Err(err("rule must start with `pftables`"));
+    }
+    // Skip an optional `-t <table>` prefix when looking for the command.
+    let mut i = 1;
+    if toks.get(i).map(String::as_str) == Some("-t") {
+        i += 2;
+    }
+    match toks.get(i).map(String::as_str) {
+        Some("-N") => {
+            let name = toks
+                .get(i + 1)
+                .ok_or_else(|| err("expected chain name after -N"))?;
+            let chain = ChainName::parse(name);
+            if !matches!(chain, ChainName::User(_)) {
+                return Err(err(format!("cannot create built-in chain `{name}`")));
+            }
+            Ok(Command::NewChain(chain))
+        }
+        Some("-F") => Ok(Command::Flush(toks.get(i + 1).map(|n| ChainName::parse(n)))),
+        Some("-X") => {
+            let name = toks
+                .get(i + 1)
+                .ok_or_else(|| err("expected chain name after -X"))?;
+            Ok(Command::DeleteChain(ChainName::parse(name)))
+        }
+        _ => parse_rule(line, mac, programs).map(Command::Rule),
+    }
+}
+
+/// Parses one `pftables` line against the given MAC policy (for label
+/// interning / SYSHIGH expansion) and program interner.
+pub fn parse_rule(
+    line: &str,
+    mac: &mut MacPolicy,
+    programs: &mut Interner,
+) -> PfResult<ParsedRule> {
+    let line = line.trim();
+    let mut cur = Cursor {
+        toks: tokenize(line),
+        pos: 0,
+    };
+    match cur.next().as_deref() {
+        Some("pftables") => {}
+        _ => return Err(err("rule must start with `pftables`")),
+    }
+
+    let mut op: Option<RuleOp> = None;
+    let mut def = DefaultMatches::default();
+    let mut matches: Vec<MatchModule> = Vec::new();
+    let mut target: Option<Target> = None;
+
+    while let Some(tok) = cur.next() {
+        match tok.as_str() {
+            "-t" => {
+                let table = cur.expect("table name after -t")?;
+                if table != "filter" && table != "mangle" {
+                    return Err(err(format!("unknown table `{table}`")));
+                }
+            }
+            "-I" => {
+                let chain = cur.expect("chain after -I")?;
+                op = Some(RuleOp::InsertHead(ChainName::parse(&chain)));
+            }
+            "-A" => {
+                let chain = cur.expect("chain after -A")?;
+                op = Some(RuleOp::Append(ChainName::parse(&chain)));
+            }
+            "-D" => {
+                let chain = cur.expect("chain after -D")?;
+                op = Some(RuleOp::Delete(ChainName::parse(&chain)));
+            }
+            "-s" => {
+                let set = cur.expect("label set after -s")?;
+                def.subject = Some(parse_label_set(&set, mac)?);
+            }
+            "-d" => {
+                let set = cur.expect("label set after -d")?;
+                def.object = Some(parse_label_set(&set, mac)?);
+            }
+            "-i" => {
+                let pc = cur.expect("entrypoint pc after -i")?;
+                def.entrypoint_pc = Some(parse_num(&pc)?);
+            }
+            "-p" => {
+                let prog = cur.expect("program path after -p")?;
+                def.program = Some(programs.intern(&prog));
+            }
+            "-o" => {
+                let opname = cur.expect("operation after -o")?;
+                def.op = Some(opname.parse::<LsmOperation>().map_err(err)?);
+            }
+            "-r" => {
+                let res = cur.expect("resource id after -r")?;
+                def.resource = Some(parse_num(&res)?);
+            }
+            "-m" => {
+                let module = cur.expect("module name after -m")?;
+                matches.push(parse_match_module(&module, &mut cur, programs)?);
+            }
+            "-j" => {
+                let tname = cur.expect("target after -j")?;
+                target = Some(parse_target(&tname, &mut cur)?);
+            }
+            other => return Err(err(format!("unexpected token `{other}`"))),
+        }
+    }
+
+    let target = target.ok_or_else(|| err("rule has no target (-j)"))?;
+    Ok(ParsedRule {
+        op: op.unwrap_or(RuleOp::Append(ChainName::Input)),
+        rule: Rule::new(def, matches, target, line.to_owned()),
+    })
+}
+
+fn parse_match_module(
+    name: &str,
+    cur: &mut Cursor,
+    programs_ref: &mut Interner,
+) -> PfResult<MatchModule> {
+    match name {
+        "STATE" => {
+            let mut key = None;
+            let mut cmp = None;
+            let mut negate = false;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--key" => {
+                        cur.next();
+                        key = Some(state_key(&cur.expect("key")?));
+                    }
+                    "--cmp" => {
+                        cur.next();
+                        cmp = Some(ValueExpr::parse(&cur.expect("comparand")?).map_err(err)?);
+                    }
+                    "--nequal" => {
+                        cur.next();
+                        negate = true;
+                    }
+                    "--equal" => {
+                        cur.next();
+                        negate = false;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(MatchModule::State {
+                key: key.ok_or_else(|| err("STATE match requires --key"))?,
+                cmp: cmp.ok_or_else(|| err("STATE match requires --cmp"))?,
+                negate,
+            })
+        }
+        "SIGNAL_MATCH" => Ok(MatchModule::SignalMatch),
+        "SYSCALL_ARGS" => {
+            let mut arg = None;
+            let mut cmp = None;
+            let mut negate = false;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--arg" => {
+                        cur.next();
+                        arg = Some(parse_num(&cur.expect("arg index")?)? as u8);
+                    }
+                    "--equal" => {
+                        cur.next();
+                        cmp = Some(ValueExpr::parse(&cur.expect("comparand")?).map_err(err)?);
+                        negate = false;
+                    }
+                    "--nequal" => {
+                        cur.next();
+                        cmp = Some(ValueExpr::parse(&cur.expect("comparand")?).map_err(err)?);
+                        negate = true;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(MatchModule::SyscallArgs {
+                arg: arg.ok_or_else(|| err("SYSCALL_ARGS requires --arg"))?,
+                cmp: cmp.ok_or_else(|| err("SYSCALL_ARGS requires --equal/--nequal"))?,
+                negate,
+            })
+        }
+        "COMPARE" => {
+            let mut v1 = None;
+            let mut v2 = None;
+            let mut negate = false;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--v1" => {
+                        cur.next();
+                        v1 = Some(ValueExpr::parse(&cur.expect("v1")?).map_err(err)?);
+                    }
+                    "--v2" => {
+                        cur.next();
+                        v2 = Some(ValueExpr::parse(&cur.expect("v2")?).map_err(err)?);
+                    }
+                    "--nequal" => {
+                        cur.next();
+                        negate = true;
+                    }
+                    "--equal" => {
+                        cur.next();
+                        negate = false;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(MatchModule::Compare {
+                v1: v1.ok_or_else(|| err("COMPARE requires --v1"))?,
+                v2: v2.ok_or_else(|| err("COMPARE requires --v2"))?,
+                negate,
+            })
+        }
+        "ADV_ACCESS" => {
+            let mut write = true;
+            let mut want = true;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--write" => {
+                        cur.next();
+                        write = true;
+                    }
+                    "--read" => {
+                        cur.next();
+                        write = false;
+                    }
+                    "--accessible" => {
+                        cur.next();
+                        want = true;
+                    }
+                    "--inaccessible" => {
+                        cur.next();
+                        want = false;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(MatchModule::AdvAccess { write, want })
+        }
+        "OWNER" => {
+            let mut uid = None;
+            let mut negate = false;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--uid" => {
+                        cur.next();
+                        uid = Some(parse_num(&cur.expect("uid")?)?);
+                    }
+                    "--nequal" => {
+                        cur.next();
+                        negate = true;
+                    }
+                    "--equal" => {
+                        cur.next();
+                        negate = false;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(MatchModule::Owner {
+                uid: uid.ok_or_else(|| err("OWNER requires --uid"))?,
+                negate,
+            })
+        }
+        "INTERP" => {
+            let mut script = None;
+            let mut line = None;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--script" => {
+                        cur.next();
+                        script = Some(cur.expect("script path")?);
+                    }
+                    "--line" => {
+                        cur.next();
+                        line = Some(parse_num(&cur.expect("line number")?)? as u32);
+                    }
+                    _ => break,
+                }
+            }
+            Ok(MatchModule::Interp {
+                script: script.ok_or_else(|| err("INTERP requires --script"))?,
+                line,
+            })
+        }
+        "CALLER" => {
+            let mut program = None;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--program" => {
+                        cur.next();
+                        program = Some(cur.expect("caller program path")?);
+                    }
+                    _ => break,
+                }
+            }
+            let program = program.ok_or_else(|| err("CALLER requires --program"))?;
+            Ok(MatchModule::Caller {
+                program: programs_ref.intern(&program),
+            })
+        }
+        other => Err(err(format!("unknown match module `{other}`"))),
+    }
+}
+
+fn parse_target(name: &str, cur: &mut Cursor) -> PfResult<Target> {
+    match name {
+        "DROP" => Ok(Target::Drop),
+        "ACCEPT" => Ok(Target::Accept),
+        "CONTINUE" => Ok(Target::Continue),
+        "RETURN" => Ok(Target::Return),
+        "LOG" => {
+            let mut tag = String::new();
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--tag" => {
+                        cur.next();
+                        tag = cur.expect("tag")?;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(Target::Log { tag })
+        }
+        "STATE" => {
+            let mut set = false;
+            let mut unset = false;
+            let mut key = None;
+            let mut value = None;
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--set" => {
+                        cur.next();
+                        set = true;
+                    }
+                    "--unset" => {
+                        cur.next();
+                        unset = true;
+                    }
+                    "--key" => {
+                        cur.next();
+                        key = Some(state_key(&cur.expect("key")?));
+                    }
+                    "--value" => {
+                        cur.next();
+                        value = Some(ValueExpr::parse(&cur.expect("value")?).map_err(err)?);
+                    }
+                    _ => break,
+                }
+            }
+            let key = key.ok_or_else(|| err("STATE target requires --key"))?;
+            if unset {
+                Ok(Target::StateUnset { key })
+            } else if set {
+                Ok(Target::StateSet {
+                    key,
+                    value: value.ok_or_else(|| err("STATE --set requires --value"))?,
+                })
+            } else {
+                Err(err("STATE target requires --set or --unset"))
+            }
+        }
+        // Any other name jumps to a user chain (e.g. `-j SIGNAL_CHAIN`).
+        other => Ok(Target::Jump(other.to_ascii_lowercase())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_mac::ubuntu_mini;
+    use pf_types::SyscallNr;
+
+    fn setup() -> (MacPolicy, Interner) {
+        (ubuntu_mini(), Interner::new())
+    }
+
+    #[test]
+    fn parses_simple_drop_rule() {
+        let (mut mac, mut progs) = setup();
+        let p = parse_rule(
+            "pftables -t filter -o LNK_FILE_READ -d tmp_t -j DROP",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(p.op, RuleOp::Append(ChainName::Input));
+        assert_eq!(p.rule.def.op, Some(LsmOperation::LnkFileRead));
+        assert_eq!(p.rule.target, Target::Drop);
+        let tmp = mac.lookup_label("tmp_t").unwrap();
+        assert!(p.rule.def.object.as_ref().unwrap().contains(tmp));
+    }
+
+    #[test]
+    fn parses_rule_r1_with_negated_set_and_syshigh() {
+        let (mut mac, mut progs) = setup();
+        let p = parse_rule(
+            "pftables -p /lib/ld-2.15.so -i 0x596b -s SYSHIGH \
+             -d ~{lib_t|textrel_shlib_t|httpd_modules_t} -o FILE_OPEN -j DROP",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        let lib = mac.lookup_label("lib_t").unwrap();
+        let tmp = mac.lookup_label("tmp_t").unwrap();
+        let obj = p.rule.def.object.as_ref().unwrap();
+        assert!(!obj.contains(lib), "lib_t is excluded by ~{{...}}");
+        assert!(obj.contains(tmp), "tmp_t is matched");
+        let sshd = mac.lookup_label("sshd_t").unwrap();
+        let user = mac.lookup_label("user_t").unwrap();
+        let subj = p.rule.def.subject.as_ref().unwrap();
+        assert!(subj.contains(sshd), "SYSHIGH expands to TCB subjects");
+        assert!(!subj.contains(user));
+        assert_eq!(p.rule.def.entrypoint_pc, Some(0x596b));
+        assert_eq!(p.rule.def.program, progs.get("/lib/ld-2.15.so"));
+    }
+
+    #[test]
+    fn parses_state_target_and_match() {
+        let (mut mac, mut progs) = setup();
+        let set = parse_rule(
+            "pftables -i 0x3c750 -p /bin/dbus-daemon -o SOCKET_BIND \
+             -j STATE --set --key 0xbeef --value C_INO",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(
+            set.rule.target,
+            Target::StateSet {
+                key: 0xbeef,
+                value: ValueExpr::Ctx(crate::context::CtxField::ResourceId)
+            }
+        );
+        let cmp = parse_rule(
+            "pftables -i 0x3c786 -p /bin/dbus-daemon -o SOCKET_SETATTR \
+             -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(
+            cmp.rule.matches[0],
+            MatchModule::State {
+                key: 0xbeef,
+                cmp: ValueExpr::Ctx(crate::context::CtxField::ResourceId),
+                negate: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_signal_chain_rules_r9_to_r12() {
+        let (mut mac, mut progs) = setup();
+        let r9 = parse_rule(
+            "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(r9.op, RuleOp::InsertHead(ChainName::Input));
+        assert_eq!(r9.rule.target, Target::Jump("signal_chain".into()));
+
+        let r10 = parse_rule(
+            "pftables -I signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(r10.rule.matches.len(), 2);
+        assert_eq!(r10.rule.matches[0], MatchModule::SignalMatch);
+
+        let r12 = parse_rule(
+            "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn \
+             -j STATE --set --key 'sig' --value 0",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(
+            r12.rule.matches[0],
+            MatchModule::SyscallArgs {
+                arg: 0,
+                cmp: ValueExpr::Lit(SyscallNr::Sigreturn.as_u64()),
+                negate: false
+            }
+        );
+        assert_eq!(r12.op, RuleOp::InsertHead(ChainName::SyscallBegin));
+    }
+
+    #[test]
+    fn parses_compare_rule_r8() {
+        let (mut mac, mut progs) = setup();
+        let r8 = parse_rule(
+            "pftables -i 0x2d637 -p /usr/bin/apache2 -o LINK_READ \
+             -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert!(matches!(
+            r8.rule.matches[0],
+            MatchModule::Compare { negate: true, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        let (mut mac, mut progs) = setup();
+        for bad in [
+            "iptables -j DROP",
+            "pftables -o FILE_OPEN",
+            "pftables -o NOT_AN_OP -j DROP",
+            "pftables -t nat -j DROP",
+            "pftables -m STATE --cmp 1 -j DROP",
+            "pftables -j STATE --key 1",
+            "pftables -x -j DROP",
+        ] {
+            assert!(parse_rule(bad, &mut mac, &mut progs).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn delete_directive() {
+        let (mut mac, mut progs) = setup();
+        let p = parse_rule(
+            "pftables -D input -o FILE_OPEN -j DROP",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(p.op, RuleOp::Delete(ChainName::Input));
+    }
+
+    #[test]
+    fn quoted_keys_tokenize() {
+        assert_eq!(
+            tokenize("pftables --key 'sig code' -j DROP"),
+            ["pftables", "--key", "sig code", "-j", "DROP"]
+        );
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! The Process Firewall — the paper's primary contribution.
+//!
+//! A network firewall mediates a host's access to network resources; the
+//! Process Firewall mediates a *process's* access to system resources at
+//! the system-call interface. It is invoked after ordinary access control
+//! authorizes an operation (Figure 2 of the paper) and evaluates
+//! `iptables`-style rules whose matches combine:
+//!
+//! * **process context** — the entrypoint (call-site program counter on
+//!   the user stack, binary-relative), per-process STATE dictionary
+//!   entries recording earlier system calls, and signal-handler state;
+//! * **resource context** — the object's MAC label, resource identifier
+//!   (device + inode, or signal number), DAC owner, symlink-target owner,
+//!   and adversary accessibility computed from the MAC policy.
+//!
+//! Because the firewall *protects* processes rather than confining them,
+//! it may trust process state: a malicious process that forges its stack
+//! only forfeits its own protection (Section 3 of the paper).
+//!
+//! # Architecture
+//!
+//! * [`lang`] parses the `pftables` rule language (Table 3) into
+//!   [`rule::Rule`]s;
+//! * [`chain`] organizes rules into built-in, user, and automatic
+//!   *entrypoint-specific* chains;
+//! * [`engine`] is the Figure 3 processing loop: build the operation
+//!   "packet", match rules, run targets, yield a [`pf_types::Verdict`];
+//! * [`context`] implements lazy context retrieval with a bitmask of
+//!   collected fields and per-syscall caching (Section 4.2);
+//! * [`mod@env`] defines the [`env::EvalEnv`] trait the OS substrate
+//!   implements to expose process and resource state;
+//! * [`config`] holds the optimization toggles that form the columns of
+//!   Table 6 (DISABLED / BASE / FULL / CONCACHE / LAZYCON / EPTSPC);
+//! * [`log`] is the LOG target's JSON record, consumed by `pf-rulegen`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pf_core::{OptLevel, ProcessFirewall};
+//! use pf_mac::ubuntu_mini;
+//! use pf_types::Interner;
+//!
+//! let mut mac = ubuntu_mini();
+//! let mut programs = Interner::new();
+//! let mut pf = ProcessFirewall::new(OptLevel::EptSpc);
+//! pf.install(
+//!     "pftables -t filter -o LNK_FILE_READ -d tmp_t -j DROP",
+//!     &mut mac,
+//!     &mut programs,
+//! )
+//! .unwrap();
+//! assert_eq!(pf.rule_count(), 1);
+//! ```
+
+pub mod chain;
+pub mod config;
+pub mod context;
+pub mod engine;
+pub mod env;
+pub mod lang;
+pub mod log;
+pub mod render;
+pub mod rule;
+pub mod stats;
+pub mod value;
+
+pub use chain::{ChainName, RuleBase};
+pub use config::{OptLevel, PfConfig};
+pub use context::CtxField;
+pub use engine::ProcessFirewall;
+pub use env::{EvalEnv, ObjectInfo, SignalInfo};
+pub use log::LogEntry;
+pub use render::render_rules;
+pub use rule::{MatchModule, Rule, Target};
+pub use stats::PfStats;
+pub use value::{state_key, ValueExpr};

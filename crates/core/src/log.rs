@@ -1,0 +1,295 @@
+//! The LOG target's JSON records.
+//!
+//! The paper's LOG target "logs a variety of information about the current
+//! resource access in JSON format" (Section 5.2); OS distributors feed
+//! these records to the rule-generation scripts of Section 6.3. The JSON
+//! codec here is hand-rolled (flat objects, string/number/bool values) to
+//! keep the dependency set at the sanctioned crates.
+
+use std::fmt::Write as _;
+
+use pf_types::{LsmOperation, PfError, PfResult};
+
+/// One resource-access log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Logical timestamp.
+    pub ts: u64,
+    /// Calling process.
+    pub pid: u32,
+    /// Subject MAC label name.
+    pub subject: String,
+    /// Main program binary path.
+    pub program: String,
+    /// Entrypoint binary path (may differ from `program`, e.g. a library).
+    pub ept_prog: String,
+    /// Entrypoint relative program counter.
+    pub ept_pc: u64,
+    /// The mediated operation.
+    pub op: LsmOperation,
+    /// Object MAC label name (empty when the operation has no object).
+    pub object: String,
+    /// Resource identifier rendering (`dev:D/ino:N` or `sig:N`).
+    pub resource: String,
+    /// Adversary-writable (low integrity)?
+    pub adv_write: bool,
+    /// Adversary-readable (low secrecy)?
+    pub adv_read: bool,
+    /// Free-form rule tag.
+    pub tag: String,
+    /// Verdict rendering at log time (LOG rules run before the verdict,
+    /// so this is `"ALLOW"` unless a later DROP is recorded).
+    pub verdict: String,
+}
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl LogEntry {
+    /// Renders the record as a single-line JSON object.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pf_core::LogEntry;
+    /// use pf_types::LsmOperation;
+    ///
+    /// let e = LogEntry {
+    ///     ts: 1, pid: 2, subject: "httpd_t".into(),
+    ///     program: "/usr/bin/apache2".into(),
+    ///     ept_prog: "/usr/bin/apache2".into(), ept_pc: 0x2d637,
+    ///     op: LsmOperation::FileOpen, object: "tmp_t".into(),
+    ///     resource: "dev:0/ino:9".into(), adv_write: true,
+    ///     adv_read: true, tag: "".into(), verdict: "ALLOW".into(),
+    /// };
+    /// let json = e.to_json();
+    /// assert_eq!(LogEntry::parse_json(&json).unwrap(), e);
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        let field_str = |s: &mut String, k: &str, v: &str, first: bool| {
+            if !first {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{k}\":\"");
+            esc(s, v);
+            s.push('"');
+        };
+        field_str(&mut s, "subject", &self.subject, true);
+        field_str(&mut s, "program", &self.program, false);
+        field_str(&mut s, "ept_prog", &self.ept_prog, false);
+        field_str(&mut s, "op", self.op.name(), false);
+        field_str(&mut s, "object", &self.object, false);
+        field_str(&mut s, "resource", &self.resource, false);
+        field_str(&mut s, "tag", &self.tag, false);
+        field_str(&mut s, "verdict", &self.verdict, false);
+        let _ = write!(
+            s,
+            ",\"ts\":{},\"pid\":{},\"ept_pc\":{},\"adv_write\":{},\"adv_read\":{}",
+            self.ts, self.pid, self.ept_pc, self.adv_write, self.adv_read
+        );
+        s.push('}');
+        s
+    }
+
+    /// Parses a record produced by [`LogEntry::to_json`].
+    pub fn parse_json(json: &str) -> PfResult<LogEntry> {
+        let fields = parse_flat_object(json)?;
+        let get_s = |k: &str| -> PfResult<String> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JsonVal::Str(s))) => Ok(s.clone()),
+                _ => Err(PfError::RuleError(format!("log field `{k}` missing"))),
+            }
+        };
+        let get_n = |k: &str| -> PfResult<u64> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JsonVal::Num(n))) => Ok(*n),
+                _ => Err(PfError::RuleError(format!("log field `{k}` missing"))),
+            }
+        };
+        let get_b = |k: &str| -> PfResult<bool> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JsonVal::Bool(b))) => Ok(*b),
+                _ => Err(PfError::RuleError(format!("log field `{k}` missing"))),
+            }
+        };
+        Ok(LogEntry {
+            ts: get_n("ts")?,
+            pid: get_n("pid")? as u32,
+            subject: get_s("subject")?,
+            program: get_s("program")?,
+            ept_prog: get_s("ept_prog")?,
+            ept_pc: get_n("ept_pc")?,
+            op: get_s("op")?
+                .parse::<LsmOperation>()
+                .map_err(PfError::RuleError)?,
+            object: get_s("object")?,
+            resource: get_s("resource")?,
+            adv_write: get_b("adv_write")?,
+            adv_read: get_b("adv_read")?,
+            tag: get_s("tag")?,
+            verdict: get_s("verdict")?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+/// Parses a flat JSON object with string/number/bool values.
+fn parse_flat_object(json: &str) -> PfResult<Vec<(String, JsonVal)>> {
+    let bytes: Vec<char> = json.trim().chars().collect();
+    let e = |m: &str| PfError::RuleError(format!("bad log JSON: {m}"));
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    if bytes.first() != Some(&'{') {
+        return Err(e("expected `{`"));
+    }
+    i += 1;
+    loop {
+        while i < bytes.len() && bytes[i].is_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == '}' {
+            return Ok(out);
+        }
+        // Key.
+        if bytes.get(i) != Some(&'"') {
+            return Err(e("expected key"));
+        }
+        i += 1;
+        let mut key = String::new();
+        while i < bytes.len() && bytes[i] != '"' {
+            key.push(bytes[i]);
+            i += 1;
+        }
+        i += 1; // Closing quote.
+        while i < bytes.len() && bytes[i].is_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&':') {
+            return Err(e("expected `:`"));
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_whitespace() {
+            i += 1;
+        }
+        // Value.
+        let val = match bytes.get(i) {
+            Some('"') => {
+                i += 1;
+                let mut v = String::new();
+                while i < bytes.len() && bytes[i] != '"' {
+                    if bytes[i] == '\\' {
+                        i += 1;
+                        match bytes.get(i) {
+                            Some('n') => v.push('\n'),
+                            Some('u') => {
+                                let hex: String = bytes[i + 1..i + 5].iter().collect();
+                                let cp = u32::from_str_radix(&hex, 16).map_err(|_| e("bad \\u"))?;
+                                v.push(char::from_u32(cp).ok_or_else(|| e("bad codepoint"))?);
+                                i += 4;
+                            }
+                            Some(&c) => v.push(c),
+                            None => return Err(e("dangling escape")),
+                        }
+                    } else {
+                        v.push(bytes[i]);
+                    }
+                    i += 1;
+                }
+                i += 1;
+                JsonVal::Str(v)
+            }
+            Some('t') => {
+                i += 4;
+                JsonVal::Bool(true)
+            }
+            Some('f') => {
+                i += 5;
+                JsonVal::Bool(false)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut v = 0u64;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    v = v * 10 + bytes[i].to_digit(10).unwrap() as u64;
+                    i += 1;
+                }
+                JsonVal::Num(v)
+            }
+            _ => return Err(e("unexpected value")),
+        };
+        out.push((key, val));
+        while i < bytes.len() && bytes[i].is_whitespace() {
+            i += 1;
+        }
+        match bytes.get(i) {
+            Some(',') => i += 1,
+            Some('}') => return Ok(out),
+            _ => return Err(e("expected `,` or `}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> LogEntry {
+        LogEntry {
+            ts: 42,
+            pid: 7,
+            subject: "user_t".into(),
+            program: "/usr/bin/python2.7".into(),
+            ept_prog: "/usr/bin/python2.7".into(),
+            ept_pc: 0x34f05,
+            op: LsmOperation::FileOpen,
+            object: "tmp_t".into(),
+            resource: "dev:1/ino:99".into(),
+            adv_write: true,
+            adv_read: false,
+            tag: "trace".into(),
+            verdict: "ALLOW".into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = entry();
+        assert_eq!(LogEntry::parse_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let mut e = entry();
+        e.tag = "with \"quotes\" and \\slashes\\ and\nnewline".into();
+        assert_eq!(LogEntry::parse_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn rejects_truncated_json() {
+        assert!(LogEntry::parse_json("{\"ts\":1").is_err());
+        assert!(LogEntry::parse_json("not json").is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        assert!(LogEntry::parse_json("{\"ts\":1}").is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Rule structure: default matches, match modules, targets.
+
+use std::cell::Cell;
+
+use pf_types::{LabelSet, LsmOperation, ProgramId};
+
+use crate::value::ValueExpr;
+
+/// The default matches of Table 3: `-s`, `-d`, `-i`, `-o`, `-p` and the
+/// resource identifier.
+///
+/// A `None` field matches anything, exactly like an omitted `iptables`
+/// selector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DefaultMatches {
+    /// `-s`: subject (process) label set.
+    pub subject: Option<LabelSet>,
+    /// `-d`: object (resource) label set.
+    pub object: Option<LabelSet>,
+    /// `-p`: the program/binary containing the entrypoint.
+    pub program: Option<ProgramId>,
+    /// `-i`: entrypoint program counter, relative to the binary base
+    /// (handling ASLR, Section 5.2).
+    pub entrypoint_pc: Option<u64>,
+    /// `-o`: the LSM operation.
+    pub op: Option<LsmOperation>,
+    /// Explicit resource identifier (inode/signal folded to `u64`).
+    pub resource: Option<u64>,
+}
+
+impl DefaultMatches {
+    /// Returns the entrypoint key `(program, pc)` when both halves are
+    /// present — the condition for placement in an entrypoint-specific
+    /// chain (Section 4.3).
+    pub fn entrypoint(&self) -> Option<(ProgramId, u64)> {
+        match (self.program, self.entrypoint_pc) {
+            (Some(p), Some(pc)) => Some((p, pc)),
+            _ => None,
+        }
+    }
+}
+
+/// Extensible match modules (`-m name options`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchModule {
+    /// `-m STATE --key K --cmp V [--nequal]`: compare a per-process
+    /// STATE-dictionary entry. A missing key never matches.
+    State {
+        /// Dictionary key.
+        key: u64,
+        /// Comparand (literal or context reference).
+        cmp: ValueExpr,
+        /// `--nequal` inverts the comparison.
+        negate: bool,
+    },
+    /// `-m SIGNAL_MATCH`: the delivered signal has a handler installed
+    /// and is not unblockable (rule R10).
+    SignalMatch,
+    /// `-m SYSCALL_ARGS --arg N --equal V [--nequal]` (rule R12).
+    SyscallArgs {
+        /// Argument index (0 = syscall number).
+        arg: u8,
+        /// Comparand.
+        cmp: ValueExpr,
+        /// `--nequal` inverts the comparison.
+        negate: bool,
+    },
+    /// `-m COMPARE --v1 A --v2 B [--nequal]`: compare two context values
+    /// (rule R8's owner-match check).
+    Compare {
+        /// Left operand.
+        v1: ValueExpr,
+        /// Right operand.
+        v2: ValueExpr,
+        /// `--nequal` inverts the comparison.
+        negate: bool,
+    },
+    /// `-m ADV_ACCESS [--write|--read] [--inaccessible]`: match on the
+    /// object's adversary accessibility (used by generated safe_open and
+    /// untrusted-search-path rules).
+    AdvAccess {
+        /// `true` = integrity (write) accessibility, `false` = secrecy.
+        write: bool,
+        /// The accessibility value required for the match.
+        want: bool,
+    },
+    /// `-m OWNER --uid N [--nequal]`: match the object's DAC owner.
+    /// Complements label matching where DAC identity is the natural
+    /// resource attribute (the paper notes DAC labels were an option for
+    /// identifying resources in rules; SELinux labels were chosen for
+    /// granularity — both are supported here).
+    Owner {
+        /// Required owner uid.
+        uid: u64,
+        /// `--nequal` inverts the comparison.
+        negate: bool,
+    },
+    /// `-m INTERP --script /path [--line N]`: match the innermost
+    /// interpreter-level frame — the *script* making the request, as
+    /// reported by the in-kernel interpreter backtraces of Section 4.4.
+    /// Lets distributors scope a rule to one PHP/Python/Bash script
+    /// rather than to every script the interpreter runs.
+    Interp {
+        /// Required script path.
+        script: String,
+        /// Optional required line number of the call.
+        line: Option<u32>,
+    },
+    /// `-m CALLER --program /path`: match the *main program binary* of
+    /// the calling process, independently of the entrypoint frame.
+    ///
+    /// This is the paper's future-work answer to library-entrypoint
+    /// false positives (Section 6.3.1: "libraries are called by a
+    /// variety of programs in different environments … these rules must
+    /// be predicated on the environment in which the library is used"):
+    /// a rule can bind a shared-library entrypoint (`-p lib -i pc`) to
+    /// one specific hosting program.
+    Caller {
+        /// The required main-program binary.
+        program: ProgramId,
+    },
+}
+
+/// Targets (`-j`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Terminal: block the access.
+    Drop,
+    /// Terminal: allow the access immediately.
+    Accept,
+    /// Non-terminal: fall through to the next rule (useful with side
+    /// effects such as LOG).
+    Continue,
+    /// Leave the current chain (top level: default policy applies).
+    Return,
+    /// Jump into a user-defined chain.
+    Jump(String),
+    /// `-j STATE --set --key K --value V`: record state, continue.
+    StateSet {
+        /// Dictionary key.
+        key: u64,
+        /// Stored value (often a context reference like `C_INO`).
+        value: ValueExpr,
+    },
+    /// `-j STATE --unset --key K`: clear state, continue.
+    StateUnset {
+        /// Dictionary key.
+        key: u64,
+    },
+    /// `-j LOG [--tag T]`: emit a JSON log record, continue.
+    Log {
+        /// Free-form tag carried in the record.
+        tag: String,
+    },
+}
+
+impl Target {
+    /// Returns `true` for targets that end rule processing with a verdict
+    /// or a control transfer.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Target::Drop | Target::Accept | Target::Return | Target::Jump(_)
+        )
+    }
+}
+
+/// One complete firewall rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The default matches.
+    pub def: DefaultMatches,
+    /// Additional match modules, all of which must match.
+    pub matches: Vec<MatchModule>,
+    /// The action when everything matches.
+    pub target: Target,
+    /// The original rule text (for display, deletion, and logs).
+    pub text: String,
+    /// Times this rule's target fired (match + modules all passed).
+    hits: Cell<u64>,
+}
+
+impl Rule {
+    /// Creates a rule with a zeroed hit counter.
+    pub fn new(
+        def: DefaultMatches,
+        matches: Vec<MatchModule>,
+        target: Target,
+        text: String,
+    ) -> Self {
+        Rule {
+            def,
+            matches,
+            target,
+            text,
+            hits: Cell::new(0),
+        }
+    }
+
+    /// Returns `true` if the rule can live in an entrypoint-specific
+    /// chain.
+    pub fn has_entrypoint(&self) -> bool {
+        self.def.entrypoint().is_some()
+    }
+
+    /// Times this rule matched and its target ran.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    pub(crate) fn bump_hits(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_types::InternId;
+
+    #[test]
+    fn entrypoint_requires_both_halves() {
+        let mut d = DefaultMatches {
+            program: Some(InternId(3)),
+            ..Default::default()
+        };
+        assert_eq!(d.entrypoint(), None);
+        d.entrypoint_pc = Some(0x596b);
+        assert_eq!(d.entrypoint(), Some((InternId(3), 0x596b)));
+    }
+
+    #[test]
+    fn terminality() {
+        assert!(Target::Drop.is_terminal());
+        assert!(Target::Jump("x".into()).is_terminal());
+        assert!(!Target::Log { tag: String::new() }.is_terminal());
+        assert!(!Target::StateSet {
+            key: 1,
+            value: ValueExpr::Lit(1)
+        }
+        .is_terminal());
+    }
+}

@@ -1,0 +1,140 @@
+//! Rule-language value expressions and STATE-dictionary keys.
+
+use std::fmt;
+
+use pf_types::SyscallNr;
+
+use crate::context::CtxField;
+
+/// A value position in a rule option (`--value`, `--cmp`, `--v1`, …).
+///
+/// Values are either literals or *context references* like `C_INO`, which
+/// the engine replaces "by the actual context value at runtime"
+/// (Section 5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueExpr {
+    /// A literal 64-bit value (decimal, hex, or `NR_*` syscall constant).
+    Lit(u64),
+    /// A context field resolved when the rule is evaluated.
+    Ctx(CtxField),
+}
+
+impl ValueExpr {
+    /// Parses a value token: `C_*` context names, `NR_*` syscall names,
+    /// `0x`-prefixed hex, or decimal.
+    pub fn parse(tok: &str) -> Result<ValueExpr, String> {
+        if let Some(field) = CtxField::parse_cname(tok) {
+            return Ok(ValueExpr::Ctx(field));
+        }
+        if tok.starts_with("NR_") {
+            return SyscallNr::parse(tok)
+                .map(|nr| ValueExpr::Lit(nr.as_u64()))
+                .ok_or_else(|| format!("unknown syscall `{tok}`"));
+        }
+        if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+            return u64::from_str_radix(hex, 16)
+                .map(ValueExpr::Lit)
+                .map_err(|e| format!("bad hex `{tok}`: {e}"));
+        }
+        tok.parse::<u64>()
+            .map(ValueExpr::Lit)
+            .map_err(|e| format!("bad value `{tok}`: {e}"))
+    }
+}
+
+impl fmt::Display for ValueExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueExpr::Lit(v) => write!(f, "{v}"),
+            ValueExpr::Ctx(c) => write!(f, "{}", c.cname()),
+        }
+    }
+}
+
+/// Derives a STATE-dictionary key from a rule token.
+///
+/// Keys may be written as numbers (`--key 0xbeef`) or as quoted strings
+/// (`--key 'sig'`); strings are hashed with FNV-1a so the dictionary
+/// stores plain `u64`s, as the kernel prototype's `task_struct`
+/// extension does.
+///
+/// # Examples
+///
+/// ```
+/// use pf_core::state_key;
+/// assert_eq!(state_key("0xbeef"), 0xbeef);
+/// assert_eq!(state_key("'sig'"), state_key("sig"));
+/// assert_ne!(state_key("sig"), state_key("gis"));
+/// ```
+pub fn state_key(tok: &str) -> u64 {
+    let tok = tok.trim_matches('\'').trim_matches('"');
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    if let Ok(v) = tok.parse::<u64>() {
+        return v;
+    }
+    fnv1a(tok.as_bytes())
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(ValueExpr::parse("42"), Ok(ValueExpr::Lit(42)));
+        assert_eq!(ValueExpr::parse("0x2a"), Ok(ValueExpr::Lit(42)));
+    }
+
+    #[test]
+    fn parses_context_refs() {
+        assert_eq!(
+            ValueExpr::parse("C_INO"),
+            Ok(ValueExpr::Ctx(CtxField::ResourceId))
+        );
+        assert_eq!(
+            ValueExpr::parse("C_DAC_OWNER"),
+            Ok(ValueExpr::Ctx(CtxField::DacOwner))
+        );
+    }
+
+    #[test]
+    fn parses_syscall_constants() {
+        assert_eq!(
+            ValueExpr::parse("NR_sigreturn"),
+            Ok(ValueExpr::Lit(SyscallNr::Sigreturn.as_u64()))
+        );
+        assert!(ValueExpr::parse("NR_nope").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ValueExpr::parse("forty-two").is_err());
+        assert!(ValueExpr::parse("0xzz").is_err());
+    }
+
+    #[test]
+    fn numeric_keys_pass_through() {
+        assert_eq!(state_key("123"), 123);
+        assert_eq!(state_key("0xBEEF"), 0xbeef);
+    }
+
+    #[test]
+    fn string_keys_are_stable_hashes() {
+        assert_eq!(state_key("sig"), state_key("sig"));
+        assert_ne!(state_key("sig"), 0);
+    }
+}

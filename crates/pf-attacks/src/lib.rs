@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Attack scenarios, defenses, and workloads from the paper's evaluation.
+//!
+//! * [`ruleset`] — the Table 5 rules (R1–R12) transcribed for the
+//!   simulated world, the generic `safe_open` rules, and the ~1218-rule
+//!   FULL base used by the Table 6/7 performance experiments;
+//! * [`safe_open`] — the six `open` variants of Figure 4, from the bare
+//!   `open` through Chari et al.'s per-component `safe_open` to the
+//!   firewall-rule equivalent;
+//! * [`exploits`] — executable reproductions of exploits E1–E9 (Table 4),
+//!   each with an unprotected run (attack succeeds), a protected run
+//!   (firewall blocks it), and a benign twin (no false positive);
+//! * [`webserver`] — the Apache model used for the
+//!   `SymLinksIfOwnerMatch` comparison of Figure 5 and the
+//!   directory-traversal scenarios;
+//! * [`workloads`] — the Table 7 macrobenchmarks (Apache build, boot,
+//!   web serving).
+
+pub mod exploits;
+pub mod races;
+pub mod ruleset;
+pub mod safe_open;
+pub mod scenarios;
+pub mod webserver;
+pub mod workloads;
+
+pub use exploits::{run_all, Outcome, Scenario};

@@ -1,0 +1,275 @@
+//! The Figure 4 `open` variants: program checks vs. firewall rules.
+//!
+//! Each variant provides successively stronger protection against
+//! link-following attacks, at successively higher system-call cost:
+//!
+//! | variant           | protection                              | extra syscalls |
+//! |-------------------|------------------------------------------|---------------|
+//! | `open_plain`      | none                                     | 0             |
+//! | `open_nofollow`   | final-component links refused            | 0 (non-portable, breaks legit links) |
+//! | `open_nolink`     | `lstat` check, racy                      | 1             |
+//! | `open_race`       | + `fstat`/`lstat` identity re-checks     | 3             |
+//! | `safe_open`       | + per-component checks (Chari et al.)    | ~4 per component |
+//! | `safe_open_pf`    | plain `open` under firewall rules        | 0 in program  |
+//!
+//! The firewall equivalent moves the whole check into the kernel's
+//! `LINK_READ` mediation, which is both race-free (the check happens *on
+//! the resolution step itself*) and cheap (no extra syscalls).
+
+use pf_types::{Fd, PfError, PfResult, Pid};
+use pf_vfs::split_components;
+
+use pf_os::{Kernel, OpenFlags};
+
+use crate::ruleset::SAFE_OPEN;
+
+/// Plain `open(2)` — the unprotected baseline.
+pub fn open_plain(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<Fd> {
+    k.open(pid, path, OpenFlags::rdonly())
+}
+
+/// `open(O_NOFOLLOW)` — refuses final-component symlinks, breaking
+/// desirable uses and leaving intermediate components unprotected.
+pub fn open_nofollow(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<Fd> {
+    k.open(pid, path, OpenFlags::rdonly_nofollow())
+}
+
+/// `lstat` + `open` — the naive check of Figure 1(a) lines 3–6; the
+/// TOCTTOU window between the two calls is the attack surface.
+pub fn open_nolink(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<Fd> {
+    let st = k.lstat(pid, path)?;
+    if st.is_symlink() {
+        return Err(PfError::PermissionDenied("file is a symbolic link".into()));
+    }
+    k.open(pid, path, OpenFlags::rdonly())
+}
+
+/// `lstat` + `open` + `fstat` + `lstat` — Figure 1(a) in full, closing
+/// the basic race and the cryogenic-sleep inode-recycling variant, but
+/// still only for the final component.
+pub fn open_race(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<Fd> {
+    let before = k.lstat(pid, path)?;
+    if before.is_symlink() {
+        return Err(PfError::PermissionDenied("file is a symbolic link".into()));
+    }
+    let fd = k.open(pid, path, OpenFlags::rdonly())?;
+    let opened = k.fstat(pid, fd)?;
+    if !opened.same_object(&before) {
+        k.close(pid, fd)?;
+        return Err(PfError::PermissionDenied("race detected".into()));
+    }
+    // While the file stays open its inode number cannot recycle, so this
+    // re-check defeats the cryogenic-sleep attack.
+    let after = k.lstat(pid, path)?;
+    if !opened.same_object(&after) {
+        k.close(pid, fd)?;
+        return Err(PfError::PermissionDenied("cryogenic sleep race".into()));
+    }
+    Ok(fd)
+}
+
+/// Per-component `safe_open` (Chari et al.): check every prefix of the
+/// path, allowing a symlink only when its target belongs to the link's
+/// owner, then finish with the [`open_race`] sequence.
+///
+/// Costs roughly four extra system calls per pathname component — the
+/// cost Figure 4 plots against path length.
+pub fn safe_open(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<Fd> {
+    let comps = split_components(path);
+    let mut prefix = String::new();
+    // All but the final component: validate each directory step.
+    for comp in &comps[..comps.len().saturating_sub(1)] {
+        prefix.push('/');
+        prefix.push_str(comp);
+        let st = k.lstat(pid, &prefix)?;
+        if st.is_symlink() {
+            let link_owner = st.uid;
+            let tgt = k.stat(pid, &prefix)?;
+            if tgt.uid != link_owner {
+                return Err(PfError::PermissionDenied(format!(
+                    "safe_open: link `{prefix}` owner mismatch"
+                )));
+            }
+        }
+        // Re-check identity after the (possible) target stat.
+        let again = k.lstat(pid, &prefix)?;
+        if !again.same_object(&st) {
+            return Err(PfError::PermissionDenied(format!(
+                "safe_open: race on `{prefix}`"
+            )));
+        }
+    }
+    open_race(k, pid, path)
+}
+
+/// The firewall equivalent: a bare `open` relying on the installed
+/// [`SAFE_OPEN`] rule (install via [`install_safe_open_rules`]).
+pub fn safe_open_pf(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<Fd> {
+    k.open(pid, path, OpenFlags::rdonly())
+}
+
+/// Installs the rules that make [`safe_open_pf`] equivalent to
+/// [`safe_open`].
+pub fn install_safe_open_rules(k: &mut Kernel) -> PfResult<()> {
+    k.install_rules([SAFE_OPEN]).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_os::standard_world;
+    use pf_types::{Gid, Uid};
+
+    /// A world with a victim file behind `n` directories and an
+    /// adversary-planted symlink chain position.
+    fn deep_world(n: usize) -> (Kernel, Pid, String) {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        let mut dir = String::from("/tmp");
+        for i in 0..n.saturating_sub(1) {
+            dir.push_str(&format!("/d{i}"));
+        }
+        let path = format!("{dir}/data");
+        k.mk_dirs(&dir).unwrap();
+        k.put_file(&path, b"payload", 0o644, Uid(1000), Gid(1000))
+            .unwrap();
+        (k, pid, path)
+    }
+
+    #[test]
+    fn all_variants_open_a_clean_path() {
+        for n in [1usize, 4, 7] {
+            let (mut k, pid, path) = deep_world(n);
+            install_safe_open_rules(&mut k).unwrap();
+            for f in [
+                open_plain as fn(&mut Kernel, Pid, &str) -> PfResult<Fd>,
+                open_nofollow,
+                open_nolink,
+                open_race,
+                safe_open,
+                safe_open_pf,
+            ] {
+                let fd = f(&mut k, pid, &path).unwrap();
+                k.close(pid, fd).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn nolink_refuses_a_final_symlink() {
+        let (mut k, pid, path) = deep_world(2);
+        let adversary = k.spawn("user_t", "/bin/sh", Uid(2000), Gid(2000));
+        k.symlink(adversary, &path, "/tmp/trap").unwrap();
+        assert!(
+            open_plain(&mut k, pid, "/tmp/trap").is_ok(),
+            "baseline follows"
+        );
+        assert!(open_nofollow(&mut k, pid, "/tmp/trap").is_err());
+        assert!(open_nolink(&mut k, pid, "/tmp/trap").is_err());
+    }
+
+    #[test]
+    fn tocttou_race_beats_nolink_but_not_race_variant() {
+        // The adversary swaps the file for a symlink between the victim's
+        // lstat and open — modelled as explicit interleaving.
+        let mut k = standard_world();
+        let victim = k.spawn("user_t", "/bin/victim", Uid(1000), Gid(1000));
+        let adversary = k.spawn("user_t", "/bin/sh", Uid(2000), Gid(2000));
+        k.put_file("/tmp/work", b"mine", 0o666, Uid(2000), Gid(2000))
+            .unwrap();
+        // Victim: lstat says regular file.
+        let before = k.lstat(victim, "/tmp/work").unwrap();
+        assert!(!before.is_symlink());
+        // Adversary interleaves: swap for a link to /etc/passwd.
+        k.unlink(adversary, "/tmp/work").unwrap();
+        k.symlink(adversary, "/etc/passwd", "/tmp/work").unwrap();
+        // Victim: open reaches the password file — open_nolink would have
+        // proceeded here (its check already passed).
+        let fd = k.open(victim, "/tmp/work", OpenFlags::rdonly()).unwrap();
+        let opened = k.fstat(victim, fd).unwrap();
+        assert!(
+            !opened.same_object(&before),
+            "open_race's fstat comparison detects the swap"
+        );
+    }
+
+    #[test]
+    fn cryogenic_sleep_defeats_fstat_check_alone() {
+        // The adversary recycles the inode number so dev+ino matches the
+        // stale lstat; only holding the file open (open_race's second
+        // lstat) or the firewall catches it.
+        let mut k = standard_world();
+        let victim = k.spawn("user_t", "/bin/victim", Uid(1000), Gid(1000));
+        let adversary = k.spawn("user_t", "/bin/sh", Uid(2000), Gid(2000));
+        k.put_file("/tmp/job", b"v1", 0o666, Uid(2000), Gid(2000))
+            .unwrap();
+        let before = k.lstat(victim, "/tmp/job").unwrap();
+        // Adversary: unlink (inode dies, number freed) and recreate —
+        // the LIFO free list hands the same number back.
+        k.unlink(adversary, "/tmp/job").unwrap();
+        k.open(adversary, "/tmp/job", OpenFlags::creat(0o666))
+            .unwrap();
+        let after = k.lstat(victim, "/tmp/job").unwrap();
+        assert!(
+            after.same_object(&before),
+            "recycled inode number makes the dev+ino check pass"
+        );
+    }
+
+    #[test]
+    fn safe_open_blocks_intermediate_adversary_link() {
+        // Adversary plants a symlinked directory mid-path pointing at a
+        // root-owned tree: per-component checks (and the PF rule) block.
+        let mut k = standard_world();
+        let victim = k.spawn("user_t", "/bin/victim", Uid(1000), Gid(1000));
+        let adversary = k.spawn("user_t", "/bin/sh", Uid(2000), Gid(2000));
+        k.symlink(adversary, "/etc", "/tmp/dir").unwrap();
+        // Plain open happily traverses into /etc.
+        assert!(open_plain(&mut k, victim, "/tmp/dir/passwd").is_ok());
+        // safe_open refuses: the link is owned by 2000, the target by root.
+        let e = safe_open(&mut k, victim, "/tmp/dir/passwd").unwrap_err();
+        assert!(matches!(e, PfError::PermissionDenied(_)));
+        // The firewall rule blocks the same traversal with zero program
+        // checks.
+        install_safe_open_rules(&mut k).unwrap();
+        let e2 = safe_open_pf(&mut k, victim, "/tmp/dir/passwd").unwrap_err();
+        assert!(e2.is_firewall_denial());
+    }
+
+    #[test]
+    fn safe_open_pf_allows_own_links() {
+        // Links pointing at the adversary's *own* files stay usable —
+        // the false-positive-avoidance property of Chari et al.'s design.
+        let mut k = standard_world();
+        install_safe_open_rules(&mut k).unwrap();
+        let user = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        k.put_file("/tmp/own", b"mine", 0o644, Uid(1000), Gid(1000))
+            .unwrap();
+        k.symlink(user, "/tmp/own", "/tmp/alias").unwrap();
+        assert!(safe_open_pf(&mut k, user, "/tmp/alias").is_ok());
+    }
+
+    #[test]
+    fn syscall_cost_scales_with_path_length_only_for_safe_open() {
+        // Count syscalls via the kernel clock: safe_open's cost grows
+        // linearly in n, safe_open_pf's stays flat.
+        let cost = |f: fn(&mut Kernel, Pid, &str) -> PfResult<Fd>, n: usize| {
+            let (mut k, pid, path) = deep_world(n);
+            install_safe_open_rules(&mut k).unwrap();
+            let t0 = k.now();
+            f(&mut k, pid, &path).unwrap();
+            k.now() - t0
+        };
+        let plain_1 = cost(open_plain, 1);
+        let plain_7 = cost(open_plain, 7);
+        let safe_1 = cost(safe_open, 1);
+        let safe_7 = cost(safe_open, 7);
+        let pf_7 = cost(safe_open_pf, 7);
+        assert_eq!(plain_1, plain_7, "open is one syscall regardless of n");
+        assert_eq!(pf_7, plain_7, "PF adds no syscalls");
+        assert!(
+            safe_7 >= safe_1 + 2 * 6,
+            "safe_open pays per component: {safe_1} → {safe_7}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Additional attack-class scenarios beyond the Table 4 exploits.
+//!
+//! Table 2 names eight attack classes; Table 4's nine exploits cover six
+//! of them concretely. This module adds executable instances of the
+//! remaining patterns — directory traversal against a network-facing
+//! server, file/IPC squatting in a shared directory, and the full
+//! cryogenic-sleep inode-recycling race — plus a demonstration of the
+//! `CALLER` match module (the future-work extension for
+//! library-entrypoint rules).
+
+use pf_os::loader::{load_library, LinkerConfig};
+use pf_os::standard_world;
+use pf_os::{Kernel, OpenFlags};
+use pf_types::{Gid, PfResult, Pid, Uid};
+
+use crate::webserver::{Apache, APACHE_DOCROOT_RULE};
+
+/// Directory traversal (CWE-22): a server with *no* input filtering at
+/// all, protected purely by the resource-side rule.
+///
+/// Returns `(unprotected_leak, protected_block, benign_ok)`.
+pub fn directory_traversal() -> (bool, bool, bool) {
+    let mut k = standard_world();
+    let mut apache = Apache::start(&mut k);
+    apache.filter_dotdot = false; // The programmer forgot the filter.
+
+    let leaked = apache
+        .handle_request(&mut k, "/../../etc/passwd")
+        .map(|b| b.starts_with(b"root:"))
+        .unwrap_or(false);
+
+    k.install_rules([APACHE_DOCROOT_RULE]).unwrap();
+    let blocked = apache
+        .handle_request(&mut k, "/../../etc/passwd")
+        .err()
+        .map(|e| e.is_firewall_denial())
+        .unwrap_or(false);
+    let benign = apache.handle_request(&mut k, "/index.html").is_ok();
+    (leaked, blocked, benign)
+}
+
+/// File squatting (CWE-283): a daemon creates a well-known file in a
+/// shared directory without `O_EXCL`; the adversary pre-creates it and
+/// keeps a handle, reading everything the daemon writes.
+///
+/// The firewall invariant: the daemon's report-creation entrypoint must
+/// receive adversary-inaccessible files only.
+pub fn file_squat(protect: bool) -> PfResult<(bool, bool)> {
+    const DAEMON: &str = "/usr/sbin/reportd";
+    const CREATE_PC: u64 = 0x88a0;
+    let mut k = standard_world();
+    k.put_file(DAEMON, b"ELF", 0o755, Uid::ROOT, Gid::ROOT)?;
+    if protect {
+        k.install_rules(["pftables -p /usr/sbin/reportd -i 0x88a0 -o FILE_OPEN \
+             -m ADV_ACCESS --write --accessible -j DROP"])?;
+    }
+
+    // The adversary squats the well-known name.
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let squat = k.open(
+        adversary,
+        "/tmp/report.txt",
+        OpenFlags {
+            read: true,
+            write: true,
+            create: true,
+            mode: 0o666,
+            ..Default::default()
+        },
+    )?;
+
+    // The daemon "creates" its report (open without O_EXCL opens the
+    // squatted file instead).
+    let daemon = k.spawn("init_t", DAEMON, Uid::ROOT, Gid::ROOT);
+    let write = k.with_frame(daemon, DAEMON, CREATE_PC, |k| {
+        let fd = k.open(daemon, "/tmp/report.txt", OpenFlags::creat(0o600))?;
+        k.write(daemon, fd, b"SECRET FINDINGS")?;
+        k.close(daemon, fd)
+    });
+    let leaked = write.is_ok() && {
+        // The adversary reads through their pre-opened handle.
+        k.read(adversary, squat)
+            .map(|d| d.starts_with(b"SECRET"))
+            .unwrap_or(false)
+    };
+    let blocked = write.err().map(|e| e.is_firewall_denial()).unwrap_or(false);
+    Ok((leaked, blocked))
+}
+
+/// The cryogenic-sleep race end-to-end (Section 2.1): the adversary
+/// recycles an inode *number* so that a victim's `lstat`-vs-`fstat`
+/// comparison passes even though the object was substituted.
+///
+/// Returns `(check_passed_despite_swap, firewall_blocked)`.
+pub fn cryogenic_sleep(protect: bool) -> PfResult<(bool, bool)> {
+    let mut k = standard_world();
+    if protect {
+        k.install_rules([crate::ruleset::SAFE_OPEN])?;
+    }
+    let victim = k.spawn("init_t", "/sbin/backup", Uid::ROOT, Gid::ROOT);
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    k.put_file("/tmp/job", b"queue-entry", 0o666, Uid(1000), Gid(1000))?;
+
+    // Victim: check (lstat).
+    let before = k.lstat(victim, "/tmp/job")?;
+
+    // Adversary: put the victim "to sleep", recycle the inode number
+    // into a symlink to the target, wait for the victim to resume.
+    k.unlink(adversary, "/tmp/job")?;
+    let link = k.symlink(adversary, "/etc/shadow", "/tmp/job")?;
+    let recycled = link.ino == before.ino;
+
+    // Victim: use (open). The naive dev+ino comparison would pass if it
+    // lstat'ed again — the number matches. The open itself follows the
+    // planted link unless the firewall steps in.
+    let open = k.open(victim, "/tmp/job", OpenFlags::rdonly());
+    let reached_shadow = match &open {
+        Ok(fd) => {
+            let st = k.fstat(victim, *fd)?;
+            st.label == k.mac.lookup_label("shadow_t").unwrap()
+        }
+        Err(_) => false,
+    };
+    let blocked = open.err().map(|e| e.is_firewall_denial()).unwrap_or(false);
+    Ok((recycled && reached_shadow, blocked))
+}
+
+/// The `CALLER` extension: one shared-library entrypoint, different
+/// policies per hosting program (Section 6.3.1's library false-positive
+/// fix).
+pub fn caller_predicated_library(k: &mut Kernel) -> PfResult<(Pid, Pid)> {
+    // libconf's config-open entrypoint: trusted daemons must only read
+    // TCB config; the user shell may read anything.
+    k.install_rules(["pftables -p /lib/libconf.so -i 0x7700 -o FILE_OPEN \
+         -m CALLER --program /usr/sbin/trustedd \
+         -m ADV_ACCESS --write --accessible -j DROP"])?;
+    k.put_file("/lib/libconf.so", b"ELF", 0o755, Uid::ROOT, Gid::ROOT)?;
+    k.put_file("/usr/sbin/trustedd", b"ELF", 0o755, Uid::ROOT, Gid::ROOT)?;
+    let daemon = k.spawn("init_t", "/usr/sbin/trustedd", Uid::ROOT, Gid::ROOT);
+    let shell = k.spawn("staff_t", "/bin/sh", Uid::ROOT, Gid::ROOT);
+    Ok((daemon, shell))
+}
+
+/// Opens `path` through the shared libconf entrypoint.
+pub fn libconf_open(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<()> {
+    k.with_frame(pid, "/lib/libconf.so", 0x7700, |k| {
+        let fd = k.open(pid, path, OpenFlags::rdonly())?;
+        k.close(pid, fd)
+    })
+}
+
+/// PATH hijacking: an admin shell script invokes `service` by bare name
+/// from a directory-poisoned environment — the Untrusted Search Path
+/// class against executables rather than libraries.
+///
+/// Returns `(executed_path, firewall_blocked)`.
+pub fn path_hijack(protect: bool) -> PfResult<(Option<String>, bool)> {
+    const SHELL: &str = "/bin/bash";
+    const EXEC_PC: u64 = 0x2210;
+    let mut k = standard_world();
+    if protect {
+        // The shell's command-execution entrypoint may only execute
+        // adversary-inaccessible binaries.
+        k.install_rules(["pftables -p /bin/bash -i 0x2210 -o FILE_EXEC \
+             -m ADV_ACCESS --write --accessible -j DROP"])?;
+    }
+    k.put_file("/usr/bin/service", b"ELF", 0o755, Uid::ROOT, Gid::ROOT)?;
+
+    // The adversary drops a trojan `service` into a PATH-leading dir.
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    k.mkdir(adversary, "/tmp/bin", 0o777)?;
+    let fd = k.open(adversary, "/tmp/bin/service", OpenFlags::creat(0o755))?;
+    k.close(adversary, fd)?;
+
+    // The admin's shell resolves `service` along PATH=/tmp/bin:/usr/bin.
+    let admin = k.spawn("staff_t", SHELL, Uid::ROOT, Gid::ROOT);
+    k.task_mut(admin)?.setenv("PATH", "/tmp/bin:/usr/bin");
+    let path_var = k.task(admin)?.getenv("PATH").unwrap().to_owned();
+    let mut blocked = false;
+    let mut executed = None;
+    for dir in path_var.split(':') {
+        let candidate = format!("{dir}/service");
+        let child = k.fork(admin)?;
+        let result = k.with_frame(child, SHELL, EXEC_PC, |k| k.execve(child, &candidate));
+        let _ = k.exit(child);
+        match result {
+            Ok(()) => {
+                executed = Some(candidate);
+                break;
+            }
+            Err(e) => blocked |= e.is_firewall_denial(),
+        }
+    }
+    Ok((executed, blocked))
+}
+
+/// An ablation helper: loads a library under a given linker config with
+/// or without rule R1, reporting which path won.
+pub fn library_load_outcome(rules: &[&str], config: &LinkerConfig) -> PfResult<String> {
+    let mut k = standard_world();
+    k.install_rules(rules.iter().copied())?;
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    k.mkdir(adversary, "/tmp/evil", 0o777)?;
+    let fd = k.open(adversary, "/tmp/evil/libc-2.15.so", OpenFlags::creat(0o755))?;
+    k.close(adversary, fd)?;
+    let victim = k.spawn("staff_t", "/usr/bin/app", Uid(501), Gid(501));
+    load_library(&mut k, victim, "libc-2.15.so", config).map(|l| l.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_traversal_leaks_then_blocks() {
+        let (leaked, blocked, benign) = directory_traversal();
+        assert!(leaked, "unfiltered server leaks the password file");
+        assert!(blocked, "docroot label rule stops the traversal");
+        assert!(benign, "legitimate pages still served");
+    }
+
+    #[test]
+    fn file_squat_leaks_then_blocks() {
+        let (leaked, blocked) = file_squat(false).unwrap();
+        assert!(leaked, "squatted report leaks to the adversary");
+        assert!(!blocked);
+        let (leaked_p, blocked_p) = file_squat(true).unwrap();
+        assert!(!leaked_p);
+        assert!(blocked_p, "entrypoint invariant drops the squatted open");
+    }
+
+    #[test]
+    fn cryogenic_sleep_recycles_and_is_blocked() {
+        let (fooled, blocked) = cryogenic_sleep(false).unwrap();
+        assert!(fooled, "inode number recycling defeats the dev+ino check");
+        assert!(!blocked);
+        let (fooled_p, blocked_p) = cryogenic_sleep(true).unwrap();
+        assert!(!fooled_p);
+        assert!(blocked_p, "the LINK_READ rule blocks the substituted link");
+    }
+
+    #[test]
+    fn caller_module_separates_programs_on_a_shared_entrypoint() {
+        let mut k = standard_world();
+        let (daemon, shell) = caller_predicated_library(&mut k).unwrap();
+        // The trusted daemon is confined at the libconf entrypoint...
+        let e = libconf_open(&mut k, daemon, "/tmp").unwrap_err();
+        assert!(e.is_firewall_denial());
+        assert!(libconf_open(&mut k, daemon, "/etc/passwd").is_ok());
+        // ...while the same entrypoint in the shell is unrestricted.
+        assert!(libconf_open(&mut k, shell, "/tmp").is_ok());
+    }
+
+    #[test]
+    fn path_hijack_executes_trojan_then_falls_back_under_rule() {
+        let (executed, blocked) = path_hijack(false).unwrap();
+        assert_eq!(executed.as_deref(), Some("/tmp/bin/service"));
+        assert!(!blocked);
+        let (executed, blocked) = path_hijack(true).unwrap();
+        assert_eq!(
+            executed.as_deref(),
+            Some("/usr/bin/service"),
+            "the rule forces the search past the trojan"
+        );
+        assert!(blocked);
+    }
+
+    #[test]
+    fn library_ablation_rule_r1_changes_the_winner() {
+        let config = LinkerConfig {
+            rpath: vec!["/tmp/evil".into()],
+            ..Default::default()
+        };
+        let unprotected = library_load_outcome(&[], &config).unwrap();
+        assert_eq!(unprotected, "/tmp/evil/libc-2.15.so");
+        let protected = library_load_outcome(&[crate::ruleset::R1], &config).unwrap();
+        assert_eq!(protected, "/lib/libc-2.15.so");
+    }
+}

@@ -1,0 +1,216 @@
+//! The Apache model: request serving, `SymLinksIfOwnerMatch`, and
+//! directory traversal.
+//!
+//! Figure 5 of the paper compares Apache's in-program
+//! `SymLinksIfOwnerMatch` checks (extra `lstat`s on every component of
+//! every request, racy, and recommended *off* for performance by the
+//! Apache documentation) against the equivalent firewall rule R8 (zero
+//! extra system calls, race-free). This module provides the victim-side
+//! model both experiments share.
+
+use bytes::Bytes;
+use pf_types::{Gid, PfError, PfResult, Pid, Uid};
+use pf_vfs::{join, split_components};
+
+use pf_os::{Kernel, OpenFlags};
+
+/// The Apache binary (rule R8's `-p`).
+pub const APACHE_BIN: &str = "/usr/bin/apache2";
+/// The call site that opens requested files (rule R8's `-i`).
+pub const SERVE_PC: u64 = 0x2d637;
+
+/// A T1-instance rule confining Apache's serve entrypoint to web
+/// content labels — the defense against directory traversal.
+pub const APACHE_DOCROOT_RULE: &str = "pftables -p /usr/bin/apache2 -i 0x2d637 -o FILE_OPEN \
+     -d ~{httpd_sys_content_t|httpd_user_content_t|httpd_user_script_exec_t} -j DROP";
+
+/// One Apache worker.
+#[derive(Debug, Clone)]
+pub struct Apache {
+    /// The worker process.
+    pub pid: Pid,
+    /// `DocumentRoot`.
+    pub document_root: String,
+    /// Enable the in-program `SymLinksIfOwnerMatch` checks.
+    pub symlinks_if_owner_match: bool,
+    /// Apply the naive `..`-rejection filter to request URIs.
+    pub filter_dotdot: bool,
+}
+
+impl Apache {
+    /// Starts a worker (subject `httpd_t`, the traditional uid 33).
+    pub fn start(k: &mut Kernel) -> Apache {
+        let pid = k.spawn("httpd_t", APACHE_BIN, Uid(33), Gid(33));
+        Apache {
+            pid,
+            document_root: "/var/www".to_owned(),
+            symlinks_if_owner_match: false,
+            filter_dotdot: true,
+        }
+    }
+
+    /// Serves one request URI, returning the page body.
+    pub fn handle_request(&self, k: &mut Kernel, uri: &str) -> PfResult<Bytes> {
+        if self.filter_dotdot && uri.contains("..") {
+            return Err(PfError::PermissionDenied("URI filter: `..`".into()));
+        }
+        let path = join(&self.document_root, uri.trim_start_matches('/'));
+        if self.symlinks_if_owner_match {
+            self.check_symlinks(k, &path)?;
+        }
+        k.with_frame(self.pid, APACHE_BIN, SERVE_PC, |k| {
+            let fd = k.open(self.pid, &path, OpenFlags::rdonly())?;
+            let body = k.read(self.pid, fd)?;
+            k.close(self.pid, fd)?;
+            Ok(body)
+        })
+    }
+
+    /// The in-program `SymLinksIfOwnerMatch` option: `lstat` every
+    /// component; on a symlink, `stat` the target and require the same
+    /// owner. Costs one-plus system calls per component and is
+    /// documented by Apache as circumventable through races.
+    fn check_symlinks(&self, k: &mut Kernel, path: &str) -> PfResult<()> {
+        let mut prefix = String::new();
+        for comp in split_components(path) {
+            prefix.push('/');
+            prefix.push_str(comp);
+            let st = k.lstat(self.pid, &prefix)?;
+            if st.is_symlink() {
+                let target = k.stat(self.pid, &prefix)?;
+                if target.uid != st.uid {
+                    return Err(PfError::PermissionDenied(format!(
+                        "SymLinksIfOwnerMatch: `{prefix}`"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a page at depth `n` under the document root and returns its
+/// URI — the Figure 5 path-length parameter.
+pub fn add_page(k: &mut Kernel, n: usize) -> String {
+    assert!(n >= 1);
+    let mut dir = String::from("/var/www");
+    for i in 0..n - 1 {
+        dir.push_str(&format!("/p{i}"));
+    }
+    let path = format!("{dir}/index.html");
+    k.put_file(
+        &path,
+        b"<html>depth page</html>",
+        0o644,
+        Uid::ROOT,
+        Gid::ROOT,
+    )
+    .unwrap();
+    path.trim_start_matches("/var/www").to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ruleset::R8;
+    use pf_os::standard_world;
+
+    #[test]
+    fn serves_document_root_pages() {
+        let mut k = standard_world();
+        let apache = Apache::start(&mut k);
+        let body = apache.handle_request(&mut k, "/index.html").unwrap();
+        assert_eq!(body.as_ref(), b"<html>welcome</html>");
+    }
+
+    #[test]
+    fn naive_dotdot_filter_blocks_plain_traversal() {
+        let mut k = standard_world();
+        let apache = Apache::start(&mut k);
+        assert!(apache.handle_request(&mut k, "/../../etc/passwd").is_err());
+    }
+
+    #[test]
+    fn traversal_via_planted_symlink_beats_the_filter() {
+        // The lexical filter cannot see a symlink inside the docroot.
+        let mut k = standard_world();
+        let apache = Apache::start(&mut k);
+        k.put_symlink("/var/www/exports", "/etc", Uid(1000))
+            .unwrap();
+        let body = apache.handle_request(&mut k, "/exports/passwd").unwrap();
+        assert!(body.starts_with(b"root:"), "password file served!");
+        // The docroot label rule blocks it resource-side.
+        k.install_rules([APACHE_DOCROOT_RULE]).unwrap();
+        let e = apache
+            .handle_request(&mut k, "/exports/passwd")
+            .unwrap_err();
+        assert!(e.is_firewall_denial());
+        // Legitimate pages still served.
+        assert!(apache.handle_request(&mut k, "/index.html").is_ok());
+    }
+
+    #[test]
+    fn symlinks_if_owner_match_program_check_blocks_mismatched_links() {
+        let mut k = standard_world();
+        let mut apache = Apache::start(&mut k);
+        apache.symlinks_if_owner_match = true;
+        k.put_symlink("/var/www/leak", "/etc/passwd", Uid(1000))
+            .unwrap();
+        let e = apache.handle_request(&mut k, "/leak").unwrap_err();
+        assert!(matches!(e, PfError::PermissionDenied(_)));
+        assert!(apache.handle_request(&mut k, "/index.html").is_ok());
+    }
+
+    #[test]
+    fn rule_r8_blocks_the_same_links_without_program_checks() {
+        let mut k = standard_world();
+        k.install_rules([R8]).unwrap();
+        let apache = Apache::start(&mut k); // Program checks OFF.
+        k.put_symlink("/var/www/leak", "/etc/passwd", Uid(1000))
+            .unwrap();
+        let e = apache.handle_request(&mut k, "/leak").unwrap_err();
+        assert!(e.is_firewall_denial());
+        assert!(apache.handle_request(&mut k, "/index.html").is_ok());
+    }
+
+    #[test]
+    fn r8_and_program_checks_agree_on_owner_matched_links() {
+        // A root-owned link to a root-owned file is fine for both.
+        let mut k = standard_world();
+        k.install_rules([crate::ruleset::R8]).unwrap();
+        let mut apache = Apache::start(&mut k);
+        k.put_symlink("/var/www/alias", "/var/www/index.html", Uid::ROOT)
+            .unwrap();
+        assert!(apache.handle_request(&mut k, "/alias").is_ok());
+        apache.symlinks_if_owner_match = true;
+        assert!(apache.handle_request(&mut k, "/alias").is_ok());
+    }
+
+    #[test]
+    fn program_checks_cost_syscalls_the_rule_does_not() {
+        let mut k = standard_world();
+        let uri = add_page(&mut k, 5);
+        let mut apache = Apache::start(&mut k);
+        let t0 = k.now();
+        apache.handle_request(&mut k, &uri).unwrap();
+        let without = k.now() - t0;
+        apache.symlinks_if_owner_match = true;
+        let t1 = k.now();
+        apache.handle_request(&mut k, &uri).unwrap();
+        let with = k.now() - t1;
+        assert!(
+            with >= without + 5,
+            "program checks add per-component syscalls: {without} → {with}"
+        );
+    }
+
+    #[test]
+    fn deep_pages_resolve() {
+        let mut k = standard_world();
+        let apache = Apache::start(&mut k);
+        for n in [1, 3, 5, 9] {
+            let uri = add_page(&mut k, n);
+            assert!(apache.handle_request(&mut k, &uri).is_ok(), "n={n}");
+        }
+    }
+}

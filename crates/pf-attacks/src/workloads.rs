@@ -1,0 +1,196 @@
+//! The Table 7 macrobenchmark workloads.
+//!
+//! Three workloads exercise the firewall the way the paper's
+//! macrobenchmarks do: a syscall-heavy build job ("Apache Build"), a
+//! boot sequence that touches many different rules ("Boot"), and a web
+//! serving loop ("Web1"/"Web1000" with 1 and 1000 concurrent clients).
+//! Each returns the number of syscalls issued (the kernel's logical
+//! clock delta) so benchmarks can report both wall time and work done.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pf_types::{Gid, PfResult, SignalNum, Uid};
+use pf_vfs::AccessKind;
+
+use pf_os::loader::{load_library, LinkerConfig};
+use pf_os::{Kernel, OpenFlags};
+
+use crate::webserver::{add_page, Apache};
+
+/// Number of translation units in the simulated build.
+pub const BUILD_UNITS: usize = 40;
+
+/// Prepares the source tree for [`apache_build`]. Call once per kernel.
+pub fn setup_build_tree(k: &mut Kernel) {
+    for i in 0..BUILD_UNITS {
+        k.put_file(
+            &format!("/usr/src/httpd/src{i}.c"),
+            b"#include <httpd.h>\nint f(void){return 0;}\n",
+            0o644,
+            Uid::ROOT,
+            Gid::ROOT,
+        )
+        .unwrap();
+    }
+    for h in ["httpd.h", "apr.h", "config.h"] {
+        k.put_file(
+            &format!("/usr/src/httpd/include/{h}"),
+            b"#define X 1\n",
+            0o644,
+            Uid::ROOT,
+            Gid::ROOT,
+        )
+        .unwrap();
+    }
+}
+
+/// The "Apache Build" workload: a compile job — read sources and
+/// headers, stat dependencies, write object files — as a TCB subject.
+///
+/// Returns the syscall count.
+pub fn apache_build(k: &mut Kernel) -> PfResult<u64> {
+    let cc = k.spawn("staff_t", "/usr/bin/gcc", Uid::ROOT, Gid::ROOT);
+    let t0 = k.now();
+    k.mkdir(cc, "/tmp/build", 0o755)?;
+    for i in 0..BUILD_UNITS {
+        let src = format!("/usr/src/httpd/src{i}.c");
+        k.stat(cc, &src)?;
+        let fd = k.open(cc, &src, OpenFlags::rdonly())?;
+        k.read(cc, fd)?;
+        k.close(cc, fd)?;
+        for h in ["httpd.h", "apr.h", "config.h"] {
+            let hp = format!("/usr/src/httpd/include/{h}");
+            let hfd = k.open(cc, &hp, OpenFlags::rdonly())?;
+            k.read(cc, hfd)?;
+            k.close(cc, hfd)?;
+        }
+        let obj = format!("/tmp/build/src{i}.o");
+        let ofd = k.open(cc, &obj, OpenFlags::creat(0o644))?;
+        k.write(cc, ofd, b"\x7fELFobject")?;
+        k.close(cc, ofd)?;
+    }
+    // Link step: read every object, write the binary.
+    let out = k.open(cc, "/tmp/build/httpd", OpenFlags::creat(0o755))?;
+    for i in 0..BUILD_UNITS {
+        let ofd = k.open(cc, &format!("/tmp/build/src{i}.o"), OpenFlags::rdonly())?;
+        k.read(cc, ofd)?;
+        k.close(cc, ofd)?;
+    }
+    k.write(cc, out, b"\x7fELFexec")?;
+    k.close(cc, out)?;
+    let count = k.now() - t0;
+    k.exit(cc)?;
+    Ok(count)
+}
+
+/// Number of services started by [`boot`].
+pub const BOOT_SERVICES: usize = 12;
+
+/// The "Boot" workload: init starts a dozen services, each reading
+/// configuration, binding a control socket, writing a pidfile, loading a
+/// library, and installing a signal handler — "exercises a variety of
+/// rules in different ways" (Table 7).
+pub fn boot(k: &mut Kernel) -> PfResult<u64> {
+    let init = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+    let t0 = k.now();
+    for i in 0..BOOT_SERVICES {
+        let svc = k.fork(init)?;
+        // Read global and per-service configuration.
+        let cfd = k.open(svc, "/etc/passwd", OpenFlags::rdonly())?;
+        k.read(svc, cfd)?;
+        k.close(svc, cfd)?;
+        k.access(svc, "/etc/apache2/apache2.conf", AccessKind::Read)?;
+        // Pidfile and control socket in /var/run.
+        let pidfile = format!("/var/run/svc{i}.pid");
+        let pfd = k.open(svc, &pidfile, OpenFlags::creat(0o644))?;
+        k.write(svc, pfd, format!("{}", svc.0).as_bytes())?;
+        k.close(svc, pfd)?;
+        k.bind_unix(svc, &format!("/var/run/svc{i}.sock"), 0o666)?;
+        // Shared library and a signal handler.
+        load_library(k, svc, "libc-2.15.so", &LinkerConfig::default())?;
+        k.sigaction(svc, SignalNum::SIGTERM, true)?;
+    }
+    let count = k.now() - t0;
+    Ok(count)
+}
+
+/// The web-serving workload: `clients` round-robin request streams each
+/// issuing `requests_per_client` requests against pages of varying
+/// depth. `Web1` uses one client, `Web1000` a thousand.
+pub fn web_serve(k: &mut Kernel, clients: usize, requests_per_client: usize) -> PfResult<u64> {
+    let apache = Apache::start(k);
+    let uris: Vec<String> = [1usize, 2, 3].iter().map(|&n| add_page(k, n)).collect();
+    // A seeded RNG keeps the request mix realistic (skewed toward the
+    // shallow page, like real traffic) yet reproducible across runs.
+    let mut rng = StdRng::seed_from_u64(0x5ee0);
+    let t0 = k.now();
+    for _ in 0..requests_per_client {
+        for _ in 0..clients {
+            let pick: f64 = rng.random();
+            let uri = if pick < 0.6 {
+                &uris[0]
+            } else if pick < 0.9 {
+                &uris[1]
+            } else {
+                &uris[2]
+            };
+            apache.handle_request(k, uri)?;
+        }
+    }
+    Ok(k.now() - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ruleset::{full_rule_base, FULL_RULE_COUNT};
+    use pf_core::OptLevel;
+    use pf_os::standard_world;
+
+    fn world(level: OptLevel, full_rules: bool) -> Kernel {
+        let mut k = standard_world();
+        if full_rules {
+            let rules = full_rule_base(FULL_RULE_COUNT);
+            let refs: Vec<&str> = rules.iter().map(String::as_str).collect();
+            k.install_rules(refs).unwrap();
+        }
+        k.firewall.set_level(level);
+        setup_build_tree(&mut k);
+        k
+    }
+
+    #[test]
+    fn build_workload_runs_under_full_rules() {
+        let mut k = world(OptLevel::EptSpc, true);
+        let n = apache_build(&mut k).unwrap();
+        assert!(n > 300, "build is syscall-heavy: {n}");
+    }
+
+    #[test]
+    fn boot_workload_runs_under_full_rules() {
+        let mut k = world(OptLevel::EptSpc, true);
+        let n = boot(&mut k).unwrap();
+        assert!(n > 100, "boot touches many services: {n}");
+    }
+
+    #[test]
+    fn web_workload_runs_under_full_rules() {
+        let mut k = world(OptLevel::EptSpc, true);
+        let n = web_serve(&mut k, 10, 5).unwrap();
+        assert!(n >= 50, "50 requests issued: {n}");
+    }
+
+    #[test]
+    fn workload_syscall_counts_are_firewall_invariant() {
+        // The firewall must not change the work done, only its cost.
+        let mut a = world(OptLevel::Disabled, false);
+        let mut b = world(OptLevel::EptSpc, true);
+        assert_eq!(apache_build(&mut a).unwrap(), apache_build(&mut b).unwrap());
+        assert_eq!(boot(&mut a).unwrap(), boot(&mut b).unwrap());
+        assert_eq!(
+            web_serve(&mut a, 3, 4).unwrap(),
+            web_serve(&mut b, 3, 4).unwrap()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! A miniature SELinux-style mandatory access control layer.
+//!
+//! The Process Firewall's headline resource context — **adversary
+//! accessibility** — is computed from the MAC policy: a resource is
+//! adversary-accessible if the policy grants some subject *outside the
+//! trusted computing base* permission to it (write permissions lead to
+//! integrity attacks, read permissions to secrecy attacks; Section 2,
+//! footnote 2 of the paper). This crate provides:
+//!
+//! * a typed policy: subject/object type declarations, `allow` rules, and
+//!   the `SYSHIGH` TCB set used by the rule language's `-s SYSHIGH` /
+//!   `-d ~{SYSHIGH}` matches (the integrity-walls TCB of Vijayakumar et
+//!   al., ASIACCS 2012);
+//! * file contexts (longest-prefix path → label) used by the kernel layer
+//!   to label new inodes;
+//! * cached adversary-accessibility queries; and
+//! * [`policy::ubuntu_mini`], a shipped policy with the labels the paper's
+//!   Table 5 rules use (`lib_t`, `tmp_t`, `httpd_user_script_exec_t`, …).
+//!
+//! Like the paper's deployment, the MAC layer here runs in *permissive*
+//! mode by default: decisions are computed (and drive adversary
+//! accessibility) but do not block accesses, so every block observed in
+//! the experiments is attributable to the Process Firewall.
+
+pub mod parse;
+pub mod policy;
+
+pub use parse::{parse_policy, render_policy};
+pub use policy::{ubuntu_mini, Access, MacPolicy, PermSet};

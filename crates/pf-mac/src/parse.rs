@@ -1,0 +1,231 @@
+//! A textual policy language, so deployments can ship policy as data.
+//!
+//! The paper's rules are deployment-specific because adversary
+//! accessibility is "determined by the access control policy" (Section
+//! 2.2); distributors therefore need to load the deployment's policy
+//! rather than recompile. The grammar is line-oriented:
+//!
+//! ```text
+//! # comment
+//! subject user_t
+//! object  tmp_t
+//! syshigh sshd_t etc_t
+//! allow   user_t tmp_t rwx
+//! filecon /tmp tmp_t
+//! enforcing on|off
+//! ```
+
+use pf_types::{PfError, PfResult};
+
+use crate::policy::{MacPolicy, PermSet};
+
+/// Parses a policy document into a fresh [`MacPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// let text = "
+///     subject user_t
+///     subject sshd_t
+///     object tmp_t
+///     object etc_t
+///     syshigh sshd_t etc_t
+///     allow user_t tmp_t rwx
+///     allow sshd_t etc_t rw
+///     filecon /tmp tmp_t
+/// ";
+/// let p = pf_mac::parse_policy(text).unwrap();
+/// let tmp = p.lookup_label("tmp_t").unwrap();
+/// assert!(p.adversary_writable(tmp));
+/// assert_eq!(p.label_for_path("/tmp/x"), tmp);
+/// ```
+pub fn parse_policy(text: &str) -> PfResult<MacPolicy> {
+    let mut p = MacPolicy::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let keyword = toks.next().unwrap();
+        let err =
+            |msg: &str| PfError::RuleError(format!("policy line {}: {msg}: `{line}`", lineno + 1));
+        match keyword {
+            "subject" => {
+                for name in toks {
+                    p.declare_subject(name);
+                }
+            }
+            "object" => {
+                for name in toks {
+                    p.declare_object(name);
+                }
+            }
+            "syshigh" => {
+                for name in toks {
+                    let sid = p.intern_label(name);
+                    p.add_to_syshigh(sid);
+                }
+            }
+            "allow" => {
+                let subject = toks.next().ok_or_else(|| err("missing subject"))?;
+                let object = toks.next().ok_or_else(|| err("missing object"))?;
+                let perms_tok = toks.next().ok_or_else(|| err("missing perms"))?;
+                let mut perms = PermSet::default();
+                for c in perms_tok.chars() {
+                    perms = perms.union(match c {
+                        'r' => PermSet::READ,
+                        'w' => PermSet::WRITE,
+                        'x' => PermSet::EXEC,
+                        other => return Err(err(&format!("bad perm `{other}`"))),
+                    });
+                }
+                let s = p.intern_label(subject);
+                let o = p.intern_label(object);
+                p.allow(s, o, perms);
+                if toks.next().is_some() {
+                    return Err(err("trailing tokens"));
+                }
+            }
+            "filecon" => {
+                let prefix = toks.next().ok_or_else(|| err("missing path"))?;
+                let label = toks.next().ok_or_else(|| err("missing label"))?;
+                p.add_file_context(prefix, label);
+                if toks.next().is_some() {
+                    return Err(err("trailing tokens"));
+                }
+            }
+            "enforcing" => {
+                p.enforcing = match toks.next() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err(err("expected on|off")),
+                };
+                if toks.next().is_some() {
+                    return Err(err("trailing tokens"));
+                }
+            }
+            other => return Err(err(&format!("unknown keyword `{other}`"))),
+        }
+    }
+    Ok(p)
+}
+
+/// Serializes a policy back into the textual language (stable ordering),
+/// so a policy can round-trip through files.
+pub fn render_policy(p: &MacPolicy) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut names: Vec<(&str, &str)> = Vec::new();
+    // Labels don't record their role directly; reconstruct via queries.
+    for (sid, name) in p.labels_iter() {
+        if p.is_subject(sid) {
+            names.push(("subject", name));
+        } else if p.is_object(sid) {
+            names.push(("object", name));
+        }
+    }
+    for (kw, name) in names {
+        let _ = writeln!(out, "{kw} {name}");
+    }
+    for sid in p.syshigh_set() {
+        let _ = writeln!(out, "syshigh {}", p.label_name(sid));
+    }
+    for (s, o, perms) in p.allow_iter() {
+        let mut ps = String::new();
+        if perms.permits(crate::Access::Read) {
+            ps.push('r');
+        }
+        if perms.permits(crate::Access::Write) {
+            ps.push('w');
+        }
+        if perms.permits(crate::Access::Exec) {
+            ps.push('x');
+        }
+        let _ = writeln!(out, "allow {} {} {}", p.label_name(s), p.label_name(o), ps);
+    }
+    for (prefix, sid) in p.file_contexts_iter() {
+        let _ = writeln!(out, "filecon {prefix} {}", p.label_name(sid));
+    }
+    if p.enforcing {
+        let _ = writeln!(out, "enforcing on");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Access;
+
+    const SAMPLE: &str = "
+        # A tiny deployment policy.
+        subject user_t sshd_t
+        object tmp_t etc_t shadow_t
+        syshigh sshd_t etc_t shadow_t
+        allow user_t tmp_t rwx
+        allow sshd_t etc_t rw
+        allow sshd_t shadow_t rw
+        filecon /tmp tmp_t
+        filecon /etc etc_t
+        filecon /etc/shadow shadow_t
+    ";
+
+    #[test]
+    fn parses_a_full_policy() {
+        let p = parse_policy(SAMPLE).unwrap();
+        let tmp = p.lookup_label("tmp_t").unwrap();
+        let shadow = p.lookup_label("shadow_t").unwrap();
+        assert!(p.adversary_writable(tmp));
+        assert!(!p.adversary_writable(shadow));
+        assert!(!p.adversary_readable(shadow));
+        assert_eq!(p.label_for_path("/etc/shadow"), shadow);
+    }
+
+    #[test]
+    fn enforcing_toggle() {
+        let p = parse_policy("subject a_t\nobject b_t\nenforcing on\n").unwrap();
+        assert!(p.enforcing);
+        let a = p.lookup_label("a_t").unwrap();
+        let b = p.lookup_label("b_t").unwrap();
+        assert!(!p.authorize(a, b, Access::Read));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "allow user_t",
+            "allow a b rwz",
+            "filecon /tmp",
+            "enforcing maybe",
+            "frobnicate x",
+        ] {
+            assert!(parse_policy(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let p = parse_policy(SAMPLE).unwrap();
+        let text = render_policy(&p);
+        let q = parse_policy(&text).unwrap();
+        // Semantic equivalence: same adversary accessibility and file
+        // contexts for every label.
+        for name in ["tmp_t", "etc_t", "shadow_t"] {
+            let ps = p.lookup_label(name).unwrap();
+            let qs = q.lookup_label(name).unwrap();
+            assert_eq!(p.adversary_writable(ps), q.adversary_writable(qs), "{name}");
+            assert_eq!(p.adversary_readable(ps), q.adversary_readable(qs), "{name}");
+        }
+        assert_eq!(
+            q.label_for_path("/etc/shadow"),
+            q.lookup_label("shadow_t").unwrap()
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_policy("# nothing\n\n   \n# more\n").unwrap();
+        assert_eq!(p.subject_count(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! A deterministic user-space kernel simulator for the Process Firewall.
+//!
+//! The paper implements the Process Firewall inside Linux, invoked from
+//! LSM hooks. Firewall semantics depend only on what those hooks can see
+//! — (subject, object, operation) plus process-internal state — so this
+//! crate reproduces exactly that hook surface over the [`pf_vfs`]
+//! substrate:
+//!
+//! * [`task::Task`]: credentials, fd table, environment variables, a
+//!   simulated user stack of [`task::Frame`]s (the entrypoint source),
+//!   signal handlers and in-handler depth, the per-process STATE
+//!   dictionary and per-syscall context cache the firewall uses;
+//! * [`kernel::Kernel`]: owns the VFS, MAC policy, program interner, and
+//!   the firewall; every security-sensitive operation runs
+//!   DAC → MAC → **PF hook** in that order (Figure 2 of the paper),
+//!   including one `DIR_SEARCH` per path component and one `LINK_READ`
+//!   per traversed symlink;
+//! * [`syscalls`]: the POSIX-flavoured syscall API (`open`, `stat`,
+//!   `bind`, `kill`, `fork`, `execve`, …) used by the exploit scenarios
+//!   and benchmarks;
+//! * [`loader`]: the `ld.so` model — search-path construction from
+//!   `LD_LIBRARY_PATH` / RPATH / RUNPATH with setuid scrubbing, issuing
+//!   its opens from the paper's `/lib/ld-2.15.so` `0x596b` entrypoint;
+//! * [`interp`]: interpreter models (PHP / Python / Bash) whose include
+//!   operations carry the interpreter-binary entrypoints rules R2 and R4
+//!   match on;
+//! * [`world`]: a standard Ubuntu-flavoured system image (filesystem
+//!   layout + labels + a `/tmp` tmpfs device) shared by experiments.
+//!
+//! Races are modelled at syscall granularity: an adversary "interleaves"
+//! by running its own syscalls between two victim syscalls, which is the
+//! level at which TOCTTOU windows exist on a real kernel too.
+
+pub mod interp;
+pub mod kernel;
+pub mod loader;
+pub mod sched;
+pub mod syscalls;
+pub mod task;
+pub mod world;
+
+pub use kernel::{Kernel, OpenFlags, SurfaceEntry};
+pub use sched::{explore, ExplorationReport, RaceScenario, ScheduleOutcome, Turn};
+pub use task::{Frame, Task};
+pub use world::standard_world;

@@ -1,0 +1,159 @@
+//! The dynamic-linker (`ld.so`) model — Figure 1(b) of the paper.
+//!
+//! `ld.so` builds a library search path from, in order: `RPATH` baked
+//! into the binary, the `LD_LIBRARY_PATH` environment variable, `RUNPATH`,
+//! and the system default directories. For setuid-context processes it
+//! scrubs `LD_LIBRARY_PATH`/`LD_PRELOAD` (lines 1–5 of the figure) — but
+//! insecure `RPATH`/`RUNPATH` values (the Debian CVE-2006-1564 bug, E1),
+//! linker bugs, and unfiltered environments in non-setuid programs (the
+//! Icecat bug, E8) still let adversaries steer the search.
+//!
+//! Every candidate open is issued from the `/lib/ld-2.15.so` entrypoint
+//! `0x596b`, the call site rule R1 binds to.
+
+use pf_types::{Fd, PfError, PfResult, Pid};
+
+use crate::kernel::{Kernel, OpenFlags};
+
+/// The dynamic linker binary path (entrypoint program for rule R1).
+pub const LD_SO: &str = "/lib/ld-2.15.so";
+/// The library-`open` call site inside `ld.so` (rule R1's `-i`).
+pub const LD_OPEN_PC: u64 = 0x596b;
+
+/// Search-path inputs baked into a binary.
+#[derive(Debug, Clone, Default)]
+pub struct LinkerConfig {
+    /// `DT_RPATH` entries (searched before `LD_LIBRARY_PATH`).
+    pub rpath: Vec<String>,
+    /// `DT_RUNPATH` entries (searched after `LD_LIBRARY_PATH`).
+    pub runpath: Vec<String>,
+}
+
+/// Default system library directories.
+pub const DEFAULT_LIB_DIRS: [&str; 2] = ["/lib", "/usr/lib"];
+
+/// The result of a successful library load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedLibrary {
+    /// The path the library was found at.
+    pub path: String,
+    /// The open descriptor (already `mmap`ed).
+    pub fd: Fd,
+}
+
+/// Builds the effective search order for a process.
+///
+/// Mirrors glibc: RPATH, then `LD_LIBRARY_PATH` (scrubbed for
+/// setuid-context processes), then RUNPATH, then defaults.
+pub fn search_order(kernel: &Kernel, pid: Pid, config: &LinkerConfig) -> PfResult<Vec<String>> {
+    let task = kernel.task(pid)?;
+    let mut order: Vec<String> = Vec::new();
+    order.extend(config.rpath.iter().cloned());
+    if !task.is_setuid_context() {
+        if let Some(llp) = task.getenv("LD_LIBRARY_PATH") {
+            order.extend(llp.split(':').filter(|s| !s.is_empty()).map(str::to_owned));
+        }
+    }
+    order.extend(config.runpath.iter().cloned());
+    order.extend(DEFAULT_LIB_DIRS.iter().map(|s| (*s).to_owned()));
+    Ok(order)
+}
+
+/// Loads `libname` for `pid`, following Figure 1(b) lines 6–11: walk the
+/// search path, `open` each candidate from the `ld.so` entrypoint, and
+/// `mmap` the first hit.
+pub fn load_library(
+    kernel: &mut Kernel,
+    pid: Pid,
+    libname: &str,
+    config: &LinkerConfig,
+) -> PfResult<LoadedLibrary> {
+    let order = search_order(kernel, pid, config)?;
+    let mut last_err = PfError::NotFound(libname.to_owned());
+    for dir in order {
+        let candidate = pf_vfs::join(&dir, libname);
+        let attempt = kernel.with_frame(pid, LD_SO, LD_OPEN_PC, |k| {
+            let fd = k.open(pid, &candidate, OpenFlags::rdonly())?;
+            k.mmap(pid, fd)?;
+            Ok(fd)
+        });
+        match attempt {
+            Ok(fd) => {
+                return Ok(LoadedLibrary {
+                    path: candidate,
+                    fd,
+                })
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::standard_world;
+    use pf_types::{Gid, Uid};
+
+    #[test]
+    fn default_search_finds_system_library() {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/app", Uid(1000), Gid(1000));
+        let lib = load_library(&mut k, pid, "libc-2.15.so", &LinkerConfig::default()).unwrap();
+        assert_eq!(lib.path, "/lib/libc-2.15.so");
+    }
+
+    #[test]
+    fn ld_library_path_wins_for_non_setuid() {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/app", Uid(1000), Gid(1000));
+        k.put_file("/tmp/evil/libc-2.15.so", b"evil", 0o755, Uid(666), Gid(666))
+            .unwrap();
+        k.task_mut(pid)
+            .unwrap()
+            .setenv("LD_LIBRARY_PATH", "/tmp/evil");
+        let lib = load_library(&mut k, pid, "libc-2.15.so", &LinkerConfig::default()).unwrap();
+        assert_eq!(
+            lib.path, "/tmp/evil/libc-2.15.so",
+            "hijack succeeds unprotected"
+        );
+    }
+
+    #[test]
+    fn setuid_context_scrubs_ld_library_path() {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/app", Uid(1000), Gid(1000));
+        k.put_file("/tmp/evil/libc-2.15.so", b"evil", 0o755, Uid(666), Gid(666))
+            .unwrap();
+        k.task_mut(pid)
+            .unwrap()
+            .setenv("LD_LIBRARY_PATH", "/tmp/evil");
+        k.task_mut(pid).unwrap().euid = Uid::ROOT; // Setuid context.
+        let lib = load_library(&mut k, pid, "libc-2.15.so", &LinkerConfig::default()).unwrap();
+        assert_eq!(lib.path, "/lib/libc-2.15.so", "env var ignored");
+    }
+
+    #[test]
+    fn rpath_beats_env_and_is_not_scrubbed() {
+        // The E1 scenario core: RPATH applies even in setuid context.
+        let mut k = standard_world();
+        let pid = k.spawn("httpd_t", "/usr/sbin/apache2", Uid(1000), Gid(1000));
+        k.task_mut(pid).unwrap().euid = Uid::ROOT;
+        k.put_file("/tmp/svn/mod_evil.so", b"evil", 0o755, Uid(666), Gid(666))
+            .unwrap();
+        let config = LinkerConfig {
+            rpath: vec!["/tmp/svn".into()],
+            ..Default::default()
+        };
+        let lib = load_library(&mut k, pid, "mod_evil.so", &config).unwrap();
+        assert_eq!(lib.path, "/tmp/svn/mod_evil.so");
+    }
+
+    #[test]
+    fn missing_library_reports_not_found() {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/app", Uid(1000), Gid(1000));
+        assert!(load_library(&mut k, pid, "libnothere.so", &LinkerConfig::default()).is_err());
+    }
+}

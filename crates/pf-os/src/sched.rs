@@ -1,0 +1,200 @@
+//! A deterministic race explorer: bounded exploration of victim /
+//! adversary interleavings.
+//!
+//! TOCTTOU windows exist *between* system calls, so races are modelled
+//! at syscall granularity: the victim and the adversary are each a
+//! sequence of steps, and the scheduler enumerates **every** order-
+//! preserving interleaving of the two (the merges of two sequences —
+//! `C(v+a, a)` schedules), executing each against a freshly built world.
+//!
+//! This turns the paper's race arguments into checkable statements:
+//! "there is an interleaving in which the attack wins" (the exploit
+//! exists) and "under rules R5/R6 *no* interleaving wins" (the defense
+//! is schedule-independent, not just lucky).
+
+use pf_types::PfResult;
+
+use crate::kernel::Kernel;
+
+/// A two-party race scenario.
+///
+/// Step functions receive the step index; failures are recorded, not
+/// fatal (a victim that errors out has failed *safely*; an adversary
+/// step that fails simply lost the race at that point).
+pub trait RaceScenario {
+    /// Builds a fresh deterministic world (setup is not interleaved).
+    fn build(&self) -> Kernel;
+
+    /// Number of victim steps.
+    fn victim_steps(&self) -> usize;
+
+    /// Executes victim step `i`.
+    fn victim_step(&self, kernel: &mut Kernel, i: usize) -> PfResult<()>;
+
+    /// Number of adversary steps.
+    fn adversary_steps(&self) -> usize;
+
+    /// Executes adversary step `i`.
+    fn adversary_step(&self, kernel: &mut Kernel, i: usize) -> PfResult<()>;
+
+    /// Judges the final state: did the adversary get what they wanted?
+    fn attack_succeeded(&self, kernel: &Kernel) -> bool;
+}
+
+/// Who runs at one schedule slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Turn {
+    /// The victim executes its next step.
+    Victim,
+    /// The adversary executes its next step.
+    Adversary,
+}
+
+/// The outcome of one explored schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The interleaving that was executed.
+    pub schedule: Vec<Turn>,
+    /// Whether the adversary won.
+    pub attack_succeeded: bool,
+    /// Whether any victim step returned an error (failing safely).
+    pub victim_errored: bool,
+    /// Whether a victim error was a firewall denial.
+    pub blocked_by_firewall: bool,
+}
+
+/// Aggregate results over all interleavings.
+#[derive(Debug, Clone)]
+pub struct ExplorationReport {
+    /// One outcome per explored schedule.
+    pub outcomes: Vec<ScheduleOutcome>,
+}
+
+impl ExplorationReport {
+    /// Number of schedules explored.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Schedules in which the attack succeeded.
+    pub fn wins(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.attack_succeeded).count()
+    }
+
+    /// Schedules in which the firewall blocked a victim step.
+    pub fn firewall_blocks(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.blocked_by_firewall)
+            .count()
+    }
+
+    /// Returns `true` if no schedule lets the attack succeed.
+    pub fn race_free(&self) -> bool {
+        self.wins() == 0
+    }
+}
+
+/// Enumerates every order-preserving interleaving of `v` victim steps
+/// and `a` adversary steps.
+fn schedules(v: usize, a: usize) -> Vec<Vec<Turn>> {
+    fn rec(v_left: usize, a_left: usize, prefix: &mut Vec<Turn>, out: &mut Vec<Vec<Turn>>) {
+        if v_left == 0 && a_left == 0 {
+            out.push(prefix.clone());
+            return;
+        }
+        if v_left > 0 {
+            prefix.push(Turn::Victim);
+            rec(v_left - 1, a_left, prefix, out);
+            prefix.pop();
+        }
+        if a_left > 0 {
+            prefix.push(Turn::Adversary);
+            rec(v_left, a_left - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(v, a, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Explores every interleaving of the scenario.
+///
+/// # Panics
+///
+/// Panics if the schedule space exceeds 100 000 interleavings — keep
+/// step counts small; races live in short windows.
+pub fn explore(scenario: &dyn RaceScenario) -> ExplorationReport {
+    let v = scenario.victim_steps();
+    let a = scenario.adversary_steps();
+    let all = schedules(v, a);
+    assert!(
+        all.len() <= 100_000,
+        "schedule space too large: {} interleavings",
+        all.len()
+    );
+    let mut outcomes = Vec::with_capacity(all.len());
+    for schedule in all {
+        let mut kernel = scenario.build();
+        let (mut vi, mut ai) = (0usize, 0usize);
+        let mut victim_errored = false;
+        let mut blocked_by_firewall = false;
+        for turn in &schedule {
+            match turn {
+                Turn::Victim => {
+                    if let Err(e) = scenario.victim_step(&mut kernel, vi) {
+                        victim_errored = true;
+                        blocked_by_firewall |= e.is_firewall_denial();
+                    }
+                    vi += 1;
+                }
+                Turn::Adversary => {
+                    let _ = scenario.adversary_step(&mut kernel, ai);
+                    ai += 1;
+                }
+            }
+        }
+        outcomes.push(ScheduleOutcome {
+            attack_succeeded: scenario.attack_succeeded(&kernel),
+            schedule,
+            victim_errored,
+            blocked_by_firewall,
+        });
+    }
+    ExplorationReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_enumeration_counts_binomially() {
+        assert_eq!(schedules(2, 2).len(), 6); // C(4,2)
+        assert_eq!(schedules(3, 2).len(), 10); // C(5,2)
+        assert_eq!(schedules(0, 3).len(), 1);
+        assert_eq!(schedules(3, 0).len(), 1);
+    }
+
+    #[test]
+    fn schedules_preserve_intra_party_order() {
+        for s in schedules(3, 3) {
+            assert_eq!(s.iter().filter(|t| **t == Turn::Victim).count(), 3);
+            assert_eq!(s.iter().filter(|t| **t == Turn::Adversary).count(), 3);
+        }
+    }
+
+    #[test]
+    fn schedules_are_distinct() {
+        let mut all = schedules(4, 3);
+        let n = all.len();
+        all.sort_by_key(|s| {
+            s.iter()
+                .map(|t| (*t == Turn::Victim) as u8)
+                .collect::<Vec<_>>()
+        });
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

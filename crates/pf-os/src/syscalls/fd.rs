@@ -1,0 +1,227 @@
+//! Descriptor-relative and directory syscalls: `openat`, `chdir`,
+//! `dup`, `fchmod`, `fchown`, `ftruncate`.
+//!
+//! The fd-relative operations matter to the paper's story: `fchmod` on
+//! the *descriptor* returned by `bind` is the race-free repair for the
+//! D-Bus TOCTTOU (E6) — the firewall rules protect programs that have
+//! not been repaired yet.
+
+use bytes::Bytes;
+use pf_types::{Fd, Gid, LsmOperation, Mode, PfError, PfResult, Pid, SyscallNr, Uid};
+use pf_vfs::ObjRef;
+
+use crate::kernel::{Kernel, OpenFlags};
+
+impl Kernel {
+    /// `openat(2)`: resolve `path` relative to the directory open at
+    /// `dirfd` (absolute paths ignore `dirfd`, as POSIX specifies).
+    pub fn openat(&mut self, pid: Pid, dirfd: Fd, path: &str, flags: OpenFlags) -> PfResult<Fd> {
+        let dir = {
+            let file = self.task(pid)?.fd(dirfd).ok_or(PfError::BadFd(dirfd.0))?;
+            if !self.vfs.inode(file.obj)?.kind.is_dir() {
+                return Err(PfError::NotADirectory(format!("fd {}", dirfd.0)));
+            }
+            file.obj
+        };
+        // Temporarily rebase the task's cwd for the resolution; open()
+        // performs the full mediated pipeline.
+        let saved = self.task(pid)?.cwd;
+        self.task_mut(pid)?.cwd = dir;
+        let result = self.open(pid, path, flags);
+        self.task_mut(pid)?.cwd = saved;
+        result
+    }
+
+    /// `chdir(2)`.
+    pub fn chdir(&mut self, pid: Pid, path: &str) -> PfResult<ObjRef> {
+        self.syscall_enter(pid, SyscallNr::Access)?;
+        let r = self.resolve_checked(pid, path, pf_vfs::ResolveOpts::default())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        if !self.vfs.inode(obj)?.kind.is_dir() {
+            return Err(PfError::NotADirectory(path.to_owned()));
+        }
+        self.authorize_access(pid, obj, pf_vfs::AccessKind::Execute)?;
+        self.task_mut(pid)?.cwd = obj;
+        Ok(obj)
+    }
+
+    /// `dup(2)`: duplicates a descriptor (shares the open description's
+    /// inode reference, so recycling stays blocked until the last copy
+    /// closes).
+    pub fn dup(&mut self, pid: Pid, fd: Fd) -> PfResult<Fd> {
+        self.syscall_enter(pid, SyscallNr::Close)?; // Reuses a cheap nr slot.
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        self.vfs.open_ref(file.obj)?;
+        Ok(self.task_mut(pid)?.alloc_fd(file))
+    }
+
+    /// `fchmod(2)`: change mode through an open descriptor — no name
+    /// resolution, hence no TOCTTOU window.
+    pub fn fchmod(&mut self, pid: Pid, fd: Fd, mode: u16) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Chmod)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        let euid = self.task(pid)?.euid;
+        let inode = self.vfs.inode(file.obj)?;
+        if !euid.is_root() && euid != inode.uid {
+            return Err(PfError::PermissionDenied("fchmod: not owner".into()));
+        }
+        let op = if inode.kind.is_socket() {
+            LsmOperation::SocketSetattr
+        } else {
+            LsmOperation::FileChmod
+        };
+        self.hook(pid, op, Some(file.obj), None, None)?;
+        self.vfs.inode_mut(file.obj)?.mode = Mode(mode);
+        Ok(())
+    }
+
+    /// `fchown(2)` (root only).
+    pub fn fchown(&mut self, pid: Pid, fd: Fd, uid: Uid, gid: Gid) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Chown)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        if !self.task(pid)?.euid.is_root() {
+            return Err(PfError::PermissionDenied("fchown: not root".into()));
+        }
+        self.hook(pid, LsmOperation::FileChown, Some(file.obj), None, None)?;
+        let inode = self.vfs.inode_mut(file.obj)?;
+        inode.uid = uid;
+        inode.gid = gid;
+        Ok(())
+    }
+
+    /// `ftruncate(2)`: clears a regular file through a writable fd.
+    pub fn ftruncate(&mut self, pid: Pid, fd: Fd) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Write)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        if !file.writable {
+            return Err(PfError::PermissionDenied("fd not writable".into()));
+        }
+        self.hook(pid, LsmOperation::FileWrite, Some(file.obj), None, None)?;
+        self.vfs.write(file.obj, Bytes::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::standard_world;
+    use pf_vfs::AccessKind;
+
+    fn world_and_user() -> (Kernel, Pid) {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        (k, pid)
+    }
+
+    #[test]
+    fn openat_resolves_relative_to_dirfd() {
+        let (mut k, pid) = world_and_user();
+        let etc = k.open(pid, "/etc", OpenFlags::rdonly()).unwrap();
+        let fd = k.openat(pid, etc, "passwd", OpenFlags::rdonly()).unwrap();
+        assert!(k.read(pid, fd).unwrap().starts_with(b"root:"));
+        // Absolute paths ignore dirfd.
+        let fd2 = k
+            .openat(pid, etc, "/var/www/index.html", OpenFlags::rdonly())
+            .unwrap();
+        assert!(k.read(pid, fd2).is_ok());
+        // Non-directory dirfd is rejected.
+        let f = k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+        assert!(matches!(
+            k.openat(pid, f, "x", OpenFlags::rdonly()),
+            Err(PfError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn openat_restores_cwd_even_on_failure() {
+        let (mut k, pid) = world_and_user();
+        let before = k.task(pid).unwrap().cwd;
+        let etc = k.open(pid, "/etc", OpenFlags::rdonly()).unwrap();
+        let _ = k.openat(pid, etc, "missing", OpenFlags::rdonly());
+        assert_eq!(k.task(pid).unwrap().cwd, before);
+    }
+
+    #[test]
+    fn chdir_changes_relative_resolution() {
+        let (mut k, pid) = world_and_user();
+        k.chdir(pid, "/etc").unwrap();
+        assert!(k.open(pid, "passwd", OpenFlags::rdonly()).is_ok());
+        assert!(matches!(
+            k.chdir(pid, "/etc/passwd"),
+            Err(PfError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn chdir_requires_search_permission() {
+        let (mut k, pid) = world_and_user();
+        assert!(k.access(pid, "/root", AccessKind::Execute).is_err());
+        assert!(k.chdir(pid, "/root").is_err());
+    }
+
+    #[test]
+    fn dup_shares_the_description_and_refcount() {
+        let (mut k, pid) = world_and_user();
+        let a = k
+            .open(
+                pid,
+                "/tmp/d",
+                OpenFlags {
+                    read: true,
+                    write: true,
+                    create: true,
+                    mode: 0o644,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let b = k.dup(pid, a).unwrap();
+        k.unlink(pid, "/tmp/d").unwrap();
+        k.close(pid, a).unwrap();
+        // Still alive through the dup.
+        assert!(k.read(pid, b).is_ok());
+        k.close(pid, b).unwrap();
+    }
+
+    #[test]
+    fn fchmod_is_race_free_where_chmod_races() {
+        // The E6 repair: bind, then fchmod the descriptor. An adversary
+        // replacing the path between the calls changes nothing.
+        let mut k = standard_world();
+        let daemon = k.spawn("system_dbusd_t", "/bin/dbus-daemon", Uid::ROOT, Gid::ROOT);
+        k.mkdir(daemon, "/tmp/bus", 0o777).unwrap();
+        let sock = k.bind_unix(daemon, "/tmp/bus/sock", 0o600).unwrap();
+        let sock_obj = k.task(daemon).unwrap().fd(sock).unwrap().obj;
+        // Adversary squats the name.
+        let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        k.unlink(adversary, "/tmp/bus/sock").unwrap();
+        k.bind_unix(adversary, "/tmp/bus/sock", 0o600).unwrap();
+        // fchmod reaches the daemon's original socket, not the squat.
+        k.fchmod(daemon, sock, 0o666).unwrap();
+        assert_eq!(k.vfs.inode(sock_obj).unwrap().mode.0, 0o666);
+        let squatted = k.lookup("/tmp/bus/sock").unwrap();
+        assert_eq!(k.vfs.inode(squatted).unwrap().mode.0, 0o600);
+    }
+
+    #[test]
+    fn ftruncate_clears_contents() {
+        let (mut k, pid) = world_and_user();
+        let fd = k.open(pid, "/tmp/t", OpenFlags::creat(0o644)).unwrap();
+        k.write(pid, fd, b"data").unwrap();
+        k.ftruncate(pid, fd).unwrap();
+        let fd2 = k.open(pid, "/tmp/t", OpenFlags::rdonly()).unwrap();
+        assert!(k.read(pid, fd2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fchown_requires_root() {
+        let (mut k, pid) = world_and_user();
+        let fd = k.open(pid, "/tmp/o", OpenFlags::creat(0o644)).unwrap();
+        assert!(k.fchown(pid, fd, Uid(2), Gid(2)).is_err());
+        let root = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+        let rfd = k.open(root, "/tmp/o", OpenFlags::rdonly()).unwrap();
+        k.fchown(root, rfd, Uid(2), Gid(2)).unwrap();
+        let obj = k.lookup("/tmp/o").unwrap();
+        assert_eq!(k.vfs.inode(obj).unwrap().uid, Uid(2));
+    }
+}

@@ -1,0 +1,470 @@
+//! File and directory syscalls.
+
+use bytes::Bytes;
+use pf_types::{Fd, Gid, LsmOperation, Mode, PfError, PfResult, Pid, SyscallNr, Uid};
+use pf_vfs::{
+    dac_permits, sticky_permits_unlink, AccessKind, InodeKind, ObjRef, ResolveOpts, Stat,
+};
+
+use crate::kernel::{Kernel, OpenFlags};
+use crate::task::OpenFile;
+
+impl Kernel {
+    /// `open(2)`: resolve, authorize, fire `FILE_OPEN` (plus
+    /// `FILE_CREATE` when creating), allocate a descriptor.
+    pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> PfResult<Fd> {
+        self.syscall_enter(pid, SyscallNr::Open)?;
+        let opts = ResolveOpts {
+            follow_final: !flags.nofollow,
+            want_parent: flags.create,
+            max_symlinks: 40,
+        };
+        let r = self.resolve_checked(pid, path, opts)?;
+        match r.target {
+            Some(obj) => {
+                if flags.create && flags.excl {
+                    return Err(PfError::AlreadyExists(path.to_owned()));
+                }
+                let inode = self.vfs.inode(obj)?;
+                if inode.kind.is_symlink() {
+                    // Only reachable with O_NOFOLLOW.
+                    return Err(PfError::SymlinkLoop(path.to_owned()));
+                }
+                if inode.kind.is_dir() && flags.write {
+                    return Err(PfError::IsADirectory(path.to_owned()));
+                }
+                if flags.read {
+                    self.authorize_access(pid, obj, AccessKind::Read)?;
+                }
+                if flags.write {
+                    self.authorize_access(pid, obj, AccessKind::Write)?;
+                }
+                self.hook(pid, LsmOperation::FileOpen, Some(obj), None, None)?;
+                self.vfs.open_ref(obj)?;
+                Ok(self.task_mut(pid)?.alloc_fd(OpenFile {
+                    obj,
+                    readable: flags.read,
+                    writable: flags.write,
+                }))
+            }
+            None => {
+                // Creation path (resolve granted want_parent).
+                self.authorize_access(pid, r.parent, AccessKind::Write)?;
+                let (euid, egid) = {
+                    let t = self.task(pid)?;
+                    (t.euid, t.egid)
+                };
+                // New files inherit the parent directory's label, the
+                // default SELinux labeling behaviour.
+                let label = self.vfs.inode(r.parent)?.label;
+                let obj = self.vfs.create_child(
+                    r.parent,
+                    &r.final_name,
+                    InodeKind::empty_file(),
+                    Mode(flags.mode),
+                    euid,
+                    egid,
+                    label,
+                )?;
+                if let Err(e) = self
+                    .hook(pid, LsmOperation::FileCreate, Some(obj), None, None)
+                    .and_then(|()| self.hook(pid, LsmOperation::FileOpen, Some(obj), None, None))
+                {
+                    self.vfs.unlink(r.parent, &r.final_name)?;
+                    return Err(e);
+                }
+                self.vfs.open_ref(obj)?;
+                Ok(self.task_mut(pid)?.alloc_fd(OpenFile {
+                    obj,
+                    readable: flags.read,
+                    writable: flags.write,
+                }))
+            }
+        }
+    }
+
+    /// `close(2)`.
+    pub fn close(&mut self, pid: Pid, fd: Fd) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Close)?;
+        let file = self
+            .task_mut(pid)?
+            .take_fd(fd)
+            .ok_or(PfError::BadFd(fd.0))?;
+        self.vfs.close_ref(file.obj)
+    }
+
+    /// `read(2)`: whole-file read through an open descriptor.
+    pub fn read(&mut self, pid: Pid, fd: Fd) -> PfResult<Bytes> {
+        self.syscall_enter(pid, SyscallNr::Read)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        if !file.readable {
+            return Err(PfError::PermissionDenied("fd not readable".into()));
+        }
+        self.hook(pid, LsmOperation::FileRead, Some(file.obj), None, None)?;
+        self.vfs.read(file.obj)
+    }
+
+    /// `write(2)`: whole-file replace through an open descriptor.
+    pub fn write(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Write)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        if !file.writable {
+            return Err(PfError::PermissionDenied("fd not writable".into()));
+        }
+        self.hook(pid, LsmOperation::FileWrite, Some(file.obj), None, None)?;
+        self.vfs.write(file.obj, Bytes::copy_from_slice(data))
+    }
+
+    /// `stat(2)`: follows symlinks.
+    pub fn stat(&mut self, pid: Pid, path: &str) -> PfResult<Stat> {
+        self.syscall_enter(pid, SyscallNr::Stat)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::default())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        self.hook(pid, LsmOperation::FileGetattr, Some(obj), None, None)?;
+        Ok(Stat::of(self.vfs.inode(obj)?))
+    }
+
+    /// `lstat(2)`: does not follow a final symlink.
+    pub fn lstat(&mut self, pid: Pid, path: &str) -> PfResult<Stat> {
+        self.syscall_enter(pid, SyscallNr::Lstat)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::nofollow())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        self.hook(pid, LsmOperation::FileGetattr, Some(obj), None, None)?;
+        Ok(Stat::of(self.vfs.inode(obj)?))
+    }
+
+    /// `fstat(2)`.
+    pub fn fstat(&mut self, pid: Pid, fd: Fd) -> PfResult<Stat> {
+        self.syscall_enter(pid, SyscallNr::Fstat)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        self.hook(pid, LsmOperation::FileGetattr, Some(file.obj), None, None)?;
+        Ok(Stat::of(self.vfs.inode(file.obj)?))
+    }
+
+    /// `access(2)`: checks with *real* credentials, follows symlinks.
+    pub fn access(&mut self, pid: Pid, path: &str, access: AccessKind) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Access)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::default())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        let (uid, gid) = {
+            let t = self.task(pid)?;
+            (t.uid, t.gid)
+        };
+        let inode = self.vfs.inode(obj)?;
+        if !dac_permits(inode, uid, gid, access) {
+            return Err(PfError::PermissionDenied("access(2) real-uid check".into()));
+        }
+        self.hook(pid, LsmOperation::FileGetattr, Some(obj), None, None)
+    }
+
+    /// `readlink(2)`.
+    pub fn readlink(&mut self, pid: Pid, path: &str) -> PfResult<String> {
+        self.syscall_enter(pid, SyscallNr::Readlink)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::nofollow())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        self.hook(pid, LsmOperation::LnkFileRead, Some(obj), None, None)?;
+        self.vfs.readlink(obj)
+    }
+
+    /// `unlink(2)`.
+    pub fn unlink(&mut self, pid: Pid, path: &str) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Unlink)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::parent())?;
+        let victim = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        self.authorize_access(pid, r.parent, AccessKind::Write)?;
+        {
+            let task = self.task(pid)?;
+            let dir = self.vfs.inode(r.parent)?;
+            let v = self.vfs.inode(victim)?;
+            if !sticky_permits_unlink(dir, v, task.euid) {
+                return Err(PfError::PermissionDenied("sticky directory".into()));
+            }
+        }
+        self.hook(pid, LsmOperation::FileUnlink, Some(victim), None, None)?;
+        self.vfs.unlink(r.parent, &r.final_name)?;
+        Ok(())
+    }
+
+    /// `mkdir(2)`.
+    pub fn mkdir(&mut self, pid: Pid, path: &str, mode: u16) -> PfResult<ObjRef> {
+        self.syscall_enter(pid, SyscallNr::Mkdir)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::parent())?;
+        if r.target.is_some() {
+            return Err(PfError::AlreadyExists(path.to_owned()));
+        }
+        self.authorize_access(pid, r.parent, AccessKind::Write)?;
+        let (euid, egid) = {
+            let t = self.task(pid)?;
+            (t.euid, t.egid)
+        };
+        let label = self.vfs.inode(r.parent)?.label;
+        let obj = self.vfs.create_child(
+            r.parent,
+            &r.final_name,
+            InodeKind::empty_dir(),
+            Mode(mode),
+            euid,
+            egid,
+            label,
+        )?;
+        if let Err(e) = self.hook(pid, LsmOperation::DirCreate, Some(obj), None, None) {
+            self.vfs.rmdir(r.parent, &r.final_name)?;
+            return Err(e);
+        }
+        Ok(obj)
+    }
+
+    /// `rmdir(2)`.
+    pub fn rmdir(&mut self, pid: Pid, path: &str) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Rmdir)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::parent())?;
+        let victim = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        self.authorize_access(pid, r.parent, AccessKind::Write)?;
+        self.hook(pid, LsmOperation::DirRemove, Some(victim), None, None)?;
+        self.vfs.rmdir(r.parent, &r.final_name)?;
+        Ok(())
+    }
+
+    /// `symlink(2)`: creates `linkpath` pointing at `target`.
+    pub fn symlink(&mut self, pid: Pid, target: &str, linkpath: &str) -> PfResult<ObjRef> {
+        self.syscall_enter(pid, SyscallNr::Symlink)?;
+        let r = self.resolve_checked(pid, linkpath, ResolveOpts::parent())?;
+        if r.target.is_some() {
+            return Err(PfError::AlreadyExists(linkpath.to_owned()));
+        }
+        self.authorize_access(pid, r.parent, AccessKind::Write)?;
+        let (euid, egid) = {
+            let t = self.task(pid)?;
+            (t.euid, t.egid)
+        };
+        let label = self.vfs.inode(r.parent)?.label;
+        let obj = self.vfs.create_child(
+            r.parent,
+            &r.final_name,
+            InodeKind::Symlink {
+                target: target.to_owned(),
+            },
+            Mode(0o777),
+            euid,
+            egid,
+            label,
+        )?;
+        if let Err(e) = self.hook(pid, LsmOperation::FileCreate, Some(obj), None, None) {
+            self.vfs.unlink(r.parent, &r.final_name)?;
+            return Err(e);
+        }
+        Ok(obj)
+    }
+
+    /// `link(2)`: hard link; does not follow a final symlink in `old`.
+    pub fn link(&mut self, pid: Pid, old: &str, new: &str) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Link)?;
+        let src = self.resolve_checked(pid, old, ResolveOpts::nofollow())?;
+        let target = src.target.ok_or_else(|| PfError::NotFound(old.into()))?;
+        let dst = self.resolve_checked(pid, new, ResolveOpts::parent())?;
+        if dst.target.is_some() {
+            return Err(PfError::AlreadyExists(new.to_owned()));
+        }
+        self.authorize_access(pid, dst.parent, AccessKind::Write)?;
+        self.hook(pid, LsmOperation::FileCreate, Some(target), None, None)?;
+        self.vfs.link(dst.parent, &dst.final_name, target)
+    }
+
+    /// `rename(2)`.
+    pub fn rename(&mut self, pid: Pid, old: &str, new: &str) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Rename)?;
+        let src = self.resolve_checked(pid, old, ResolveOpts::parent())?;
+        let moving = src.target.ok_or_else(|| PfError::NotFound(old.into()))?;
+        let dst = self.resolve_checked(pid, new, ResolveOpts::parent())?;
+        self.authorize_access(pid, src.parent, AccessKind::Write)?;
+        self.authorize_access(pid, dst.parent, AccessKind::Write)?;
+        {
+            let task = self.task(pid)?;
+            let dir = self.vfs.inode(src.parent)?;
+            let v = self.vfs.inode(moving)?;
+            if !sticky_permits_unlink(dir, v, task.euid) {
+                return Err(PfError::PermissionDenied("sticky directory".into()));
+            }
+        }
+        self.hook(pid, LsmOperation::FileCreate, Some(moving), None, None)?;
+        self.vfs
+            .rename(src.parent, &src.final_name, dst.parent, &dst.final_name)
+    }
+
+    /// `chmod(2)` (sockets raise `SOCKET_SETATTR`, the E6 TOCTTOU target).
+    pub fn chmod(&mut self, pid: Pid, path: &str, mode: u16) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Chmod)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::default())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        let euid = self.task(pid)?.euid;
+        let inode = self.vfs.inode(obj)?;
+        if !euid.is_root() && euid != inode.uid {
+            return Err(PfError::PermissionDenied("chmod: not owner".into()));
+        }
+        let op = if inode.kind.is_socket() {
+            LsmOperation::SocketSetattr
+        } else {
+            LsmOperation::FileChmod
+        };
+        self.hook(pid, op, Some(obj), None, None)?;
+        self.vfs.inode_mut(obj)?.mode = Mode(mode);
+        Ok(())
+    }
+
+    /// `chown(2)` (root only, as without `_POSIX_CHOWN_RESTRICTED` off).
+    pub fn chown(&mut self, pid: Pid, path: &str, uid: Uid, gid: Gid) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Chown)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::default())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        if !self.task(pid)?.euid.is_root() {
+            return Err(PfError::PermissionDenied("chown: not root".into()));
+        }
+        self.hook(pid, LsmOperation::FileChown, Some(obj), None, None)?;
+        let inode = self.vfs.inode_mut(obj)?;
+        inode.uid = uid;
+        inode.gid = gid;
+        Ok(())
+    }
+
+    /// `mmap(2)` of an open file (the library-load step of Figure 1(b)).
+    pub fn mmap(&mut self, pid: Pid, fd: Fd) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Mmap)?;
+        let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
+        self.hook(pid, LsmOperation::FileMmap, Some(file.obj), None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::standard_world;
+
+    fn world_and_user() -> (Kernel, Pid) {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        (k, pid)
+    }
+
+    #[test]
+    fn open_read_round_trip() {
+        let (mut k, pid) = world_and_user();
+        let fd = k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+        let data = k.read(pid, fd).unwrap();
+        assert!(data.starts_with(b"root:"));
+        k.close(pid, fd).unwrap();
+    }
+
+    #[test]
+    fn open_respects_dac() {
+        let (mut k, pid) = world_and_user();
+        let e = k.open(pid, "/etc/shadow", OpenFlags::rdonly()).unwrap_err();
+        assert_eq!(e.errno(), "EACCES");
+        assert!(!e.is_firewall_denial());
+    }
+
+    #[test]
+    fn create_write_read_in_tmp() {
+        let (mut k, pid) = world_and_user();
+        let fd = k
+            .open(pid, "/tmp/scratch", OpenFlags::creat(0o644))
+            .unwrap();
+        k.write(pid, fd, b"hello").unwrap();
+        k.close(pid, fd).unwrap();
+        let fd2 = k.open(pid, "/tmp/scratch", OpenFlags::rdonly()).unwrap();
+        assert_eq!(k.read(pid, fd2).unwrap().as_ref(), b"hello");
+        // Created file inherits the tmpfs label and the caller's identity.
+        let obj = k.lookup("/tmp/scratch").unwrap();
+        let inode = k.vfs.inode(obj).unwrap();
+        assert_eq!(inode.uid, Uid(1000));
+        assert_eq!(inode.label, k.mac.lookup_label("tmp_t").unwrap());
+    }
+
+    #[test]
+    fn excl_create_detects_squatting() {
+        let (mut k, pid) = world_and_user();
+        k.open(pid, "/tmp/lock", OpenFlags::creat_excl(0o600))
+            .unwrap();
+        let e = k
+            .open(pid, "/tmp/lock", OpenFlags::creat_excl(0o600))
+            .unwrap_err();
+        assert!(matches!(e, PfError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn nofollow_refuses_symlink() {
+        let (mut k, pid) = world_and_user();
+        k.symlink(pid, "/etc/passwd", "/tmp/alias").unwrap();
+        let e = k
+            .open(pid, "/tmp/alias", OpenFlags::rdonly_nofollow())
+            .unwrap_err();
+        assert!(matches!(e, PfError::SymlinkLoop(_)));
+        // Without NOFOLLOW the open succeeds (default-allow firewall).
+        assert!(k.open(pid, "/tmp/alias", OpenFlags::rdonly()).is_ok());
+    }
+
+    #[test]
+    fn lstat_sees_the_link_stat_sees_the_target() {
+        let (mut k, pid) = world_and_user();
+        k.symlink(pid, "/etc/passwd", "/tmp/alias").unwrap();
+        assert!(k.lstat(pid, "/tmp/alias").unwrap().is_symlink());
+        assert!(!k.stat(pid, "/tmp/alias").unwrap().is_symlink());
+    }
+
+    #[test]
+    fn unlink_in_sticky_tmp_requires_ownership() {
+        let (mut k, victim) = world_and_user();
+        let other = k.spawn("user_t", "/bin/sh", Uid(2000), Gid(2000));
+        k.open(victim, "/tmp/mine", OpenFlags::creat(0o644))
+            .unwrap();
+        let e = k.unlink(other, "/tmp/mine").unwrap_err();
+        assert!(matches!(e, PfError::PermissionDenied(_)));
+        k.unlink(victim, "/tmp/mine").unwrap();
+    }
+
+    #[test]
+    fn mkdir_and_rmdir() {
+        let (mut k, pid) = world_and_user();
+        k.mkdir(pid, "/tmp/d", 0o755).unwrap();
+        assert!(k.stat(pid, "/tmp/d").is_ok());
+        k.rmdir(pid, "/tmp/d").unwrap();
+        assert!(k.stat(pid, "/tmp/d").is_err());
+    }
+
+    #[test]
+    fn rename_within_tmp() {
+        let (mut k, pid) = world_and_user();
+        k.open(pid, "/tmp/a", OpenFlags::creat(0o644)).unwrap();
+        k.rename(pid, "/tmp/a", "/tmp/b").unwrap();
+        assert!(k.stat(pid, "/tmp/a").is_err());
+        assert!(k.stat(pid, "/tmp/b").is_ok());
+    }
+
+    #[test]
+    fn chmod_requires_ownership() {
+        let (mut k, pid) = world_and_user();
+        k.open(pid, "/tmp/f", OpenFlags::creat(0o600)).unwrap();
+        k.chmod(pid, "/tmp/f", 0o644).unwrap();
+        let e = k.chmod(pid, "/etc/passwd", 0o777).unwrap_err();
+        assert!(matches!(e, PfError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn readlink_returns_target() {
+        let (mut k, pid) = world_and_user();
+        k.symlink(pid, "/etc/passwd", "/tmp/l").unwrap();
+        assert_eq!(k.readlink(pid, "/tmp/l").unwrap(), "/etc/passwd");
+    }
+
+    #[test]
+    fn firewall_rule_blocks_open_and_reports_rule() {
+        let (mut k, pid) = world_and_user();
+        k.install_rules(["pftables -o FILE_OPEN -d tmp_t -j DROP"])
+            .unwrap();
+        k.open(pid, "/tmp/x", OpenFlags::creat(0o644)).unwrap_err();
+        k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap(); // etc_t unaffected.
+        let err = k.open(pid, "/tmp/y", OpenFlags::creat(0o644)).unwrap_err();
+        assert!(err.is_firewall_denial());
+        // Rollback: the denied creation left nothing behind.
+        assert!(k.lookup("/tmp/y").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! The syscall API, grouped the way the paper's Table 6 benchmarks it.
+//!
+//! Every syscall follows the same spine:
+//!
+//! 1. `syscall_enter` — logical clock, per-syscall firewall cache reset,
+//!    trace ring, and the `syscallbegin` firewall chain;
+//! 2. mediated resolution (for path syscalls): DAC search + `DIR_SEARCH`
+//!    firewall event per component, `LINK_READ` per symlink;
+//! 3. DAC + MAC authorization of the operation proper;
+//! 4. the operation-specific Process Firewall hook;
+//! 5. the VFS mutation/read.
+//!
+//! For *creation* operations (`O_CREAT`, `mkdir`, `symlink`, `bind`), the
+//! firewall hook runs immediately after the object exists — the firewall
+//! mediates delivery of the new resource (so `C_INO` refers to the real
+//! inode, as rule R5 requires) — and a DROP rolls the creation back.
+
+mod fd;
+mod file;
+mod process;
+mod signal;
+mod socket;

@@ -1,0 +1,239 @@
+//! Signal syscalls and delivery (the E5 non-reentrant handler race).
+
+use pf_core::SignalInfo;
+use pf_types::{LsmOperation, PfError, PfResult, Pid, SignalNum, SyscallNr};
+
+use crate::kernel::Kernel;
+use crate::task::SigAction;
+
+impl Kernel {
+    /// `sigaction(2)`: installs (`install = true`) or removes a handler.
+    pub fn sigaction(&mut self, pid: Pid, sig: SignalNum, install: bool) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Sigaction)?;
+        if sig.is_unblockable() {
+            return Err(PfError::InvalidArgument(format!(
+                "sigaction on unblockable signal {}",
+                sig.0
+            )));
+        }
+        let task = self.task_mut(pid)?;
+        if install {
+            task.sigactions
+                .insert(sig, SigAction { handler_pc: 0x1000 });
+        } else {
+            task.sigactions.remove(&sig);
+        }
+        Ok(())
+    }
+
+    /// `sigprocmask(2)`: blocks or unblocks one signal.
+    pub fn sigprocmask(&mut self, pid: Pid, sig: SignalNum, block: bool) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Sigprocmask)?;
+        if sig.is_unblockable() {
+            return Err(PfError::InvalidArgument(format!(
+                "cannot block signal {}",
+                sig.0
+            )));
+        }
+        let task = self.task_mut(pid)?;
+        if block {
+            task.blocked.insert(sig);
+        } else {
+            task.blocked.remove(&sig);
+        }
+        Ok(())
+    }
+
+    /// `kill(2)`: sends `sig` from `from` to `to`.
+    ///
+    /// Returns `Ok(true)` when the signal was delivered, `Ok(false)` when
+    /// it was blocked by the mask **or dropped by the Process Firewall**
+    /// (the `PROCESS_SIGNAL_DELIVERY` hook evaluates in the *receiver's*
+    /// context — the receiver is the process being protected).
+    pub fn kill(&mut self, from: Pid, to: Pid, sig: SignalNum) -> PfResult<bool> {
+        self.syscall_enter(from, SyscallNr::Kill)?;
+        {
+            let sender = self.task(from)?;
+            let receiver = self.task(to)?;
+            if !sender.euid.is_root() && sender.uid != receiver.uid {
+                return Err(PfError::PermissionDenied("kill: uid mismatch".into()));
+            }
+        }
+        let info = {
+            let receiver = self.task(to)?;
+            if receiver.blocked.contains(&sig) && !sig.is_unblockable() {
+                return Ok(false);
+            }
+            SignalInfo {
+                signal: sig,
+                has_handler: receiver.sigactions.contains_key(&sig),
+                unblockable: sig.is_unblockable(),
+                in_handler: receiver.in_handler > 0,
+            }
+        };
+        // The firewall hook runs on the RECEIVER: signal delivery is a
+        // resource delivered to the victim process (Table 2, last row).
+        match self.hook(
+            to,
+            LsmOperation::ProcessSignalDelivery,
+            None,
+            None,
+            Some(info),
+        ) {
+            Ok(()) => {}
+            Err(e) if e.is_firewall_denial() => return Ok(false),
+            Err(e) => return Err(e),
+        }
+        if sig == SignalNum::SIGKILL {
+            self.force_exit(to)?;
+            return Ok(true);
+        }
+        if info.has_handler {
+            // The handler starts executing: its frame appears on the
+            // receiver's user stack, so resource accesses made *inside*
+            // the handler carry an in-handler entrypoint.
+            let handler_pc = self.task(to)?.sigactions[&sig].handler_pc;
+            let binary = self.task(to)?.binary;
+            let task = self.task_mut(to)?;
+            task.in_handler += 1;
+            task.push_frame(crate::task::Frame {
+                program: binary,
+                pc: handler_pc,
+            });
+        }
+        Ok(true)
+    }
+
+    /// `sigreturn(2)`: the receiver leaves its handler.
+    ///
+    /// The `syscallbegin` chain sees this syscall (rule R12 clears the
+    /// in-handler STATE entry here).
+    pub fn sigreturn(&mut self, pid: Pid) -> PfResult<()> {
+        self.syscall_enter(pid, SyscallNr::Sigreturn)?;
+        let task = self.task_mut(pid)?;
+        if task.in_handler > 0 {
+            task.in_handler -= 1;
+            task.pop_frame();
+        }
+        Ok(())
+    }
+
+    pub(crate) fn force_exit(&mut self, pid: Pid) -> PfResult<()> {
+        let task = self
+            .tasks
+            .remove(&pid)
+            .ok_or(PfError::NoSuchProcess(pid.0))?;
+        for (_, file) in task.fds {
+            let _ = self.vfs.close_ref(file.obj);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::standard_world;
+    use pf_types::{Gid, Uid};
+
+    fn pair() -> (Kernel, Pid, Pid) {
+        let mut k = standard_world();
+        let victim = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        let attacker = k.spawn("user_t", "/bin/sh", Uid::ROOT, Gid::ROOT);
+        (k, victim, attacker)
+    }
+
+    #[test]
+    fn delivery_requires_matching_uid_or_root() {
+        let mut k = standard_world();
+        let victim = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        let unpriv = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        let e = k.kill(unpriv, victim, SignalNum::SIGTERM).unwrap_err();
+        assert!(matches!(e, PfError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn blocked_signals_are_not_delivered() {
+        let (mut k, victim, attacker) = pair();
+        k.sigaction(victim, SignalNum::SIGALRM, true).unwrap();
+        k.sigprocmask(victim, SignalNum::SIGALRM, true).unwrap();
+        assert!(!k.kill(attacker, victim, SignalNum::SIGALRM).unwrap());
+        k.sigprocmask(victim, SignalNum::SIGALRM, false).unwrap();
+        assert!(k.kill(attacker, victim, SignalNum::SIGALRM).unwrap());
+    }
+
+    #[test]
+    fn handler_entry_and_sigreturn_track_depth() {
+        let (mut k, victim, attacker) = pair();
+        k.sigaction(victim, SignalNum::SIGALRM, true).unwrap();
+        k.kill(attacker, victim, SignalNum::SIGALRM).unwrap();
+        assert_eq!(k.task(victim).unwrap().in_handler, 1);
+        assert_eq!(
+            k.task(victim).unwrap().user_stack.len(),
+            1,
+            "handler frame pushed"
+        );
+        k.sigreturn(victim).unwrap();
+        assert_eq!(k.task(victim).unwrap().in_handler, 0);
+        assert!(k.task(victim).unwrap().user_stack.is_empty());
+    }
+
+    #[test]
+    fn accesses_inside_a_handler_carry_the_handler_entrypoint() {
+        // A rule bound to the handler's frame fires only while the
+        // handler runs — "In Signal Handler" process context (Table 2).
+        let (mut k, victim, attacker) = pair();
+        k.install_rules(["pftables -p /usr/sbin/sshd -i 0x1000 -o FILE_OPEN -j DROP"])
+            .unwrap();
+        k.sigaction(victim, SignalNum::SIGALRM, true).unwrap();
+        // Outside the handler: opens are unrestricted.
+        assert!(k
+            .open(victim, "/etc/passwd", crate::kernel::OpenFlags::rdonly())
+            .is_ok());
+        // Inside the handler: the handler-frame rule fires.
+        k.kill(attacker, victim, SignalNum::SIGALRM).unwrap();
+        let e = k
+            .open(victim, "/etc/passwd", crate::kernel::OpenFlags::rdonly())
+            .unwrap_err();
+        assert!(e.is_firewall_denial());
+        k.sigreturn(victim).unwrap();
+        assert!(k
+            .open(victim, "/etc/passwd", crate::kernel::OpenFlags::rdonly())
+            .is_ok());
+    }
+
+    #[test]
+    fn sigkill_terminates() {
+        let (mut k, victim, attacker) = pair();
+        assert!(k.kill(attacker, victim, SignalNum::SIGKILL).unwrap());
+        assert!(k.task(victim).is_err());
+    }
+
+    #[test]
+    fn unblockable_signals_reject_handlers_and_masks() {
+        let (mut k, victim, _) = pair();
+        assert!(k.sigaction(victim, SignalNum::SIGKILL, true).is_err());
+        assert!(k.sigprocmask(victim, SignalNum::SIGSTOP, true).is_err());
+    }
+
+    #[test]
+    fn firewall_signal_rules_block_reentrant_delivery() {
+        let (mut k, victim, attacker) = pair();
+        k.install_rules([
+            "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+            "pftables -A signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+            "pftables -A signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1",
+            "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn \
+             -j STATE --set --key 'sig' --value 0",
+        ])
+        .unwrap();
+        k.sigaction(victim, SignalNum::SIGALRM, true).unwrap();
+        // First delivery enters the handler.
+        assert!(k.kill(attacker, victim, SignalNum::SIGALRM).unwrap());
+        // Re-delivery while inside the handler is dropped by the firewall.
+        assert!(!k.kill(attacker, victim, SignalNum::SIGALRM).unwrap());
+        // After sigreturn the handler may run again.
+        k.sigreturn(victim).unwrap();
+        assert!(k.kill(attacker, victim, SignalNum::SIGALRM).unwrap());
+    }
+}

@@ -1,0 +1,119 @@
+//! UNIX-domain socket syscalls (the D-Bus attack surface).
+
+use pf_types::{Fd, LsmOperation, Mode, PfError, PfResult, Pid, SyscallNr};
+use pf_vfs::{AccessKind, InodeKind, ResolveOpts, SocketState};
+
+use crate::kernel::Kernel;
+use crate::task::OpenFile;
+
+impl Kernel {
+    /// `socket(2)` + `bind(2)` for a UNIX stream socket bound at `path`.
+    ///
+    /// Creates the socket inode (failing with `EADDRINUSE`-flavoured
+    /// `EEXIST` if the name is squatted — the File/IPC squat class of
+    /// Table 2) and fires `SOCKET_BIND` with the new inode as the object,
+    /// so rule R5's `STATE --value C_INO` records the real identifier.
+    pub fn bind_unix(&mut self, pid: Pid, path: &str, mode: u16) -> PfResult<Fd> {
+        self.syscall_enter(pid, SyscallNr::Bind)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::parent())?;
+        if r.target.is_some() {
+            return Err(PfError::AlreadyExists(path.to_owned()));
+        }
+        self.authorize_access(pid, r.parent, AccessKind::Write)?;
+        let (euid, egid) = {
+            let t = self.task(pid)?;
+            (t.euid, t.egid)
+        };
+        let label = self.vfs.inode(r.parent)?.label;
+        let obj = self.vfs.create_child(
+            r.parent,
+            &r.final_name,
+            InodeKind::Socket {
+                state: SocketState {
+                    listener: Some(pid),
+                },
+            },
+            Mode(mode),
+            euid,
+            egid,
+            label,
+        )?;
+        if let Err(e) = self.hook(pid, LsmOperation::SocketBind, Some(obj), None, None) {
+            self.vfs.unlink(r.parent, &r.final_name)?;
+            return Err(e);
+        }
+        self.vfs.open_ref(obj)?;
+        Ok(self.task_mut(pid)?.alloc_fd(OpenFile {
+            obj,
+            readable: true,
+            writable: true,
+        }))
+    }
+
+    /// `connect(2)` to a UNIX stream socket at `path`.
+    ///
+    /// Fires `UNIX_STREAM_SOCKET_CONNECT` — the operation rule R3
+    /// restricts to the trusted D-Bus socket label.
+    pub fn connect_unix(&mut self, pid: Pid, path: &str) -> PfResult<Fd> {
+        self.syscall_enter(pid, SyscallNr::Connect)?;
+        let r = self.resolve_checked(pid, path, ResolveOpts::default())?;
+        let obj = r.target.ok_or_else(|| PfError::NotFound(path.into()))?;
+        if !self.vfs.inode(obj)?.kind.is_socket() {
+            return Err(PfError::InvalidArgument("connect: not a socket".into()));
+        }
+        self.authorize_access(pid, obj, AccessKind::Write)?;
+        self.hook(
+            pid,
+            LsmOperation::UnixStreamSocketConnect,
+            Some(obj),
+            None,
+            None,
+        )?;
+        self.vfs.open_ref(obj)?;
+        Ok(self.task_mut(pid)?.alloc_fd(OpenFile {
+            obj,
+            readable: true,
+            writable: true,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::OpenFlags;
+    use crate::world::standard_world;
+    use pf_types::{Gid, Uid};
+
+    #[test]
+    fn bind_creates_socket_and_connect_reaches_it() {
+        let mut k = standard_world();
+        let dbus = k.spawn("system_dbusd_t", "/bin/dbus-daemon", Uid::ROOT, Gid::ROOT);
+        let client = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        k.bind_unix(dbus, "/var/run/dbus/system_bus_socket", 0o666)
+            .unwrap();
+        let sock = k.lookup("/var/run/dbus/system_bus_socket").unwrap();
+        assert!(k.vfs.inode(sock).unwrap().kind.is_socket());
+        k.connect_unix(client, "/var/run/dbus/system_bus_socket")
+            .unwrap();
+    }
+
+    #[test]
+    fn bind_fails_on_squatted_name() {
+        let mut k = standard_world();
+        let attacker = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        let victim = k.spawn("user_t", "/bin/victim", Uid(1001), Gid(1001));
+        k.open(attacker, "/tmp/service.sock", OpenFlags::creat(0o644))
+            .unwrap();
+        let e = k.bind_unix(victim, "/tmp/service.sock", 0o666).unwrap_err();
+        assert!(matches!(e, PfError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn connect_to_regular_file_is_einval() {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        let e = k.connect_unix(pid, "/etc/passwd").unwrap_err();
+        assert!(matches!(e, PfError::InvalidArgument(_)));
+    }
+}

@@ -1,0 +1,187 @@
+//! The standard system image shared by experiments.
+
+use pf_types::{Gid, Uid};
+
+use crate::kernel::Kernel;
+
+/// Builds the Ubuntu-10.04-flavoured world every experiment starts from:
+/// the `ubuntu_mini` MAC policy, a populated filesystem (binaries,
+/// libraries, configuration, web content), and a tmpfs on `/tmp`.
+///
+/// # Examples
+///
+/// ```
+/// use pf_os::standard_world;
+///
+/// let k = standard_world();
+/// assert!(k.lookup("/etc/passwd").is_ok());
+/// assert!(k.lookup("/lib/libc-2.15.so").is_ok());
+/// ```
+pub fn standard_world() -> Kernel {
+    let mut k = Kernel::new(pf_mac::ubuntu_mini());
+    let root = Uid::ROOT;
+    let rg = Gid::ROOT;
+
+    // System binaries.
+    for bin in [
+        "/bin/sh",
+        "/bin/bash",
+        "/bin/dbus-daemon",
+        "/bin/ls",
+        "/sbin/init",
+        "/usr/bin/apache2",
+        "/usr/bin/php5",
+        "/usr/bin/python2.7",
+        "/usr/bin/java",
+        "/usr/bin/icecat",
+        "/usr/bin/dstat",
+        "/usr/sbin/sshd",
+    ] {
+        k.put_file(bin, b"ELF\x7fexecutable", 0o755, root, rg)
+            .unwrap();
+    }
+
+    // Libraries.
+    for lib in [
+        "/lib/ld-2.15.so",
+        "/lib/libc-2.15.so",
+        "/lib/libdbus-1.so.3",
+        "/usr/lib/libssl.so",
+        "/usr/lib/libpython2.7.so",
+    ] {
+        k.put_file(lib, b"ELF\x7fshared", 0o755, root, rg).unwrap();
+    }
+    k.put_file(
+        "/usr/lib/apache2/modules/mod_dav_svn.so",
+        b"ELF\x7fmodule",
+        0o755,
+        root,
+        rg,
+    )
+    .unwrap();
+
+    // Python modules (usr_t / lib_t homes R2 allows).
+    k.put_file(
+        "/usr/share/pyshared/dstat_helpers.py",
+        b"def helpers(): pass",
+        0o644,
+        root,
+        rg,
+    )
+    .unwrap();
+
+    // Configuration.
+    k.put_file(
+        "/etc/passwd",
+        b"root:x:0:0:root:/root:/bin/sh\nuser:x:1000:1000::/home/user:/bin/sh\n",
+        0o644,
+        root,
+        rg,
+    )
+    .unwrap();
+    k.put_file(
+        "/etc/shadow",
+        b"root:$6$secret$hash:19000::\n",
+        0o600,
+        root,
+        rg,
+    )
+    .unwrap();
+    k.put_file(
+        "/etc/apache2/apache2.conf",
+        b"DocumentRoot /var/www\n",
+        0o644,
+        root,
+        rg,
+    )
+    .unwrap();
+    k.put_file("/etc/java/jvm.cfg", b"-client KNOWN\n", 0o644, root, rg)
+        .unwrap();
+
+    // Web content: system pages plus user-supplied components.
+    k.put_file(
+        "/var/www/index.html",
+        b"<html>welcome</html>",
+        0o644,
+        root,
+        rg,
+    )
+    .unwrap();
+    k.put_file(
+        "/var/www/index.php",
+        b"<?php include($_GET['page']); ?>",
+        0o644,
+        root,
+        rg,
+    )
+    .unwrap();
+    k.put_file(
+        "/var/www/components/gcalendar.php",
+        b"<?php /* gCalendar component */ ?>",
+        0o644,
+        Uid(1000),
+        Gid(1000),
+    )
+    .unwrap();
+
+    // Runtime directories.
+    k.mk_dirs("/var/run/dbus").unwrap();
+    k.mk_dirs("/var/log").unwrap();
+    k.mk_dirs("/var/run/init").unwrap();
+
+    // Home for the untrusted user, and a sticky tmpfs /tmp.
+    let home = k.mk_dirs("/home/user").unwrap();
+    k.vfs.inode_mut(home).unwrap().uid = Uid(1000);
+    k.vfs.inode_mut(home).unwrap().gid = Gid(1000);
+    let root_home = k.mk_dirs("/root").unwrap();
+    k.vfs.inode_mut(root_home).unwrap().mode = pf_types::Mode(0o700);
+    k.mount_tmpfs("/tmp").unwrap();
+
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_vfs::AccessKind;
+
+    #[test]
+    fn world_labels_match_table5_vocabulary() {
+        let k = standard_world();
+        for (path, label) in [
+            ("/lib/ld-2.15.so", "lib_t"),
+            ("/usr/lib/apache2/modules/mod_dav_svn.so", "httpd_modules_t"),
+            ("/usr/share/pyshared/dstat_helpers.py", "usr_t"),
+            ("/etc/shadow", "shadow_t"),
+            ("/var/www/index.html", "httpd_sys_content_t"),
+            (
+                "/var/www/components/gcalendar.php",
+                "httpd_user_script_exec_t",
+            ),
+            ("/etc/java/jvm.cfg", "java_conf_t"),
+        ] {
+            let obj = k.lookup(path).unwrap();
+            let want = k.mac.lookup_label(label).unwrap();
+            assert_eq!(k.vfs.inode(obj).unwrap().label, want, "{path}");
+        }
+    }
+
+    #[test]
+    fn tmp_is_sticky_and_world_writable() {
+        let k = standard_world();
+        let tmp = k.lookup("/tmp").unwrap();
+        let inode = k.vfs.inode(tmp).unwrap();
+        assert!(inode.mode.is_sticky());
+        assert_eq!(inode.mode.other_bits() & 0o2, 0o2);
+    }
+
+    #[test]
+    fn untrusted_user_cannot_write_system_paths() {
+        let mut k = standard_world();
+        let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        let lib = k.lookup("/lib/libc-2.15.so").unwrap();
+        assert!(k.authorize_access(pid, lib, AccessKind::Write).is_err());
+        let tmp = k.lookup("/tmp").unwrap();
+        assert!(k.authorize_access(pid, tmp, AccessKind::Write).is_ok());
+    }
+}

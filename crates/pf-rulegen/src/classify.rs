@@ -1,0 +1,227 @@
+//! Entrypoint classification and the Table 8 threshold sweep.
+
+use std::collections::HashMap;
+
+use crate::trace::TraceEvent;
+
+/// The integrity classification of an entrypoint over (a prefix of) a
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntrypointClass {
+    /// Accessed only adversary-inaccessible (high-integrity) resources.
+    HighOnly,
+    /// Accessed only adversary-accessible (low-integrity) resources.
+    LowOnly,
+    /// Accessed both — no safe invariant rule can be generated.
+    Both,
+}
+
+/// Per-entrypoint accumulation over a trace.
+#[derive(Debug, Clone)]
+pub struct EntrypointStats {
+    /// Entrypoint identity.
+    pub ept: (String, u64),
+    /// Total invocations observed.
+    pub invocations: u64,
+    /// 1-based invocation index at which the classification first became
+    /// `Both`, if it ever did.
+    pub flip_at: Option<u64>,
+    /// Class of the first invocation (`true` = low).
+    pub starts_low: bool,
+    /// The representative operation (most entrypoints have one).
+    pub op: String,
+}
+
+impl EntrypointStats {
+    /// Classification using only the first `max(threshold, 1)` events —
+    /// what a distributor generating rules after `threshold` invocations
+    /// would conclude.
+    pub fn class_at(&self, threshold: u64) -> EntrypointClass {
+        let horizon = threshold.max(1).min(self.invocations);
+        match self.flip_at {
+            Some(flip) if flip <= horizon => EntrypointClass::Both,
+            _ if self.starts_low => EntrypointClass::LowOnly,
+            _ => EntrypointClass::HighOnly,
+        }
+    }
+
+    /// Classification over the whole trace (ground truth).
+    pub fn final_class(&self) -> EntrypointClass {
+        self.class_at(self.invocations)
+    }
+}
+
+/// Folds a trace into per-entrypoint statistics.
+pub fn accumulate(trace: &[TraceEvent]) -> Vec<EntrypointStats> {
+    let mut map: HashMap<&(String, u64), EntrypointStats> = HashMap::new();
+    for ev in trace {
+        let entry = map.entry(&ev.ept).or_insert_with(|| EntrypointStats {
+            ept: ev.ept.clone(),
+            invocations: 0,
+            flip_at: None,
+            starts_low: ev.low_integrity,
+            op: ev.op.clone(),
+        });
+        entry.invocations += 1;
+        if entry.flip_at.is_none() && ev.low_integrity != entry.starts_low {
+            entry.flip_at = Some(entry.invocations);
+        }
+    }
+    let mut stats: Vec<EntrypointStats> = map.into_values().collect();
+    stats.sort_by(|a, b| a.ept.cmp(&b.ept));
+    stats
+}
+
+/// One row of Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table8Row {
+    /// Invocation threshold for rule generation.
+    pub threshold: u64,
+    /// Entrypoints classified high-only at the threshold horizon.
+    pub high_only: u64,
+    /// Entrypoints classified low-only.
+    pub low_only: u64,
+    /// Entrypoints already seen accessing both.
+    pub both: u64,
+    /// Rules produced: entrypoints with ≥ threshold invocations whose
+    /// horizon classification is high- or low-only.
+    pub rules_produced: u64,
+    /// Of those rules, how many the rest of the trace contradicts.
+    pub false_positives: u64,
+}
+
+/// Runs the Table 8 sweep over per-entrypoint statistics.
+pub fn sweep_thresholds(stats: &[EntrypointStats], thresholds: &[u64]) -> Vec<Table8Row> {
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let horizon = threshold.max(1);
+            let mut row = Table8Row {
+                threshold,
+                high_only: 0,
+                low_only: 0,
+                both: 0,
+                rules_produced: 0,
+                false_positives: 0,
+            };
+            for s in stats {
+                match s.class_at(horizon) {
+                    EntrypointClass::HighOnly => row.high_only += 1,
+                    EntrypointClass::LowOnly => row.low_only += 1,
+                    EntrypointClass::Both => row.both += 1,
+                }
+                if s.invocations >= horizon {
+                    let at = s.class_at(horizon);
+                    if at != EntrypointClass::Both {
+                        row.rules_produced += 1;
+                        if s.final_class() == EntrypointClass::Both {
+                            row.false_positives += 1;
+                        }
+                    }
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{synthetic_trace, PAPER_THRESHOLDS};
+
+    fn ev(ept: u64, low: bool, ts: u64) -> TraceEvent {
+        TraceEvent {
+            ept: ("/bin/p".into(), ept),
+            op: "FILE_OPEN".into(),
+            object: if low { "tmp_t" } else { "etc_t" }.into(),
+            low_integrity: low,
+            ts,
+        }
+    }
+
+    #[test]
+    fn accumulate_tracks_flip_points() {
+        let trace = vec![
+            ev(1, false, 1),
+            ev(1, false, 2),
+            ev(1, true, 3),
+            ev(1, false, 4),
+        ];
+        let stats = accumulate(&trace);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].invocations, 4);
+        assert_eq!(stats[0].flip_at, Some(3));
+        assert!(!stats[0].starts_low);
+        assert_eq!(stats[0].class_at(2), EntrypointClass::HighOnly);
+        assert_eq!(stats[0].class_at(3), EntrypointClass::Both);
+        assert_eq!(stats[0].final_class(), EntrypointClass::Both);
+    }
+
+    #[test]
+    fn threshold_zero_classifies_by_first_event() {
+        let trace = vec![ev(1, true, 1), ev(1, false, 2)];
+        let stats = accumulate(&trace);
+        assert_eq!(stats[0].class_at(0), EntrypointClass::LowOnly);
+    }
+
+    #[test]
+    fn sweep_counts_rules_and_false_positives() {
+        // Two entrypoints: a pure-high with 10 invocations, a flipper at 3.
+        let mut trace: Vec<TraceEvent> = (0..10).map(|i| ev(1, false, i)).collect();
+        trace.extend([ev(2, false, 100), ev(2, false, 101), ev(2, true, 102)]);
+        let stats = accumulate(&trace);
+        let rows = sweep_thresholds(&stats, &[0, 2, 3, 5]);
+        // T=0: both classified by first event (high); 2 rules; 1 FP.
+        assert_eq!(rows[0].rules_produced, 2);
+        assert_eq!(rows[0].false_positives, 1);
+        assert_eq!(rows[0].both, 0);
+        // T=2: flipper not yet flipped; still 2 rules, 1 FP.
+        assert_eq!(rows[1].false_positives, 1);
+        // T=3: flipper now Both; 1 rule, 0 FPs.
+        assert_eq!(rows[2].both, 1);
+        assert_eq!(rows[2].rules_produced, 1);
+        assert_eq!(rows[2].false_positives, 0);
+        // T=5: flipper has only 3 invocations, drops out of rule pool.
+        assert_eq!(rows[3].rules_produced, 1);
+    }
+
+    #[test]
+    fn synthetic_trace_reproduces_table8_exactly() {
+        let stats = accumulate(&synthetic_trace());
+        let rows = sweep_thresholds(&stats, &PAPER_THRESHOLDS);
+        let expected: [(u64, u64, u64, u64, u64, u64); 9] = [
+            (0, 4570, 664, 0, 5234, 525),
+            (5, 4436, 508, 290, 2329, 235),
+            (10, 4384, 482, 368, 1536, 157),
+            (50, 4257, 480, 497, 490, 28),
+            (100, 4247, 480, 507, 295, 18),
+            (500, 4233, 480, 521, 64, 4),
+            (1000, 4230, 480, 524, 34, 1),
+            (1149, 4229, 480, 525, 30, 0),
+            (5000, 4229, 480, 525, 11, 0),
+        ];
+        for (row, want) in rows.iter().zip(expected) {
+            assert_eq!(
+                (
+                    row.threshold,
+                    row.high_only,
+                    row.low_only,
+                    row.both,
+                    row.rules_produced,
+                    row.false_positives,
+                ),
+                want,
+                "threshold {}",
+                want.0
+            );
+        }
+    }
+
+    #[test]
+    fn no_false_positives_at_or_above_1149() {
+        let stats = accumulate(&synthetic_trace());
+        let rows = sweep_thresholds(&stats, &[1149, 2000, 10_000]);
+        assert!(rows.iter().all(|r| r.false_positives == 0));
+    }
+}

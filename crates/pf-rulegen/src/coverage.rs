@@ -1,0 +1,202 @@
+//! Coverage analysis: false negatives of a generated rule set.
+//!
+//! Section 6.3.1 of the paper observes that rules generated from program
+//! *test suites* cause no false positives but "create unnecessary false
+//! negatives": a test suite exercises program environments (configs,
+//! arguments) the deployment never uses, so entrypoints look both-class
+//! and get no rule, or get a wider rule than the deployment needs. This
+//! module quantifies that: given the entrypoint set a rule base covers
+//! and a stream of *attack* events, which attacks slip through?
+
+use std::collections::HashSet;
+
+use crate::classify::{EntrypointClass, EntrypointStats};
+use crate::trace::TraceEvent;
+
+/// The protection profile a rule set provides for one entrypoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// Low-integrity resources are blocked (high-only entrypoint rule).
+    BlocksLowIntegrity,
+    /// High-integrity resources are blocked (low-only entrypoint rule).
+    BlocksHighIntegrity,
+    /// No rule (unknown or both-class entrypoint).
+    None,
+}
+
+/// A rule set summarized as per-entrypoint protections.
+#[derive(Debug, Default)]
+pub struct RuleCoverage {
+    protections: Vec<((String, u64), Protection)>,
+}
+
+impl RuleCoverage {
+    /// Derives coverage from classified trace statistics at a threshold,
+    /// mirroring [`crate::suggest::rules_from_trace`].
+    pub fn from_stats(stats: &[EntrypointStats], threshold: u64) -> Self {
+        let horizon = threshold.max(1);
+        let mut protections = Vec::new();
+        for s in stats {
+            if s.invocations < horizon {
+                continue;
+            }
+            let prot = match s.class_at(horizon) {
+                EntrypointClass::HighOnly => Protection::BlocksLowIntegrity,
+                EntrypointClass::LowOnly => Protection::BlocksHighIntegrity,
+                EntrypointClass::Both => continue,
+            };
+            protections.push((s.ept.clone(), prot));
+        }
+        RuleCoverage { protections }
+    }
+
+    /// The protection for one entrypoint.
+    pub fn protection(&self, ept: &(String, u64)) -> Protection {
+        self.protections
+            .iter()
+            .find(|(e, _)| e == ept)
+            .map(|(_, p)| *p)
+            .unwrap_or(Protection::None)
+    }
+
+    /// Number of protected entrypoints.
+    pub fn len(&self) -> usize {
+        self.protections.len()
+    }
+
+    /// Returns `true` when nothing is protected.
+    pub fn is_empty(&self) -> bool {
+        self.protections.is_empty()
+    }
+}
+
+/// The result of replaying attacks against a coverage profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Attacks whose unsafe access a rule would have dropped.
+    pub blocked: u64,
+    /// Attacks through entrypoints with no rule (false negatives).
+    pub missed_unprotected: u64,
+    /// Attacks through entrypoints whose rule points the wrong way
+    /// (also false negatives).
+    pub missed_wrong_direction: u64,
+    /// The distinct unprotected entrypoints attacks flowed through.
+    pub unprotected_entrypoints: usize,
+}
+
+impl CoverageReport {
+    /// Total false negatives.
+    pub fn false_negatives(&self) -> u64 {
+        self.missed_unprotected + self.missed_wrong_direction
+    }
+}
+
+/// Replays a stream of *attack* events (accesses to unsafe resources)
+/// against the coverage and reports what gets blocked vs. missed.
+///
+/// An attack event is a [`TraceEvent`] whose `low_integrity` flag
+/// records the unsafe resource's class: `true` for planted/low-integrity
+/// resources (search-path/squat/library/inclusion attacks), `false` for
+/// protected/high-integrity ones (traversal, link following).
+pub fn replay_attacks(coverage: &RuleCoverage, attacks: &[TraceEvent]) -> CoverageReport {
+    let mut report = CoverageReport::default();
+    let mut unprotected: HashSet<&(String, u64)> = HashSet::new();
+    for ev in attacks {
+        match (coverage.protection(&ev.ept), ev.low_integrity) {
+            (Protection::BlocksLowIntegrity, true) | (Protection::BlocksHighIntegrity, false) => {
+                report.blocked += 1
+            }
+            (Protection::None, _) => {
+                report.missed_unprotected += 1;
+                unprotected.insert(&ev.ept);
+            }
+            _ => report.missed_wrong_direction += 1,
+        }
+    }
+    report.unprotected_entrypoints = unprotected.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::accumulate;
+
+    fn ev(ept: u64, low: bool, ts: u64) -> TraceEvent {
+        TraceEvent {
+            ept: ("/bin/p".into(), ept),
+            op: "FILE_OPEN".into(),
+            object: String::new(),
+            low_integrity: low,
+            ts,
+        }
+    }
+
+    /// A "test suite" trace exercising entrypoint 1 (high-only) and
+    /// entrypoint 2 in *both* classes (extra configurations), plus a
+    /// "deployment" where entrypoint 2 is actually high-only.
+    fn test_suite_stats() -> Vec<EntrypointStats> {
+        let mut t = Vec::new();
+        for i in 0..10 {
+            t.push(ev(1, false, i));
+            t.push(ev(2, i % 2 == 1, 100 + i)); // Both under test configs.
+        }
+        accumulate(&t)
+    }
+
+    #[test]
+    fn coverage_reflects_classification() {
+        let cov = RuleCoverage::from_stats(&test_suite_stats(), 5);
+        assert_eq!(cov.len(), 1);
+        assert_eq!(
+            cov.protection(&("/bin/p".into(), 1)),
+            Protection::BlocksLowIntegrity
+        );
+        assert_eq!(cov.protection(&("/bin/p".into(), 2)), Protection::None);
+    }
+
+    #[test]
+    fn test_suite_rules_create_false_negatives() {
+        // The deployment-only trace would have protected entrypoint 2,
+        // but the test suite's extra environments made it both-class —
+        // so attacks through it are missed.
+        let cov = RuleCoverage::from_stats(&test_suite_stats(), 5);
+        let attacks = vec![ev(1, true, 1000), ev(2, true, 1001), ev(2, true, 1002)];
+        let report = replay_attacks(&cov, &attacks);
+        assert_eq!(report.blocked, 1, "entrypoint 1's rule fires");
+        assert_eq!(report.missed_unprotected, 2, "entrypoint 2 unprotected");
+        assert_eq!(report.unprotected_entrypoints, 1);
+        assert_eq!(report.false_negatives(), 2);
+    }
+
+    #[test]
+    fn deployment_rules_close_the_gap() {
+        // Rules from the *deployment's own* trace (entrypoint 2 is
+        // high-only there) block everything.
+        let mut deploy = Vec::new();
+        for i in 0..10 {
+            deploy.push(ev(1, false, i));
+            deploy.push(ev(2, false, 100 + i));
+        }
+        let cov = RuleCoverage::from_stats(&accumulate(&deploy), 5);
+        let attacks = vec![ev(1, true, 1000), ev(2, true, 1001)];
+        let report = replay_attacks(&cov, &attacks);
+        assert_eq!(report.blocked, 2);
+        assert_eq!(report.false_negatives(), 0);
+    }
+
+    #[test]
+    fn wrong_direction_rules_are_counted() {
+        // A low-only entrypoint rule blocks high-integrity accesses;
+        // low-integrity attacks through it are misses, not blocks.
+        let mut t = Vec::new();
+        for i in 0..10 {
+            t.push(ev(3, true, i)); // Low-only entrypoint.
+        }
+        let cov = RuleCoverage::from_stats(&accumulate(&t), 5);
+        let report = replay_attacks(&cov, &[ev(3, true, 100)]);
+        assert_eq!(report.missed_wrong_direction, 1);
+        let report2 = replay_attacks(&cov, &[ev(3, false, 101)]);
+        assert_eq!(report2.blocked, 1);
+    }
+}

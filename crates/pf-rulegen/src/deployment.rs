@@ -1,0 +1,126 @@
+//! Deployment-consistency analysis (Section 6.3.2).
+//!
+//! Distributor-generated rules are valid when a program runs in the same
+//! environment the distributor generated rules for. This module checks,
+//! per program, whether every launch used the same command line and
+//! environment and whether the package files were unmodified — the
+//! paper found 232 of 318 programs consistent on its trace.
+
+use std::collections::HashMap;
+
+/// One observed program launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// The program binary.
+    pub program: String,
+    /// Hash (or canonical string) of the command-line arguments.
+    pub args: String,
+    /// Hash (or canonical string) of the relevant environment variables.
+    pub env: String,
+    /// Whether the package files were unmodified from installation.
+    pub package_intact: bool,
+}
+
+/// Per-program consistency verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Consistency {
+    /// The program binary.
+    pub program: String,
+    /// Number of observed launches.
+    pub launches: u64,
+    /// `true` when all launches matched the packaged environment.
+    pub consistent: bool,
+}
+
+/// Analyzes launch records, returning one verdict per program (sorted).
+pub fn analyze(records: &[LaunchRecord]) -> Vec<Consistency> {
+    let mut per_prog: HashMap<&str, (&LaunchRecord, u64, bool)> = HashMap::new();
+    for r in records {
+        match per_prog.get_mut(r.program.as_str()) {
+            None => {
+                per_prog.insert(&r.program, (r, 1, r.package_intact));
+            }
+            Some((first, count, consistent)) => {
+                *count += 1;
+                *consistent =
+                    *consistent && r.package_intact && r.args == first.args && r.env == first.env;
+            }
+        }
+    }
+    let mut out: Vec<Consistency> = per_prog
+        .into_iter()
+        .map(|(program, (_, launches, consistent))| Consistency {
+            program: program.to_owned(),
+            launches,
+            consistent,
+        })
+        .collect();
+    out.sort_by(|a, b| a.program.cmp(&b.program));
+    out
+}
+
+/// Generates a synthetic launch log with the paper's shape: 318 programs
+/// of which 232 always launch in their packaged environment.
+pub fn synthetic_launches() -> Vec<LaunchRecord> {
+    let mut records = Vec::new();
+    for i in 0..318u32 {
+        let program = format!("/usr/bin/app{i}");
+        let launches = 2 + (i % 5) as usize;
+        let consistent = i < 232;
+        for l in 0..launches {
+            records.push(LaunchRecord {
+                program: program.clone(),
+                args: if consistent || l == 0 {
+                    "default-args".to_owned()
+                } else {
+                    format!("args-variant-{l}")
+                },
+                env: "default-env".to_owned(),
+                package_intact: true,
+            });
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_program_detected() {
+        let r = LaunchRecord {
+            program: "/bin/a".into(),
+            args: "x".into(),
+            env: "y".into(),
+            package_intact: true,
+        };
+        let out = analyze(&[r.clone(), r.clone(), r]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].consistent);
+        assert_eq!(out[0].launches, 3);
+    }
+
+    #[test]
+    fn changed_env_or_modified_package_breaks_consistency() {
+        let base = LaunchRecord {
+            program: "/bin/a".into(),
+            args: "x".into(),
+            env: "y".into(),
+            package_intact: true,
+        };
+        let mut changed_env = base.clone();
+        changed_env.env = "z".into();
+        assert!(!analyze(&[base.clone(), changed_env])[0].consistent);
+        let mut modified = base.clone();
+        modified.package_intact = false;
+        assert!(!analyze(&[base, modified])[0].consistent);
+    }
+
+    #[test]
+    fn synthetic_launches_match_paper_counts() {
+        let out = analyze(&synthetic_launches());
+        assert_eq!(out.len(), 318);
+        assert_eq!(out.iter().filter(|c| c.consistent).count(), 232);
+    }
+}

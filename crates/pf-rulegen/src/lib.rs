@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Rule generation for the Process Firewall (Section 6.3 of the paper).
+//!
+//! OS distributors generate rules rather than users writing them:
+//!
+//! * [`trace`] — the runtime-trace event model (fed by the LOG target's
+//!   JSON records) and a seeded synthetic generator reproducing the
+//!   paper's two-week desktop trace: 5234 entrypoints, hundreds of
+//!   thousands of entries, with the exact classification dynamics of
+//!   Table 8 (including the entrypoint that switches class at its
+//!   1149th invocation);
+//! * [`classify`] — per-entrypoint high/low/both classification against
+//!   adversary accessibility, and the invocation-threshold sweep that
+//!   regenerates Table 8;
+//! * [`templates`] — the T1/T2 rule templates of Table 5;
+//! * [`suggest`] — rule suggestion from runtime traces and rule
+//!   generation from known-vulnerability records;
+//! * [`deployment`] — the §6.3.2 deployment-consistency analysis (which
+//!   programs always launch in the environment the distributor tested).
+
+pub mod classify;
+pub mod coverage;
+pub mod deployment;
+pub mod suggest;
+pub mod templates;
+pub mod trace;
+
+pub use classify::{sweep_thresholds, EntrypointClass, EntrypointStats, Table8Row};
+pub use coverage::{replay_attacks, CoverageReport, Protection, RuleCoverage};
+pub use suggest::{rules_from_trace, rules_from_vulnerability, VulnRecord};
+pub use templates::{instantiate_t1, instantiate_t2, T1, T2};
+pub use trace::{synthetic_trace, trace_from_logs, TraceEvent, PAPER_THRESHOLDS};

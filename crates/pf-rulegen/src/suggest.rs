@@ -1,0 +1,159 @@
+//! Rule suggestion from traces and generation from known
+//! vulnerabilities (Section 6.3.1).
+
+use crate::classify::{EntrypointClass, EntrypointStats};
+use crate::templates::instantiate_t1;
+
+/// A known-vulnerability record, as the STING-style testing tool of the
+/// paper logs it: the victim entrypoint plus the unsafe resource class.
+#[derive(Debug, Clone)]
+pub struct VulnRecord {
+    /// Victim program (or library) containing the entrypoint.
+    pub program: String,
+    /// Entrypoint relative pc.
+    pub ept_pc: u64,
+    /// The mediated operation at which the exploit fired.
+    pub op: String,
+    /// `true` when the unsafe resource was adversary-accessible
+    /// (untrusted search path / squat / library / inclusion classes);
+    /// `false` for the inverse classes (link following, traversal).
+    pub unsafe_is_low_integrity: bool,
+}
+
+/// Generates a rule from a known vulnerability.
+///
+/// The combination of entrypoint and unsafe-resource class is known to
+/// need defense, so no false positives are possible; the rule is
+/// *generalized* to block the whole unsafe class via adversary
+/// accessibility (like rule R7's `-d ~{SYSHIGH}` generalization).
+pub fn rules_from_vulnerability(vuln: &VulnRecord) -> String {
+    let direction = if vuln.unsafe_is_low_integrity {
+        "--accessible"
+    } else {
+        "--inaccessible"
+    };
+    format!(
+        "pftables -I input -i {:#x} -p {} -o {} -m ADV_ACCESS --write {} -j DROP",
+        vuln.ept_pc, vuln.program, vuln.op, direction
+    )
+}
+
+/// Suggests T1-style rules from classified trace statistics.
+///
+/// A rule is produced for every entrypoint invoked at least `threshold`
+/// times whose horizon classification is single-class:
+///
+/// * high-only entrypoints must never receive adversary-accessible
+///   resources (untrusted search path / library / inclusion defense);
+/// * low-only entrypoints must never receive adversary-inaccessible
+///   resources (directory traversal / link-following defense).
+pub fn rules_from_trace(stats: &[EntrypointStats], threshold: u64) -> Vec<String> {
+    let horizon = threshold.max(1);
+    let mut rules = Vec::new();
+    for s in stats {
+        if s.invocations < horizon {
+            continue;
+        }
+        let direction = match s.class_at(horizon) {
+            EntrypointClass::HighOnly => "--accessible",
+            EntrypointClass::LowOnly => "--inaccessible",
+            EntrypointClass::Both => continue,
+        };
+        rules.push(format!(
+            "pftables -I input -i {:#x} -p {} -o {} -m ADV_ACCESS --write {} -j DROP",
+            s.ept.1, s.ept.0, s.op, direction
+        ));
+    }
+    rules
+}
+
+/// Suggests a T1 rule with an explicit label set (the R1–R4 style),
+/// given the labels an entrypoint was observed to access.
+pub fn labeled_rule(prog: &str, ept: u64, op: &str, labels: &[&str]) -> String {
+    instantiate_t1(prog, ept, &format!("{{{}}}", labels.join("|")), op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::accumulate;
+    use crate::trace::TraceEvent;
+    use pf_types::Interner;
+
+    fn parses(rule: &str) -> bool {
+        let mut mac = pf_mac::ubuntu_mini();
+        let mut progs = Interner::new();
+        pf_core::lang::parse_rule(rule, &mut mac, &mut progs).is_ok()
+    }
+
+    #[test]
+    fn vulnerability_rules_parse() {
+        let r = rules_from_vulnerability(&VulnRecord {
+            program: "/usr/bin/java".into(),
+            ept_pc: 0x5d7e,
+            op: "FILE_OPEN".into(),
+            unsafe_is_low_integrity: true,
+        });
+        assert!(parses(&r), "{r}");
+        assert!(r.contains("--accessible"));
+        let r2 = rules_from_vulnerability(&VulnRecord {
+            program: "/usr/bin/apache2".into(),
+            ept_pc: 0x2d637,
+            op: "LINK_READ".into(),
+            unsafe_is_low_integrity: false,
+        });
+        assert!(r2.contains("--inaccessible"));
+    }
+
+    #[test]
+    fn trace_rules_skip_both_class_entrypoints() {
+        let mk = |ept: u64, low: bool, ts: u64| TraceEvent {
+            ept: ("/bin/p".into(), ept),
+            op: "FILE_OPEN".into(),
+            object: String::new(),
+            low_integrity: low,
+            ts,
+        };
+        let mut trace = Vec::new();
+        for i in 0..10 {
+            trace.push(mk(1, false, i)); // Pure high.
+            trace.push(mk(2, true, 100 + i)); // Pure low.
+            trace.push(mk(3, i % 2 == 0, 200 + i)); // Both.
+        }
+        let stats = accumulate(&trace);
+        let rules = rules_from_trace(&stats, 5);
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().all(|r| parses(r)));
+        assert!(rules
+            .iter()
+            .any(|r| r.contains("--accessible") && r.contains("0x1")));
+        assert!(rules
+            .iter()
+            .any(|r| r.contains("--inaccessible") && r.contains("0x2")));
+    }
+
+    #[test]
+    fn threshold_filters_rare_entrypoints() {
+        let mk = |ts: u64| TraceEvent {
+            ept: ("/bin/p".into(), 9),
+            op: "FILE_OPEN".into(),
+            object: String::new(),
+            low_integrity: false,
+            ts,
+        };
+        let stats = accumulate(&[mk(1), mk(2)]);
+        assert!(rules_from_trace(&stats, 5).is_empty());
+        assert_eq!(rules_from_trace(&stats, 1).len(), 1);
+    }
+
+    #[test]
+    fn labeled_rules_parse() {
+        let r = labeled_rule(
+            "/usr/bin/php5",
+            0x27ad2c,
+            "FILE_OPEN",
+            &["httpd_user_script_exec_t"],
+        );
+        assert!(parses(&r), "{r}");
+    }
+}

@@ -1,0 +1,85 @@
+//! The rule templates of Table 5 (T1, T2).
+
+/// Template T1: restrict an entrypoint to a set of resources.
+///
+/// `pftables -I input -i <ept> -p <prog> -d ~<resource_set> -o <op> -j DROP`
+pub const T1: &str = "pftables -I input -i <ept> -p <prog> -d ~<resource_set> -o <op> -j DROP";
+
+/// Template T2: defend a TOCTTOU race (check/use rule pair).
+///
+/// Check: record the resource; use: drop on a different resource.
+pub const T2: &str = "pftables -I input -i <check_ept> -p <prog> -o <check_op> \
+                      -j STATE --set --key <key> --value C_INO\n\
+                      pftables -I input -i <use_ept> -p <prog> -o <use_op> \
+                      -m STATE --key <key> --cmp C_INO --nequal -j DROP";
+
+/// Instantiates T1.
+///
+/// # Examples
+///
+/// ```
+/// use pf_rulegen::instantiate_t1;
+///
+/// let r = instantiate_t1("/usr/bin/java", 0x5d7e, "{SYSHIGH}", "FILE_OPEN");
+/// assert!(r.contains("-i 0x5d7e"));
+/// assert!(r.contains("-d ~{SYSHIGH}"));
+/// ```
+pub fn instantiate_t1(prog: &str, ept: u64, resource_set: &str, op: &str) -> String {
+    format!("pftables -I input -i {ept:#x} -p {prog} -d ~{resource_set} -o {op} -j DROP")
+}
+
+/// Instantiates T2, returning the check rule and the use rule.
+pub fn instantiate_t2(
+    prog: &str,
+    check_ept: u64,
+    check_op: &str,
+    use_ept: u64,
+    use_op: &str,
+    key: u64,
+) -> [String; 2] {
+    [
+        format!(
+            "pftables -I input -i {check_ept:#x} -p {prog} -o {check_op} \
+             -j STATE --set --key {key:#x} --value C_INO"
+        ),
+        format!(
+            "pftables -I input -i {use_ept:#x} -p {prog} -o {use_op} \
+             -m STATE --key {key:#x} --cmp C_INO --nequal -j DROP"
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_types::Interner;
+
+    #[test]
+    fn t1_instances_parse() {
+        let mut mac = pf_mac::ubuntu_mini();
+        let mut progs = Interner::new();
+        let r = instantiate_t1("/usr/bin/java", 0x5d7e, "{SYSHIGH}", "FILE_OPEN");
+        pf_core::lang::parse_rule(&r, &mut mac, &mut progs).unwrap();
+    }
+
+    #[test]
+    fn t2_instances_parse_and_pair_up() {
+        let mut mac = pf_mac::ubuntu_mini();
+        let mut progs = Interner::new();
+        let [check, use_] = instantiate_t2(
+            "/bin/dbus-daemon",
+            0x3c750,
+            "SOCKET_BIND",
+            0x3c786,
+            "SOCKET_SETATTR",
+            0xbeef,
+        );
+        let c = pf_core::lang::parse_rule(&check, &mut mac, &mut progs).unwrap();
+        let u = pf_core::lang::parse_rule(&use_, &mut mac, &mut progs).unwrap();
+        assert!(matches!(
+            c.rule.target,
+            pf_core::Target::StateSet { key: 0xbeef, .. }
+        ));
+        assert!(matches!(u.rule.target, pf_core::Target::Drop));
+    }
+}

@@ -1,0 +1,198 @@
+//! The resource-access-attack taxonomy of Tables 1 and 2 of the paper.
+//!
+//! Table 1 is survey data over the CVE database; we ship it as reference
+//! data so the `table1` harness can regenerate the paper's table. Table 2
+//! is the semantic heart of the paper: for each attack class, the contrast
+//! between the *safe* resource the victim expects and the *unsafe* resource
+//! the adversary substitutes, plus the process context needed to tell the
+//! two apart.
+
+use std::fmt;
+
+/// Integrity/secrecy posture of a resource relative to the victim's
+/// adversaries (Columns 1–2 of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceExpectation {
+    /// Adversary-inaccessible: high integrity, high secrecy.
+    AdversaryInaccessible,
+    /// Adversary-accessible: low integrity, low secrecy.
+    AdversaryAccessible,
+    /// Identical to the resource used at the previous check/use call.
+    SameAsPreviousCheckUse,
+    /// Different from the resource at the previous check/use call.
+    DifferentFromPreviousCheckUse,
+    /// No signal delivered (the handler is effectively blocked).
+    NoSignal,
+    /// An adversary delivers a signal while a handler is already running.
+    AdversaryDeliversSignal,
+}
+
+impl fmt::Display for ResourceExpectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceExpectation::AdversaryInaccessible => "adversary inaccessible",
+            ResourceExpectation::AdversaryAccessible => "adversary accessible",
+            ResourceExpectation::SameAsPreviousCheckUse => "same as prev. check/use",
+            ResourceExpectation::DifferentFromPreviousCheckUse => "diff. from prev. check/use",
+            ResourceExpectation::NoSignal => "no signal (blocked)",
+            ResourceExpectation::AdversaryDeliversSignal => "adversary delivers signal",
+        })
+    }
+}
+
+/// The process context an invariant needs (Column 4 of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequiredContext {
+    /// The program entrypoint (call-site PC) alone suffices.
+    Entrypoint,
+    /// Entrypoint plus the recent system-call trace (TOCTTOU).
+    EntrypointAndSyscallTrace,
+    /// Syscall trace plus in-signal-handler state (signal races).
+    SyscallTraceAndInHandler,
+}
+
+impl fmt::Display for RequiredContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RequiredContext::Entrypoint => "entrypoint",
+            RequiredContext::EntrypointAndSyscallTrace => "entrypoint + syscall trace",
+            RequiredContext::SyscallTraceAndInHandler => "syscall trace + in signal handler",
+        })
+    }
+}
+
+/// One attack class: taxonomy row plus CVE survey counts.
+#[derive(Debug, Clone)]
+pub struct AttackClass {
+    /// Human-readable class name (Table 1, column 1).
+    pub name: &'static str,
+    /// Common Weakness Enumeration identifier (Table 1, column 2).
+    pub cwe: &'static str,
+    /// Reported CVE count before 2007 (Table 1, column 3).
+    pub cve_pre_2007: u32,
+    /// Reported CVE count 2007–2012 (Table 1, column 4).
+    pub cve_2007_2012: u32,
+    /// What the victim expects (Table 2, column 1).
+    pub safe: ResourceExpectation,
+    /// What the adversary substitutes (Table 2, column 2).
+    pub unsafe_: ResourceExpectation,
+    /// Context the firewall needs to detect the substitution (Table 2, col 4).
+    pub context: RequiredContext,
+}
+
+/// The full taxonomy, in the paper's row order.
+pub const ATTACK_CLASSES: [AttackClass; 8] = [
+    AttackClass {
+        name: "Untrusted Search Path",
+        cwe: "CWE-426",
+        cve_pre_2007: 109,
+        cve_2007_2012: 329,
+        safe: ResourceExpectation::AdversaryInaccessible,
+        unsafe_: ResourceExpectation::AdversaryAccessible,
+        context: RequiredContext::Entrypoint,
+    },
+    AttackClass {
+        name: "Untrusted Library Load",
+        cwe: "CWE-426",
+        cve_pre_2007: 97,
+        cve_2007_2012: 91,
+        safe: ResourceExpectation::AdversaryInaccessible,
+        unsafe_: ResourceExpectation::AdversaryAccessible,
+        context: RequiredContext::Entrypoint,
+    },
+    AttackClass {
+        name: "File/IPC squat",
+        cwe: "CWE-283",
+        cve_pre_2007: 13,
+        cve_2007_2012: 9,
+        safe: ResourceExpectation::AdversaryInaccessible,
+        unsafe_: ResourceExpectation::AdversaryAccessible,
+        context: RequiredContext::Entrypoint,
+    },
+    AttackClass {
+        name: "Directory Traversal",
+        cwe: "CWE-22",
+        cve_pre_2007: 1057,
+        cve_2007_2012: 1514,
+        safe: ResourceExpectation::AdversaryAccessible,
+        unsafe_: ResourceExpectation::AdversaryInaccessible,
+        context: RequiredContext::Entrypoint,
+    },
+    AttackClass {
+        name: "PHP File Inclusion",
+        cwe: "CWE-98",
+        cve_pre_2007: 1112,
+        cve_2007_2012: 1020,
+        safe: ResourceExpectation::AdversaryInaccessible,
+        unsafe_: ResourceExpectation::AdversaryAccessible,
+        context: RequiredContext::Entrypoint,
+    },
+    AttackClass {
+        name: "Link Following",
+        cwe: "CWE-59",
+        cve_pre_2007: 480,
+        cve_2007_2012: 357,
+        safe: ResourceExpectation::AdversaryAccessible,
+        unsafe_: ResourceExpectation::AdversaryInaccessible,
+        context: RequiredContext::Entrypoint,
+    },
+    AttackClass {
+        name: "TOCTTOU Races",
+        cwe: "CWE-362",
+        cve_pre_2007: 17,
+        cve_2007_2012: 14,
+        safe: ResourceExpectation::SameAsPreviousCheckUse,
+        unsafe_: ResourceExpectation::DifferentFromPreviousCheckUse,
+        context: RequiredContext::EntrypointAndSyscallTrace,
+    },
+    AttackClass {
+        name: "Signal Races",
+        cwe: "CWE-479",
+        cve_pre_2007: 9,
+        cve_2007_2012: 1,
+        safe: ResourceExpectation::NoSignal,
+        unsafe_: ResourceExpectation::AdversaryDeliversSignal,
+        context: RequiredContext::SyscallTraceAndInHandler,
+    },
+];
+
+/// Percentage of all CVEs the paper attributes to these classes.
+pub const PCT_TOTAL_CVES_PRE_2007: f64 = 12.40;
+/// Percentage of all CVEs 2007–2012.
+pub const PCT_TOTAL_CVES_2007_2012: f64 = 9.41;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_classes_in_paper_order() {
+        assert_eq!(ATTACK_CLASSES.len(), 8);
+        assert_eq!(ATTACK_CLASSES[0].name, "Untrusted Search Path");
+        assert_eq!(ATTACK_CLASSES[7].name, "Signal Races");
+    }
+
+    #[test]
+    fn directory_traversal_inverts_expectations() {
+        // Traversal/link-following: victim expects adversary-accessible
+        // content, adversary substitutes something protected.
+        let dt = &ATTACK_CLASSES[3];
+        assert_eq!(dt.safe, ResourceExpectation::AdversaryAccessible);
+        assert_eq!(dt.unsafe_, ResourceExpectation::AdversaryInaccessible);
+    }
+
+    #[test]
+    fn tocttou_needs_syscall_trace() {
+        let t = ATTACK_CLASSES.iter().find(|c| c.name == "TOCTTOU Races");
+        assert_eq!(
+            t.unwrap().context,
+            RequiredContext::EntrypointAndSyscallTrace
+        );
+    }
+
+    #[test]
+    fn cve_totals_match_paper_magnitudes() {
+        let total_recent: u32 = ATTACK_CLASSES.iter().map(|c| c.cve_2007_2012).sum();
+        assert_eq!(total_recent, 329 + 91 + 9 + 1514 + 1020 + 357 + 14 + 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the OS substrate and the firewall.
+///
+/// The filesystem arm mirrors POSIX `errno` values so that the simulated
+/// syscall layer can report failures the way a real kernel would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfError {
+    /// `ENOENT`: a pathname component does not exist.
+    NotFound(String),
+    /// `EEXIST`: the target already exists (`O_EXCL`, `mkdir`, `link`).
+    AlreadyExists(String),
+    /// `EACCES`/`EPERM`: DAC, MAC, or firewall denial.
+    PermissionDenied(String),
+    /// `ENOTDIR`: a non-final component is not a directory.
+    NotADirectory(String),
+    /// `EISDIR`: a directory where a file was required.
+    IsADirectory(String),
+    /// `ELOOP`: too many symbolic links (or `O_NOFOLLOW` hit a symlink).
+    SymlinkLoop(String),
+    /// `EBADF`: an invalid file descriptor.
+    BadFd(u32),
+    /// `ENOTEMPTY`: removing a non-empty directory.
+    NotEmpty(String),
+    /// `EINVAL`: a malformed argument.
+    InvalidArgument(String),
+    /// `ESRCH`: no such process.
+    NoSuchProcess(u32),
+    /// A rule failed to parse or validate at install time.
+    RuleError(String),
+    /// The firewall denied the access (distinct from DAC/MAC denial so
+    /// experiments can attribute blocks precisely).
+    FirewallDenied {
+        /// The chain the final verdict came from.
+        chain: String,
+        /// Index of the matching rule within that chain.
+        rule_index: usize,
+    },
+}
+
+impl PfError {
+    /// The POSIX `errno` name this error maps onto.
+    pub fn errno(&self) -> &'static str {
+        match self {
+            PfError::NotFound(_) => "ENOENT",
+            PfError::AlreadyExists(_) => "EEXIST",
+            PfError::PermissionDenied(_) | PfError::FirewallDenied { .. } => "EACCES",
+            PfError::NotADirectory(_) => "ENOTDIR",
+            PfError::IsADirectory(_) => "EISDIR",
+            PfError::SymlinkLoop(_) => "ELOOP",
+            PfError::BadFd(_) => "EBADF",
+            PfError::NotEmpty(_) => "ENOTEMPTY",
+            PfError::InvalidArgument(_) => "EINVAL",
+            PfError::NoSuchProcess(_) => "ESRCH",
+            PfError::RuleError(_) => "EINVAL",
+        }
+    }
+
+    /// Returns `true` if this denial came from the Process Firewall.
+    pub fn is_firewall_denial(&self) -> bool {
+        matches!(self, PfError::FirewallDenied { .. })
+    }
+}
+
+impl fmt::Display for PfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfError::NotFound(p) => write!(f, "ENOENT: {p}"),
+            PfError::AlreadyExists(p) => write!(f, "EEXIST: {p}"),
+            PfError::PermissionDenied(m) => write!(f, "EACCES: {m}"),
+            PfError::NotADirectory(p) => write!(f, "ENOTDIR: {p}"),
+            PfError::IsADirectory(p) => write!(f, "EISDIR: {p}"),
+            PfError::SymlinkLoop(p) => write!(f, "ELOOP: {p}"),
+            PfError::BadFd(fd) => write!(f, "EBADF: fd {fd}"),
+            PfError::NotEmpty(p) => write!(f, "ENOTEMPTY: {p}"),
+            PfError::InvalidArgument(m) => write!(f, "EINVAL: {m}"),
+            PfError::NoSuchProcess(p) => write!(f, "ESRCH: pid {p}"),
+            PfError::RuleError(m) => write!(f, "rule error: {m}"),
+            PfError::FirewallDenied { chain, rule_index } => {
+                write!(f, "EACCES: process firewall DROP ({chain}#{rule_index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfError {}
+
+/// The workspace-wide result alias.
+pub type PfResult<T> = Result<T, PfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_mapping() {
+        assert_eq!(PfError::NotFound("/x".into()).errno(), "ENOENT");
+        assert_eq!(
+            PfError::FirewallDenied {
+                chain: "input".into(),
+                rule_index: 3
+            }
+            .errno(),
+            "EACCES"
+        );
+    }
+
+    #[test]
+    fn firewall_denial_is_distinguishable() {
+        assert!(PfError::FirewallDenied {
+            chain: "input".into(),
+            rule_index: 0
+        }
+        .is_firewall_denial());
+        assert!(!PfError::PermissionDenied("dac".into()).is_firewall_denial());
+    }
+
+    #[test]
+    fn display_includes_chain_and_index() {
+        let e = PfError::FirewallDenied {
+            chain: "ept_7".into(),
+            rule_index: 2,
+        };
+        assert!(e.to_string().contains("ept_7#2"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Kernel-object identifiers: inodes, devices, processes, users, signals.
+
+use std::fmt;
+
+use crate::intern::InternId;
+
+/// An inode number, unique per device *while the inode is live*.
+///
+/// Inode numbers may be recycled after the last link and open file
+/// description are gone, which is exactly what the "cryogenic sleep"
+/// TOCTTOU variant (Section 2.1 of the paper) exploits. The VFS substrate
+/// models recycling explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeNum(pub u64);
+
+impl fmt::Display for InodeNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// A device (filesystem instance) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev:{}", self.0)
+    }
+}
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A file-descriptor index within one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+/// A UNIX user identifier; `Uid::ROOT` bypasses DAC checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uid(pub u32);
+
+impl Uid {
+    /// The superuser.
+    pub const ROOT: Uid = Uid(0);
+
+    /// Returns `true` for the superuser.
+    pub fn is_root(self) -> bool {
+        self == Self::ROOT
+    }
+}
+
+/// A UNIX group identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gid(pub u32);
+
+impl Gid {
+    /// The superuser's primary group.
+    pub const ROOT: Gid = Gid(0);
+}
+
+/// A signal number (POSIX-style, 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalNum(pub u8);
+
+impl SignalNum {
+    /// `SIGHUP`.
+    pub const SIGHUP: SignalNum = SignalNum(1);
+    /// `SIGINT`.
+    pub const SIGINT: SignalNum = SignalNum(2);
+    /// `SIGKILL` — cannot be caught or blocked.
+    pub const SIGKILL: SignalNum = SignalNum(9);
+    /// `SIGSEGV`.
+    pub const SIGSEGV: SignalNum = SignalNum(11);
+    /// `SIGALRM` — the signal OpenSSH's grace-period handler catches (E5).
+    pub const SIGALRM: SignalNum = SignalNum(14);
+    /// `SIGTERM`.
+    pub const SIGTERM: SignalNum = SignalNum(15);
+    /// `SIGCHLD`.
+    pub const SIGCHLD: SignalNum = SignalNum(17);
+    /// `SIGSTOP` — cannot be caught or blocked.
+    pub const SIGSTOP: SignalNum = SignalNum(19);
+
+    /// Returns `true` for signals that cannot be caught, blocked, or ignored.
+    pub fn is_unblockable(self) -> bool {
+        self == Self::SIGKILL || self == Self::SIGSTOP
+    }
+}
+
+/// An interned program (binary or script) path.
+pub type ProgramId = InternId;
+
+/// A POSIX permission mode (the low 12 bits: setuid/setgid/sticky + rwxrwxrwx).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    /// The setuid bit.
+    pub const SETUID: u16 = 0o4000;
+    /// The setgid bit.
+    pub const SETGID: u16 = 0o2000;
+    /// The sticky bit (restricted deletion in shared directories).
+    pub const STICKY: u16 = 0o1000;
+
+    /// `rw-r--r--`, the common file default.
+    pub const FILE_DEFAULT: Mode = Mode(0o644);
+    /// `rwxr-xr-x`, the common directory/executable default.
+    pub const DIR_DEFAULT: Mode = Mode(0o755);
+    /// `rwxrwxrwt`, the world-writable sticky `/tmp` mode.
+    pub const TMP_DIR: Mode = Mode(0o1777);
+
+    /// Returns `true` if the setuid bit is set.
+    pub fn is_setuid(self) -> bool {
+        self.0 & Self::SETUID != 0
+    }
+
+    /// Returns `true` if the setgid bit is set.
+    pub fn is_setgid(self) -> bool {
+        self.0 & Self::SETGID != 0
+    }
+
+    /// Returns `true` if the sticky bit is set.
+    pub fn is_sticky(self) -> bool {
+        self.0 & Self::STICKY != 0
+    }
+
+    /// Extracts the owner permission triple (0..=7).
+    pub fn owner_bits(self) -> u16 {
+        (self.0 >> 6) & 0o7
+    }
+
+    /// Extracts the group permission triple (0..=7).
+    pub fn group_bits(self) -> u16 {
+        (self.0 >> 3) & 0o7
+    }
+
+    /// Extracts the other permission triple (0..=7).
+    pub fn other_bits(self) -> u16 {
+        self.0 & 0o7
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.0)
+    }
+}
+
+/// The identity of a resource as the firewall's rule language sees it.
+///
+/// The paper's default matches include a "resource identifier (signal or
+/// inode number)" (Section 5.2); both arms carry enough to distinguish
+/// same-name-different-object substitutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceId {
+    /// A filesystem object, identified by device and inode number.
+    File {
+        /// The device holding the inode.
+        dev: DeviceId,
+        /// The inode number on that device.
+        ino: InodeNum,
+    },
+    /// A signal about to be delivered.
+    Signal(SignalNum),
+}
+
+impl ResourceId {
+    /// Returns the inode number if this is a file resource.
+    pub fn inode(self) -> Option<InodeNum> {
+        match self {
+            ResourceId::File { ino, .. } => Some(ino),
+            ResourceId::Signal(_) => None,
+        }
+    }
+
+    /// Returns a single `u64` encoding for STATE-dictionary storage.
+    ///
+    /// File resources fold the device into the high bits so that identical
+    /// inode numbers on different devices do not collide; signals occupy a
+    /// disjoint tag space.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            ResourceId::File { dev, ino } => ((dev.0 as u64) << 48) | (ino.0 & 0xFFFF_FFFF_FFFF),
+            ResourceId::Signal(s) => (1u64 << 63) | s.0 as u64,
+        }
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::File { dev, ino } => write!(f, "{dev}/{ino}"),
+            ResourceId::Signal(s) => write!(f, "sig:{}", s.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_bit_helpers() {
+        let m = Mode(0o4755);
+        assert!(m.is_setuid());
+        assert!(!m.is_setgid());
+        assert_eq!(m.owner_bits(), 0o7);
+        assert_eq!(m.group_bits(), 0o5);
+        assert_eq!(m.other_bits(), 0o5);
+        assert!(Mode::TMP_DIR.is_sticky());
+    }
+
+    #[test]
+    fn unblockable_signals() {
+        assert!(SignalNum::SIGKILL.is_unblockable());
+        assert!(SignalNum::SIGSTOP.is_unblockable());
+        assert!(!SignalNum::SIGALRM.is_unblockable());
+    }
+
+    #[test]
+    fn resource_id_u64_distinguishes_devices() {
+        let a = ResourceId::File {
+            dev: DeviceId(1),
+            ino: InodeNum(42),
+        };
+        let b = ResourceId::File {
+            dev: DeviceId(2),
+            ino: InodeNum(42),
+        };
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+
+    #[test]
+    fn resource_id_u64_distinguishes_signals_from_files() {
+        let f = ResourceId::File {
+            dev: DeviceId(0),
+            ino: InodeNum(9),
+        };
+        let s = ResourceId::Signal(SignalNum(9));
+        assert_ne!(f.as_u64(), s.as_u64());
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = ResourceId::File {
+            dev: DeviceId(3),
+            ino: InodeNum(7),
+        };
+        assert_eq!(r.to_string(), "dev:3/ino:7");
+        assert_eq!(ResourceId::Signal(SignalNum(14)).to_string(), "sig:14");
+        assert_eq!(Mode(0o644).to_string(), "0644");
+    }
+}

@@ -1,0 +1,178 @@
+//! MAC security labels and label sets.
+
+use std::fmt;
+
+use crate::intern::InternId;
+
+/// An interned MAC security label (an SELinux-style *type*, e.g. `lib_t`).
+///
+/// Both subjects (processes) and objects (resources) carry a `SecId`. The
+/// paper's prototype "translates SELinux security labels into security IDs
+/// for fast matching" at rule-install time (Section 5.2); the same happens
+/// here via the label [`Interner`](crate::Interner) owned by the MAC policy.
+pub type SecId = InternId;
+
+/// A possibly-negated set of security labels, as written in rule matches.
+///
+/// The rule language writes positive sets as `{lib_t|usr_t}` and negated
+/// sets as `~{lib_t|usr_t}` ("everything except"). A rule like R1 in
+/// Table 5 of the paper drops accesses whose object label is *not* one of
+/// the trusted library labels, which is a negated-set match.
+///
+/// # Examples
+///
+/// ```
+/// use pf_types::{Interner, LabelSet};
+///
+/// let mut i = Interner::new();
+/// let lib = i.intern("lib_t");
+/// let tmp = i.intern("tmp_t");
+///
+/// let trusted = LabelSet::of([lib]);
+/// assert!(trusted.contains(lib));
+/// assert!(!trusted.contains(tmp));
+///
+/// let untrusted = trusted.clone().negated();
+/// assert!(!untrusted.contains(lib));
+/// assert!(untrusted.contains(tmp));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSet {
+    /// The member labels, sorted for deterministic display and comparison.
+    members: Vec<SecId>,
+    /// If `true`, the set denotes the complement of `members`.
+    negate: bool,
+}
+
+impl LabelSet {
+    /// Creates a positive set from the given labels (duplicates removed).
+    pub fn of(labels: impl IntoIterator<Item = SecId>) -> Self {
+        let mut members: Vec<SecId> = labels.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        Self {
+            members,
+            negate: false,
+        }
+    }
+
+    /// The empty positive set (matches nothing).
+    pub fn empty() -> Self {
+        Self::of([])
+    }
+
+    /// The universal set (matches every label): the negation of empty.
+    pub fn any() -> Self {
+        Self::empty().negated()
+    }
+
+    /// Returns this set's complement.
+    pub fn negated(mut self) -> Self {
+        self.negate = !self.negate;
+        self
+    }
+
+    /// Returns `true` if the set is written with a leading `~`.
+    pub fn is_negated(&self) -> bool {
+        self.negate
+    }
+
+    /// Membership test honouring negation.
+    pub fn contains(&self, label: SecId) -> bool {
+        self.members.binary_search(&label).is_ok() != self.negate
+    }
+
+    /// The explicitly-listed labels (before negation).
+    pub fn raw_members(&self) -> &[SecId] {
+        &self.members
+    }
+
+    /// Extends the raw member list (set stays positive/negated as-is).
+    pub fn extend(&mut self, labels: impl IntoIterator<Item = SecId>) {
+        self.members.extend(labels);
+        self.members.sort_unstable();
+        self.members.dedup();
+    }
+
+    /// Renders the set with a resolver for label names.
+    pub fn display_with<'a>(
+        &'a self,
+        resolve: impl Fn(SecId) -> &'a str + 'a,
+    ) -> impl fmt::Display + 'a {
+        struct D<'a, F>(&'a LabelSet, F);
+        impl<'a, F: Fn(SecId) -> &'a str> fmt::Display for D<'a, F> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.negate {
+                    write!(f, "~")?;
+                }
+                write!(f, "{{")?;
+                for (i, &m) in self.0.members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{}", (self.1)(m))?;
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, resolve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interner;
+
+    fn ids(n: usize) -> (Interner, Vec<SecId>) {
+        let mut i = Interner::new();
+        let v = (0..n).map(|k| i.intern(&format!("t{k}_t"))).collect();
+        (i, v)
+    }
+
+    #[test]
+    fn positive_membership() {
+        let (_, v) = ids(3);
+        let s = LabelSet::of([v[0], v[2]]);
+        assert!(s.contains(v[0]));
+        assert!(!s.contains(v[1]));
+        assert!(s.contains(v[2]));
+    }
+
+    #[test]
+    fn negation_flips_membership() {
+        let (_, v) = ids(2);
+        let s = LabelSet::of([v[0]]).negated();
+        assert!(!s.contains(v[0]));
+        assert!(s.contains(v[1]));
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let (_, v) = ids(2);
+        let s = LabelSet::of([v[0]]);
+        assert_eq!(s.clone().negated().negated(), s);
+    }
+
+    #[test]
+    fn any_matches_everything_empty_nothing() {
+        let (_, v) = ids(1);
+        assert!(LabelSet::any().contains(v[0]));
+        assert!(!LabelSet::empty().contains(v[0]));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let (_, v) = ids(1);
+        let s = LabelSet::of([v[0], v[0], v[0]]);
+        assert_eq!(s.raw_members().len(), 1);
+    }
+
+    #[test]
+    fn display_renders_negation_and_members() {
+        let (i, v) = ids(2);
+        let s = LabelSet::of([v[0], v[1]]).negated();
+        let out = format!("{}", s.display_with(|id| i.resolve(id)));
+        assert_eq!(out, "~{t0_t|t1_t}");
+    }
+}

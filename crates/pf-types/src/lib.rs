@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Shared vocabulary types for the Process Firewall reproduction.
+//!
+//! This crate defines the identifiers, security labels, operation kinds, and
+//! verdicts that every other crate in the workspace speaks. It has no
+//! dependencies and no policy of its own: it is the type-level contract
+//! between the OS substrate ([`pf-vfs`], [`pf-os`]), the MAC layer
+//! ([`pf-mac`]), and the Process Firewall proper ([`pf-core`]).
+//!
+//! [`pf-vfs`]: ../pf_vfs/index.html
+//! [`pf-os`]: ../pf_os/index.html
+//! [`pf-mac`]: ../pf_mac/index.html
+//! [`pf-core`]: ../pf_core/index.html
+
+pub mod attack_class;
+pub mod error;
+pub mod ids;
+pub mod intern;
+pub mod label;
+pub mod operation;
+pub mod verdict;
+
+pub use error::{PfError, PfResult};
+pub use ids::{DeviceId, Fd, Gid, InodeNum, Mode, Pid, ProgramId, ResourceId, SignalNum, Uid};
+pub use intern::{InternId, Interner};
+pub use label::{LabelSet, SecId};
+pub use operation::{LsmOperation, SyscallNr};
+pub use verdict::Verdict;

@@ -1,0 +1,50 @@
+//! Authorization verdicts.
+
+use std::fmt;
+
+/// The outcome of an authorization decision (access control or firewall).
+///
+/// The Process Firewall's rule bases consist of deny rules followed by a
+/// default allow (Section 4.1 of the paper), so `Allow` is the default
+/// verdict when no rule matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Verdict {
+    /// The access proceeds.
+    #[default]
+    Allow,
+    /// The access is blocked; the system call fails with `EACCES`.
+    Deny,
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Allow`].
+    pub fn is_allow(self) -> bool {
+        self == Verdict::Allow
+    }
+
+    /// Returns `true` for [`Verdict::Deny`].
+    pub fn is_deny(self) -> bool {
+        self == Verdict::Deny
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Allow => "ALLOW",
+            Verdict::Deny => "DENY",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_allow() {
+        assert_eq!(Verdict::default(), Verdict::Allow);
+        assert!(Verdict::Allow.is_allow());
+        assert!(Verdict::Deny.is_deny());
+    }
+}

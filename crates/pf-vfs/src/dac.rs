@@ -1,0 +1,134 @@
+//! Discretionary access control checks.
+
+use pf_types::{Gid, Uid};
+
+use crate::inode::Inode;
+
+/// The three DAC access kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read access (`r`).
+    Read,
+    /// Write access (`w`).
+    Write,
+    /// Execute for files / search for directories (`x`).
+    Execute,
+}
+
+impl AccessKind {
+    fn bit(self) -> u16 {
+        match self {
+            AccessKind::Read => 0o4,
+            AccessKind::Write => 0o2,
+            AccessKind::Execute => 0o1,
+        }
+    }
+}
+
+/// Classic UNIX owner/group/other permission check.
+///
+/// Root bypasses read/write checks entirely and execute checks whenever any
+/// execute bit is set (matching Linux semantics).
+///
+/// # Examples
+///
+/// ```
+/// use pf_types::{Gid, InternId, Mode, Uid};
+/// use pf_vfs::{dac_permits, AccessKind, Inode, InodeKind};
+///
+/// let inode = Inode {
+///     ino: pf_types::InodeNum(1),
+///     dev: pf_types::DeviceId(0),
+///     kind: InodeKind::empty_file(),
+///     mode: Mode(0o640),
+///     uid: Uid(1000),
+///     gid: Gid(100),
+///     label: InternId(0),
+///     nlink: 1,
+///     open_count: 0,
+///     generation: 0,
+/// };
+/// assert!(dac_permits(&inode, Uid(1000), Gid(7), AccessKind::Write)); // owner
+/// assert!(dac_permits(&inode, Uid(2), Gid(100), AccessKind::Read));   // group
+/// assert!(!dac_permits(&inode, Uid(2), Gid(7), AccessKind::Read));    // other
+/// ```
+pub fn dac_permits(inode: &Inode, uid: Uid, gid: Gid, access: AccessKind) -> bool {
+    if uid.is_root() {
+        return match access {
+            AccessKind::Execute => inode.mode.0 & 0o111 != 0 || inode.kind.is_dir(),
+            _ => true,
+        };
+    }
+    let triple = if uid == inode.uid {
+        inode.mode.owner_bits()
+    } else if gid == inode.gid {
+        inode.mode.group_bits()
+    } else {
+        inode.mode.other_bits()
+    };
+    triple & access.bit() != 0
+}
+
+/// Sticky-directory deletion rule: in a sticky dir, only the file owner,
+/// the directory owner, or root may unlink/rename an entry.
+pub fn sticky_permits_unlink(dir: &Inode, victim: &Inode, uid: Uid) -> bool {
+    if !dir.mode.is_sticky() || uid.is_root() {
+        return true;
+    }
+    uid == victim.uid || uid == dir.uid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inode::InodeKind;
+    use pf_types::{DeviceId, InodeNum, InternId, Mode};
+
+    fn inode(mode: u16, uid: u32, gid: u32, kind: InodeKind) -> Inode {
+        Inode {
+            ino: InodeNum(1),
+            dev: DeviceId(0),
+            kind,
+            mode: Mode(mode),
+            uid: Uid(uid),
+            gid: Gid(gid),
+            label: InternId(0),
+            nlink: 1,
+            open_count: 0,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn owner_beats_group_and_other() {
+        // Owner triple is 0 — the owner is denied even though others may read.
+        let i = inode(0o044, 1000, 100, InodeKind::empty_file());
+        assert!(!dac_permits(&i, Uid(1000), Gid(100), AccessKind::Read));
+        assert!(dac_permits(&i, Uid(2), Gid(3), AccessKind::Read));
+    }
+
+    #[test]
+    fn root_bypasses_rw_but_not_exec_without_bits() {
+        let i = inode(0o600, 1000, 100, InodeKind::empty_file());
+        assert!(dac_permits(&i, Uid::ROOT, Gid(0), AccessKind::Write));
+        assert!(!dac_permits(&i, Uid::ROOT, Gid(0), AccessKind::Execute));
+        let x = inode(0o700, 1000, 100, InodeKind::empty_file());
+        assert!(dac_permits(&x, Uid::ROOT, Gid(0), AccessKind::Execute));
+    }
+
+    #[test]
+    fn sticky_restricts_unlink_to_owners() {
+        let dir = inode(0o1777, 0, 0, InodeKind::empty_file());
+        let victim = inode(0o644, 1000, 100, InodeKind::empty_file());
+        assert!(sticky_permits_unlink(&dir, &victim, Uid(1000))); // file owner
+        assert!(sticky_permits_unlink(&dir, &victim, Uid::ROOT));
+        assert!(!sticky_permits_unlink(&dir, &victim, Uid(2000)));
+    }
+
+    #[test]
+    fn non_sticky_allows_anyone_with_dir_write() {
+        let dir = inode(0o777, 0, 0, InodeKind::empty_file());
+        let victim = inode(0o644, 1000, 100, InodeKind::empty_file());
+        assert!(sticky_permits_unlink(&dir, &victim, Uid(2000)));
+    }
+}

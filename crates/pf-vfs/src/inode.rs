@@ -1,0 +1,200 @@
+//! Inodes and inode kinds.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use pf_types::{DeviceId, Gid, InodeNum, Mode, Pid, SecId, Uid};
+
+/// A (device, inode) pair — the identity of one filesystem object.
+///
+/// This is the "resource identifier" the paper's rules match on: the
+/// TOCTTOU defenses compare the `ObjRef` seen at the *check* call against
+/// the one seen at the *use* call (rules R5/R6 via the STATE module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef {
+    /// Device holding the inode.
+    pub dev: DeviceId,
+    /// Inode number on that device.
+    pub ino: InodeNum,
+}
+
+impl ObjRef {
+    /// Folds the reference into the `u64` encoding used by the STATE module.
+    pub fn as_u64(self) -> u64 {
+        pf_types::ResourceId::File {
+            dev: self.dev,
+            ino: self.ino,
+        }
+        .as_u64()
+    }
+}
+
+/// Binding state of a socket inode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SocketState {
+    /// Pid of the process listening on this socket, if any.
+    pub listener: Option<Pid>,
+}
+
+/// What an inode *is*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InodeKind {
+    /// A regular file with byte contents.
+    File {
+        /// File contents.
+        data: Bytes,
+    },
+    /// A directory mapping names to inode numbers on the same device.
+    Dir {
+        /// Directory entries (name → inode), excluding `.` and `..`.
+        entries: BTreeMap<String, InodeNum>,
+        /// The directory containing this one (`..`); the root of a device
+        /// points at its mountpoint's parent once mounted, else itself.
+        parent: ObjRef,
+    },
+    /// A symbolic link holding an uninterpreted target path.
+    Symlink {
+        /// The link target, interpreted at resolution time.
+        target: String,
+    },
+    /// A UNIX-domain socket.
+    Socket {
+        /// Listener binding state.
+        state: SocketState,
+    },
+    /// A named pipe.
+    Fifo,
+}
+
+impl InodeKind {
+    /// Creates an empty regular file.
+    pub fn empty_file() -> Self {
+        InodeKind::File { data: Bytes::new() }
+    }
+
+    /// Returns `true` for directories.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, InodeKind::Dir { .. })
+    }
+
+    /// Returns `true` for symbolic links.
+    pub fn is_symlink(&self) -> bool {
+        matches!(self, InodeKind::Symlink { .. })
+    }
+
+    /// Returns `true` for regular files.
+    pub fn is_file(&self) -> bool {
+        matches!(self, InodeKind::File { .. })
+    }
+
+    /// Returns `true` for sockets.
+    pub fn is_socket(&self) -> bool {
+        matches!(self, InodeKind::Socket { .. })
+    }
+}
+
+/// One filesystem object with full DAC and MAC metadata.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// This inode's number (also its key in the device table).
+    pub ino: InodeNum,
+    /// The device the inode lives on.
+    pub dev: DeviceId,
+    /// Content and kind-specific state.
+    pub kind: InodeKind,
+    /// Permission bits (including setuid/setgid/sticky).
+    pub mode: Mode,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// MAC label, assigned from file contexts at creation.
+    pub label: SecId,
+    /// Hard-link count; the object dies when this and `open_count` hit 0.
+    pub nlink: u32,
+    /// Open file descriptions currently referencing this inode.
+    pub open_count: u32,
+    /// Bumped every time this inode *number* is reused for a new object,
+    /// so tests can detect recycling explicitly.
+    pub generation: u64,
+}
+
+impl Inode {
+    /// Returns the object reference for this inode.
+    pub fn obj(&self) -> ObjRef {
+        ObjRef {
+            dev: self.dev,
+            ino: self.ino,
+        }
+    }
+
+    /// Returns `true` once nothing (no link, no open fd) keeps it alive.
+    ///
+    /// A dead inode's number becomes available for recycling — while any
+    /// open file description exists the number cannot be reused, which is
+    /// why the final `lstat` in Figure 1(a) of the paper defeats the
+    /// cryogenic-sleep race only *after* the file is open.
+    pub fn is_dead(&self) -> bool {
+        self.nlink == 0 && self.open_count == 0
+    }
+
+    /// Directory entries, if this is a directory.
+    pub fn dir_entries(&self) -> Option<&BTreeMap<String, InodeNum>> {
+        match &self.kind {
+            InodeKind::Dir { entries, .. } => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: InodeKind) -> Inode {
+        Inode {
+            ino: InodeNum(5),
+            dev: DeviceId(1),
+            kind,
+            mode: Mode::FILE_DEFAULT,
+            uid: Uid(1000),
+            gid: Gid(1000),
+            label: pf_types::InternId(0),
+            nlink: 1,
+            open_count: 0,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(InodeKind::empty_file().is_file());
+        assert!(InodeKind::Symlink {
+            target: "/x".into()
+        }
+        .is_symlink());
+        assert!(!InodeKind::Fifo.is_dir());
+    }
+
+    #[test]
+    fn death_requires_no_links_and_no_opens() {
+        let mut i = mk(InodeKind::empty_file());
+        assert!(!i.is_dead());
+        i.nlink = 0;
+        assert!(i.is_dead());
+        i.open_count = 1;
+        assert!(!i.is_dead());
+    }
+
+    #[test]
+    fn obj_ref_round_trip() {
+        let i = mk(InodeKind::empty_file());
+        assert_eq!(
+            i.obj(),
+            ObjRef {
+                dev: DeviceId(1),
+                ino: InodeNum(5)
+            }
+        );
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! An in-memory virtual filesystem substrate for the Process Firewall.
+//!
+//! Resource access attacks are namespace attacks: symbolic-link following,
+//! TOCTTOU races, file squatting, and directory traversal all exploit how a
+//! *name* binds to an *object* at resolution time. This crate therefore
+//! reproduces the parts of UNIX filesystem semantics those attacks depend
+//! on, rather than wrapping the host filesystem:
+//!
+//! * component-by-component pathname resolution that reports every directory
+//!   search and every symlink dereference to a caller-supplied hook (so the
+//!   kernel layer can raise one LSM event per component, as the per-component
+//!   checks of Chari et al. require);
+//! * hard links, symbolic links with loop budgets, `O_NOFOLLOW`, `..`
+//!   traversal, and multiple devices (mounts) with distinct
+//!   [`DeviceId`](pf_types::DeviceId)s;
+//! * full DAC metadata (owner, group, mode including setuid/sticky bits);
+//! * MAC labels stored per inode (assigned by the kernel layer's
+//!   file-contexts at creation time);
+//! * **inode-number recycling**: once an inode's last link and last open
+//!   file description are gone, its number returns to a free list and is
+//!   handed out again — the behaviour the "cryogenic sleep" TOCTTOU attack
+//!   (Section 2.1 of the paper) depends on.
+//!
+//! The VFS performs *structural* checks only (existence, kinds, loops);
+//! permission and firewall decisions belong to the kernel layer, which
+//! injects them through the resolution hook.
+
+pub mod dac;
+pub mod inode;
+pub mod path;
+pub mod resolve;
+pub mod stat;
+pub mod vfs;
+
+pub use dac::{dac_permits, sticky_permits_unlink, AccessKind};
+pub use inode::{Inode, InodeKind, ObjRef, SocketState};
+pub use path::{is_absolute, join, normalize_lexical, split_components};
+pub use resolve::{resolve, ResolveEvent, ResolveHook, ResolveOpts, Resolved};
+pub use stat::Stat;
+pub use vfs::Vfs;

@@ -1,0 +1,142 @@
+//! Lexical path utilities.
+//!
+//! These helpers never touch the filesystem: real resolution (which must
+//! observe symlinks and mounts) lives in [`mod@crate::resolve`]. The lexical
+//! functions exist for building names (search paths, document roots) and
+//! for tests. Note that *lexical* normalization of `..` is exactly the
+//! unsafe shortcut directory-traversal filters get wrong, which is why
+//! [`normalize_lexical`] is documented as unsuitable for security checks.
+
+/// Returns `true` if `path` starts at the root.
+pub fn is_absolute(path: &str) -> bool {
+    path.starts_with('/')
+}
+
+/// Splits a path into its non-empty components.
+///
+/// `.` components are dropped; `..` components are *kept* (resolution must
+/// interpret them against real parents, not lexically).
+///
+/// # Examples
+///
+/// ```
+/// use pf_vfs::split_components;
+/// assert_eq!(split_components("/a//b/./c"), ["a", "b", "c"]);
+/// assert_eq!(split_components("../x"), ["..", "x"]);
+/// assert_eq!(split_components("/"), Vec::<&str>::new());
+/// ```
+pub fn split_components(path: &str) -> Vec<&str> {
+    path.split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect()
+}
+
+/// Joins `base` and `rel`; absolute `rel` replaces `base` (POSIX `openat`
+/// style).
+///
+/// # Examples
+///
+/// ```
+/// use pf_vfs::join;
+/// assert_eq!(join("/var/www", "index.html"), "/var/www/index.html");
+/// assert_eq!(join("/var/www", "/etc/passwd"), "/etc/passwd");
+/// ```
+pub fn join(base: &str, rel: &str) -> String {
+    if is_absolute(rel) {
+        rel.to_owned()
+    } else if base.ends_with('/') {
+        format!("{base}{rel}")
+    } else {
+        format!("{base}/{rel}")
+    }
+}
+
+/// Lexically normalizes a path, folding `.` and `..`.
+///
+/// **Not a security boundary**: lexical `..` folding ignores symlinks, so a
+/// path that normalizes inside a document root can still escape it at
+/// resolution time. Web servers that filter names this way are exactly the
+/// directory-traversal victims of Table 2; the Process Firewall instead
+/// checks the *resource* that resolution produced.
+///
+/// # Examples
+///
+/// ```
+/// use pf_vfs::normalize_lexical;
+/// assert_eq!(normalize_lexical("/a/b/../c"), "/a/c");
+/// assert_eq!(normalize_lexical("/../x"), "/x");
+/// assert_eq!(normalize_lexical("a/./b"), "a/b");
+/// ```
+pub fn normalize_lexical(path: &str) -> String {
+    let absolute = is_absolute(path);
+    let mut out: Vec<&str> = Vec::new();
+    for c in split_components(path) {
+        if c == ".." {
+            match out.last() {
+                Some(&last) if last != ".." => {
+                    out.pop();
+                }
+                _ if absolute => {} // `/..` is `/`.
+                _ => out.push(".."),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    let body = out.join("/");
+    if absolute {
+        format!("/{body}")
+    } else if body.is_empty() {
+        ".".to_owned()
+    } else {
+        body
+    }
+}
+
+/// Returns `true` if lexically-normalized `path` stays under `root`.
+///
+/// This mirrors the (insufficient) containment check naive servers use;
+/// `pf-attacks` uses it to model victims, not to defend them.
+pub fn lexically_contained(root: &str, path: &str) -> bool {
+    let n = normalize_lexical(path);
+    let r = normalize_lexical(root);
+    n == r || n.starts_with(&format!("{}/", r.trim_end_matches('/')))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_drops_dot_and_empties() {
+        assert_eq!(split_components("//a/./b//"), ["a", "b"]);
+    }
+
+    #[test]
+    fn join_handles_trailing_slash() {
+        assert_eq!(join("/a/", "b"), "/a/b");
+    }
+
+    #[test]
+    fn normalize_relative_keeps_leading_dotdot() {
+        assert_eq!(normalize_lexical("../a"), "../a");
+        assert_eq!(normalize_lexical("a/../.."), "..");
+    }
+
+    #[test]
+    fn normalize_root_cases() {
+        assert_eq!(normalize_lexical("/"), "/");
+        assert_eq!(normalize_lexical("/.."), "/");
+        assert_eq!(normalize_lexical("."), ".");
+    }
+
+    #[test]
+    fn containment() {
+        assert!(lexically_contained("/var/www", "/var/www/a/b.html"));
+        assert!(!lexically_contained(
+            "/var/www",
+            "/var/www/../../etc/passwd"
+        ));
+        assert!(!lexically_contained("/var/www", "/var/wwwroot/x"));
+    }
+}

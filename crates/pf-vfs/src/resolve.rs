@@ -1,0 +1,550 @@
+//! Component-by-component pathname resolution.
+//!
+//! Resolution walks one component at a time and reports every directory
+//! search and every symlink dereference to a caller-supplied hook *before*
+//! acting on it. The kernel layer turns those reports into LSM operations
+//! (`DIR_SEARCH`, `LINK_READ`) so that both access control and the Process
+//! Firewall mediate each step — the property Chari et al. showed is needed
+//! to defeat link-following attacks on any component, not just the last.
+
+use std::collections::VecDeque;
+
+use pf_types::{PfError, PfResult};
+
+use crate::inode::ObjRef;
+use crate::path::{is_absolute, split_components};
+use crate::vfs::Vfs;
+
+/// One observable step of resolution, offered to the hook before it is
+/// taken. Returning an error from the hook aborts resolution with that
+/// error — this is how DAC search checks and firewall DROPs stop a walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveEvent {
+    /// About to look up `component` inside directory `dir`.
+    DirSearch {
+        /// The directory being searched.
+        dir: ObjRef,
+        /// The entry name (may be `..`).
+        component: String,
+    },
+    /// About to dereference symlink `link` whose target is `target`.
+    LinkRead {
+        /// The symlink inode.
+        link: ObjRef,
+        /// The directory containing the link (relative targets resolve
+        /// from here; consumers use it to find the target's owner).
+        dir: ObjRef,
+        /// Its uninterpreted target string.
+        target: String,
+        /// How many symlinks have been followed so far (including this one).
+        depth: u32,
+    },
+}
+
+/// The hook invoked on every resolution step.
+pub type ResolveHook<'h> = dyn FnMut(&Vfs, &ResolveEvent) -> PfResult<()> + 'h;
+
+/// Options controlling a resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveOpts {
+    /// Follow a symlink in the *final* component (`false` = `O_NOFOLLOW` /
+    /// `lstat` behaviour: the link object itself is returned).
+    pub follow_final: bool,
+    /// Permit the final component to be missing (create/unlink paths):
+    /// the result then carries the parent and final name with no target.
+    pub want_parent: bool,
+    /// Symlink budget across all expansions (POSIX `ELOOP` guard).
+    pub max_symlinks: u32,
+}
+
+impl Default for ResolveOpts {
+    fn default() -> Self {
+        ResolveOpts {
+            follow_final: true,
+            want_parent: false,
+            max_symlinks: 40,
+        }
+    }
+}
+
+impl ResolveOpts {
+    /// `lstat`/`O_NOFOLLOW`-style options: do not follow a final symlink.
+    pub fn nofollow() -> Self {
+        ResolveOpts {
+            follow_final: false,
+            ..Default::default()
+        }
+    }
+
+    /// Options for create/unlink: final component may be absent.
+    pub fn parent() -> Self {
+        ResolveOpts {
+            follow_final: false,
+            want_parent: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// The outcome of a resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// The object the path names, or `None` when `want_parent` allowed a
+    /// missing final component.
+    pub target: Option<ObjRef>,
+    /// The directory that holds (or would hold) the final component.
+    pub parent: ObjRef,
+    /// The final component name after all symlink expansion (empty for
+    /// the root path `/`).
+    pub final_name: String,
+    /// Total symlinks dereferenced during the walk.
+    pub symlinks_followed: u32,
+}
+
+/// Resolves `path` starting from `start` (used when `path` is relative).
+///
+/// See the module docs for hook semantics. Structural errors mirror POSIX:
+/// `ENOENT`, `ENOTDIR`, `ELOOP`.
+pub fn resolve(
+    vfs: &Vfs,
+    start: ObjRef,
+    path: &str,
+    opts: &ResolveOpts,
+    hook: &mut ResolveHook<'_>,
+) -> PfResult<Resolved> {
+    if path.is_empty() {
+        return Err(PfError::InvalidArgument("empty path".into()));
+    }
+    let mut queue: VecDeque<String> = split_components(path)
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    let mut cur = if is_absolute(path) {
+        vfs.root()
+    } else {
+        vfs.redirect(start)
+    };
+    let mut links = 0u32;
+
+    if queue.is_empty() {
+        // Path was `/` (or `.`-only): the current directory is the answer.
+        return Ok(Resolved {
+            target: Some(cur),
+            parent: vfs.dir_parent(cur)?,
+            final_name: String::new(),
+            symlinks_followed: 0,
+        });
+    }
+
+    while let Some(component) = queue.pop_front() {
+        let is_final = queue.is_empty();
+        if !vfs.inode(cur)?.kind.is_dir() {
+            return Err(PfError::NotADirectory(component));
+        }
+        hook(
+            vfs,
+            &ResolveEvent::DirSearch {
+                dir: cur,
+                component: component.clone(),
+            },
+        )?;
+        if component == ".." {
+            let parent = vfs.dir_parent(cur)?;
+            if is_final {
+                if opts.want_parent {
+                    return Err(PfError::InvalidArgument(
+                        "final `..` with want_parent".into(),
+                    ));
+                }
+                return Ok(Resolved {
+                    target: Some(parent),
+                    parent: vfs.dir_parent(parent)?,
+                    final_name: String::new(),
+                    symlinks_followed: links,
+                });
+            }
+            cur = parent;
+            continue;
+        }
+
+        let child = match vfs.dir_lookup(cur, &component)? {
+            Some(c) => c,
+            None => {
+                if is_final && opts.want_parent {
+                    return Ok(Resolved {
+                        target: None,
+                        parent: cur,
+                        final_name: component,
+                        symlinks_followed: links,
+                    });
+                }
+                return Err(PfError::NotFound(component));
+            }
+        };
+
+        let child_kind_is_symlink = vfs.inode(child)?.kind.is_symlink();
+        if child_kind_is_symlink && (!is_final || opts.follow_final) {
+            links += 1;
+            if links > opts.max_symlinks {
+                return Err(PfError::SymlinkLoop(component));
+            }
+            let target = vfs.readlink(child)?;
+            hook(
+                vfs,
+                &ResolveEvent::LinkRead {
+                    link: child,
+                    dir: cur,
+                    target: target.clone(),
+                    depth: links,
+                },
+            )?;
+            if target.is_empty() {
+                return Err(PfError::NotFound(component));
+            }
+            for piece in split_components(&target).into_iter().rev() {
+                queue.push_front(piece.to_owned());
+            }
+            if is_absolute(&target) {
+                cur = vfs.root();
+                if queue.is_empty() {
+                    // Symlink to `/` itself.
+                    return Ok(Resolved {
+                        target: Some(cur),
+                        parent: vfs.dir_parent(cur)?,
+                        final_name: String::new(),
+                        symlinks_followed: links,
+                    });
+                }
+            } else if queue.is_empty() {
+                // Symlink whose target lexically vanished (e.g. `.`):
+                // resolve to the current directory.
+                return Ok(Resolved {
+                    target: Some(cur),
+                    parent: vfs.dir_parent(cur)?,
+                    final_name: String::new(),
+                    symlinks_followed: links,
+                });
+            }
+            continue;
+        }
+
+        if is_final {
+            return Ok(Resolved {
+                target: Some(vfs.redirect(child)),
+                parent: cur,
+                final_name: component,
+                symlinks_followed: links,
+            });
+        }
+        let next = vfs.redirect(child);
+        if !vfs.inode(next)?.kind.is_dir() {
+            return Err(PfError::NotADirectory(component));
+        }
+        cur = next;
+    }
+    unreachable!("loop returns on final component");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inode::InodeKind;
+    use pf_types::{Gid, InternId, Mode, SecId, Uid};
+
+    const L: SecId = InternId(0);
+
+    fn mkdir(vfs: &mut Vfs, dir: ObjRef, name: &str) -> ObjRef {
+        vfs.create_child(
+            dir,
+            name,
+            InodeKind::empty_dir(),
+            Mode::DIR_DEFAULT,
+            Uid::ROOT,
+            Gid::ROOT,
+            L,
+        )
+        .unwrap()
+    }
+
+    fn mkfile(vfs: &mut Vfs, dir: ObjRef, name: &str) -> ObjRef {
+        vfs.create_child(
+            dir,
+            name,
+            InodeKind::empty_file(),
+            Mode::FILE_DEFAULT,
+            Uid(1000),
+            Gid(1000),
+            L,
+        )
+        .unwrap()
+    }
+
+    fn mklink(vfs: &mut Vfs, dir: ObjRef, name: &str, target: &str) -> ObjRef {
+        vfs.create_child(
+            dir,
+            name,
+            InodeKind::Symlink {
+                target: target.to_owned(),
+            },
+            Mode(0o777),
+            Uid(1000),
+            Gid(1000),
+            L,
+        )
+        .unwrap()
+    }
+
+    fn no_hook() -> Box<ResolveHook<'static>> {
+        Box::new(|_, _| Ok(()))
+    }
+
+    fn world() -> (Vfs, ObjRef, ObjRef, ObjRef) {
+        let mut vfs = Vfs::new(L);
+        let root = vfs.root();
+        let etc = mkdir(&mut vfs, root, "etc");
+        let passwd = mkfile(&mut vfs, etc, "passwd");
+        (vfs, root, etc, passwd)
+    }
+
+    #[test]
+    fn resolves_nested_paths() {
+        let (vfs, root, etc, passwd) = world();
+        let r = resolve(
+            &vfs,
+            root,
+            "/etc/passwd",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(passwd));
+        assert_eq!(r.parent, etc);
+        assert_eq!(r.final_name, "passwd");
+    }
+
+    #[test]
+    fn relative_resolution_from_cwd() {
+        let (vfs, _, etc, passwd) = world();
+        let r = resolve(
+            &vfs,
+            etc,
+            "passwd",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(passwd));
+    }
+
+    #[test]
+    fn dotdot_walks_up_and_root_is_its_own_parent() {
+        let (vfs, root, etc, passwd) = world();
+        let r = resolve(
+            &vfs,
+            etc,
+            "../etc/../../etc/passwd",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(passwd));
+        let up = resolve(&vfs, root, "/..", &ResolveOpts::default(), &mut *no_hook()).unwrap();
+        assert_eq!(up.target, Some(root));
+    }
+
+    #[test]
+    fn missing_component_is_enoent() {
+        let (vfs, root, ..) = world();
+        let e = resolve(
+            &vfs,
+            root,
+            "/etc/shadow",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, PfError::NotFound(_)));
+    }
+
+    #[test]
+    fn file_in_middle_is_enotdir() {
+        let (vfs, root, ..) = world();
+        let e = resolve(
+            &vfs,
+            root,
+            "/etc/passwd/x",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, PfError::NotADirectory(_)));
+    }
+
+    #[test]
+    fn want_parent_returns_slot_for_missing_final() {
+        let (vfs, root, etc, _) = world();
+        let r = resolve(
+            &vfs,
+            root,
+            "/etc/newfile",
+            &ResolveOpts::parent(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, None);
+        assert_eq!(r.parent, etc);
+        assert_eq!(r.final_name, "newfile");
+    }
+
+    #[test]
+    fn symlink_followed_by_default() {
+        let (mut vfs, root, _, passwd) = world();
+        let tmp = mkdir(&mut vfs, root, "tmp");
+        mklink(&mut vfs, tmp, "p", "/etc/passwd");
+        let r = resolve(
+            &vfs,
+            root,
+            "/tmp/p",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(passwd));
+        assert_eq!(r.symlinks_followed, 1);
+        assert_eq!(r.final_name, "passwd");
+    }
+
+    #[test]
+    fn nofollow_returns_the_link_itself() {
+        let (mut vfs, root, ..) = world();
+        let tmp = mkdir(&mut vfs, root, "tmp");
+        let link = mklink(&mut vfs, tmp, "p", "/etc/passwd");
+        let r = resolve(
+            &vfs,
+            root,
+            "/tmp/p",
+            &ResolveOpts::nofollow(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(link));
+        assert_eq!(r.symlinks_followed, 0);
+    }
+
+    #[test]
+    fn intermediate_symlinks_always_followed() {
+        let (mut vfs, root, _, passwd) = world();
+        mklink(&mut vfs, root, "e", "etc");
+        let r = resolve(
+            &vfs,
+            root,
+            "/e/passwd",
+            &ResolveOpts::nofollow(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(passwd));
+        assert_eq!(r.symlinks_followed, 1);
+    }
+
+    #[test]
+    fn relative_symlink_resolves_from_its_directory() {
+        let (mut vfs, root, etc, passwd) = world();
+        mklink(&mut vfs, etc, "alias", "./passwd");
+        let r = resolve(
+            &vfs,
+            root,
+            "/etc/alias",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(passwd));
+    }
+
+    #[test]
+    fn symlink_loop_is_eloop() {
+        let (mut vfs, root, ..) = world();
+        mklink(&mut vfs, root, "a", "/b");
+        mklink(&mut vfs, root, "b", "/a");
+        let e = resolve(&vfs, root, "/a", &ResolveOpts::default(), &mut *no_hook()).unwrap_err();
+        assert!(matches!(e, PfError::SymlinkLoop(_)));
+    }
+
+    #[test]
+    fn hook_sees_every_component_and_link() {
+        let (mut vfs, root, ..) = world();
+        let tmp = mkdir(&mut vfs, root, "tmp");
+        mklink(&mut vfs, tmp, "p", "/etc/passwd");
+        let mut events = Vec::new();
+        let mut hook = |_: &Vfs, ev: &ResolveEvent| {
+            events.push(ev.clone());
+            Ok(())
+        };
+        resolve(&vfs, root, "/tmp/p", &ResolveOpts::default(), &mut hook).unwrap();
+        // tmp, p, <link read>, etc, passwd.
+        let searches = events
+            .iter()
+            .filter(|e| matches!(e, ResolveEvent::DirSearch { .. }))
+            .count();
+        let links = events
+            .iter()
+            .filter(|e| matches!(e, ResolveEvent::LinkRead { .. }))
+            .count();
+        assert_eq!(searches, 4);
+        assert_eq!(links, 1);
+    }
+
+    #[test]
+    fn hook_error_aborts_resolution() {
+        let (vfs, root, ..) = world();
+        let mut hook = |_: &Vfs, _: &ResolveEvent| Err(PfError::PermissionDenied("blocked".into()));
+        let e = resolve(
+            &vfs,
+            root,
+            "/etc/passwd",
+            &ResolveOpts::default(),
+            &mut hook,
+        )
+        .unwrap_err();
+        assert!(matches!(e, PfError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn resolution_crosses_mounts() {
+        let (mut vfs, root, ..) = world();
+        let mnt = mkdir(&mut vfs, root, "tmp");
+        let dev = vfs.add_device(L);
+        vfs.mount(mnt, dev).unwrap();
+        let tmp_root = vfs.device_root(dev);
+        let f = mkfile(&mut vfs, tmp_root, "scratch");
+        let r = resolve(
+            &vfs,
+            root,
+            "/tmp/scratch",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(r.target, Some(f));
+        assert_eq!(r.target.unwrap().dev, dev);
+        // `..` out of the mounted root lands back on device 0.
+        let back = resolve(
+            &vfs,
+            tmp_root,
+            "../etc/passwd",
+            &ResolveOpts::default(),
+            &mut *no_hook(),
+        )
+        .unwrap();
+        assert_eq!(back.target.unwrap().dev, pf_types::DeviceId(0));
+    }
+
+    #[test]
+    fn root_path_resolves_to_root() {
+        let (vfs, root, ..) = world();
+        let r = resolve(&vfs, root, "/", &ResolveOpts::default(), &mut *no_hook()).unwrap();
+        assert_eq!(r.target, Some(root));
+        assert_eq!(r.final_name, "");
+    }
+}

@@ -1,0 +1,133 @@
+//! `stat`-style metadata snapshots.
+
+use pf_types::{DeviceId, Gid, InodeNum, Mode, SecId, Uid};
+
+use crate::inode::{Inode, InodeKind};
+
+/// File kind as reported by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link (only observable via `lstat`).
+    Symlink,
+    /// UNIX-domain socket.
+    Socket,
+    /// Named pipe.
+    Fifo,
+}
+
+/// A point-in-time metadata snapshot, the return value of
+/// `stat`/`lstat`/`fstat`.
+///
+/// The check-vs-use comparisons in Figure 1(a) of the paper — `st_dev` and
+/// `st_ino` equality across `lstat`/`open`/`fstat` — operate on exactly
+/// these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// Device id (`st_dev`).
+    pub dev: DeviceId,
+    /// Inode number (`st_ino`).
+    pub ino: InodeNum,
+    /// File kind.
+    pub file_type: FileType,
+    /// Permission bits (`st_mode` low bits).
+    pub mode: Mode,
+    /// Owner (`st_uid`).
+    pub uid: Uid,
+    /// Group (`st_gid`).
+    pub gid: Gid,
+    /// Link count (`st_nlink`).
+    pub nlink: u32,
+    /// Content size in bytes (`st_size`).
+    pub size: u64,
+    /// MAC label (exposed to privileged callers, cf. `getxattr`).
+    pub label: SecId,
+}
+
+impl Stat {
+    /// Builds a snapshot from an inode.
+    pub fn of(inode: &Inode) -> Stat {
+        let (file_type, size) = match &inode.kind {
+            InodeKind::File { data } => (FileType::Regular, data.len() as u64),
+            InodeKind::Dir { entries, .. } => (FileType::Directory, entries.len() as u64),
+            InodeKind::Symlink { target } => (FileType::Symlink, target.len() as u64),
+            InodeKind::Socket { .. } => (FileType::Socket, 0),
+            InodeKind::Fifo => (FileType::Fifo, 0),
+        };
+        Stat {
+            dev: inode.dev,
+            ino: inode.ino,
+            file_type,
+            mode: inode.mode,
+            uid: inode.uid,
+            gid: inode.gid,
+            nlink: inode.nlink,
+            size,
+            label: inode.label,
+        }
+    }
+
+    /// `S_ISLNK`: the check on line 4 of Figure 1(a).
+    pub fn is_symlink(&self) -> bool {
+        self.file_type == FileType::Symlink
+    }
+
+    /// Returns `true` if two snapshots name the same object (dev+ino), the
+    /// TOCTTOU identity comparison of Figure 1(a) lines 8–9.
+    pub fn same_object(&self, other: &Stat) -> bool {
+        self.dev == other.dev && self.ino == other.ino
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use pf_types::InternId;
+
+    fn inode(kind: InodeKind) -> Inode {
+        Inode {
+            ino: InodeNum(9),
+            dev: DeviceId(2),
+            kind,
+            mode: Mode::FILE_DEFAULT,
+            uid: Uid(1),
+            gid: Gid(1),
+            label: InternId(0),
+            nlink: 1,
+            open_count: 0,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn stat_reports_kind_and_size() {
+        let s = Stat::of(&inode(InodeKind::File {
+            data: Bytes::from_static(b"hello"),
+        }));
+        assert_eq!(s.file_type, FileType::Regular);
+        assert_eq!(s.size, 5);
+        assert!(!s.is_symlink());
+    }
+
+    #[test]
+    fn symlink_detected() {
+        let s = Stat::of(&inode(InodeKind::Symlink {
+            target: "/etc/passwd".into(),
+        }));
+        assert!(s.is_symlink());
+        assert_eq!(s.size, 11);
+    }
+
+    #[test]
+    fn same_object_compares_dev_and_ino() {
+        let a = Stat::of(&inode(InodeKind::empty_file()));
+        let mut b = a;
+        assert!(a.same_object(&b));
+        b.ino = InodeNum(10);
+        assert!(!a.same_object(&b));
+    }
+}

@@ -1,0 +1,714 @@
+//! The VFS proper: devices, inode tables, allocation, and structural ops.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use pf_types::{DeviceId, Gid, InodeNum, Mode, PfError, PfResult, SecId, Uid};
+
+use crate::inode::{Inode, InodeKind, ObjRef};
+
+/// One mounted filesystem instance (a device) with its own inode table.
+#[derive(Debug, Clone)]
+struct Device {
+    inodes: HashMap<InodeNum, Inode>,
+    /// Recycled inode numbers, reused LIFO — dying inodes put their number
+    /// here and the *next* allocation gets it back, which is the recycling
+    /// behaviour the cryogenic-sleep TOCTTOU attack needs.
+    free_list: Vec<InodeNum>,
+    next_ino: u64,
+    generation: u64,
+    root: InodeNum,
+}
+
+impl Device {
+    fn alloc_ino(&mut self) -> (InodeNum, u64) {
+        self.generation += 1;
+        if let Some(ino) = self.free_list.pop() {
+            (ino, self.generation)
+        } else {
+            let ino = InodeNum(self.next_ino);
+            self.next_ino += 1;
+            (ino, self.generation)
+        }
+    }
+}
+
+/// The whole filesystem namespace: devices plus a mount table.
+///
+/// All methods perform structural checks only; DAC/MAC/firewall policy is
+/// the kernel layer's job.
+///
+/// # Examples
+///
+/// ```
+/// use pf_types::{Gid, InternId, Mode, Uid};
+/// use pf_vfs::{InodeKind, Vfs};
+///
+/// let label = InternId(0);
+/// let mut vfs = Vfs::new(label);
+/// let root = vfs.root();
+/// let etc = vfs
+///     .create_child(root, "etc", InodeKind::empty_dir(), Mode::DIR_DEFAULT,
+///                   Uid::ROOT, Gid::ROOT, label)
+///     .unwrap();
+/// assert!(vfs.inode(etc).unwrap().kind.is_dir());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    devices: Vec<Device>,
+    /// Mountpoint directory → device mounted on it.
+    mounts: HashMap<ObjRef, DeviceId>,
+}
+
+impl InodeKind {
+    /// Creates an empty directory kind; the parent pointer is patched by
+    /// [`Vfs::create_child`].
+    pub fn empty_dir() -> Self {
+        InodeKind::Dir {
+            entries: BTreeMap::new(),
+            parent: ObjRef {
+                dev: DeviceId(0),
+                ino: InodeNum(0),
+            },
+        }
+    }
+}
+
+impl Vfs {
+    /// Creates a namespace with a single root device and a `/` directory.
+    pub fn new(root_label: SecId) -> Self {
+        let mut vfs = Vfs {
+            devices: Vec::new(),
+            mounts: HashMap::new(),
+        };
+        vfs.add_device(root_label);
+        vfs
+    }
+
+    /// Creates a new device with its own root directory, returning its id.
+    pub fn add_device(&mut self, root_label: SecId) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        let root_ino = InodeNum(1);
+        let root_obj = ObjRef {
+            dev: id,
+            ino: root_ino,
+        };
+        let root = Inode {
+            ino: root_ino,
+            dev: id,
+            kind: InodeKind::Dir {
+                entries: BTreeMap::new(),
+                parent: root_obj,
+            },
+            mode: Mode::DIR_DEFAULT,
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            label: root_label,
+            nlink: 1,
+            open_count: 0,
+            generation: 0,
+        };
+        let mut inodes = HashMap::new();
+        inodes.insert(root_ino, root);
+        self.devices.push(Device {
+            inodes,
+            free_list: Vec::new(),
+            next_ino: 2,
+            generation: 0,
+            root: root_ino,
+        });
+        id
+    }
+
+    /// The root directory of device 0 (the `/` everyone resolves from).
+    pub fn root(&self) -> ObjRef {
+        ObjRef {
+            dev: DeviceId(0),
+            ino: self.devices[0].root,
+        }
+    }
+
+    /// The root directory of a specific device.
+    pub fn device_root(&self, dev: DeviceId) -> ObjRef {
+        ObjRef {
+            dev,
+            ino: self.devices[dev.0 as usize].root,
+        }
+    }
+
+    /// Mounts `dev` on directory `at`; subsequent resolution through `at`
+    /// lands in `dev`'s root. The mounted root's `..` points at `at`'s
+    /// parent, matching the crossing semantics of real mounts.
+    pub fn mount(&mut self, at: ObjRef, dev: DeviceId) -> PfResult<()> {
+        let at_parent = match &self.inode(at)?.kind {
+            InodeKind::Dir { parent, .. } => *parent,
+            _ => return Err(PfError::NotADirectory(format!("{at:?}"))),
+        };
+        let root = self.device_root(dev);
+        if let InodeKind::Dir { parent, .. } = &mut self.inode_mut(root)?.kind {
+            *parent = at_parent;
+        }
+        self.mounts.insert(at, dev);
+        Ok(())
+    }
+
+    /// Follows a mountpoint redirect, if any.
+    pub fn redirect(&self, obj: ObjRef) -> ObjRef {
+        match self.mounts.get(&obj) {
+            Some(&dev) => self.device_root(dev),
+            None => obj,
+        }
+    }
+
+    /// Looks up an inode by reference.
+    pub fn inode(&self, obj: ObjRef) -> PfResult<&Inode> {
+        self.devices
+            .get(obj.dev.0 as usize)
+            .and_then(|d| d.inodes.get(&obj.ino))
+            .ok_or_else(|| PfError::NotFound(format!("{obj:?}")))
+    }
+
+    /// Looks up an inode mutably.
+    pub fn inode_mut(&mut self, obj: ObjRef) -> PfResult<&mut Inode> {
+        self.devices
+            .get_mut(obj.dev.0 as usize)
+            .and_then(|d| d.inodes.get_mut(&obj.ino))
+            .ok_or_else(|| PfError::NotFound(format!("{obj:?}")))
+    }
+
+    /// Returns `true` if the reference currently names a live inode.
+    pub fn exists(&self, obj: ObjRef) -> bool {
+        self.inode(obj).is_ok()
+    }
+
+    /// Looks up a directory entry by name (no `.`/`..`, no mounts).
+    pub fn dir_lookup(&self, dir: ObjRef, name: &str) -> PfResult<Option<ObjRef>> {
+        let inode = self.inode(dir)?;
+        match &inode.kind {
+            InodeKind::Dir { entries, .. } => {
+                Ok(entries.get(name).map(|&ino| ObjRef { dev: dir.dev, ino }))
+            }
+            _ => Err(PfError::NotADirectory(format!("{dir:?}"))),
+        }
+    }
+
+    /// Returns the parent directory recorded for `dir` (its `..`).
+    pub fn dir_parent(&self, dir: ObjRef) -> PfResult<ObjRef> {
+        match &self.inode(dir)?.kind {
+            InodeKind::Dir { parent, .. } => Ok(*parent),
+            _ => Err(PfError::NotADirectory(format!("{dir:?}"))),
+        }
+    }
+
+    /// Lists a directory's entry names in sorted order.
+    pub fn readdir(&self, dir: ObjRef) -> PfResult<Vec<String>> {
+        match &self.inode(dir)?.kind {
+            InodeKind::Dir { entries, .. } => Ok(entries.keys().cloned().collect()),
+            _ => Err(PfError::NotADirectory(format!("{dir:?}"))),
+        }
+    }
+
+    /// Creates a new object named `name` under `dir`.
+    ///
+    /// Directory kinds get their parent pointer patched to `dir`. Fails
+    /// with `EEXIST` if the name is taken and `ENOTDIR` if `dir` is not a
+    /// directory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_child(
+        &mut self,
+        dir: ObjRef,
+        name: &str,
+        kind: InodeKind,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+        label: SecId,
+    ) -> PfResult<ObjRef> {
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(PfError::InvalidArgument(format!("bad name `{name}`")));
+        }
+        if self.dir_lookup(dir, name)?.is_some() {
+            return Err(PfError::AlreadyExists(name.to_owned()));
+        }
+        let kind = match kind {
+            InodeKind::Dir { entries, .. } => InodeKind::Dir {
+                entries,
+                parent: dir,
+            },
+            other => other,
+        };
+        let dev_idx = dir.dev.0 as usize;
+        let (ino, generation) = self.devices[dev_idx].alloc_ino();
+        let inode = Inode {
+            ino,
+            dev: dir.dev,
+            kind,
+            mode,
+            uid,
+            gid,
+            label,
+            nlink: 1,
+            open_count: 0,
+            generation,
+        };
+        self.devices[dev_idx].inodes.insert(ino, inode);
+        if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(dir)?.kind {
+            entries.insert(name.to_owned(), ino);
+        }
+        Ok(ObjRef { dev: dir.dev, ino })
+    }
+
+    /// Adds a hard link `name` in `dir` to an existing inode on the same
+    /// device. Hard links to directories are rejected.
+    pub fn link(&mut self, dir: ObjRef, name: &str, target: ObjRef) -> PfResult<()> {
+        if dir.dev != target.dev {
+            return Err(PfError::InvalidArgument("cross-device link (EXDEV)".into()));
+        }
+        if self.inode(target)?.kind.is_dir() {
+            return Err(PfError::IsADirectory(format!("{target:?}")));
+        }
+        if self.dir_lookup(dir, name)?.is_some() {
+            return Err(PfError::AlreadyExists(name.to_owned()));
+        }
+        self.inode_mut(target)?.nlink += 1;
+        if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(dir)?.kind {
+            entries.insert(name.to_owned(), target.ino);
+        }
+        Ok(())
+    }
+
+    /// Removes the entry `name` from `dir`, returning the unlinked object.
+    ///
+    /// If this drops the last link and no open file description remains,
+    /// the inode dies and its number is queued for recycling.
+    pub fn unlink(&mut self, dir: ObjRef, name: &str) -> PfResult<ObjRef> {
+        let child = self
+            .dir_lookup(dir, name)?
+            .ok_or_else(|| PfError::NotFound(name.to_owned()))?;
+        if self.inode(child)?.kind.is_dir() {
+            return Err(PfError::IsADirectory(name.to_owned()));
+        }
+        if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(dir)?.kind {
+            entries.remove(name);
+        }
+        let inode = self.inode_mut(child)?;
+        inode.nlink = inode.nlink.saturating_sub(1);
+        self.reap(child);
+        Ok(child)
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, dir: ObjRef, name: &str) -> PfResult<ObjRef> {
+        let child = self
+            .dir_lookup(dir, name)?
+            .ok_or_else(|| PfError::NotFound(name.to_owned()))?;
+        match &self.inode(child)?.kind {
+            InodeKind::Dir { entries, .. } => {
+                if !entries.is_empty() {
+                    return Err(PfError::NotEmpty(name.to_owned()));
+                }
+            }
+            _ => return Err(PfError::NotADirectory(name.to_owned())),
+        }
+        if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(dir)?.kind {
+            entries.remove(name);
+        }
+        let inode = self.inode_mut(child)?;
+        inode.nlink = 0;
+        self.reap(child);
+        Ok(child)
+    }
+
+    /// Renames `from_dir/from_name` to `to_dir/to_name` (same device only),
+    /// replacing any existing non-directory target, as POSIX `rename` does.
+    pub fn rename(
+        &mut self,
+        from_dir: ObjRef,
+        from_name: &str,
+        to_dir: ObjRef,
+        to_name: &str,
+    ) -> PfResult<()> {
+        if from_dir.dev != to_dir.dev {
+            return Err(PfError::InvalidArgument("cross-device rename".into()));
+        }
+        let moving = self
+            .dir_lookup(from_dir, from_name)?
+            .ok_or_else(|| PfError::NotFound(from_name.to_owned()))?;
+        if let Some(existing) = self.dir_lookup(to_dir, to_name)? {
+            if existing == moving {
+                // POSIX: when oldpath and newpath are links to the same
+                // inode, rename does nothing and both names remain.
+                return Ok(());
+            }
+            if self.inode(existing)?.kind.is_dir() {
+                return Err(PfError::IsADirectory(to_name.to_owned()));
+            }
+            self.unlink(to_dir, to_name)?;
+        }
+        if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(from_dir)?.kind {
+            entries.remove(from_name);
+        }
+        if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(to_dir)?.kind {
+            entries.insert(to_name.to_owned(), moving.ino);
+        }
+        // A moved directory's `..` must follow it.
+        if let Ok(inode) = self.inode_mut(moving) {
+            if let InodeKind::Dir { parent, .. } = &mut inode.kind {
+                *parent = to_dir;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a regular file's contents.
+    pub fn read(&self, obj: ObjRef) -> PfResult<Bytes> {
+        match &self.inode(obj)?.kind {
+            InodeKind::File { data } => Ok(data.clone()),
+            InodeKind::Dir { .. } => Err(PfError::IsADirectory(format!("{obj:?}"))),
+            _ => Err(PfError::InvalidArgument("not a regular file".into())),
+        }
+    }
+
+    /// Replaces a regular file's contents.
+    pub fn write(&mut self, obj: ObjRef, data: Bytes) -> PfResult<()> {
+        match &mut self.inode_mut(obj)?.kind {
+            InodeKind::File { data: d } => {
+                *d = data;
+                Ok(())
+            }
+            InodeKind::Dir { .. } => Err(PfError::IsADirectory(format!("{obj:?}"))),
+            _ => Err(PfError::InvalidArgument("not a regular file".into())),
+        }
+    }
+
+    /// Reads a symlink's target without following it.
+    pub fn readlink(&self, obj: ObjRef) -> PfResult<String> {
+        match &self.inode(obj)?.kind {
+            InodeKind::Symlink { target } => Ok(target.clone()),
+            _ => Err(PfError::InvalidArgument("not a symlink".into())),
+        }
+    }
+
+    /// Registers an open file description (blocks inode-number recycling).
+    pub fn open_ref(&mut self, obj: ObjRef) -> PfResult<()> {
+        self.inode_mut(obj)?.open_count += 1;
+        Ok(())
+    }
+
+    /// Releases an open file description; a dead inode's number is recycled.
+    pub fn close_ref(&mut self, obj: ObjRef) -> PfResult<()> {
+        {
+            let inode = self.inode_mut(obj)?;
+            inode.open_count = inode.open_count.saturating_sub(1);
+        }
+        self.reap(obj);
+        Ok(())
+    }
+
+    /// Frees a dead inode, queueing its number for reuse.
+    fn reap(&mut self, obj: ObjRef) {
+        let dead = self.inode(obj).map(|i| i.is_dead()).unwrap_or(false);
+        if dead {
+            let dev = &mut self.devices[obj.dev.0 as usize];
+            dev.inodes.remove(&obj.ino);
+            dev.free_list.push(obj.ino);
+        }
+    }
+
+    /// Number of live inodes across all devices (for tests/diagnostics).
+    pub fn live_inodes(&self) -> usize {
+        self.devices.iter().map(|d| d.inodes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_types::InternId;
+
+    const L: SecId = InternId(0);
+
+    fn fresh() -> (Vfs, ObjRef) {
+        let vfs = Vfs::new(L);
+        let root = vfs.root();
+        (vfs, root)
+    }
+
+    #[test]
+    fn create_lookup_read_write() {
+        let (mut vfs, root) = fresh();
+        let f = vfs
+            .create_child(
+                root,
+                "a",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        assert_eq!(vfs.dir_lookup(root, "a").unwrap(), Some(f));
+        vfs.write(f, Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(vfs.read(f).unwrap().as_ref(), b"xyz");
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let (mut vfs, root) = fresh();
+        let mk = |v: &mut Vfs| {
+            v.create_child(
+                root,
+                "a",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+        };
+        mk(&mut vfs).unwrap();
+        assert!(matches!(mk(&mut vfs), Err(PfError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let (mut vfs, root) = fresh();
+        for name in ["", ".", "..", "a/b"] {
+            assert!(vfs
+                .create_child(
+                    root,
+                    name,
+                    InodeKind::empty_file(),
+                    Mode::FILE_DEFAULT,
+                    Uid(1),
+                    Gid(1),
+                    L
+                )
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn unlink_frees_and_recycles_inode_number() {
+        let (mut vfs, root) = fresh();
+        let f = vfs
+            .create_child(
+                root,
+                "victim",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        vfs.unlink(root, "victim").unwrap();
+        assert!(!vfs.exists(f));
+        // The very next allocation reuses the number (cryogenic sleep).
+        let g = vfs
+            .create_child(
+                root,
+                "squatter",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(666),
+                Gid(666),
+                L,
+            )
+            .unwrap();
+        assert_eq!(g.ino, f.ino);
+        assert_ne!(
+            vfs.inode(g).unwrap().generation,
+            0,
+            "recycled object must have a fresh generation"
+        );
+    }
+
+    #[test]
+    fn open_count_blocks_recycling() {
+        let (mut vfs, root) = fresh();
+        let f = vfs
+            .create_child(
+                root,
+                "held",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        vfs.open_ref(f).unwrap();
+        vfs.unlink(root, "held").unwrap();
+        assert!(vfs.exists(f), "open fd keeps the inode alive");
+        let g = vfs
+            .create_child(
+                root,
+                "other",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        assert_ne!(g.ino, f.ino, "held number must not be recycled");
+        vfs.close_ref(f).unwrap();
+        assert!(!vfs.exists(f), "close of unlinked file reaps it");
+    }
+
+    #[test]
+    fn hard_links_share_inode() {
+        let (mut vfs, root) = fresh();
+        let f = vfs
+            .create_child(
+                root,
+                "a",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        vfs.link(root, "b", f).unwrap();
+        assert_eq!(vfs.inode(f).unwrap().nlink, 2);
+        vfs.unlink(root, "a").unwrap();
+        assert!(vfs.exists(f), "second link keeps inode alive");
+        vfs.unlink(root, "b").unwrap();
+        assert!(!vfs.exists(f));
+    }
+
+    #[test]
+    fn link_to_directory_rejected() {
+        let (mut vfs, root) = fresh();
+        let d = vfs
+            .create_child(
+                root,
+                "d",
+                InodeKind::empty_dir(),
+                Mode::DIR_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        assert!(matches!(
+            vfs.link(root, "d2", d),
+            Err(PfError::IsADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let (mut vfs, root) = fresh();
+        let d = vfs
+            .create_child(
+                root,
+                "d",
+                InodeKind::empty_dir(),
+                Mode::DIR_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        vfs.create_child(
+            d,
+            "x",
+            InodeKind::empty_file(),
+            Mode::FILE_DEFAULT,
+            Uid(1),
+            Gid(1),
+            L,
+        )
+        .unwrap();
+        assert!(matches!(vfs.rmdir(root, "d"), Err(PfError::NotEmpty(_))));
+        vfs.unlink(d, "x").unwrap();
+        vfs.rmdir(root, "d").unwrap();
+        assert!(!vfs.exists(d));
+    }
+
+    #[test]
+    fn rename_replaces_target_and_updates_parent() {
+        let (mut vfs, root) = fresh();
+        let d = vfs
+            .create_child(
+                root,
+                "d",
+                InodeKind::empty_dir(),
+                Mode::DIR_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        let a = vfs
+            .create_child(
+                root,
+                "a",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        let b = vfs
+            .create_child(
+                d,
+                "b",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        vfs.rename(root, "a", d, "b").unwrap();
+        assert!(!vfs.exists(b), "replaced target is unlinked");
+        assert_eq!(vfs.dir_lookup(d, "b").unwrap(), Some(a));
+        assert_eq!(vfs.dir_lookup(root, "a").unwrap(), None);
+    }
+
+    #[test]
+    fn mount_redirects_and_sets_dotdot() {
+        let (mut vfs, root) = fresh();
+        let mnt = vfs
+            .create_child(
+                root,
+                "tmp",
+                InodeKind::empty_dir(),
+                Mode::TMP_DIR,
+                Uid::ROOT,
+                Gid::ROOT,
+                L,
+            )
+            .unwrap();
+        let dev = vfs.add_device(L);
+        vfs.mount(mnt, dev).unwrap();
+        let mounted_root = vfs.redirect(mnt);
+        assert_eq!(mounted_root.dev, dev);
+        assert_eq!(vfs.dir_parent(mounted_root).unwrap(), root);
+    }
+
+    #[test]
+    fn cross_device_link_rejected() {
+        let (mut vfs, root) = fresh();
+        let dev = vfs.add_device(L);
+        let other_root = vfs.device_root(dev);
+        let f = vfs
+            .create_child(
+                other_root,
+                "f",
+                InodeKind::empty_file(),
+                Mode::FILE_DEFAULT,
+                Uid(1),
+                Gid(1),
+                L,
+            )
+            .unwrap();
+        assert!(vfs.link(root, "f", f).is_err());
+    }
+}

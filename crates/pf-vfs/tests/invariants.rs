@@ -1,0 +1,140 @@
+//! VFS structural invariants under random operation sequences.
+//!
+//! Whatever interleaving of create/link/unlink/rename happens, the
+//! filesystem must keep its books straight:
+//!
+//! * every live non-directory inode's `nlink` equals the number of
+//!   directory entries referencing it across all directories;
+//! * no directory entry points at a dead inode;
+//! * recycled inode numbers always carry a fresh generation.
+
+use proptest::prelude::*;
+
+use pf_types::{Gid, InternId, Mode, SecId, Uid};
+use pf_vfs::{InodeKind, ObjRef, Vfs};
+
+const L: SecId = InternId(0);
+
+/// One random mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Link(u8, u8),
+    Unlink(u8),
+    Rename(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::Create),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| Op::Link(a, b)),
+        (0u8..16).prop_map(Op::Unlink),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+/// Counts directory references to every inode, walking from the root.
+fn reference_counts(vfs: &Vfs, root: ObjRef) -> std::collections::HashMap<ObjRef, u32> {
+    let mut counts = std::collections::HashMap::new();
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(dir) = stack.pop() {
+        if !seen.insert(dir) {
+            continue;
+        }
+        for name in vfs.readdir(dir).unwrap() {
+            let child = vfs.dir_lookup(dir, &name).unwrap().unwrap();
+            *counts.entry(child).or_insert(0) += 1;
+            if vfs.inode(child).unwrap().kind.is_dir() {
+                stack.push(child);
+            }
+        }
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nlink_matches_directory_references(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut vfs = Vfs::new(L);
+        let root = vfs.root();
+        // Two directories so renames/links cross directories.
+        let d1 = vfs
+            .create_child(root, "d1", InodeKind::empty_dir(), Mode::DIR_DEFAULT, Uid(1), Gid(1), L)
+            .unwrap();
+        let d2 = vfs
+            .create_child(root, "d2", InodeKind::empty_dir(), Mode::DIR_DEFAULT, Uid(1), Gid(1), L)
+            .unwrap();
+        let dirs = [d1, d2];
+        let name = |slot: u8| format!("f{slot}");
+        let dir_of = |slot: u8| dirs[(slot / 8) as usize];
+
+        for op in ops {
+            match op {
+                Op::Create(slot) => {
+                    let _ = vfs.create_child(
+                        dir_of(slot),
+                        &name(slot),
+                        InodeKind::empty_file(),
+                        Mode::FILE_DEFAULT,
+                        Uid(1),
+                        Gid(1),
+                        L,
+                    );
+                }
+                Op::Link(from, to) => {
+                    if let Ok(Some(target)) = vfs.dir_lookup(dir_of(from), &name(from)) {
+                        let _ = vfs.link(dir_of(to), &name(to), target);
+                    }
+                }
+                Op::Unlink(slot) => {
+                    let _ = vfs.unlink(dir_of(slot), &name(slot));
+                }
+                Op::Rename(from, to) => {
+                    let _ = vfs.rename(dir_of(from), &name(from), dir_of(to), &name(to));
+                }
+            }
+
+            // Invariant check after every mutation.
+            let refs = reference_counts(&vfs, root);
+            for (&obj, &count) in &refs {
+                let inode = vfs
+                    .inode(obj)
+                    .expect("directory entries never point at dead inodes");
+                if !inode.kind.is_dir() {
+                    prop_assert_eq!(
+                        inode.nlink, count,
+                        "nlink bookkeeping diverged for {:?}", obj
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_numbers_get_fresh_generations(rounds in 1usize..30) {
+        let mut vfs = Vfs::new(L);
+        let root = vfs.root();
+        let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for i in 0..rounds {
+            let obj = vfs
+                .create_child(
+                    root,
+                    &format!("g{i}"),
+                    InodeKind::empty_file(),
+                    Mode::FILE_DEFAULT,
+                    Uid(1),
+                    Gid(1),
+                    L,
+                )
+                .unwrap();
+            let generation = vfs.inode(obj).unwrap().generation;
+            if let Some(prev) = seen.insert(obj.ino.0, generation) {
+                prop_assert!(generation > prev, "recycled number, stale generation");
+            }
+            vfs.unlink(root, &format!("g{i}")).unwrap();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Library hijacking: the untrusted-library-load family (E1/E8).
+//!
+//! Walks through every way adversaries steer the dynamic linker —
+//! `LD_LIBRARY_PATH`, insecure `RPATH` (the Debian/Apache CVE), and a
+//! poisoned working directory (the Icecat bug this system found) — and
+//! shows rule R1 neutralizing all of them at a single entrypoint.
+//!
+//! Run with: `cargo run --example library_hijack`
+
+use process_firewall::attacks::ruleset::R1;
+use process_firewall::os::loader::{load_library, LinkerConfig};
+use process_firewall::prelude::*;
+
+fn main() {
+    let mut kernel = standard_world();
+
+    // The adversary's staging: trojan copies of common libraries in
+    // every writable spot they can reach.
+    let adversary = kernel.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    for dir in ["/tmp/evil", "/tmp/svn", "/tmp/downloads"] {
+        kernel.mkdir(adversary, dir, 0o777).unwrap();
+        let path = format!("{dir}/libc-2.15.so");
+        let fd = kernel
+            .open(adversary, &path, OpenFlags::creat(0o755))
+            .unwrap();
+        kernel.write(adversary, fd, b"TROJAN").unwrap();
+        kernel.close(adversary, fd).unwrap();
+    }
+    println!("[adversary] trojans planted in /tmp/evil, /tmp/svn, /tmp/downloads\n");
+
+    let attacks: [(&str, LinkerConfig, Option<(&str, &str)>, Option<&str>); 3] = [
+        (
+            "LD_LIBRARY_PATH hijack (non-setuid victim)",
+            LinkerConfig::default(),
+            Some(("LD_LIBRARY_PATH", "/tmp/evil")),
+            None,
+        ),
+        (
+            "insecure RPATH baked into the binary (CVE-2006-1564)",
+            LinkerConfig {
+                rpath: vec!["/tmp/svn".into()],
+                ..Default::default()
+            },
+            None,
+            None,
+        ),
+        (
+            "poisoned working directory (the Icecat bug, E8)",
+            LinkerConfig::default(),
+            Some(("LD_LIBRARY_PATH", ".")),
+            Some("/tmp/downloads"),
+        ),
+    ];
+
+    for protected in [false, true] {
+        let mut k = standard_world();
+        let adv = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        for dir in ["/tmp/evil", "/tmp/svn", "/tmp/downloads"] {
+            k.mkdir(adv, dir, 0o777).unwrap();
+            let path = format!("{dir}/libc-2.15.so");
+            let fd = k.open(adv, &path, OpenFlags::creat(0o755)).unwrap();
+            k.write(adv, fd, b"TROJAN").unwrap();
+            k.close(adv, fd).unwrap();
+        }
+        if protected {
+            k.install_rules([R1]).unwrap();
+            println!("== with rule R1 installed ==");
+        } else {
+            println!("== unprotected ==");
+        }
+        for (name, config, env, cwd) in &attacks {
+            let victim = k.spawn("staff_t", "/usr/bin/app", Uid(501), Gid(501));
+            if let Some((key, value)) = env {
+                k.task_mut(victim).unwrap().setenv(key, value);
+            }
+            if let Some(dir) = cwd {
+                k.task_mut(victim).unwrap().cwd = k.lookup(dir).unwrap();
+            }
+            let result = load_library(&mut k, victim, "libc-2.15.so", config);
+            match result {
+                Ok(lib) => println!("  {name}\n      -> loaded {}", lib.path),
+                Err(e) => println!("  {name}\n      -> load failed: {e}"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "One rule covers every channel because it constrains WHAT the ld.so\n\
+         entrypoint may receive, not HOW the name was constructed."
+    );
+}

@@ -1,0 +1,55 @@
+//! Signal-handler races: the OpenSSH grace-alarm scenario (E5).
+//!
+//! Signal races are the attack class program checks fundamentally cannot
+//! fix: the race is *inside the kernel's delivery decision*. The paper's
+//! rules R9–R12 keep per-process state ("is a handler running?") in the
+//! firewall's STATE dictionary and drop re-entrant deliveries of handled
+//! blockable signals, system-wide.
+//!
+//! Run with: `cargo run --example signal_race`
+
+use process_firewall::attacks::ruleset::{R10, R11, R12, R9};
+use process_firewall::prelude::*;
+
+fn main() {
+    for protected in [false, true] {
+        let mut kernel = standard_world();
+        if protected {
+            kernel.install_rules([R9, R10, R11, R12]).unwrap();
+            println!("== with signal-chain rules (R9-R12) ==");
+        } else {
+            println!("== unprotected ==");
+        }
+
+        // sshd installs its (non-reentrant) SIGALRM grace handler.
+        let sshd = kernel.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        kernel.sigaction(sshd, SignalNum::SIGALRM, true).unwrap();
+        let trigger = kernel.spawn("init_t", "/bin/sh", Uid::ROOT, Gid::ROOT);
+
+        // Two alarms in quick succession.
+        let first = kernel.kill(trigger, sshd, SignalNum::SIGALRM).unwrap();
+        let second = kernel.kill(trigger, sshd, SignalNum::SIGALRM).unwrap();
+        let depth = kernel.task(sshd).unwrap().in_handler;
+        println!("  first alarm delivered:  {first}");
+        println!("  second alarm delivered: {second}   (handler depth now {depth})");
+        if depth >= 2 {
+            println!("  -> NESTED non-reentrant handler: heap corruption, CVE-2006-5051");
+        } else {
+            println!("  -> re-entrant delivery dropped by the firewall");
+        }
+
+        // The handler finishes; deliveries resume.
+        kernel.sigreturn(sshd).unwrap();
+        if depth >= 2 {
+            kernel.sigreturn(sshd).unwrap();
+        }
+        let after = kernel.kill(trigger, sshd, SignalNum::SIGALRM).unwrap();
+        println!("  alarm after sigreturn:  {after}   (no false positives)\n");
+    }
+
+    println!(
+        "Note the division of labour: SIGNAL_MATCH (has handler, not SIGKILL/SIGSTOP)\n\
+         gates the rules; STATE 'sig' tracks handler entry (R11) and exit via the\n\
+         sigreturn syscall on the syscallbegin chain (R12); R10 drops the race."
+    );
+}

@@ -1,0 +1,102 @@
+//! Webserver protection: the paper's motivating scenario end-to-end.
+//!
+//! A web server must read both authentication data and user web content,
+//! so least-privilege permissions cannot separate the two — but the
+//! *program instructions* that request them are distinct, and the
+//! Process Firewall can tell them apart by entrypoint. This example
+//! drives three attacks against an Apache model and blocks all of them
+//! with rules, then shows that moving the `SymLinksIfOwnerMatch` checks
+//! into the firewall also serves requests with fewer system calls.
+//!
+//! Run with: `cargo run --example webserver_protection`
+
+use process_firewall::attacks::ruleset::{R4, R8};
+use process_firewall::attacks::webserver::{add_page, Apache, APACHE_DOCROOT_RULE};
+use process_firewall::os::interp::{include_file, PHP};
+use process_firewall::prelude::*;
+
+fn main() {
+    let mut kernel = standard_world();
+    let mut apache = Apache::start(&mut kernel);
+    println!("== Attack 1: directory traversal through a planted symlink ==");
+    // The naive `..` filter is lexical; a symlink inside the docroot
+    // escapes it.
+    kernel
+        .put_symlink("/var/www/exports", "/etc", Uid(1000))
+        .unwrap();
+    let leaked = apache
+        .handle_request(&mut kernel, "/exports/passwd")
+        .unwrap();
+    println!("unprotected: leaked {} bytes of /etc/passwd", leaked.len());
+    kernel.install_rules([APACHE_DOCROOT_RULE]).unwrap();
+    let err = apache
+        .handle_request(&mut kernel, "/exports/passwd")
+        .unwrap_err();
+    println!("protected:   {err}");
+    assert!(apache.handle_request(&mut kernel, "/index.html").is_ok());
+    println!("benign:      /index.html still served\n");
+
+    println!("== Attack 2: PHP local file inclusion (Joomla-style) ==");
+    let php = kernel.spawn("httpd_t", "/usr/bin/php5", Uid(33), Gid(33));
+    let adversary = kernel.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let fd = kernel
+        .open(adversary, "/tmp/payload.php", OpenFlags::creat(0o644))
+        .unwrap();
+    kernel
+        .write(adversary, fd, b"<?php system($_GET['cmd']); ?>")
+        .unwrap();
+    kernel.close(adversary, fd).unwrap();
+    let included = include_file(
+        &mut kernel,
+        php,
+        PHP,
+        "/var/www/index.php",
+        1,
+        "/tmp/payload.php",
+    );
+    println!("unprotected: attacker code included: {}", included.is_ok());
+    kernel.install_rules([R4]).unwrap();
+    let err = include_file(
+        &mut kernel,
+        php,
+        PHP,
+        "/var/www/index.php",
+        1,
+        "/tmp/payload.php",
+    )
+    .unwrap_err();
+    println!("protected:   {err}");
+    let legit = include_file(
+        &mut kernel,
+        php,
+        PHP,
+        "/var/www/index.php",
+        1,
+        "/var/www/components/gcalendar.php",
+    );
+    println!("benign:      component include ok: {}\n", legit.is_ok());
+
+    println!("== Attack 3 + performance: SymLinksIfOwnerMatch ==");
+    kernel
+        .put_symlink("/var/www/leak", "/etc/passwd", Uid(1000))
+        .unwrap();
+    // Program checks block the leak but cost lstats per component.
+    apache.symlinks_if_owner_match = true;
+    let uri = add_page(&mut kernel, 5);
+    let t0 = kernel.now();
+    apache.handle_request(&mut kernel, &uri).unwrap();
+    let with_checks = kernel.now() - t0;
+    assert!(apache.handle_request(&mut kernel, "/leak").is_err());
+    // The firewall rule gives the same protection with zero extra
+    // syscalls.
+    apache.symlinks_if_owner_match = false;
+    kernel.install_rules([R8]).unwrap();
+    let t1 = kernel.now();
+    apache.handle_request(&mut kernel, &uri).unwrap();
+    let with_rule = kernel.now() - t1;
+    let err = apache.handle_request(&mut kernel, "/leak").unwrap_err();
+    println!("protected:   {err}");
+    println!("syscalls per request: {with_checks} with program checks, {with_rule} with rule R8");
+    assert!(with_rule < with_checks);
+    println!("=> the firewall is both more secure (race-free) and faster");
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # process-firewall
+//!
+//! A complete, user-space reproduction of **"Process Firewalls:
+//! Protecting Processes During Resource Access"** (Vijayakumar,
+//! Schiffman, Jaeger — EuroSys 2013).
+//!
+//! The Process Firewall is to the system-call interface what a network
+//! firewall is to the network: a rule engine that *protects* processes
+//! (rather than confining them) by blocking resource accesses that match
+//! attack-specific invariants — untrusted search paths, untrusted
+//! library loads, file/IPC squatting, PHP file inclusion, directory
+//! traversal, link following, TOCTTOU races, and signal races.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `pf-types` | labels, ids, operations, verdicts, the attack taxonomy |
+//! | [`vfs`] | `pf-vfs` | in-memory VFS: inodes, symlinks, DAC, per-component resolution, inode recycling |
+//! | [`mac`] | `pf-mac` | SELinux-style MAC policy + adversary accessibility |
+//! | [`os`] | `pf-os` | kernel simulator: tasks, syscalls, signals, LSM hooks, `ld.so`, interpreters |
+//! | [`firewall`] | `pf-core` | **the paper's contribution**: `pftables` language, chains, engine, context/match/target modules |
+//! | [`rulegen`] | `pf-rulegen` | trace classification, threshold analysis (Table 8), rule templates |
+//! | [`sting`] | `pf-sting` | STING-style dynamic vulnerability tester (record surface → plant → confirm → derive rule) |
+//! | [`attacks`] | `pf-attacks` | exploits E1–E9, the `safe_open` family, the Apache model, macro workloads |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use process_firewall::os::{standard_world, OpenFlags};
+//! use process_firewall::types::{Gid, Uid};
+//!
+//! // Build an Ubuntu-flavoured world and protect /tmp link-following.
+//! let mut kernel = standard_world();
+//! kernel
+//!     .install_rules([process_firewall::attacks::ruleset::SAFE_OPEN])
+//!     .unwrap();
+//!
+//! // An adversary plants a symlink trap in /tmp...
+//! let adversary = kernel.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+//! kernel.symlink(adversary, "/etc/shadow", "/tmp/report").unwrap();
+//!
+//! // ...and the victim's open is dropped by the firewall, not by luck.
+//! let victim = kernel.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+//! let err = kernel
+//!     .open(victim, "/tmp/report", OpenFlags::creat(0o644))
+//!     .unwrap_err();
+//! assert!(err.is_firewall_denial());
+//! ```
+
+pub use pf_attacks as attacks;
+pub use pf_core as firewall;
+pub use pf_mac as mac;
+pub use pf_os as os;
+pub use pf_rulegen as rulegen;
+pub use pf_sting as sting;
+pub use pf_types as types;
+pub use pf_vfs as vfs;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use pf_core::{LogEntry, OptLevel, ProcessFirewall};
+    pub use pf_mac::{ubuntu_mini, MacPolicy};
+    pub use pf_os::{standard_world, Kernel, OpenFlags};
+    pub use pf_types::{Gid, LsmOperation, PfError, PfResult, Pid, SignalNum, Uid, Verdict};
+    pub use pf_vfs::{AccessKind, ObjRef, Vfs};
+}

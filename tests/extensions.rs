@@ -1,0 +1,216 @@
+//! Integration tests for the extensions beyond the paper's prototype:
+//! chain management, the INTERP and CALLER match modules, hit counters,
+//! the policy language, and attack-surface recording.
+
+use process_firewall::firewall::render_rules;
+use process_firewall::os::interp::{include_file, PHP};
+use process_firewall::prelude::*;
+
+#[test]
+fn chain_management_commands() {
+    let mut k = standard_world();
+    // -N declares, rules append into it, -F empties, -X removes.
+    k.install_rules(["pftables -N quarantine"]).unwrap();
+    k.install_rules(["pftables -A quarantine -o FILE_OPEN -j DROP"])
+        .unwrap();
+    assert_eq!(k.firewall.rule_count(), 1);
+    // Duplicate -N is rejected; deleting a non-empty chain is rejected.
+    assert!(k.install_rules(["pftables -N quarantine"]).is_err());
+    assert!(k.install_rules(["pftables -X quarantine"]).is_err());
+    k.install_rules(["pftables -F quarantine"]).unwrap();
+    assert_eq!(k.firewall.rule_count(), 0);
+    k.install_rules(["pftables -X quarantine"]).unwrap();
+    // Built-ins cannot be created or deleted.
+    assert!(k.install_rules(["pftables -N input"]).is_err());
+    assert!(k.install_rules(["pftables -X input"]).is_err());
+    // -F with no chain flushes everything.
+    k.install_rules([
+        "pftables -o FILE_OPEN -j DROP",
+        "pftables -I signal_chain -m SIGNAL_MATCH -j DROP",
+    ])
+    .unwrap();
+    k.install_rules(["pftables -F"]).unwrap();
+    assert_eq!(k.firewall.rule_count(), 0);
+}
+
+#[test]
+fn quarantine_chain_participates_in_evaluation() {
+    // A user chain reached via jump behaves like iptables: the jump rule
+    // selects traffic, the user chain decides.
+    let mut k = standard_world();
+    k.install_rules([
+        "pftables -N quarantine",
+        "pftables -I input -d tmp_t -j QUARANTINE",
+        "pftables -A quarantine -o FILE_WRITE -j DROP",
+    ])
+    .unwrap();
+    let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let fd = k
+        .open(
+            pid,
+            "/tmp/q",
+            OpenFlags {
+                read: true,
+                write: true,
+                create: true,
+                mode: 0o644,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(k.read(pid, fd).is_ok(), "reads fall through the chain");
+    let e = k.write(pid, fd, b"x").unwrap_err();
+    assert!(e.is_firewall_denial(), "writes die in quarantine");
+}
+
+#[test]
+fn interp_module_scopes_rules_to_one_script() {
+    // Two PHP scripts run in the same interpreter; only the plugin is
+    // confined.
+    let mut k = standard_world();
+    k.install_rules(["pftables -p /usr/bin/php5 -i 0x27ad2c -o FILE_OPEN \
+         -m INTERP --script /var/www/plugin.php -d ~{httpd_user_script_exec_t} -j DROP"])
+        .unwrap();
+    let php = k.spawn("httpd_t", "/usr/bin/php5", Uid(33), Gid(33));
+    // The confined plugin cannot include /etc files...
+    let e = include_file(&mut k, php, PHP, "/var/www/plugin.php", 3, "/etc/passwd").unwrap_err();
+    assert!(e.is_firewall_denial());
+    // ...but the trusted index.php still can (same interpreter binary,
+    // same entrypoint pc, different script).
+    assert!(include_file(&mut k, php, PHP, "/var/www/index.php", 3, "/etc/passwd").is_ok());
+}
+
+#[test]
+fn interp_module_line_constraint() {
+    let mut k = standard_world();
+    k.install_rules(["pftables -o FILE_OPEN -m INTERP --script /var/www/x.php --line 7 -j DROP"])
+        .unwrap();
+    let php = k.spawn("httpd_t", "/usr/bin/php5", Uid(33), Gid(33));
+    let blocked = include_file(&mut k, php, PHP, "/var/www/x.php", 7, "/etc/passwd");
+    assert!(blocked.unwrap_err().is_firewall_denial());
+    let allowed = include_file(&mut k, php, PHP, "/var/www/x.php", 8, "/etc/passwd");
+    assert!(allowed.is_ok(), "different line, rule does not apply");
+}
+
+#[test]
+fn hit_counters_show_in_listing() {
+    let mut k = standard_world();
+    k.install_rules(["pftables -o FILE_OPEN -d tmp_t -j DROP"])
+        .unwrap();
+    let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    for _ in 0..3 {
+        let _ = k.open(pid, "/tmp/x", OpenFlags::creat(0o644));
+    }
+    let listing = render_rules(&k.firewall);
+    assert!(listing.contains("hits=3"), "{listing}");
+}
+
+#[test]
+fn policy_language_drives_adversary_accessibility_end_to_end() {
+    // Build a kernel over a *parsed* policy instead of the built-in one
+    // and check the firewall's ADV_ACCESS module follows it.
+    let policy = process_firewall::mac::parse_policy(
+        "
+        subject daemon_t user_t
+        object spool_t conf_t root_t
+        syshigh daemon_t conf_t root_t
+        allow daemon_t spool_t rwx
+        allow daemon_t conf_t rx
+        allow user_t spool_t rwx
+        filecon /spool spool_t
+        filecon /conf conf_t
+        ",
+    )
+    .unwrap();
+    let mut k = Kernel::new(policy);
+    k.put_file("/spool/job", b"j", 0o666, Uid(1000), Gid(1000))
+        .unwrap();
+    k.put_file("/conf/daemon.conf", b"c", 0o644, Uid::ROOT, Gid::ROOT)
+        .unwrap();
+    k.install_rules(["pftables -o FILE_OPEN -m ADV_ACCESS --write --accessible -j DROP"])
+        .unwrap();
+    let daemon = k.spawn("daemon_t", "/sbin/daemon", Uid::ROOT, Gid::ROOT);
+    // spool_t is user-writable → adversary-accessible → dropped.
+    assert!(k
+        .open(daemon, "/spool/job", OpenFlags::rdonly())
+        .unwrap_err()
+        .is_firewall_denial());
+    // conf_t is TCB-only → allowed.
+    assert!(k
+        .open(daemon, "/conf/daemon.conf", OpenFlags::rdonly())
+        .is_ok());
+}
+
+#[test]
+fn surface_recording_is_off_by_default_and_scoped() {
+    let mut k = standard_world();
+    let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+    assert!(k.surface.is_empty(), "recording must be opt-in");
+    k.record_surface = true;
+    k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+    assert!(!k.surface.is_empty());
+    assert!(
+        k.surface.iter().all(|e| !e.adversary_writable),
+        "/ and /etc are TCB directories"
+    );
+}
+
+#[test]
+fn owner_match_module_gates_on_dac_owner() {
+    let mut k = standard_world();
+    // Drop opens of files owned by uid 1000 (regardless of label).
+    k.install_rules(["pftables -o FILE_OPEN -m OWNER --uid 1000 -j DROP"])
+        .unwrap();
+    k.put_file("/tmp/theirs", b"x", 0o644, Uid(1000), Gid(1000))
+        .unwrap();
+    k.put_file("/tmp/roots", b"x", 0o644, Uid::ROOT, Gid::ROOT)
+        .unwrap();
+    let pid = k.spawn("staff_t", "/bin/sh", Uid::ROOT, Gid::ROOT);
+    assert!(k
+        .open(pid, "/tmp/theirs", OpenFlags::rdonly())
+        .unwrap_err()
+        .is_firewall_denial());
+    assert!(k.open(pid, "/tmp/roots", OpenFlags::rdonly()).is_ok());
+}
+
+#[test]
+fn frame_limit_dos_guard_fails_open_for_that_process_only() {
+    // §4.4: an absurdly deep (attacker-built) stack aborts unwinding;
+    // the process loses only its own protection.
+    let mut k = standard_world();
+    k.install_rules([
+        "pftables -p /bin/sh -i 0x1 -o FILE_OPEN -d tmp_t -j DROP",
+        "pftables -o FILE_WRITE -d etc_t -j DROP",
+    ])
+    .unwrap();
+    let evil = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let prog = k.programs.intern("/bin/sh");
+    for i in 0..(k.frame_limit + 10) {
+        k.task_mut(evil)
+            .unwrap()
+            .push_frame(process_firewall::os::Frame {
+                program: prog,
+                pc: if i == 0 { 0x1 } else { 0x999 },
+            });
+    }
+    k.put_file("/tmp/bait", b"", 0o666, Uid(1000), Gid(1000))
+        .unwrap();
+    // The entrypoint rule cannot match (unwind aborted): fails open.
+    assert!(k.open(evil, "/tmp/bait", OpenFlags::rdonly()).is_ok());
+    // But entrypoint-independent rules still protect everyone.
+    let fd = k.open(evil, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+    drop(fd);
+    let root = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+    let wfd = k
+        .open(
+            root,
+            "/etc/passwd",
+            OpenFlags {
+                write: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(k.write(root, wfd, b"x").unwrap_err().is_firewall_denial());
+}
