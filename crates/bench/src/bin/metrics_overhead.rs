@@ -1,0 +1,61 @@
+//! Measures the metrics subsystem's cost on the Table 6 hot path.
+//!
+//! Two configurations of the same EPTSPC/full-rule-base world:
+//!
+//! * **default** — the no-op recorder: the always-on legacy counters
+//!   plus one `detailed` branch per metric site, no clock reads. This is
+//!   what every other harness (table6, table7, figures) measures.
+//! * **detailed** — `Metrics::set_detailed(true)`: per-rule, per-op and
+//!   per-field counters plus two `Instant` reads per hook invocation
+//!   (and two more per context fetch) feeding the latency histograms.
+//!
+//! The delta is the price of opting into deep observability; the default
+//! column is the number that must not regress versus a metrics-free
+//! build.
+
+use pf_bench::micro::{op_runner, SYSCALLS};
+use pf_bench::{overhead_pct, time_per_iter, us, world_at, RuleSet};
+use pf_core::OptLevel;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    println!(
+        "Metrics overhead on the Table 6 path (EPTSPC, full rules; mean µs/op over {iters} iterations)"
+    );
+    println!("{:-<66}", "");
+    println!(
+        "{:<12} {:>14} {:>14} {:>12}",
+        "syscall", "default µs", "detailed µs", "overhead"
+    );
+    println!("{:-<66}", "");
+
+    for name in SYSCALLS {
+        let (mut k, pid) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        let mut runner = op_runner(&mut k, pid, name);
+        let off = time_per_iter(iters, || runner(&mut k));
+        drop(runner);
+
+        let (mut k, pid) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        k.firewall.metrics().set_detailed(true);
+        let mut runner = op_runner(&mut k, pid, name);
+        let on = time_per_iter(iters, || runner(&mut k));
+        drop(runner);
+
+        println!(
+            "{:<12} {:>14} {:>14} {:>11.1}%",
+            name,
+            us(off),
+            us(on),
+            overhead_pct(off, on)
+        );
+    }
+    println!("{:-<66}", "");
+    println!(
+        "The default recorder is what the table6/table7 harnesses run under;\n\
+         detailed collection is opt-in (pfstat, exporters) and pays for the\n\
+         per-rule/per-field counters and the histogram clock reads."
+    );
+}

@@ -1,0 +1,172 @@
+//! `pfstat`: the observability report tool.
+//!
+//! Runs one pf-attacks workload under the full rule base (EPTSPC) with
+//! detailed metrics enabled, then prints the counter/histogram report:
+//! summary counters, per-operation invocation counts, per-rule
+//! evaluated/hit counters, per-context-field fetch statistics, and the
+//! evaluation / context-fetch latency histograms.
+//!
+//! ```text
+//! usage: pfstat [apache|boot|web] [--json|--prometheus]
+//! ```
+//!
+//! `--json` and `--prometheus` switch the output to the corresponding
+//! exporter format (see docs/OBSERVABILITY.md).
+
+use pf_attacks::workloads::{apache_build, boot, setup_build_tree, web_serve};
+use pf_bench::{world_at, RuleSet};
+use pf_core::metrics::Histogram;
+use pf_core::{CtxField, OptLevel};
+use pf_types::LsmOperation;
+
+fn usage() -> ! {
+    eprintln!("usage: pfstat [apache|boot|web] [--json|--prometheus]");
+    std::process::exit(2);
+}
+
+enum Mode {
+    Report,
+    Json,
+    Prometheus,
+}
+
+fn main() {
+    let mut workload = "apache".to_owned();
+    let mut mode = Mode::Report;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => mode = Mode::Json,
+            "--prometheus" => mode = Mode::Prometheus,
+            "apache" | "boot" | "web" => workload = arg,
+            _ => usage(),
+        }
+    }
+
+    let (mut k, _) = world_at(OptLevel::EptSpc, RuleSet::Full);
+    k.firewall.metrics().set_detailed(true);
+    match workload.as_str() {
+        "apache" => {
+            setup_build_tree(&mut k);
+            apache_build(&mut k).expect("apache build workload");
+        }
+        "boot" => {
+            boot(&mut k).expect("boot workload");
+        }
+        "web" => {
+            web_serve(&mut k, 10, 50).expect("web workload");
+        }
+        _ => unreachable!(),
+    }
+
+    match mode {
+        Mode::Json => println!("{}", k.firewall.metrics().to_json()),
+        Mode::Prometheus => print!("{}", k.firewall.metrics().render_prometheus()),
+        Mode::Report => report(&k, &workload),
+    }
+}
+
+fn report(k: &pf_os::Kernel, workload: &str) {
+    let m = k.firewall.metrics();
+    println!("pfstat: workload `{workload}` under the full rule base (EPTSPC)");
+    println!();
+
+    println!("== summary counters ==");
+    println!("invocations      {}", m.invocations());
+    println!("rules evaluated  {}", m.rules_evaluated());
+    println!(
+        "ctx fetches      {} ({} cache hits)",
+        m.ctx_fetches(),
+        m.cache_hits()
+    );
+    println!("drops            {}", m.drops());
+    println!("accepts          {}", m.accepts());
+    println!("default allows   {}", m.default_allows());
+    println!();
+
+    println!("== per-operation invocations ==");
+    let mut ops: Vec<(u64, LsmOperation)> = LsmOperation::ALL
+        .iter()
+        .map(|&op| (m.op_invocations(op), op))
+        .filter(|(n, _)| *n > 0)
+        .collect();
+    ops.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.name().cmp(b.1.name())));
+    for (n, op) in &ops {
+        println!("{:<28} {n}", op.name());
+    }
+    println!();
+
+    // Per-rule counters, hottest first. The full base has ~1218 rules,
+    // almost all never evaluated under EPTSPC — show the active ones.
+    const TOP: usize = 20;
+    let mut rows: Vec<(u64, u64, String, usize, String)> = Vec::new();
+    for chain in m.chains_seen() {
+        let Some(snap) = m.chain_snapshot(&chain) else {
+            continue;
+        };
+        let rules = k.firewall.base().chain(&chain);
+        for (i, rule) in rules.iter().enumerate() {
+            let evals = snap.evaluated.get(i).copied().unwrap_or(0);
+            let hits = snap.hits.get(i).copied().unwrap_or(0);
+            if evals > 0 || hits > 0 {
+                rows.push((evals, hits, chain.name(), i, rule.text.clone()));
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+    println!(
+        "== per-rule counters ({} of {} rules evaluated; top {}) ==",
+        rows.len(),
+        k.firewall.rule_count(),
+        TOP.min(rows.len())
+    );
+    println!(
+        "{:>10} {:>8}  {:<14} {:>4}  text",
+        "evals", "hits", "chain", "rule"
+    );
+    for (evals, hits, chain, index, text) in rows.iter().take(TOP) {
+        println!("{evals:>10} {hits:>8}  {chain:<14} {index:>4}  {text}");
+    }
+    println!();
+
+    println!("== context fields ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "field", "fetches", "hits", "misses"
+    );
+    for field in CtxField::ALL {
+        let (fetches, hits, misses) = m.field_counts(field);
+        if fetches + hits + misses > 0 {
+            println!(
+                "{:<16} {fetches:>10} {hits:>10} {misses:>10}",
+                field.cname()
+            );
+        }
+    }
+    println!();
+
+    print_histogram("hook evaluation latency", m.eval_latency());
+    println!();
+    print_histogram("context fetch latency", m.fetch_latency());
+}
+
+fn print_histogram(title: &str, h: &Histogram) {
+    println!("== {title} (ns) ==");
+    if h.count() == 0 {
+        println!("(no samples)");
+        return;
+    }
+    println!(
+        "count={} mean={} p50={} p99={} max={}",
+        h.count(),
+        h.mean(),
+        h.p50(),
+        h.p99(),
+        h.max()
+    );
+    let total = h.count();
+    for (upper, cum) in h.cumulative_buckets() {
+        let pct = cum as f64 / total as f64 * 100.0;
+        let bar = "#".repeat((pct / 2.5).round() as usize);
+        println!("  <= {upper:>12}  {cum:>10} ({pct:>5.1}%) {bar}");
+    }
+}

@@ -7,7 +7,7 @@
 //! caching), LAZYCON (+ lazy context), EPTSPC (+ entrypoint chains).
 
 use pf_bench::micro::{op_runner, SYSCALLS};
-use pf_bench::{overhead_pct, time_per_iter, us, world_at, RuleSet};
+use pf_bench::{dump_metrics_json, overhead_pct, time_per_iter, us, world_at, RuleSet};
 use pf_core::OptLevel;
 
 fn main() {
@@ -58,4 +58,17 @@ fn main() {
         "Shape check vs paper: BASE ~ DISABLED; FULL worst (linear rule scan + eager context);\n\
          each optimization reduces overhead; EPTSPC returns resource syscalls to near-BASE."
     );
+
+    // Instrumented pass, separate from the timed runs above so detailed
+    // metric collection cannot skew the table: one EPTSPC world under
+    // the full rule base, every row's syscall mix, dumped as JSON.
+    let (mut k, pid) = world_at(OptLevel::EptSpc, RuleSet::Full);
+    k.firewall.metrics().set_detailed(true);
+    for name in SYSCALLS {
+        let mut runner = op_runner(&mut k, pid, name);
+        for _ in 0..100 {
+            runner(&mut k);
+        }
+    }
+    dump_metrics_json(&k.firewall.metrics().to_json(), "table6");
 }

@@ -5,7 +5,7 @@
 use std::time::{Duration, Instant};
 
 use pf_attacks::workloads::{apache_build, boot, setup_build_tree, web_serve};
-use pf_bench::{overhead_pct, world_at, RuleSet};
+use pf_bench::{combine_metrics_json, dump_metrics_json, overhead_pct, world_at, RuleSet};
 use pf_core::OptLevel;
 use pf_os::Kernel;
 
@@ -93,6 +93,38 @@ fn main() {
         |k| web_serve(k, 1000, 1).unwrap(),
     );
     println!("{:-<80}", "");
+
+    // Instrumented pass, separate from the timed runs: one detailed-
+    // metrics run per workload under PF Full, combined into one JSON
+    // document keyed by workload name.
+    let mut sections: Vec<(String, String)> = Vec::new();
+    {
+        let (mut k, _) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        setup_build_tree(&mut k);
+        k.firewall.metrics().set_detailed(true);
+        let _ = apache_build(&mut k);
+        sections.push(("apache_build".into(), k.firewall.metrics().to_json()));
+    }
+    {
+        let (mut k, _) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        k.firewall.metrics().set_detailed(true);
+        let _ = boot(&mut k);
+        sections.push(("boot".into(), k.firewall.metrics().to_json()));
+    }
+    {
+        let (mut k, _) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        k.firewall.metrics().set_detailed(true);
+        let _ = web_serve(&mut k, 1, 200);
+        sections.push(("web1".into(), k.firewall.metrics().to_json()));
+    }
+    {
+        let (mut k, _) = world_at(OptLevel::EptSpc, RuleSet::Full);
+        k.firewall.metrics().set_detailed(true);
+        let _ = web_serve(&mut k, 1000, 1);
+        sections.push(("web1000".into(), k.firewall.metrics().to_json()));
+    }
+    dump_metrics_json(&combine_metrics_json(&sections), "table7");
+
     println!(
         "Shape check vs paper: PF Base ≪ PF Full, and the full-rule overhead stays a\n\
          small multiple of the base workload. Percentages are inflated relative to the\n\

@@ -82,6 +82,37 @@ pub fn overhead_pct(base: Duration, d: Duration) -> f64 {
     (d.as_nanos() as f64 / base.as_nanos() as f64 - 1.0) * 100.0
 }
 
+/// Writes a metrics JSON document to `results/<name>.metrics.json`, next
+/// to the table/figure text files the harnesses produce.
+///
+/// Best-effort: harnesses report results on stdout; a dump failure (e.g.
+/// a read-only checkout) is a warning, not an error.
+pub fn dump_metrics_json(json: &str, name: &str) {
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!("{name}.metrics.json"));
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+        Err(e) => eprintln!("metrics: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Joins named metrics documents into one JSON object:
+/// `{"name1": <doc1>, "name2": <doc2>, …}`.
+pub fn combine_metrics_json(sections: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, json)) in sections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(json);
+    }
+    out.push('}');
+    out
+}
+
 /// The Table 6 microbenchmark operations.
 pub mod micro {
     use super::*;

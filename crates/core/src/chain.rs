@@ -39,11 +39,16 @@ impl ChainName {
 
     /// The canonical printed name.
     pub fn name(&self) -> String {
+        self.as_str().to_owned()
+    }
+
+    /// The canonical name without allocating — used on metrics paths.
+    pub fn as_str(&self) -> &str {
         match self {
-            ChainName::Input => "input".into(),
-            ChainName::Output => "output".into(),
-            ChainName::SyscallBegin => "syscallbegin".into(),
-            ChainName::User(s) => s.clone(),
+            ChainName::Input => "input",
+            ChainName::Output => "output",
+            ChainName::SyscallBegin => "syscallbegin",
+            ChainName::User(s) => s,
         }
     }
 }

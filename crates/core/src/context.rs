@@ -11,7 +11,7 @@ use pf_types::{ProgramId, SecId};
 
 use crate::config::PfConfig;
 use crate::env::EvalEnv;
-use crate::stats::PfStats;
+use crate::metrics::Metrics;
 
 /// One retrievable context field.
 ///
@@ -41,6 +41,23 @@ pub enum CtxField {
 }
 
 impl CtxField {
+    /// Every context field, for exhaustive iteration in metrics export.
+    /// Indexed by [`CtxField::bit`].
+    pub const ALL: [CtxField; 12] = [
+        CtxField::Entrypoint,
+        CtxField::ResourceId,
+        CtxField::ObjectSid,
+        CtxField::DacOwner,
+        CtxField::TgtDacOwner,
+        CtxField::AdvWrite,
+        CtxField::AdvRead,
+        CtxField::Arg(0),
+        CtxField::Arg(1),
+        CtxField::Arg(2),
+        CtxField::Arg(3),
+        CtxField::SignalNum,
+    ];
+
     /// Bit index in the collected-context mask.
     pub fn bit(self) -> u32 {
         match self {
@@ -111,6 +128,9 @@ pub struct Packet<'e> {
     config: PfConfig,
     /// Bitmask of fields already collected this invocation.
     collected: u32,
+    /// Set when a TRACE rule fires: the clock trace events are stamped
+    /// against for the rest of the invocation.
+    trace_started: Option<std::time::Instant>,
     entrypoint: Option<(ProgramId, u64)>,
     object_sid: Option<Option<SecId>>,
     resource_id: Option<Option<u64>>,
@@ -128,6 +148,7 @@ impl<'e> Packet<'e> {
             env,
             config,
             collected: 0,
+            trace_started: None,
             entrypoint: None,
             object_sid: None,
             resource_id: None,
@@ -154,6 +175,20 @@ impl<'e> Packet<'e> {
         self.collected
     }
 
+    /// Arms tracing for the rest of this invocation (TRACE target).
+    /// The first call wins; later TRACE rules keep the original clock.
+    pub(crate) fn start_trace(&mut self) {
+        if self.trace_started.is_none() {
+            self.trace_started = Some(std::time::Instant::now());
+        }
+    }
+
+    /// The trace clock, when a TRACE rule has fired this invocation.
+    #[inline]
+    pub(crate) fn trace_clock(&self) -> Option<std::time::Instant> {
+        self.trace_started
+    }
+
     fn mark(&mut self, field: CtxField) {
         self.collected |= 1 << field.bit();
     }
@@ -161,17 +196,17 @@ impl<'e> Packet<'e> {
     /// Eagerly materializes every context field (the unoptimized FULL
     /// behaviour: "a naive design simply fetches all process and resource
     /// contexts", Section 4.2).
-    pub fn fetch_all(&mut self, stats: &PfStats) {
-        self.entrypoint_value(stats);
-        self.object_sid_value(stats);
-        self.resource_id_value(stats);
-        self.dac_owner_value(stats);
-        self.adv_write_value(stats);
-        self.adv_read_value(stats);
-        self.tgt_dac_owner_value(stats);
-        self.signal_value(stats);
+    pub fn fetch_all(&mut self, metrics: &Metrics) {
+        self.entrypoint_value(metrics);
+        self.object_sid_value(metrics);
+        self.resource_id_value(metrics);
+        self.dac_owner_value(metrics);
+        self.adv_write_value(metrics);
+        self.adv_read_value(metrics);
+        self.tgt_dac_owner_value(metrics);
+        self.signal_value(metrics);
         for n in 0..4 {
-            let _ = self.arg_value(n);
+            let _ = self.arg_value(n, metrics);
         }
     }
 
@@ -179,14 +214,15 @@ impl<'e> Packet<'e> {
     /// task's per-syscall cache under CONCACHE). `None` when the stack is
     /// malformed — the §4.4 sanitization path, which only forfeits the
     /// process's own protection.
-    pub fn entrypoint_value(&mut self, stats: &PfStats) -> Option<(ProgramId, u64)> {
+    pub fn entrypoint_value(&mut self, metrics: &Metrics) -> Option<(ProgramId, u64)> {
         if self.collected & (1 << CtxField::Entrypoint.bit()) != 0 {
             return self.entrypoint;
         }
         self.mark(CtxField::Entrypoint);
         if self.config.context_caching {
             if self.env.cache_get(CACHE_EPT_MISSING).is_some() {
-                stats.bump_cache_hits();
+                metrics.bump_cache_hits();
+                metrics.field_hit(CtxField::Entrypoint);
                 self.entrypoint = None;
                 return None;
             }
@@ -194,14 +230,17 @@ impl<'e> Packet<'e> {
                 self.env.cache_get(CACHE_EPT_PROG),
                 self.env.cache_get(CACHE_EPT_PC),
             ) {
-                stats.bump_cache_hits();
+                metrics.bump_cache_hits();
+                metrics.field_hit(CtxField::Entrypoint);
                 let ep = (pf_types::InternId(prog as u32), pc);
                 self.entrypoint = Some(ep);
                 return self.entrypoint;
             }
         }
-        stats.bump_ctx_fetches();
+        metrics.bump_ctx_fetches();
+        let t0 = metrics.timer();
         let ep = self.env.unwind_entrypoint();
+        metrics.observe_fetch(CtxField::Entrypoint, t0, ep.is_none());
         self.entrypoint = ep;
         if self.config.context_caching {
             match ep {
@@ -216,101 +255,128 @@ impl<'e> Packet<'e> {
     }
 
     /// The object's MAC label, if the operation has an object.
-    pub fn object_sid_value(&mut self, stats: &PfStats) -> Option<SecId> {
+    pub fn object_sid_value(&mut self, metrics: &Metrics) -> Option<SecId> {
         if self.object_sid.is_none() {
             self.mark(CtxField::ObjectSid);
-            stats.bump_ctx_fetches();
-            self.object_sid = Some(self.env.object().map(|o| o.sid));
+            metrics.bump_ctx_fetches();
+            let t0 = metrics.timer();
+            let v = self.env.object().map(|o| o.sid);
+            metrics.observe_fetch(CtxField::ObjectSid, t0, v.is_none());
+            self.object_sid = Some(v);
         }
         self.object_sid.unwrap()
     }
 
     /// The resource identifier folded to `u64` (`C_INO`).
-    pub fn resource_id_value(&mut self, stats: &PfStats) -> Option<u64> {
+    pub fn resource_id_value(&mut self, metrics: &Metrics) -> Option<u64> {
         if self.resource_id.is_none() {
             self.mark(CtxField::ResourceId);
-            stats.bump_ctx_fetches();
-            self.resource_id = Some(self.env.object().map(|o| o.resource.as_u64()));
+            metrics.bump_ctx_fetches();
+            let t0 = metrics.timer();
+            let v = self.env.object().map(|o| o.resource.as_u64());
+            metrics.observe_fetch(CtxField::ResourceId, t0, v.is_none());
+            self.resource_id = Some(v);
         }
         self.resource_id.unwrap()
     }
 
     /// The object's DAC owner uid (`C_DAC_OWNER`).
-    pub fn dac_owner_value(&mut self, stats: &PfStats) -> Option<u64> {
+    pub fn dac_owner_value(&mut self, metrics: &Metrics) -> Option<u64> {
         if self.dac_owner.is_none() {
             self.mark(CtxField::DacOwner);
-            stats.bump_ctx_fetches();
-            self.dac_owner = Some(self.env.object().map(|o| o.owner.0 as u64));
+            metrics.bump_ctx_fetches();
+            let t0 = metrics.timer();
+            let v = self.env.object().map(|o| o.owner.0 as u64);
+            metrics.observe_fetch(CtxField::DacOwner, t0, v.is_none());
+            self.dac_owner = Some(v);
         }
         self.dac_owner.unwrap()
     }
 
     /// The symlink target's DAC owner uid (`C_TGT_DAC_OWNER`), available
     /// only on link-traversal operations.
-    pub fn tgt_dac_owner_value(&mut self, stats: &PfStats) -> Option<u64> {
+    pub fn tgt_dac_owner_value(&mut self, metrics: &Metrics) -> Option<u64> {
         if self.tgt_dac_owner.is_none() {
             self.mark(CtxField::TgtDacOwner);
-            stats.bump_ctx_fetches();
-            self.tgt_dac_owner = Some(self.env.link_target_owner().map(|u| u.0 as u64));
+            metrics.bump_ctx_fetches();
+            let t0 = metrics.timer();
+            let v = self.env.link_target_owner().map(|u| u.0 as u64);
+            metrics.observe_fetch(CtxField::TgtDacOwner, t0, v.is_none());
+            self.tgt_dac_owner = Some(v);
         }
         self.tgt_dac_owner.unwrap()
     }
 
     /// Whether the object is adversary-writable (low integrity).
-    pub fn adv_write_value(&mut self, stats: &PfStats) -> Option<bool> {
+    pub fn adv_write_value(&mut self, metrics: &Metrics) -> Option<bool> {
         if self.adv_write.is_none() {
             self.mark(CtxField::AdvWrite);
-            stats.bump_ctx_fetches();
-            let sid = self.object_sid_value(stats);
-            self.adv_write = Some(sid.map(|s| self.env.mac().adversary_writable(s)));
+            metrics.bump_ctx_fetches();
+            let sid = self.object_sid_value(metrics);
+            let t0 = metrics.timer();
+            let v = sid.map(|s| self.env.mac().adversary_writable(s));
+            metrics.observe_fetch(CtxField::AdvWrite, t0, v.is_none());
+            self.adv_write = Some(v);
         }
         self.adv_write.unwrap()
     }
 
     /// Whether the object is adversary-readable (low secrecy).
-    pub fn adv_read_value(&mut self, stats: &PfStats) -> Option<bool> {
+    pub fn adv_read_value(&mut self, metrics: &Metrics) -> Option<bool> {
         if self.adv_read.is_none() {
             self.mark(CtxField::AdvRead);
-            stats.bump_ctx_fetches();
-            let sid = self.object_sid_value(stats);
-            self.adv_read = Some(sid.map(|s| self.env.mac().adversary_readable(s)));
+            metrics.bump_ctx_fetches();
+            let sid = self.object_sid_value(metrics);
+            let t0 = metrics.timer();
+            let v = sid.map(|s| self.env.mac().adversary_readable(s));
+            metrics.observe_fetch(CtxField::AdvRead, t0, v.is_none());
+            self.adv_read = Some(v);
         }
         self.adv_read.unwrap()
     }
 
     /// Signal number, on signal-delivery operations.
-    pub fn signal_value(&mut self, stats: &PfStats) -> Option<u64> {
+    pub fn signal_value(&mut self, metrics: &Metrics) -> Option<u64> {
         if self.signal_num.is_none() {
             self.mark(CtxField::SignalNum);
-            stats.bump_ctx_fetches();
-            self.signal_num = Some(self.env.signal().map(|s| s.signal.0 as u64));
+            metrics.bump_ctx_fetches();
+            let t0 = metrics.timer();
+            let v = self.env.signal().map(|s| s.signal.0 as u64);
+            metrics.observe_fetch(CtxField::SignalNum, t0, v.is_none());
+            self.signal_num = Some(v);
         }
         self.signal_num.unwrap()
     }
 
-    /// Syscall argument `n` (arg 0 is the syscall number).
-    pub fn arg_value(&mut self, n: u8) -> u64 {
-        self.mark(CtxField::Arg(n.min(3)));
+    /// Syscall argument `n` (arg 0 is the syscall number). Arguments are
+    /// register reads, not context-module fetches, so only the per-field
+    /// detail counter moves — never `ctx_fetches`.
+    pub fn arg_value(&mut self, n: u8, metrics: &Metrics) -> u64 {
+        let field = CtxField::Arg(n.min(3));
+        if self.collected & (1 << field.bit()) == 0 {
+            self.mark(field);
+            metrics.field_fetch(field);
+        }
         self.env.syscall_arg(n as usize)
     }
 
     /// Resolves a [`CtxField`] to its `u64` encoding, or `None` when the
     /// field is unavailable for this operation.
-    pub fn field_value(&mut self, field: CtxField, stats: &PfStats) -> Option<u64> {
+    pub fn field_value(&mut self, field: CtxField, metrics: &Metrics) -> Option<u64> {
         match field {
-            CtxField::Entrypoint => self.entrypoint_value(stats).map(|(p, pc)| {
+            CtxField::Entrypoint => self.entrypoint_value(metrics).map(|(p, pc)| {
                 // Fold program and pc for comparisons; rules match the
                 // pair structurally elsewhere.
                 ((p.0 as u64) << 40) ^ pc
             }),
-            CtxField::ResourceId => self.resource_id_value(stats),
-            CtxField::ObjectSid => self.object_sid_value(stats).map(|s| s.0 as u64),
-            CtxField::DacOwner => self.dac_owner_value(stats),
-            CtxField::TgtDacOwner => self.tgt_dac_owner_value(stats),
-            CtxField::AdvWrite => self.adv_write_value(stats).map(u64::from),
-            CtxField::AdvRead => self.adv_read_value(stats).map(u64::from),
-            CtxField::Arg(n) => Some(self.arg_value(n)),
-            CtxField::SignalNum => self.signal_value(stats),
+            CtxField::ResourceId => self.resource_id_value(metrics),
+            CtxField::ObjectSid => self.object_sid_value(metrics).map(|s| s.0 as u64),
+            CtxField::DacOwner => self.dac_owner_value(metrics),
+            CtxField::TgtDacOwner => self.tgt_dac_owner_value(metrics),
+            CtxField::AdvWrite => self.adv_write_value(metrics).map(u64::from),
+            CtxField::AdvRead => self.adv_read_value(metrics).map(u64::from),
+            CtxField::Arg(n) => Some(self.arg_value(n, metrics)),
+            CtxField::SignalNum => self.signal_value(metrics),
         }
     }
 }
@@ -336,6 +402,13 @@ mod tests {
             assert_eq!(CtxField::parse_cname(f.cname()), Some(f));
         }
         assert_eq!(CtxField::parse_cname("C_NOPE"), None);
+    }
+
+    #[test]
+    fn all_is_indexed_by_bit() {
+        for (i, f) in CtxField::ALL.iter().enumerate() {
+            assert_eq!(f.bit() as usize, i, "{f:?}");
+        }
     }
 
     #[test]

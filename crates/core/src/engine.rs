@@ -19,8 +19,8 @@ use crate::context::Packet;
 use crate::env::EvalEnv;
 use crate::lang::{parse_command, Command, RuleOp};
 use crate::log::LogEntry;
+use crate::metrics::{Metrics, TraceEvent};
 use crate::rule::{MatchModule, Rule, Target};
-use crate::stats::PfStats;
 use crate::value::ValueExpr;
 
 /// The outcome of one firewall invocation.
@@ -41,11 +41,11 @@ impl EvalDecision {
     }
 }
 
-/// The Process Firewall: configuration, rule base, statistics, and logs.
+/// The Process Firewall: configuration, rule base, metrics, and logs.
 pub struct ProcessFirewall {
     config: PfConfig,
     base: RuleBase,
-    stats: PfStats,
+    metrics: Metrics,
     logs: RefCell<Vec<LogEntry>>,
 }
 
@@ -55,7 +55,7 @@ impl ProcessFirewall {
         ProcessFirewall {
             config: level.config(),
             base: RuleBase::new(),
-            stats: PfStats::new(),
+            metrics: Metrics::new(),
             logs: RefCell::new(Vec::new()),
         }
     }
@@ -131,9 +131,22 @@ impl ProcessFirewall {
         &self.base
     }
 
-    /// Engine counters.
-    pub fn stats(&self) -> &PfStats {
-        &self.stats
+    /// Engine counters and histograms (the metrics registry).
+    ///
+    /// `stats()` is the historical name; [`ProcessFirewall::metrics`] is
+    /// the same registry under its current one.
+    pub fn stats(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The metrics-and-tracing registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Drains the TRACE event ring, oldest first (see [`Target::Trace`]).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.metrics.drain_trace()
     }
 
     /// Drains accumulated LOG records.
@@ -154,14 +167,36 @@ impl ProcessFirewall {
         if !self.config.enabled {
             return EvalDecision::allow();
         }
-        self.stats.bump_invocations();
+        self.metrics.bump_invocations();
+        self.metrics.op_invoked(op);
+        let t0 = self.metrics.timer();
+        // LOG rules run before the verdict is known; remember where this
+        // invocation's records start so a later DROP can patch them.
+        let log_mark = self.logs.borrow().len();
         let mut pkt = Packet::new(env, self.config);
+        let decision = match self.evaluate_inner(&mut pkt, op) {
+            Some(d) => d,
+            None => {
+                self.metrics.bump_default_allows();
+                EvalDecision::allow()
+            }
+        };
+        if decision.verdict == Verdict::Deny {
+            self.patch_log_verdicts(log_mark);
+        }
+        self.metrics.observe_eval(t0);
+        decision
+    }
+
+    /// The chain walk: `Some(decision)` on an explicit verdict, `None`
+    /// when every rule fell through to the default-ALLOW policy.
+    fn evaluate_inner(&self, pkt: &mut Packet<'_>, op: LsmOperation) -> Option<EvalDecision> {
         // The naive design "simply fetches all process and resource
         // contexts and then matches them against each invariant"
         // (Section 4.2) — with no invariants installed there is nothing
         // to match, so even the unoptimized path skips collection.
         if !self.config.lazy_context && !self.base.is_empty() {
-            pkt.fetch_all(&self.stats);
+            pkt.fetch_all(&self.metrics);
         }
         let start = if op == LsmOperation::SyscallBegin {
             ChainName::SyscallBegin
@@ -171,23 +206,33 @@ impl ProcessFirewall {
         if self.config.entrypoint_chains && start == ChainName::Input {
             let input = self.base.chain(&ChainName::Input);
             let generic = self.base.input_generic().iter().map(|&i| (i, &input[i]));
-            if let Some(d) = self.run_seq(&ChainName::Input, generic, &mut pkt, op, 0) {
-                return d;
+            if let Some(d) = self.run_seq(&ChainName::Input, generic, pkt, op, 0) {
+                return Some(d);
             }
             if self.base.entrypoint_chain_count() > 0 {
-                if let Some(ept) = pkt.entrypoint_value(&self.stats) {
+                if let Some(ept) = pkt.entrypoint_value(&self.metrics) {
                     if let Some(indices) = self.base.input_for_entrypoint(ept) {
                         let bound = indices.iter().map(|&i| (i, &input[i]));
-                        if let Some(d) = self.run_seq(&ChainName::Input, bound, &mut pkt, op, 0) {
-                            return d;
+                        if let Some(d) = self.run_seq(&ChainName::Input, bound, pkt, op, 0) {
+                            return Some(d);
                         }
                     }
                 }
             }
-            EvalDecision::allow()
+            None
         } else {
-            self.run_chain(&start, &mut pkt, op, 0)
-                .unwrap_or_else(EvalDecision::allow)
+            self.run_chain(&start, pkt, op, 0)
+        }
+    }
+
+    /// Rewrites this invocation's LOG records to the final DENY verdict
+    /// once a terminal DROP has fired.
+    fn patch_log_verdicts(&self, mark: usize) {
+        let mut logs = self.logs.borrow_mut();
+        for entry in logs.iter_mut().skip(mark) {
+            if entry.verdict != "DENY" {
+                entry.verdict = "DENY".to_owned();
+            }
         }
     }
 
@@ -215,14 +260,33 @@ impl ProcessFirewall {
         // state, so traversal itself is re-entrant (Section 5.1).
         const MAX_DEPTH: u32 = 16;
         for (index, rule) in rules {
-            self.stats.bump_rules();
-            if !self.rule_matches(rule, pkt, op) {
+            self.metrics.bump_rules();
+            self.metrics.rule_evaluated(chain, index);
+            let matched = self.rule_matches(rule, pkt, op);
+            if matched {
+                rule.bump_hits();
+                self.metrics.rule_hit(chain, index);
+                if matches!(rule.target, Target::Trace) {
+                    pkt.start_trace();
+                }
+            }
+            // Once tracing is armed, every traversed rule (matched or
+            // not) emits an event — including the TRACE rule itself.
+            if let Some(clock) = pkt.trace_clock() {
+                self.metrics.push_trace(TraceEvent {
+                    chain: chain.name(),
+                    rule_index: index,
+                    matched,
+                    target: rule.target.kind_name(),
+                    elapsed_ns: clock.elapsed().as_nanos() as u64,
+                });
+            }
+            if !matched {
                 continue;
             }
-            rule.bump_hits();
             match &rule.target {
                 Target::Drop => {
-                    self.stats.bump_drops();
+                    self.metrics.bump_drops();
                     self.emit_log(pkt, op, "DROP", "DENY");
                     return Some(EvalDecision {
                         verdict: Verdict::Deny,
@@ -230,7 +294,7 @@ impl ProcessFirewall {
                     });
                 }
                 Target::Accept => {
-                    self.stats.bump_accepts();
+                    self.metrics.bump_accepts();
                     return Some(EvalDecision::allow());
                 }
                 Target::Continue => {}
@@ -250,6 +314,7 @@ impl ProcessFirewall {
                 }
                 Target::StateUnset { key } => pkt.env().state_unset(*key),
                 Target::Log { tag } => self.emit_log(pkt, op, tag, "ALLOW"),
+                Target::Trace => {}
             }
         }
         None
@@ -258,7 +323,7 @@ impl ProcessFirewall {
     fn resolve(&self, value: ValueExpr, pkt: &mut Packet<'_>) -> Option<u64> {
         match value {
             ValueExpr::Lit(v) => Some(v),
-            ValueExpr::Ctx(field) => pkt.field_value(field, &self.stats),
+            ValueExpr::Ctx(field) => pkt.field_value(field, &self.metrics),
         }
     }
 
@@ -276,7 +341,7 @@ impl ProcessFirewall {
         }
         match rule.def.entrypoint() {
             Some(want) => {
-                if pkt.entrypoint_value(&self.stats) != Some(want) {
+                if pkt.entrypoint_value(&self.metrics) != Some(want) {
                     return false;
                 }
             }
@@ -290,12 +355,12 @@ impl ProcessFirewall {
             }
         }
         if let Some(resource) = rule.def.resource {
-            if pkt.resource_id_value(&self.stats) != Some(resource) {
+            if pkt.resource_id_value(&self.metrics) != Some(resource) {
                 return false;
             }
         }
         if let Some(object) = &rule.def.object {
-            match pkt.object_sid_value(&self.stats) {
+            match pkt.object_sid_value(&self.metrics) {
                 Some(sid) if object.contains(sid) => {}
                 _ => return false,
             }
@@ -326,7 +391,7 @@ impl ProcessFirewall {
                 None => false,
             },
             MatchModule::SyscallArgs { arg, cmp, negate } => {
-                let v = pkt.arg_value(*arg);
+                let v = pkt.arg_value(*arg, &self.metrics);
                 let Some(want) = self.resolve(*cmp, pkt) else {
                     return false;
                 };
@@ -338,7 +403,7 @@ impl ProcessFirewall {
                 };
                 (a == b) != *negate
             }
-            MatchModule::Owner { uid, negate } => match pkt.dac_owner_value(&self.stats) {
+            MatchModule::Owner { uid, negate } => match pkt.dac_owner_value(&self.metrics) {
                 Some(owner) => (owner == *uid) != *negate,
                 None => false,
             },
@@ -349,9 +414,9 @@ impl ProcessFirewall {
             MatchModule::Caller { program } => pkt.env_ref().program() == *program,
             MatchModule::AdvAccess { write, want } => {
                 let v = if *write {
-                    pkt.adv_write_value(&self.stats)
+                    pkt.adv_write_value(&self.metrics)
                 } else {
-                    pkt.adv_read_value(&self.stats)
+                    pkt.adv_read_value(&self.metrics)
                 };
                 v == Some(*want)
             }
@@ -359,9 +424,9 @@ impl ProcessFirewall {
     }
 
     fn emit_log(&self, pkt: &mut Packet<'_>, op: LsmOperation, tag: &str, verdict: &str) {
-        let ept = pkt.entrypoint_value(&self.stats);
-        let adv_write = pkt.adv_write_value(&self.stats).unwrap_or(false);
-        let adv_read = pkt.adv_read_value(&self.stats).unwrap_or(false);
+        let ept = pkt.entrypoint_value(&self.metrics);
+        let adv_write = pkt.adv_write_value(&self.metrics).unwrap_or(false);
+        let adv_read = pkt.adv_read_value(&self.metrics).unwrap_or(false);
         let env = pkt.env_ref();
         let mac = env.mac();
         let object = env.object();
@@ -1050,6 +1115,113 @@ mod tests {
             pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
             Verdict::Deny
         );
+    }
+
+    #[test]
+    fn trace_follows_exact_rule_path() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -A input -o FILE_OPEN -j TRACE");
+        install(&mut pf, &mut env, "pftables -A input -o FILE_WRITE -j DROP");
+        install(&mut pf, &mut env, "pftables -A input -o FILE_OPEN -j SIDE");
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -A side -o FILE_OPEN -j LOG --tag traced",
+        );
+        install(
+            &mut pf,
+            &mut env,
+            "pftables -A side -o FILE_OPEN -d tmp_t -j DROP",
+        );
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        let events = pf.drain_trace();
+        let path: Vec<_> = events
+            .iter()
+            .map(|e| (e.chain.as_str(), e.rule_index, e.matched, e.target))
+            .collect();
+        assert_eq!(
+            path,
+            [
+                ("input", 0, true, "TRACE"),
+                ("input", 1, false, "DROP"),
+                ("input", 2, true, "JUMP"),
+                ("side", 0, true, "LOG"),
+                ("side", 1, true, "DROP"),
+            ]
+        );
+        assert!(
+            events
+                .windows(2)
+                .all(|w| w[0].elapsed_ns <= w[1].elapsed_ns),
+            "event timestamps are monotonic"
+        );
+        assert!(pf.drain_trace().is_empty(), "drain empties the ring");
+        // An invocation that never hits a TRACE rule emits nothing.
+        pf.evaluate(&mut env, LsmOperation::FileWrite);
+        assert!(pf.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn drop_patches_same_invocation_log_verdicts() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_WRITE -j LOG --tag w");
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j LOG --tag o");
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        // LOG then default allow: the record keeps its ALLOW verdict.
+        pf.evaluate(&mut env, LsmOperation::FileWrite);
+        // LOG then DROP in the same invocation: patched to DENY.
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        let logs = pf.take_logs();
+        let w = logs.iter().find(|e| e.tag == "w").unwrap();
+        let o = logs.iter().find(|e| e.tag == "o").unwrap();
+        assert_eq!(w.verdict, "ALLOW", "earlier invocation is untouched");
+        assert_eq!(o.verdict, "DENY", "same-invocation record is patched");
+    }
+
+    #[test]
+    fn verdict_counters_partition_invocations() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&mut pf, &mut env, "pftables -o FILE_READ -j ACCEPT");
+        for _ in 0..3 {
+            pf.evaluate(&mut env, LsmOperation::FileOpen);
+        }
+        for _ in 0..2 {
+            pf.evaluate(&mut env, LsmOperation::FileRead);
+        }
+        for _ in 0..4 {
+            pf.evaluate(&mut env, LsmOperation::FileWrite);
+        }
+        let m = pf.metrics();
+        assert_eq!(m.drops(), 3);
+        assert_eq!(m.accepts(), 2);
+        assert_eq!(m.default_allows(), 4);
+        assert_eq!(
+            m.drops() + m.accepts() + m.default_allows(),
+            m.invocations()
+        );
+    }
+
+    #[test]
+    fn detailed_mode_tracks_per_rule_counters() {
+        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&mut pf, &mut env, "pftables -o FILE_WRITE -j DROP");
+        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert!(
+            pf.metrics().chain_snapshot(&ChainName::Input).is_none(),
+            "per-rule counters stay off by default"
+        );
+        pf.metrics().set_detailed(true);
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        let snap = pf.metrics().chain_snapshot(&ChainName::Input).unwrap();
+        assert_eq!(snap.evaluated, [1, 1], "both rules were scanned once");
+        assert_eq!(snap.hits, [0, 1], "only the FILE_OPEN rule fired");
     }
 
     #[test]

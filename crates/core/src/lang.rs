@@ -129,8 +129,8 @@ impl Cursor {
 /// A full `pftables` command: a rule operation or chain management.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// Insert/append/delete a rule.
-    Rule(ParsedRule),
+    /// Insert/append/delete a rule (boxed: far larger than its peers).
+    Rule(Box<ParsedRule>),
     /// `-N name`: declare a new (user) chain.
     NewChain(ChainName),
     /// `-F [chain]`: flush one chain, or everything when omitted.
@@ -173,7 +173,7 @@ pub fn parse_command(
                 .ok_or_else(|| err("expected chain name after -X"))?;
             Ok(Command::DeleteChain(ChainName::parse(name)))
         }
-        _ => parse_rule(line, mac, programs).map(Command::Rule),
+        _ => parse_rule(line, mac, programs).map(|p| Command::Rule(Box::new(p))),
     }
 }
 
@@ -509,9 +509,114 @@ fn parse_target(name: &str, cur: &mut Cursor) -> PfResult<Target> {
                 Err(err("STATE target requires --set or --unset"))
             }
         }
+        "TRACE" => Ok(Target::Trace),
         // Any other name jumps to a user chain (e.g. `-j SIGNAL_CHAIN`).
         other => Ok(Target::Jump(other.to_ascii_lowercase())),
     }
+}
+
+/// Renders a rule back into canonical `pftables` syntax.
+///
+/// The output always re-parses to an equal rule ([`parse_rule`] accepts
+/// selectors in any order; this emits them in Table 3 order), and a
+/// second render of the re-parse reproduces the text exactly — the
+/// stability property `pftables -L` relies on. Label sets render in
+/// their *expanded* form (`SYSHIGH` becomes the TCB set it expanded to
+/// at install time), and string STATE keys render as the hashed hex key.
+pub fn render_rule(rule: &Rule, chain: &ChainName, mac: &MacPolicy, programs: &Interner) -> String {
+    use std::fmt::Write;
+
+    let mut out = format!("pftables -A {}", chain.as_str());
+    if let Some(set) = &rule.def.subject {
+        let _ = write!(out, " -s {}", set.display_with(|id| mac.label_name(id)));
+    }
+    if let Some(set) = &rule.def.object {
+        let _ = write!(out, " -d {}", set.display_with(|id| mac.label_name(id)));
+    }
+    if let Some(prog) = rule.def.program {
+        let _ = write!(out, " -p {}", programs.resolve(prog));
+    }
+    if let Some(pc) = rule.def.entrypoint_pc {
+        let _ = write!(out, " -i 0x{pc:x}");
+    }
+    if let Some(op) = rule.def.op {
+        let _ = write!(out, " -o {}", op.name());
+    }
+    if let Some(res) = rule.def.resource {
+        let _ = write!(out, " -r 0x{res:x}");
+    }
+    for m in &rule.matches {
+        match m {
+            MatchModule::State { key, cmp, negate } => {
+                let _ = write!(out, " -m STATE --key 0x{key:x} --cmp {cmp}");
+                if *negate {
+                    out.push_str(" --nequal");
+                }
+            }
+            MatchModule::SignalMatch => out.push_str(" -m SIGNAL_MATCH"),
+            MatchModule::SyscallArgs { arg, cmp, negate } => {
+                let eq = if *negate { "--nequal" } else { "--equal" };
+                let _ = write!(out, " -m SYSCALL_ARGS --arg {arg} {eq} {cmp}");
+            }
+            MatchModule::Compare { v1, v2, negate } => {
+                let _ = write!(out, " -m COMPARE --v1 {v1} --v2 {v2}");
+                if *negate {
+                    out.push_str(" --nequal");
+                }
+            }
+            MatchModule::AdvAccess { write, want } => {
+                let dir = if *write { "--write" } else { "--read" };
+                let acc = if *want {
+                    "--accessible"
+                } else {
+                    "--inaccessible"
+                };
+                let _ = write!(out, " -m ADV_ACCESS {dir} {acc}");
+            }
+            MatchModule::Owner { uid, negate } => {
+                let _ = write!(out, " -m OWNER --uid {uid}");
+                if *negate {
+                    out.push_str(" --nequal");
+                }
+            }
+            MatchModule::Interp { script, line } => {
+                let _ = write!(out, " -m INTERP --script {script}");
+                if let Some(n) = line {
+                    let _ = write!(out, " --line {n}");
+                }
+            }
+            MatchModule::Caller { program } => {
+                let _ = write!(out, " -m CALLER --program {}", programs.resolve(*program));
+            }
+        }
+    }
+    match &rule.target {
+        Target::Drop => out.push_str(" -j DROP"),
+        Target::Accept => out.push_str(" -j ACCEPT"),
+        Target::Continue => out.push_str(" -j CONTINUE"),
+        Target::Return => out.push_str(" -j RETURN"),
+        Target::Trace => out.push_str(" -j TRACE"),
+        Target::Jump(name) => {
+            let _ = write!(out, " -j {name}");
+        }
+        Target::StateSet { key, value } => {
+            let _ = write!(out, " -j STATE --set --key 0x{key:x} --value {value}");
+        }
+        Target::StateUnset { key } => {
+            let _ = write!(out, " -j STATE --unset --key 0x{key:x}");
+        }
+        Target::Log { tag } => {
+            out.push_str(" -j LOG");
+            if !tag.is_empty() {
+                if tag.chars().any(char::is_whitespace) {
+                    let _ = write!(out, " --tag '{tag}'");
+                } else {
+                    let _ = write!(out, " --tag {tag}");
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -687,5 +792,60 @@ mod tests {
             tokenize("pftables --key 'sig code' -j DROP"),
             ["pftables", "--key", "sig code", "-j", "DROP"]
         );
+    }
+
+    #[test]
+    fn parses_trace_target() {
+        let (mut mac, mut progs) = setup();
+        let p = parse_rule("pftables -o FILE_OPEN -j TRACE", &mut mac, &mut progs).unwrap();
+        assert_eq!(p.rule.target, Target::Trace);
+        assert!(!p.rule.target.is_terminal());
+    }
+
+    /// parse → render → parse must yield an equal rule, and a second
+    /// render must reproduce the first render byte-for-byte (the
+    /// canonical fixed point).
+    #[test]
+    fn render_round_trip_is_stable() {
+        let (mut mac, mut progs) = setup();
+        let lines = [
+            "pftables -t filter -o LNK_FILE_READ -d tmp_t -j DROP",
+            "pftables -p /lib/ld-2.15.so -i 0x596b -s SYSHIGH \
+             -d ~{lib_t|textrel_shlib_t|httpd_modules_t} -o FILE_OPEN -j DROP",
+            "pftables -i 0x3c750 -p /bin/dbus-daemon -o SOCKET_BIND \
+             -j STATE --set --key 0xbeef --value C_INO",
+            "pftables -i 0x3c786 -p /bin/dbus-daemon -o SOCKET_SETATTR \
+             -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+            "pftables -I signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+            "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn \
+             -j STATE --set --key 'sig' --value 0",
+            "pftables -i 0x2d637 -p /usr/bin/apache2 -o LINK_READ \
+             -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+            "pftables -o FILE_OPEN -m ADV_ACCESS --write --accessible -j TRACE",
+            "pftables -o FILE_OPEN -m OWNER --uid 33 --nequal -j LOG --tag 'two words'",
+            "pftables -o FILE_OPEN -m INTERP --script /var/www/app.php --line 42 -j CONTINUE",
+            "pftables -p /lib/libssl.so -i 0x100 -m CALLER --program /usr/sbin/nginx -j DROP",
+            "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+            "pftables -o FILE_OPEN -r 0x2a -j RETURN",
+        ];
+        for line in lines {
+            let p1 = parse_rule(line, &mut mac, &mut progs).unwrap();
+            let chain = match &p1.op {
+                RuleOp::InsertHead(c) | RuleOp::Append(c) | RuleOp::Delete(c) => c.clone(),
+            };
+            let r1 = render_rule(&p1.rule, &chain, &mac, &progs);
+            let p2 = parse_rule(&r1, &mut mac, &mut progs).unwrap();
+            assert_eq!(p2.rule.def, p1.rule.def, "def drift for `{line}` → `{r1}`");
+            assert_eq!(
+                p2.rule.matches, p1.rule.matches,
+                "match drift for `{line}` → `{r1}`"
+            );
+            assert_eq!(
+                p2.rule.target, p1.rule.target,
+                "target drift for `{line}` → `{r1}`"
+            );
+            let r2 = render_rule(&p2.rule, &chain, &mac, &progs);
+            assert_eq!(r1, r2, "render not a fixed point for `{line}`");
+        }
     }
 }

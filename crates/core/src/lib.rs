@@ -33,7 +33,11 @@
 //!   implements to expose process and resource state;
 //! * [`config`] holds the optimization toggles that form the columns of
 //!   Table 6 (DISABLED / BASE / FULL / CONCACHE / LAZYCON / EPTSPC);
-//! * [`log`] is the LOG target's JSON record, consumed by `pf-rulegen`.
+//! * [`log`] is the LOG target's JSON record, consumed by `pf-rulegen`;
+//! * [`metrics`] is the observability registry: the legacy counters,
+//!   per-rule/per-operation/per-field detail, latency histograms, the
+//!   TRACE event ring, and the Prometheus/JSON exporters (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! # Examples
 //!
@@ -61,6 +65,7 @@ pub mod engine;
 pub mod env;
 pub mod lang;
 pub mod log;
+pub mod metrics;
 pub mod render;
 pub mod rule;
 pub mod stats;
@@ -71,7 +76,9 @@ pub use config::{OptLevel, PfConfig};
 pub use context::CtxField;
 pub use engine::ProcessFirewall;
 pub use env::{EvalEnv, ObjectInfo, SignalInfo};
+pub use lang::render_rule;
 pub use log::LogEntry;
+pub use metrics::{ChainSnapshot, Histogram, Metrics, TraceEvent};
 pub use render::render_rules;
 pub use rule::{MatchModule, Rule, Target};
 pub use stats::PfStats;

@@ -42,7 +42,7 @@ pub struct LogEntry {
     pub verdict: String,
 }
 
-fn esc(out: &mut String, s: &str) {
+pub(crate) fn esc(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -280,6 +280,39 @@ mod tests {
         let mut e = entry();
         e.tag = "with \"quotes\" and \\slashes\\ and\nnewline".into();
         assert_eq!(LogEntry::parse_json(&e.to_json()).unwrap(), e);
+    }
+
+    /// Adversarial payloads in every string field: quotes, backslashes,
+    /// control characters, JSON-structure characters, and multi-byte
+    /// UTF-8 must all survive a render → parse round trip, and the
+    /// rendered record must stay a single line.
+    #[test]
+    fn adversarial_strings_round_trip() {
+        let payloads = [
+            "\"},\"verdict\":\"DENY\"", // attempts to inject a field
+            "\\\" \\\\ \\u0000",        // pre-escaped sequences
+            "\u{0}\u{1}\u{1f}",         // raw control characters
+            "line1\nline2\r\ttabbed",   // newline, CR, tab
+            "{}[]:,",                   // JSON structure characters
+            "ünïcødé ☂ 家",             // multi-byte UTF-8
+            "ends with backslash \\",
+            "",
+        ];
+        for p in payloads {
+            let mut e = entry();
+            e.tag = p.into();
+            e.subject = format!("s{p}");
+            e.program = format!("p{p}");
+            e.object = format!("o{p}");
+            e.resource = format!("r{p}");
+            let json = e.to_json();
+            assert_eq!(
+                json.lines().count(),
+                1,
+                "record must stay one line for {p:?}"
+            );
+            assert_eq!(LogEntry::parse_json(&json).unwrap(), e, "payload {p:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,897 @@
+//! The metrics-and-tracing registry for the firewall engine.
+//!
+//! [`Metrics`] subsumes the original flat `PfStats` counter block (the
+//! six legacy counters keep their accessors; `crate::stats::PfStats` is
+//! now an alias of this type) and adds the detail layer the evaluation
+//! experiments need:
+//!
+//! * per-rule and per-chain hit/evaluated counters, keyed by chain name
+//!   and rule index — the data behind the `pftables -L -v` listing;
+//! * per-[`LsmOperation`] invocation counts;
+//! * per-[`CtxField`] fetch/hit/miss counters;
+//! * log-linear latency histograms (nanosecond buckets, power-of-two
+//!   octaves split four ways) for whole-hook evaluation and for context
+//!   fetches;
+//! * the TRACE target's bounded event ring.
+//!
+//! Everything is interior-mutable so `Engine::evaluate(&self, …)` stays
+//! re-entrant the way a kernel hook is. The detail layer is gated by
+//! [`Metrics::set_detailed`]: with recording off (the default) every
+//! detail hook is a no-op and no clock is read, which is the baseline
+//! the `metrics_overhead` bench compares against. The six legacy
+//! counters and `default_allows` are always on — they define engine
+//! semantics that existing tests assert.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pf_types::LsmOperation;
+
+use crate::chain::ChainName;
+use crate::context::CtxField;
+use crate::log::esc;
+
+/// Capacity of the TRACE event ring; older events are dropped (and
+/// counted) once the ring is full.
+pub const TRACE_RING_CAP: usize = 4096;
+
+const NUM_OPS: usize = LsmOperation::ALL.len();
+const NUM_FIELDS: usize = CtxField::ALL.len();
+
+/// One structured TRACE event: a rule traversed after a TRACE target
+/// fired in the same invocation (mirroring iptables' TRACE semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Chain the rule lives in.
+    pub chain: String,
+    /// Rule index within the chain (or the entrypoint partition).
+    pub rule_index: usize,
+    /// Whether the rule's matches all passed.
+    pub matched: bool,
+    /// The rule's target kind (`DROP`, `ACCEPT`, `TRACE`, …).
+    pub target: &'static str,
+    /// Nanoseconds since the TRACE target fired.
+    pub elapsed_ns: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"chain\":\"");
+        esc(&mut s, &self.chain);
+        let _ = write!(
+            s,
+            "\",\"rule\":{},\"matched\":{},\"target\":\"{}\",\"elapsed_ns\":{}}}",
+            self.rule_index, self.matched, self.target, self.elapsed_ns
+        );
+        s
+    }
+}
+
+/// Per-context-field fetch/hit/miss counters.
+#[derive(Debug, Default)]
+struct FieldCounters {
+    /// Context-module invocations for this field.
+    fetches: Cell<u64>,
+    /// Fetches served from the per-syscall task cache.
+    hits: Cell<u64>,
+    /// Fetches where the field was unavailable for the operation.
+    misses: Cell<u64>,
+}
+
+/// Per-rule evaluated/hit tallies for one chain, indexed by rule index.
+#[derive(Debug, Default, Clone)]
+struct ChainCounters {
+    evaluated: Vec<u64>,
+    hits: Vec<u64>,
+}
+
+impl ChainCounters {
+    fn ensure(&mut self, index: usize) {
+        if self.evaluated.len() <= index {
+            self.evaluated.resize(index + 1, 0);
+            self.hits.resize(index + 1, 0);
+        }
+    }
+}
+
+/// A snapshot of one chain's per-rule counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSnapshot {
+    /// Times each rule's match evaluation started, by rule index.
+    pub evaluated: Vec<u64>,
+    /// Times each rule matched (target ran), by rule index.
+    pub hits: Vec<u64>,
+}
+
+/// A log-linear latency histogram over nanosecond values.
+///
+/// Values below 8 ns get exact buckets; above that each power-of-two
+/// octave is split into four linear sub-buckets, so relative error is
+/// bounded by 25 % across the full `u64` range. Interior-mutable like
+/// the rest of the registry.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[Cell<u64>; Histogram::NUM_BUCKETS]>,
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    max: Cell<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| Cell::new(0))),
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            max: Cell::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// 8 exact buckets + 4 sub-buckets for each octave 2^3..2^63.
+    pub const NUM_BUCKETS: usize = 8 + 61 * 4;
+
+    fn bucket_index(v: u64) -> usize {
+        if v < 8 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros() as usize;
+            let sub = ((v >> (msb - 2)) & 0x3) as usize;
+            8 + (msb - 3) * 4 + sub
+        }
+    }
+
+    /// Inclusive upper bound of bucket `idx`.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx < 8 {
+            idx as u64
+        } else {
+            let oct = (idx - 8) / 4 + 3;
+            let sub = ((idx - 8) % 4) as u64;
+            // The last sub-bucket of octave 63 covers up to u64::MAX.
+            (1u64 << oct)
+                .checked_add((sub + 1) * (1u64 << (oct - 2)))
+                .map_or(u64::MAX, |v| v - 1)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        let b = &self.buckets[Self::bucket_index(v)];
+        b.set(b.get() + 1);
+        self.count.set(self.count.get() + 1);
+        self.sum.set(self.sum.get().saturating_add(v));
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.get()
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        match self.count.get() {
+            0 => 0,
+            n => self.sum.get() / n,
+        }
+    }
+
+    /// Approximate `p`-th percentile (`0.0 ..= 1.0`): the upper bound of
+    /// the bucket containing that rank, clamped to the recorded maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count.get();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= rank {
+                return Self::bucket_upper(idx).min(self.max.get());
+            }
+        }
+        self.max.get()
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.set(0);
+        }
+        self.count.set(0);
+        self.sum.set(0);
+        self.max.set(0);
+    }
+
+    /// Non-empty `(upper_bound, cumulative_count)` pairs, ascending —
+    /// the Prometheus `_bucket{le=…}` series.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            if b.get() > 0 {
+                cum += b.get();
+                out.push((Self::bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+/// The engine's metrics registry. See the module docs for the layout.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    // --- legacy counters (always on; semantics asserted by tests) ---
+    invocations: Cell<u64>,
+    rules_evaluated: Cell<u64>,
+    ctx_fetches: Cell<u64>,
+    cache_hits: Cell<u64>,
+    drops: Cell<u64>,
+    accepts: Cell<u64>,
+    /// Invocations that fell through every rule to the default-ALLOW
+    /// policy (explicit ACCEPTs are counted separately in `accepts`).
+    default_allows: Cell<u64>,
+    // --- detail layer (gated by `detailed`) ---
+    detailed: Cell<bool>,
+    per_op: PerOp,
+    fields: PerField,
+    chains: RefCell<BTreeMap<ChainName, ChainCounters>>,
+    eval_ns: Histogram,
+    fetch_ns: Histogram,
+    // --- TRACE ring (driven by rules, not by `detailed`) ---
+    trace: RefCell<VecDeque<TraceEvent>>,
+    trace_dropped: Cell<u64>,
+}
+
+#[derive(Debug)]
+struct PerOp([Cell<u64>; NUM_OPS]);
+
+impl Default for PerOp {
+    fn default() -> Self {
+        PerOp(std::array::from_fn(|_| Cell::new(0)))
+    }
+}
+
+#[derive(Debug)]
+struct PerField([FieldCounters; NUM_FIELDS]);
+
+impl Default for PerField {
+    fn default() -> Self {
+        PerField(std::array::from_fn(|_| FieldCounters::default()))
+    }
+}
+
+impl Metrics {
+    /// Creates a zeroed registry with detail recording off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter, histogram, and the trace ring. The detail
+    /// recording flag is preserved.
+    pub fn reset(&self) {
+        self.invocations.set(0);
+        self.rules_evaluated.set(0);
+        self.ctx_fetches.set(0);
+        self.cache_hits.set(0);
+        self.drops.set(0);
+        self.accepts.set(0);
+        self.default_allows.set(0);
+        for c in &self.per_op.0 {
+            c.set(0);
+        }
+        for f in &self.fields.0 {
+            f.fetches.set(0);
+            f.hits.set(0);
+            f.misses.set(0);
+        }
+        self.chains.borrow_mut().clear();
+        self.eval_ns.reset();
+        self.fetch_ns.reset();
+        self.trace.borrow_mut().clear();
+        self.trace_dropped.set(0);
+    }
+
+    /// Turns the detail layer (per-rule/per-op/per-field counters and
+    /// latency histograms) on or off. Off is the no-op recorder: the
+    /// detail hooks cost one branch and no clock is read.
+    pub fn set_detailed(&self, on: bool) {
+        self.detailed.set(on);
+    }
+
+    /// Whether the detail layer is recording.
+    pub fn detailed(&self) -> bool {
+        self.detailed.get()
+    }
+
+    // --- legacy bump API (kept from `PfStats`) ---
+
+    #[inline]
+    pub(crate) fn bump_invocations(&self) {
+        self.invocations.set(self.invocations.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_rules(&self) {
+        self.rules_evaluated.set(self.rules_evaluated.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_ctx_fetches(&self) {
+        self.ctx_fetches.set(self.ctx_fetches.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_cache_hits(&self) {
+        self.cache_hits.set(self.cache_hits.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_drops(&self) {
+        self.drops.set(self.drops.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_accepts(&self) {
+        self.accepts.set(self.accepts.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_default_allows(&self) {
+        self.default_allows.set(self.default_allows.get() + 1);
+    }
+
+    // --- legacy accessors (kept from `PfStats`) ---
+
+    /// Firewall hook invocations.
+    pub fn invocations(&self) -> u64 {
+        self.invocations.get()
+    }
+
+    /// Rules whose match evaluation started.
+    pub fn rules_evaluated(&self) -> u64 {
+        self.rules_evaluated.get()
+    }
+
+    /// Context-module fetches performed.
+    pub fn ctx_fetches(&self) -> u64 {
+        self.ctx_fetches.get()
+    }
+
+    /// Context fetches satisfied from the per-syscall cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// DROP verdicts returned.
+    pub fn drops(&self) -> u64 {
+        self.drops.get()
+    }
+
+    /// Explicit ACCEPT verdicts returned (default allows not counted).
+    pub fn accepts(&self) -> u64 {
+        self.accepts.get()
+    }
+
+    /// Invocations resolved by the implicit default-ALLOW policy.
+    ///
+    /// Every invocation ends one of three ways, so
+    /// `drops + accepts + default_allows == invocations` holds.
+    pub fn default_allows(&self) -> u64 {
+        self.default_allows.get()
+    }
+
+    // --- per-operation counters ---
+
+    #[inline]
+    pub(crate) fn op_invoked(&self, op: LsmOperation) {
+        if self.detailed.get() {
+            let c = &self.per_op.0[op as usize];
+            c.set(c.get() + 1);
+        }
+    }
+
+    /// Hook invocations for one operation (detail layer).
+    pub fn op_invocations(&self, op: LsmOperation) -> u64 {
+        self.per_op.0[op as usize].get()
+    }
+
+    // --- per-rule / per-chain counters ---
+
+    // The per-rule recorders run once per rule scanned — the hottest
+    // site in the engine. Keep the detailed-off path to one inlined
+    // branch and push the map lookup out of line.
+    #[inline]
+    pub(crate) fn rule_evaluated(&self, chain: &ChainName, index: usize) {
+        if self.detailed.get() {
+            self.rule_evaluated_slow(chain, index);
+        }
+    }
+
+    #[cold]
+    fn rule_evaluated_slow(&self, chain: &ChainName, index: usize) {
+        let mut chains = self.chains.borrow_mut();
+        let c = chains.entry(chain.clone()).or_default();
+        c.ensure(index);
+        c.evaluated[index] += 1;
+    }
+
+    #[inline]
+    pub(crate) fn rule_hit(&self, chain: &ChainName, index: usize) {
+        if self.detailed.get() {
+            self.rule_hit_slow(chain, index);
+        }
+    }
+
+    #[cold]
+    fn rule_hit_slow(&self, chain: &ChainName, index: usize) {
+        let mut chains = self.chains.borrow_mut();
+        let c = chains.entry(chain.clone()).or_default();
+        c.ensure(index);
+        c.hits[index] += 1;
+    }
+
+    /// Snapshot of one chain's per-rule counters, if any were recorded.
+    pub fn chain_snapshot(&self, chain: &ChainName) -> Option<ChainSnapshot> {
+        self.chains.borrow().get(chain).map(|c| ChainSnapshot {
+            evaluated: c.evaluated.clone(),
+            hits: c.hits.clone(),
+        })
+    }
+
+    /// Names of chains with recorded per-rule counters.
+    pub fn chains_seen(&self) -> Vec<ChainName> {
+        self.chains.borrow().keys().cloned().collect()
+    }
+
+    // --- per-field counters ---
+
+    #[inline]
+    pub(crate) fn field_fetch(&self, field: CtxField) {
+        if self.detailed.get() {
+            let f = &self.fields.0[field.bit() as usize];
+            f.fetches.set(f.fetches.get() + 1);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn field_hit(&self, field: CtxField) {
+        if self.detailed.get() {
+            let f = &self.fields.0[field.bit() as usize];
+            f.hits.set(f.hits.get() + 1);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn field_miss(&self, field: CtxField) {
+        if self.detailed.get() {
+            let f = &self.fields.0[field.bit() as usize];
+            f.misses.set(f.misses.get() + 1);
+        }
+    }
+
+    /// `(fetches, cache_hits, misses)` for one context field.
+    pub fn field_counts(&self, field: CtxField) -> (u64, u64, u64) {
+        let f = &self.fields.0[field.bit() as usize];
+        (f.fetches.get(), f.hits.get(), f.misses.get())
+    }
+
+    // --- latency histograms ---
+
+    /// Starts a timer when the detail layer records; `None` otherwise.
+    #[inline]
+    pub(crate) fn timer(&self) -> Option<Instant> {
+        if self.detailed.get() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn observe_eval(&self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.eval_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn observe_fetch(&self, field: CtxField, t0: Option<Instant>, missed: bool) {
+        self.field_fetch(field);
+        if missed {
+            self.field_miss(field);
+        }
+        if let Some(t0) = t0 {
+            self.fetch_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Whole-hook evaluation latency (detail layer).
+    pub fn eval_latency(&self) -> &Histogram {
+        &self.eval_ns
+    }
+
+    /// Context-fetch latency (detail layer).
+    pub fn fetch_latency(&self) -> &Histogram {
+        &self.fetch_ns
+    }
+
+    // --- TRACE ring ---
+
+    pub(crate) fn push_trace(&self, event: TraceEvent) {
+        let mut ring = self.trace.borrow_mut();
+        if ring.len() >= TRACE_RING_CAP {
+            ring.pop_front();
+            self.trace_dropped.set(self.trace_dropped.get() + 1);
+        }
+        ring.push_back(event);
+    }
+
+    /// Drains the TRACE event ring, oldest first.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.trace.borrow_mut().drain(..).collect()
+    }
+
+    /// Buffered TRACE events.
+    pub fn trace_len(&self) -> usize {
+        self.trace.borrow().len()
+    }
+
+    /// TRACE events discarded because the ring was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped.get()
+    }
+
+    // --- exporters ---
+
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Every line is `name value` or `name{label="v",…} value`; no
+    /// comment lines are emitted, so the output parses line-by-line.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "pf_invocations_total {}", self.invocations());
+        let _ = writeln!(out, "pf_rules_evaluated_total {}", self.rules_evaluated());
+        let _ = writeln!(out, "pf_ctx_fetches_total {}", self.ctx_fetches());
+        let _ = writeln!(out, "pf_cache_hits_total {}", self.cache_hits());
+        let _ = writeln!(out, "pf_drops_total {}", self.drops());
+        let _ = writeln!(out, "pf_accepts_total {}", self.accepts());
+        let _ = writeln!(out, "pf_default_allows_total {}", self.default_allows());
+        let _ = writeln!(
+            out,
+            "pf_trace_events_dropped_total {}",
+            self.trace_dropped()
+        );
+        for op in LsmOperation::ALL {
+            let n = self.op_invocations(op);
+            if n > 0 {
+                let _ = writeln!(out, "pf_op_invocations_total{{op=\"{}\"}} {n}", op.name());
+            }
+        }
+        for chain in self.chains_seen() {
+            let snap = self.chain_snapshot(&chain).unwrap();
+            let name = chain.name();
+            for (i, (&ev, &hit)) in snap.evaluated.iter().zip(&snap.hits).enumerate() {
+                let _ = writeln!(
+                    out,
+                    "pf_rule_evaluated_total{{chain=\"{name}\",rule=\"{i}\"}} {ev}"
+                );
+                let _ = writeln!(
+                    out,
+                    "pf_rule_hits_total{{chain=\"{name}\",rule=\"{i}\"}} {hit}"
+                );
+            }
+        }
+        for field in CtxField::ALL {
+            let (fetches, hits, misses) = self.field_counts(field);
+            if fetches + hits + misses > 0 {
+                let name = field.cname();
+                let _ = writeln!(
+                    out,
+                    "pf_ctx_field_fetches_total{{field=\"{name}\"}} {fetches}"
+                );
+                let _ = writeln!(out, "pf_ctx_field_hits_total{{field=\"{name}\"}} {hits}");
+                let _ = writeln!(
+                    out,
+                    "pf_ctx_field_misses_total{{field=\"{name}\"}} {misses}"
+                );
+            }
+        }
+        for (metric, hist) in [
+            ("pf_eval_latency_ns", &self.eval_ns),
+            ("pf_fetch_latency_ns", &self.fetch_ns),
+        ] {
+            for (le, cum) in hist.cumulative_buckets() {
+                let _ = writeln!(out, "{metric}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
+            let _ = writeln!(out, "{metric}_sum {}", hist.sum());
+            let _ = writeln!(out, "{metric}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// Renders a JSON snapshot of every counter and histogram summary.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        let _ = write!(
+            s,
+            "{{\"counters\":{{\"invocations\":{},\"rules_evaluated\":{},\
+             \"ctx_fetches\":{},\"cache_hits\":{},\"drops\":{},\"accepts\":{},\
+             \"default_allows\":{},\"trace_dropped\":{}}}",
+            self.invocations(),
+            self.rules_evaluated(),
+            self.ctx_fetches(),
+            self.cache_hits(),
+            self.drops(),
+            self.accepts(),
+            self.default_allows(),
+            self.trace_dropped(),
+        );
+        s.push_str(",\"ops\":{");
+        let mut first = true;
+        for op in LsmOperation::ALL {
+            let n = self.op_invocations(op);
+            if n > 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let _ = write!(s, "\"{}\":{n}", op.name());
+            }
+        }
+        s.push_str("},\"chains\":{");
+        let mut first = true;
+        for chain in self.chains_seen() {
+            let snap = self.chain_snapshot(&chain).unwrap();
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('"');
+            esc(&mut s, &chain.name());
+            s.push_str("\":[");
+            for (i, (&ev, &hit)) in snap.evaluated.iter().zip(&snap.hits).enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{{\"rule\":{i},\"evaluated\":{ev},\"hits\":{hit}}}");
+            }
+            s.push(']');
+        }
+        s.push_str("},\"fields\":{");
+        let mut first = true;
+        for field in CtxField::ALL {
+            let (fetches, hits, misses) = self.field_counts(field);
+            if fetches + hits + misses > 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    s,
+                    "\"{}\":{{\"fetches\":{fetches},\"hits\":{hits},\"misses\":{misses}}}",
+                    field.cname()
+                );
+            }
+        }
+        s.push('}');
+        for (name, hist) in [
+            ("eval_latency_ns", &self.eval_ns),
+            ("fetch_latency_ns", &self.fetch_ns),
+        ] {
+            let _ = write!(
+                s,
+                ",\"{name}\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                hist.count(),
+                hist.mean(),
+                hist.p50(),
+                hist.p99(),
+                hist.max(),
+            );
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_counters_bump_and_reset() {
+        let m = Metrics::new();
+        m.bump_invocations();
+        m.bump_rules();
+        m.bump_rules();
+        m.bump_drops();
+        assert_eq!(m.invocations(), 1);
+        assert_eq!(m.rules_evaluated(), 2);
+        assert_eq!(m.drops(), 1);
+        m.reset();
+        assert_eq!(m.rules_evaluated(), 0);
+    }
+
+    #[test]
+    fn detail_layer_is_noop_until_enabled() {
+        let m = Metrics::new();
+        m.op_invoked(LsmOperation::FileOpen);
+        m.rule_evaluated(&ChainName::Input, 0);
+        m.field_fetch(CtxField::ResourceId);
+        assert!(m.timer().is_none());
+        assert_eq!(m.op_invocations(LsmOperation::FileOpen), 0);
+        assert!(m.chain_snapshot(&ChainName::Input).is_none());
+        assert_eq!(m.field_counts(CtxField::ResourceId), (0, 0, 0));
+
+        m.set_detailed(true);
+        m.op_invoked(LsmOperation::FileOpen);
+        m.rule_evaluated(&ChainName::Input, 2);
+        m.rule_hit(&ChainName::Input, 2);
+        m.field_fetch(CtxField::ResourceId);
+        m.field_miss(CtxField::ResourceId);
+        assert!(m.timer().is_some());
+        assert_eq!(m.op_invocations(LsmOperation::FileOpen), 1);
+        let snap = m.chain_snapshot(&ChainName::Input).unwrap();
+        assert_eq!(snap.evaluated, [0, 0, 1]);
+        assert_eq!(snap.hits, [0, 0, 1]);
+        assert_eq!(m.field_counts(CtxField::ResourceId), (1, 0, 1));
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotonic_and_exhaustive() {
+        // Every value maps to a bucket whose bounds contain it.
+        for v in [0u64, 1, 7, 8, 9, 10, 100, 1000, 4095, 1 << 20, u64::MAX] {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx < Histogram::NUM_BUCKETS, "v={v} idx={idx}");
+            assert!(v <= Histogram::bucket_upper(idx), "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(v > Histogram::bucket_upper(idx - 1), "v={v} idx={idx}");
+            }
+        }
+        // Upper bounds strictly increase.
+        for idx in 1..Histogram::NUM_BUCKETS {
+            assert!(Histogram::bucket_upper(idx) > Histogram::bucket_upper(idx - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.mean(), 50);
+        assert_eq!(h.max(), 100);
+        // Log-linear buckets: p50 lands in the bucket containing 50
+        // (bounds 48..=55), p99 in the one containing 99 (96..=111,
+        // clamped to the recorded max).
+        assert!(h.p50() >= 50 && h.p50() <= 55, "p50={}", h.p50());
+        assert!(h.p99() >= 99 && h.p99() <= 100, "p99={}", h.p99());
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 100, "cumulative ends at count");
+        h.reset();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(TRACE_RING_CAP + 10) {
+            m.push_trace(TraceEvent {
+                chain: "input".into(),
+                rule_index: i,
+                matched: true,
+                target: "DROP",
+                elapsed_ns: 0,
+            });
+        }
+        assert_eq!(m.trace_len(), TRACE_RING_CAP);
+        assert_eq!(m.trace_dropped(), 10);
+        let events = m.drain_trace();
+        assert_eq!(events.len(), TRACE_RING_CAP);
+        assert_eq!(events[0].rule_index, 10, "oldest events were dropped");
+        assert_eq!(m.trace_len(), 0);
+    }
+
+    #[test]
+    fn trace_event_json() {
+        let e = TraceEvent {
+            chain: "side\"chain".into(),
+            rule_index: 3,
+            matched: false,
+            target: "ACCEPT",
+            elapsed_ns: 42,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"chain\":\"side\\\"chain\",\"rule\":3,\"matched\":false,\
+             \"target\":\"ACCEPT\",\"elapsed_ns\":42}"
+        );
+    }
+
+    #[test]
+    fn prometheus_lines_parse_as_name_labels_value() {
+        let m = Metrics::new();
+        m.set_detailed(true);
+        m.bump_invocations();
+        m.op_invoked(LsmOperation::FileOpen);
+        m.rule_evaluated(&ChainName::User("side".into()), 1);
+        m.observe_fetch(CtxField::ResourceId, m.timer(), false);
+        m.observe_eval(m.timer());
+        let text = m.render_prometheus();
+        assert!(text.contains("pf_invocations_total 1"));
+        assert!(text.contains("pf_op_invocations_total{op=\"FILE_OPEN\"} 1"));
+        for line in text.lines() {
+            let (name_part, value) = line.rsplit_once(' ').expect("name value");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value in `{line}`"
+            );
+            let name = match name_part.split_once('{') {
+                Some((n, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("closing brace");
+                    for pair in labels.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label pair");
+                        assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
+                    }
+                    n
+                }
+                None => name_part,
+            };
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in `{line}`"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let m = Metrics::new();
+        m.set_detailed(true);
+        m.bump_invocations();
+        m.bump_default_allows();
+        m.op_invoked(LsmOperation::SocketBind);
+        m.rule_evaluated(&ChainName::Input, 0);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"invocations\":1"));
+        assert!(json.contains("\"default_allows\":1"));
+        assert!(json.contains("\"SOCKET_BIND\":1"));
+        assert!(json.contains("\"input\":[{\"rule\":0,\"evaluated\":1,\"hits\":0}]"));
+        assert!(json.contains("\"eval_latency_ns\""));
+    }
+}

@@ -6,7 +6,13 @@ use crate::chain::ChainName;
 use crate::engine::ProcessFirewall;
 
 /// Renders the installed rule base: one section per chain, one line per
-/// rule with its hit counter, followed by the entrypoint-chain summary.
+/// rule with its evaluated and hit counters, followed by the
+/// entrypoint-chain summary.
+///
+/// The `evals` column comes from the metrics registry's per-rule
+/// counters and stays zero unless detailed metrics are enabled
+/// ([`crate::metrics::Metrics::set_detailed`]); the `hits` column is the
+/// rule's own always-on counter.
 ///
 /// # Examples
 ///
@@ -37,8 +43,18 @@ pub fn render_rules(pf: &ProcessFirewall) -> String {
             policy,
             rules.len()
         );
+        let snap = pf.metrics().chain_snapshot(chain);
         for (i, rule) in rules.iter().enumerate() {
-            let _ = writeln!(out, "  [{i:>3}] hits={:<8} {}", rule.hits(), rule.text);
+            let evals = snap
+                .as_ref()
+                .and_then(|s| s.evaluated.get(i).copied())
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  [{i:>3}] evals={evals:<8} hits={:<8} {}",
+                rule.hits(),
+                rule.text
+            );
         }
     }
     let _ = writeln!(

@@ -152,6 +152,11 @@ pub enum Target {
         /// Free-form tag carried in the record.
         tag: String,
     },
+    /// `-j TRACE`: non-terminal. Once a packet hits a TRACE rule, every
+    /// subsequent rule it traverses in the same invocation emits a
+    /// structured trace event into the engine's ring buffer — the
+    /// iptables TRACE semantics, adapted to one hook invocation.
+    Trace,
 }
 
 impl Target {
@@ -162,6 +167,21 @@ impl Target {
             self,
             Target::Drop | Target::Accept | Target::Return | Target::Jump(_)
         )
+    }
+
+    /// The target's kind as a rule-language keyword (jump targets all
+    /// render as `JUMP`; the chain name is carried elsewhere).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Target::Drop => "DROP",
+            Target::Accept => "ACCEPT",
+            Target::Continue => "CONTINUE",
+            Target::Return => "RETURN",
+            Target::Jump(_) => "JUMP",
+            Target::StateSet { .. } | Target::StateUnset { .. } => "STATE",
+            Target::Log { .. } => "LOG",
+            Target::Trace => "TRACE",
+        }
     }
 }
 
@@ -233,6 +253,7 @@ mod tests {
     fn terminality() {
         assert!(Target::Drop.is_terminal());
         assert!(Target::Jump("x".into()).is_terminal());
+        assert!(!Target::Trace.is_terminal());
         assert!(!Target::Log { tag: String::new() }.is_terminal());
         assert!(!Target::StateSet {
             key: 1,

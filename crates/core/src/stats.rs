@@ -1,107 +1,27 @@
-//! Engine counters for experiments and diagnostics.
+//! Engine counters for experiments and diagnostics (compatibility shim).
+//!
+//! The flat counter block that used to live here grew into the
+//! [`crate::metrics`] registry, which keeps the original six counters
+//! and their accessors and adds per-rule, per-operation, and
+//! per-context-field detail plus latency histograms. `PfStats` remains
+//! as an alias so existing callers (`pf.stats().drops()` etc.) compile
+//! unchanged.
 
-use std::cell::Cell;
-
-/// Counters the engine bumps during evaluation.
-///
-/// Interior mutability keeps `evaluate` callable through `&self`, the way
-/// the kernel hook path is re-entrant without exclusive ownership.
-#[derive(Debug, Default)]
-pub struct PfStats {
-    invocations: Cell<u64>,
-    rules_evaluated: Cell<u64>,
-    ctx_fetches: Cell<u64>,
-    cache_hits: Cell<u64>,
-    drops: Cell<u64>,
-    accepts: Cell<u64>,
-}
-
-impl PfStats {
-    /// Creates zeroed counters.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Resets every counter to zero.
-    pub fn reset(&self) {
-        self.invocations.set(0);
-        self.rules_evaluated.set(0);
-        self.ctx_fetches.set(0);
-        self.cache_hits.set(0);
-        self.drops.set(0);
-        self.accepts.set(0);
-    }
-
-    pub(crate) fn bump_invocations(&self) {
-        self.invocations.set(self.invocations.get() + 1);
-    }
-
-    pub(crate) fn bump_rules(&self) {
-        self.rules_evaluated.set(self.rules_evaluated.get() + 1);
-    }
-
-    pub(crate) fn bump_ctx_fetches(&self) {
-        self.ctx_fetches.set(self.ctx_fetches.get() + 1);
-    }
-
-    pub(crate) fn bump_cache_hits(&self) {
-        self.cache_hits.set(self.cache_hits.get() + 1);
-    }
-
-    pub(crate) fn bump_drops(&self) {
-        self.drops.set(self.drops.get() + 1);
-    }
-
-    pub(crate) fn bump_accepts(&self) {
-        self.accepts.set(self.accepts.get() + 1);
-    }
-
-    /// Firewall hook invocations.
-    pub fn invocations(&self) -> u64 {
-        self.invocations.get()
-    }
-
-    /// Rules whose match evaluation started.
-    pub fn rules_evaluated(&self) -> u64 {
-        self.rules_evaluated.get()
-    }
-
-    /// Context-module fetches performed.
-    pub fn ctx_fetches(&self) -> u64 {
-        self.ctx_fetches.get()
-    }
-
-    /// Context fetches satisfied from the per-syscall cache.
-    pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.get()
-    }
-
-    /// DROP verdicts returned.
-    pub fn drops(&self) -> u64 {
-        self.drops.get()
-    }
-
-    /// Explicit ACCEPT verdicts returned (default allows not counted).
-    pub fn accepts(&self) -> u64 {
-        self.accepts.get()
-    }
-}
+pub use crate::metrics::Metrics as PfStats;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn counters_bump_and_reset() {
+    fn alias_preserves_the_original_counter_api() {
         let s = PfStats::new();
-        s.bump_invocations();
-        s.bump_rules();
-        s.bump_rules();
-        s.bump_drops();
-        assert_eq!(s.invocations(), 1);
-        assert_eq!(s.rules_evaluated(), 2);
-        assert_eq!(s.drops(), 1);
-        s.reset();
+        assert_eq!(s.invocations(), 0);
         assert_eq!(s.rules_evaluated(), 0);
+        assert_eq!(s.ctx_fetches(), 0);
+        assert_eq!(s.cache_hits(), 0);
+        assert_eq!(s.drops(), 0);
+        assert_eq!(s.accepts(), 0);
+        s.reset();
     }
 }

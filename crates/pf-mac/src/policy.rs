@@ -213,7 +213,7 @@ impl MacPolicy {
             if matches {
                 let score = prefix.len();
                 if best.map(|(s, _)| score > s).unwrap_or(true) {
-                    best = Some((score, sid.clone()));
+                    best = Some((score, *sid));
                 }
             }
         }

@@ -115,7 +115,7 @@ pub fn synthetic_trace() -> Vec<TraceEvent> {
     let mut pure_index = 0u64;
     for &(inv, count) in &pure {
         for _ in 0..count {
-            let starts_low = low_budget > 0 && pure_index % 5 == 0;
+            let starts_low = low_budget > 0 && pure_index.is_multiple_of(5);
             pure_index += 1;
             if starts_low {
                 low_budget -= 1;

@@ -11,6 +11,14 @@ use process_firewall::attacks::ruleset::R1;
 use process_firewall::os::loader::{load_library, LinkerConfig};
 use process_firewall::prelude::*;
 
+/// (description, linker config, env override, cwd override)
+type Attack = (
+    &'static str,
+    LinkerConfig,
+    Option<(&'static str, &'static str)>,
+    Option<&'static str>,
+);
+
 fn main() {
     let mut kernel = standard_world();
 
@@ -28,7 +36,7 @@ fn main() {
     }
     println!("[adversary] trojans planted in /tmp/evil, /tmp/svn, /tmp/downloads\n");
 
-    let attacks: [(&str, LinkerConfig, Option<(&str, &str)>, Option<&str>); 3] = [
+    let attacks: [Attack; 3] = [
         (
             "LD_LIBRARY_PATH hijack (non-setuid victim)",
             LinkerConfig::default(),

@@ -200,7 +200,7 @@ fn frame_limit_dos_guard_fails_open_for_that_process_only() {
     assert!(k.open(evil, "/tmp/bait", OpenFlags::rdonly()).is_ok());
     // But entrypoint-independent rules still protect everyone.
     let fd = k.open(evil, "/etc/passwd", OpenFlags::rdonly()).unwrap();
-    drop(fd);
+    let _ = fd;
     let root = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
     let wfd = k
         .open(

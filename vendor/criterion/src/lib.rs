@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate mirrors
+//! the subset of criterion's API the workspace benches use —
+//! `benchmark_group`, `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`, `Bencher::iter`/`iter_with_setup`, and the
+//! `criterion_group!`/`criterion_main!` macros — on a simple wall-clock
+//! harness. Output is mean ns/iter per benchmark; no statistics engine,
+//! no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark manager handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: run until the warm-up budget is spent, tracking how
+        // many iterations fit so the timed phase can batch sensibly.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            b.elapsed = Duration::ZERO;
+            b.iters = 1;
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_call = self.warm_up.as_nanos() as u64 / warm_iters.max(1);
+        // Timed phase: `sample_size` samples, each batching enough calls
+        // to fill measurement_time / sample_size.
+        let per_sample_ns = (self.measurement.as_nanos() as u64 / self.sample_size as u64).max(1);
+        let batch = (per_sample_ns / per_call.max(1)).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = batch;
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += batch;
+        }
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!("{}/{}: {:.1} ns/iter ({} iters)", self.name, id, mean_ns, total_iters);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, batching `iters` calls per invocation.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` untimed for every call.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Re-export matching criterion's `black_box` convenience.
+pub use std::hint::black_box;
+
+/// Declares a group function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut count = 0u64;
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0;
+        b.iter_with_setup(|| 5u64, |v| calls += v);
+        assert_eq!(calls, 15);
+    }
+}

@@ -1,0 +1,652 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait, literal-regex string strategies, integer
+//! ranges, tuples, `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::option::of`, `prop::sample::select`, and the [`proptest!`]
+//! macro with `prop_assert*`/`prop_assume!`. Generation is seeded and
+//! deterministic. There is **no shrinking**: a failing case panics with
+//! the generated inputs' debug rendering instead of a minimized one.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic generator state (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u32,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty strategy range");
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for the full domain of a primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_primitive {
+    ($($t:ty => $draw:expr;)+) => {
+        $(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let draw: fn(u64) -> $t = $draw;
+                    draw(rng.next_u64())
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )+
+    };
+}
+
+any_primitive! {
+    bool => |bits| bits & 1 == 1;
+    u8 => |bits| bits as u8;
+    u16 => |bits| bits as u16;
+    u32 => |bits| bits as u32;
+    u64 => |bits| bits;
+    usize => |bits| bits as usize;
+}
+
+/// Returns the canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------
+// Literal-regex string strategies.
+// ---------------------------------------------------------------------
+
+/// One parsed pattern element: a set of candidate chars plus a
+/// repetition range.
+#[derive(Debug, Clone)]
+struct PatternUnit {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset proptest string strategies use here:
+/// char classes `[a-z_.]`, the dot, literal chars, `\n`/`\t` escapes,
+/// alternation groups of single atoms `(.|\n)`, and `{m,n}`/`{n}`
+/// repetition suffixes.
+fn parse_pattern(pattern: &str) -> Option<Vec<PatternUnit>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut units = Vec::new();
+    while i < chars.len() {
+        let mut set = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if c == '\\' {
+                        i += 1;
+                        set.push(unescape(*chars.get(i)?));
+                    } else if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) != Some(&']') {
+                        let hi = *chars.get(i + 2)?;
+                        for v in c..=hi {
+                            set.push(v);
+                        }
+                        i += 2;
+                    } else {
+                        set.push(c);
+                    }
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return None; // Unclosed class.
+                }
+                i += 1; // Skip `]`.
+            }
+            '(' => {
+                // Alternation group of single atoms: `(.|\n)`.
+                i += 1;
+                while i < chars.len() && chars[i] != ')' {
+                    match chars[i] {
+                        '.' => set.extend(dot_chars()),
+                        '|' => {}
+                        '\\' => {
+                            i += 1;
+                            set.push(unescape(*chars.get(i)?));
+                        }
+                        c => set.push(c),
+                    }
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return None;
+                }
+                i += 1;
+            }
+            '.' => {
+                set.extend(dot_chars());
+                i += 1;
+            }
+            '\\' => {
+                i += 1;
+                set.push(unescape(*chars.get(i)?));
+                i += 1;
+            }
+            c => {
+                set.push(c);
+                i += 1;
+            }
+        }
+        // Optional repetition suffix.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}')? + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if set.is_empty() {
+            return None;
+        }
+        units.push(PatternUnit {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    Some(units)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// The candidate set for `.`: printable ASCII (proptest's `.` excludes
+/// newline; a small set keeps adversarial coverage while staying fast).
+fn dot_chars() -> Vec<char> {
+    let mut v: Vec<char> = (' '..='~').collect();
+    v.push('\u{1}');
+    v.push('é');
+    v
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let units = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern `{self}`"));
+        let mut out = String::new();
+        for unit in &units {
+            let n = unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(unit.chars[rng.below(unit.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop:: namespace.
+// ---------------------------------------------------------------------
+
+/// The `prop::` namespace mirrored from proptest.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates vectors whose length is in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::*;
+
+        /// Strategy for `Option<S::Value>`, mostly `Some`.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Generates `Some` three times out of four.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::*;
+
+        /// Strategy choosing uniformly from a fixed pool.
+        pub struct Select<T> {
+            pool: Vec<T>,
+        }
+
+        /// Picks one element of `pool` per case.
+        pub fn select<T: Clone + Debug>(pool: Vec<T>) -> Select<T> {
+            assert!(!pool.is_empty(), "select pool must be non-empty");
+            Select { pool }
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.pool[rng.below(self.pool.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner configuration and macros.
+// ---------------------------------------------------------------------
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Weighted/unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( ($weight as u32,
+                ::std::boxed::Box::new($arm)
+                    as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>) ),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32,
+                ::std::boxed::Box::new($arm)
+                    as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>) ),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed: {:?} != {:?}", a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed: {:?} != {:?}: {}", a, b, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests. Each case generates fresh inputs from the
+/// given strategies and runs the body; any `prop_assert*` failure panics
+/// with the inputs that produced it (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config = $cfg;
+                let __strats = ( $($strat,)+ );
+                // A fixed per-test seed keeps runs reproducible.
+                let mut __seed: u64 = 0xcafe_f00d;
+                for __b in stringify!($name).bytes() {
+                    __seed = __seed.wrapping_mul(31).wrapping_add(__b as u64);
+                }
+                let mut __rng = $crate::TestRng::new(__seed);
+                for __case in 0..__config.cases {
+                    let ( $($arg,)+ ) = {
+                        let ( $(ref $arg,)+ ) = __strats;
+                        ( $( $crate::Strategy::generate($arg, &mut __rng), )+ )
+                    };
+                    let __inputs = format!("{:?}", ( $(&$arg,)+ ));
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs: {}",
+                            __case + 1, __config.cases, __msg, __inputs
+                        );
+                    }
+                }
+            }
+        )+
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategies_match_their_class() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let free = Strategy::generate(&".{0,120}", &mut rng);
+        assert!(free.chars().count() <= 120);
+    }
+
+    #[test]
+    fn ranges_tuples_and_collections_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(9);
+        for _ in 0..100 {
+            let v = Strategy::generate(&(0u8..16), &mut rng);
+            assert!(v < 16);
+            let (a, b) = Strategy::generate(&(0usize..8, 0u64..4), &mut rng);
+            assert!(a < 8 && b < 4);
+            let xs = Strategy::generate(&prop::collection::vec(0u32..5, 1..9), &mut rng);
+            assert!((1..9).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(x in 0u64..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_eq!(x + 1, 1 + x);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(v in prop_oneof![2 => Just(1u8), 1 => (10u8..20)]) {
+            prop_assert!(v == 1 || (10..20).contains(&v));
+        }
+    }
+}
