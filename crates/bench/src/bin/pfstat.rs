@@ -99,11 +99,12 @@ fn report(k: &pf_os::Kernel, workload: &str) {
     // almost all never evaluated under EPTSPC — show the active ones.
     const TOP: usize = 20;
     let mut rows: Vec<(u64, u64, String, usize, String)> = Vec::new();
+    let base = k.firewall.base();
     for chain in m.chains_seen() {
         let Some(snap) = m.chain_snapshot(&chain) else {
             continue;
         };
-        let rules = k.firewall.base().chain(&chain);
+        let rules = base.chain(&chain);
         for (i, rule) in rules.iter().enumerate() {
             let evals = snap.evaluated.get(i).copied().unwrap_or(0);
             let hits = snap.hits.get(i).copied().unwrap_or(0);
@@ -149,7 +150,7 @@ fn report(k: &pf_os::Kernel, workload: &str) {
     print_histogram("context fetch latency", m.fetch_latency());
 }
 
-fn print_histogram(title: &str, h: &Histogram) {
+fn print_histogram(title: &str, h: Histogram) {
     println!("== {title} (ns) ==");
     if h.count() == 0 {
         println!("(no samples)");

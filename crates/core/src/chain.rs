@@ -55,7 +55,11 @@ impl ChainName {
 
 /// The installed rules, per chain, in evaluation order, plus the compiled
 /// entrypoint index used by the EPTSPC optimization.
-#[derive(Debug, Default)]
+///
+/// `Clone` supports the engine's copy-on-write reload path: rule edits
+/// clone the current base, mutate the copy, and publish it as a fresh
+/// immutable snapshot (see `snapshot.rs`).
+#[derive(Debug, Default, Clone)]
 pub struct RuleBase {
     chains: BTreeMap<ChainName, Vec<Rule>>,
     /// Indices (into the input chain) of rules without an entrypoint.

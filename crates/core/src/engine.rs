@@ -6,8 +6,30 @@
 //! With no match the default policy is ALLOW — the rule base consists of
 //! deny rules only (Section 4.1), which is also what makes the automatic
 //! entrypoint-chain partitioning sound (Section 4.3).
+//!
+//! # Concurrency
+//!
+//! The firewall is split along the read/write axis (see
+//! [`crate::snapshot`] and `docs/CONCURRENCY.md`):
+//!
+//! * the configuration and compiled rule base live in an immutable
+//!   [`RulesetSnapshot`] published through a [`SharedRuleset`] swap
+//!   cell, so `evaluate` takes `&self`, performs no locking against
+//!   other evaluators, and N tasks can run hooks concurrently;
+//! * every rule-management entrypoint (`install`, `install_all`,
+//!   [`ProcessFirewall::reload`], `set_level`, …) builds the *next*
+//!   snapshot and publishes it atomically — in-flight invocations keep
+//!   the snapshot they started with;
+//! * per-invocation mutable state (the context packet, LOG scratch)
+//!   lives on the stack or in the caller's [`TaskSession`]
+//!   (`crate::session`), never in the engine.
+//!
+//! LOG records buffer in invocation-local scratch and are appended to
+//! the shared log sink once, after the verdict is known — so the
+//! DROP-patches-same-invocation-LOG rule (`docs/OBSERVABILITY.md`)
+//! holds even with interleaved concurrent invocations.
 
-use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 
 use pf_types::{Interner, LsmOperation, PfResult, Verdict};
 
@@ -21,6 +43,7 @@ use crate::lang::{parse_command, Command, RuleOp};
 use crate::log::LogEntry;
 use crate::metrics::{Metrics, TraceEvent};
 use crate::rule::{MatchModule, Rule, Target};
+use crate::snapshot::{RulesetSnapshot, SharedRuleset};
 use crate::value::ValueExpr;
 
 /// The outcome of one firewall invocation.
@@ -30,105 +53,193 @@ pub struct EvalDecision {
     pub verdict: Verdict,
     /// For denies: the chain name and rule index that fired.
     pub dropped_by: Option<(String, usize)>,
+    /// The generation of the ruleset snapshot that produced this
+    /// verdict. Each invocation runs against exactly one snapshot, so
+    /// under concurrent hot reloads every verdict is attributable to
+    /// one published ruleset — never a mix.
+    pub generation: u64,
 }
 
 impl EvalDecision {
-    fn allow() -> Self {
+    fn allow(generation: u64) -> Self {
         EvalDecision {
             verdict: Verdict::Allow,
             dropped_by: None,
+            generation,
         }
     }
 }
 
-/// The Process Firewall: configuration, rule base, metrics, and logs.
+/// The Process Firewall: shared ruleset snapshot, metrics, and logs.
 pub struct ProcessFirewall {
-    config: PfConfig,
-    base: RuleBase,
+    shared: SharedRuleset,
     metrics: Metrics,
-    logs: RefCell<Vec<LogEntry>>,
+    logs: Mutex<Vec<LogEntry>>,
+}
+
+// The engine is shared across simulated tasks (and real threads in the
+// stress harness); keep the compiler honest about it.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProcessFirewall>();
+};
+
+/// Applies one parsed `pftables` command to a rule-base draft.
+fn apply_command(base: &mut RuleBase, cmd: Command) -> PfResult<()> {
+    match cmd {
+        Command::Rule(parsed) => match parsed.op {
+            RuleOp::InsertHead(chain) => base.add(chain, parsed.rule, true),
+            RuleOp::Append(chain) => base.add(chain, parsed.rule, false),
+            RuleOp::Delete(chain) => base.delete(&chain, &parsed.rule.text)?,
+        },
+        Command::NewChain(chain) => base.new_chain(chain)?,
+        Command::Flush(Some(chain)) => base.flush(&chain)?,
+        Command::Flush(None) => base.clear(),
+        Command::DeleteChain(chain) => base.delete_chain(&chain)?,
+    }
+    Ok(())
 }
 
 impl ProcessFirewall {
     /// Creates a firewall at the given optimization level with no rules.
     pub fn new(level: OptLevel) -> Self {
         ProcessFirewall {
-            config: level.config(),
-            base: RuleBase::new(),
+            shared: SharedRuleset::new(level.config()),
             metrics: Metrics::new(),
-            logs: RefCell::new(Vec::new()),
+            logs: Mutex::new(Vec::new()),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> PfConfig {
-        self.config
+        self.shared.load().config()
     }
 
     /// Switches optimization preset (rules are kept).
-    pub fn set_level(&mut self, level: OptLevel) {
-        self.config = level.config();
+    pub fn set_level(&self, level: OptLevel) {
+        self.set_config(level.config());
     }
 
     /// Sets an explicit configuration.
-    pub fn set_config(&mut self, config: PfConfig) {
-        self.config = config;
+    pub fn set_config(&self, config: PfConfig) {
+        self.shared
+            .update(|d| {
+                d.config = config;
+                Ok(())
+            })
+            .expect("config edit is infallible");
     }
 
     /// Parses and applies one `pftables` line (a rule or a
-    /// chain-management command).
+    /// chain-management command), publishing a new snapshot generation.
     pub fn install(
-        &mut self,
+        &self,
         line: &str,
         mac: &mut MacPolicy,
         programs: &mut Interner,
     ) -> PfResult<()> {
-        match parse_command(line, mac, programs)? {
-            Command::Rule(parsed) => match parsed.op {
-                RuleOp::InsertHead(chain) => self.base.add(chain, parsed.rule, true),
-                RuleOp::Append(chain) => self.base.add(chain, parsed.rule, false),
-                RuleOp::Delete(chain) => self.base.delete(&chain, &parsed.rule.text)?,
-            },
-            Command::NewChain(chain) => self.base.new_chain(chain)?,
-            Command::Flush(Some(chain)) => self.base.flush(&chain)?,
-            Command::Flush(None) => self.base.clear(),
-            Command::DeleteChain(chain) => self.base.delete_chain(&chain)?,
-        }
+        let cmd = parse_command(line, mac, programs)?;
+        self.shared.update(|d| apply_command(&mut d.base, cmd))?;
         Ok(())
     }
 
-    /// Installs many lines, returning how many were applied.
+    /// Installs many lines in **one** atomic batch, returning how many
+    /// were applied. Either every line takes effect in a single new
+    /// snapshot generation, or (on any parse or apply error) none does.
     pub fn install_all<'a>(
-        &mut self,
+        &self,
         lines: impl IntoIterator<Item = &'a str>,
         mac: &mut MacPolicy,
         programs: &mut Interner,
     ) -> PfResult<usize> {
-        let mut n = 0;
+        let mut cmds = Vec::new();
         for line in lines {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            self.install(line, mac, programs)?;
-            n += 1;
+            cmds.push(parse_command(line, mac, programs)?);
         }
+        let n = cmds.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        self.shared.update(|d| {
+            for cmd in cmds {
+                apply_command(&mut d.base, cmd)?;
+            }
+            Ok(())
+        })?;
         Ok(n)
     }
 
-    /// Removes every installed rule.
-    pub fn clear_rules(&mut self) {
-        self.base.clear();
+    /// `pftables-restore`: atomically **replaces** the whole rule base
+    /// with the given lines, returning `(rules_applied, generation)`.
+    ///
+    /// The reload is linearizable: the new base is built on a private
+    /// draft and published with one snapshot swap, so every in-flight
+    /// invocation sees either the complete old ruleset or the complete
+    /// new one (check [`EvalDecision::generation`]), and a parse or
+    /// apply error leaves the published ruleset untouched.
+    pub fn reload<'a>(
+        &self,
+        lines: impl IntoIterator<Item = &'a str>,
+        mac: &mut MacPolicy,
+        programs: &mut Interner,
+    ) -> PfResult<(usize, u64)> {
+        let mut cmds = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            cmds.push(parse_command(line, mac, programs)?);
+        }
+        let n = cmds.len();
+        let ((), generation) = self.shared.update(|d| {
+            d.base = RuleBase::new();
+            for cmd in cmds {
+                apply_command(&mut d.base, cmd)?;
+            }
+            Ok(())
+        })?;
+        Ok((n, generation))
+    }
+
+    /// Deletes the first rule in `chain` whose original text equals
+    /// `text` (a new snapshot generation).
+    pub fn delete_rule(&self, chain: &ChainName, text: &str) -> PfResult<()> {
+        self.shared.update(|d| d.base.delete(chain, text))?;
+        Ok(())
+    }
+
+    /// Removes every installed rule (a new snapshot generation).
+    pub fn clear_rules(&self) {
+        self.shared
+            .update(|d| {
+                d.base.clear();
+                Ok(())
+            })
+            .expect("clear is infallible");
     }
 
     /// Total installed rules.
     pub fn rule_count(&self) -> usize {
-        self.base.len()
+        self.shared.load().len()
     }
 
-    /// Read access to the rule base.
-    pub fn base(&self) -> &RuleBase {
-        &self.base
+    /// The currently published ruleset snapshot.
+    ///
+    /// The returned `Arc` stays valid (and immutable) across any later
+    /// rule edits; callers inspecting chains should bind it to a local
+    /// first.
+    pub fn base(&self) -> Arc<RulesetSnapshot> {
+        self.shared.load()
+    }
+
+    /// The current snapshot generation (lock-free).
+    pub fn generation(&self) -> u64 {
+        self.shared.generation()
     }
 
     /// Engine counters and histograms (the metrics registry).
@@ -151,52 +262,101 @@ impl ProcessFirewall {
 
     /// Drains accumulated LOG records.
     pub fn take_logs(&self) -> Vec<LogEntry> {
-        std::mem::take(&mut *self.logs.borrow_mut())
+        std::mem::take(&mut *self.logs.lock().unwrap())
     }
 
     /// Number of buffered LOG records.
     pub fn log_count(&self) -> usize {
-        self.logs.borrow().len()
+        self.logs.lock().unwrap().len()
     }
 
     /// The PF hook: decide whether this operation may proceed.
     ///
     /// Called by the OS substrate *after* DAC and MAC authorize the
     /// operation (Step 2 of Figure 2). The default verdict is ALLOW.
+    ///
+    /// Loads the current snapshot for this one invocation. Tasks that
+    /// evaluate repeatedly should hold a [`crate::session::TaskSession`]
+    /// instead, which skips the snapshot load while the generation is
+    /// unchanged and reuses its LOG scratch allocation.
     pub fn evaluate(&self, env: &mut dyn EvalEnv, op: LsmOperation) -> EvalDecision {
-        if !self.config.enabled {
-            return EvalDecision::allow();
+        let snap = self.shared.load();
+        let mut scratch = Vec::new();
+        self.evaluate_on(&snap, env, op, &mut scratch)
+    }
+
+    /// Evaluates one invocation against an explicit snapshot, using
+    /// `scratch` as the invocation-local LOG buffer. The backbone of
+    /// both [`ProcessFirewall::evaluate`] and the session API.
+    pub(crate) fn evaluate_on(
+        &self,
+        snap: &RulesetSnapshot,
+        env: &mut dyn EvalEnv,
+        op: LsmOperation,
+        scratch: &mut Vec<LogEntry>,
+    ) -> EvalDecision {
+        let config = snap.config();
+        if !config.enabled {
+            return EvalDecision::allow(snap.generation());
         }
         self.metrics.bump_invocations();
         self.metrics.op_invoked(op);
         let t0 = self.metrics.timer();
-        // LOG rules run before the verdict is known; remember where this
-        // invocation's records start so a later DROP can patch them.
-        let log_mark = self.logs.borrow().len();
-        let mut pkt = Packet::new(env, self.config);
-        let decision = match self.evaluate_inner(&mut pkt, op) {
+        // LOG rules run before the verdict is known; they buffer in the
+        // invocation-local scratch so a later DROP can patch exactly
+        // this invocation's records before they reach the shared sink.
+        scratch.clear();
+        let mut pkt = Packet::new(env, config);
+        let mut inv = Invocation {
+            snap,
+            config,
+            metrics: &self.metrics,
+            logs: scratch,
+        };
+        let decision = match inv.run(&mut pkt, op) {
             Some(d) => d,
             None => {
                 self.metrics.bump_default_allows();
-                EvalDecision::allow()
+                EvalDecision::allow(snap.generation())
             }
         };
         if decision.verdict == Verdict::Deny {
-            self.patch_log_verdicts(log_mark);
+            for entry in scratch.iter_mut() {
+                if entry.verdict != "DENY" {
+                    entry.verdict = "DENY".to_owned();
+                }
+            }
+        }
+        if !scratch.is_empty() {
+            self.logs.lock().unwrap().append(scratch);
         }
         self.metrics.observe_eval(t0);
         decision
     }
+}
 
+/// One invocation's traversal state: the pinned snapshot, the engine's
+/// shared metrics, and the invocation-local LOG buffer. Everything
+/// mutable is owned by this (stack-allocated) value, which is what
+/// makes the hook re-entrant.
+struct Invocation<'a> {
+    snap: &'a RulesetSnapshot,
+    config: PfConfig,
+    metrics: &'a Metrics,
+    logs: &'a mut Vec<LogEntry>,
+}
+
+impl<'a> Invocation<'a> {
     /// The chain walk: `Some(decision)` on an explicit verdict, `None`
     /// when every rule fell through to the default-ALLOW policy.
-    fn evaluate_inner(&self, pkt: &mut Packet<'_>, op: LsmOperation) -> Option<EvalDecision> {
+    fn run(&mut self, pkt: &mut Packet<'_>, op: LsmOperation) -> Option<EvalDecision> {
+        let snap = self.snap;
         // The naive design "simply fetches all process and resource
         // contexts and then matches them against each invariant"
         // (Section 4.2) — with no invariants installed there is nothing
         // to match, so even the unoptimized path skips collection.
-        if !self.config.lazy_context && !self.base.is_empty() {
-            pkt.fetch_all(&self.metrics);
+        if !self.config.lazy_context && !snap.is_empty() {
+            pkt.fetch_all(self.metrics);
         }
         let start = if op == LsmOperation::SyscallBegin {
             ChainName::SyscallBegin
@@ -204,14 +364,14 @@ impl ProcessFirewall {
             ChainName::Input
         };
         if self.config.entrypoint_chains && start == ChainName::Input {
-            let input = self.base.chain(&ChainName::Input);
-            let generic = self.base.input_generic().iter().map(|&i| (i, &input[i]));
+            let input = snap.chain(&ChainName::Input);
+            let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
             if let Some(d) = self.run_seq(&ChainName::Input, generic, pkt, op, 0) {
                 return Some(d);
             }
-            if self.base.entrypoint_chain_count() > 0 {
-                if let Some(ept) = pkt.entrypoint_value(&self.metrics) {
-                    if let Some(indices) = self.base.input_for_entrypoint(ept) {
+            if snap.entrypoint_chain_count() > 0 {
+                if let Some(ept) = pkt.entrypoint_value(self.metrics) {
+                    if let Some(indices) = snap.input_for_entrypoint(ept) {
                         let bound = indices.iter().map(|&i| (i, &input[i]));
                         if let Some(d) = self.run_seq(&ChainName::Input, bound, pkt, op, 0) {
                             return Some(d);
@@ -225,32 +385,21 @@ impl ProcessFirewall {
         }
     }
 
-    /// Rewrites this invocation's LOG records to the final DENY verdict
-    /// once a terminal DROP has fired.
-    fn patch_log_verdicts(&self, mark: usize) {
-        let mut logs = self.logs.borrow_mut();
-        for entry in logs.iter_mut().skip(mark) {
-            if entry.verdict != "DENY" {
-                entry.verdict = "DENY".to_owned();
-            }
-        }
-    }
-
     fn run_chain(
-        &self,
+        &mut self,
         chain: &ChainName,
         pkt: &mut Packet<'_>,
         op: LsmOperation,
         depth: u32,
     ) -> Option<EvalDecision> {
-        let rules = self.base.chain(chain);
+        let rules = self.snap.chain(chain);
         self.run_seq(chain, rules.iter().enumerate(), pkt, op, depth)
     }
 
-    fn run_seq<'r>(
-        &self,
+    fn run_seq(
+        &mut self,
         chain: &ChainName,
-        rules: impl Iterator<Item = (usize, &'r Rule)>,
+        rules: impl Iterator<Item = (usize, &'a Rule)>,
         pkt: &mut Packet<'_>,
         op: LsmOperation,
         depth: u32,
@@ -291,11 +440,12 @@ impl ProcessFirewall {
                     return Some(EvalDecision {
                         verdict: Verdict::Deny,
                         dropped_by: Some((chain.name(), index)),
+                        generation: self.snap.generation(),
                     });
                 }
                 Target::Accept => {
                     self.metrics.bump_accepts();
-                    return Some(EvalDecision::allow());
+                    return Some(EvalDecision::allow(self.snap.generation()));
                 }
                 Target::Continue => {}
                 Target::Return => return None,
@@ -320,14 +470,14 @@ impl ProcessFirewall {
         None
     }
 
-    fn resolve(&self, value: ValueExpr, pkt: &mut Packet<'_>) -> Option<u64> {
+    fn resolve(&mut self, value: ValueExpr, pkt: &mut Packet<'_>) -> Option<u64> {
         match value {
             ValueExpr::Lit(v) => Some(v),
-            ValueExpr::Ctx(field) => pkt.field_value(field, &self.metrics),
+            ValueExpr::Ctx(field) => pkt.field_value(field, self.metrics),
         }
     }
 
-    fn rule_matches(&self, rule: &Rule, pkt: &mut Packet<'_>, op: LsmOperation) -> bool {
+    fn rule_matches(&mut self, rule: &Rule, pkt: &mut Packet<'_>, op: LsmOperation) -> bool {
         // Cheapest selectors first so lazy context fetches stay minimal.
         if let Some(rule_op) = rule.def.op {
             if rule_op != op {
@@ -341,7 +491,7 @@ impl ProcessFirewall {
         }
         match rule.def.entrypoint() {
             Some(want) => {
-                if pkt.entrypoint_value(&self.metrics) != Some(want) {
+                if pkt.entrypoint_value(self.metrics) != Some(want) {
                     return false;
                 }
             }
@@ -355,12 +505,12 @@ impl ProcessFirewall {
             }
         }
         if let Some(resource) = rule.def.resource {
-            if pkt.resource_id_value(&self.metrics) != Some(resource) {
+            if pkt.resource_id_value(self.metrics) != Some(resource) {
                 return false;
             }
         }
         if let Some(object) = &rule.def.object {
-            match pkt.object_sid_value(&self.metrics) {
+            match pkt.object_sid_value(self.metrics) {
                 Some(sid) if object.contains(sid) => {}
                 _ => return false,
             }
@@ -373,7 +523,7 @@ impl ProcessFirewall {
         true
     }
 
-    fn module_matches(&self, m: &MatchModule, pkt: &mut Packet<'_>) -> bool {
+    fn module_matches(&mut self, m: &MatchModule, pkt: &mut Packet<'_>) -> bool {
         match m {
             MatchModule::State { key, cmp, negate } => {
                 let Some(current) = pkt.env_ref().state_get(*key) else {
@@ -391,7 +541,7 @@ impl ProcessFirewall {
                 None => false,
             },
             MatchModule::SyscallArgs { arg, cmp, negate } => {
-                let v = pkt.arg_value(*arg, &self.metrics);
+                let v = pkt.arg_value(*arg, self.metrics);
                 let Some(want) = self.resolve(*cmp, pkt) else {
                     return false;
                 };
@@ -403,7 +553,7 @@ impl ProcessFirewall {
                 };
                 (a == b) != *negate
             }
-            MatchModule::Owner { uid, negate } => match pkt.dac_owner_value(&self.metrics) {
+            MatchModule::Owner { uid, negate } => match pkt.dac_owner_value(self.metrics) {
                 Some(owner) => (owner == *uid) != *negate,
                 None => false,
             },
@@ -414,19 +564,19 @@ impl ProcessFirewall {
             MatchModule::Caller { program } => pkt.env_ref().program() == *program,
             MatchModule::AdvAccess { write, want } => {
                 let v = if *write {
-                    pkt.adv_write_value(&self.metrics)
+                    pkt.adv_write_value(self.metrics)
                 } else {
-                    pkt.adv_read_value(&self.metrics)
+                    pkt.adv_read_value(self.metrics)
                 };
                 v == Some(*want)
             }
         }
     }
 
-    fn emit_log(&self, pkt: &mut Packet<'_>, op: LsmOperation, tag: &str, verdict: &str) {
-        let ept = pkt.entrypoint_value(&self.metrics);
-        let adv_write = pkt.adv_write_value(&self.metrics).unwrap_or(false);
-        let adv_read = pkt.adv_read_value(&self.metrics).unwrap_or(false);
+    fn emit_log(&mut self, pkt: &mut Packet<'_>, op: LsmOperation, tag: &str, verdict: &str) {
+        let ept = pkt.entrypoint_value(self.metrics);
+        let adv_write = pkt.adv_write_value(self.metrics).unwrap_or(false);
+        let adv_read = pkt.adv_read_value(self.metrics).unwrap_or(false);
         let env = pkt.env_ref();
         let mac = env.mac();
         let object = env.object();
@@ -447,7 +597,7 @@ impl ProcessFirewall {
             tag: tag.to_owned(),
             verdict: verdict.to_owned(),
         };
-        self.logs.borrow_mut().push(entry);
+        self.logs.push(entry);
     }
 }
 
@@ -456,6 +606,7 @@ mod tests {
     use super::*;
     use crate::env::{ObjectInfo, SignalInfo};
     use crate::lang::parse_rule;
+    use crate::session::TaskSession;
     use pf_mac::ubuntu_mini;
     use pf_types::{DeviceId, Gid, InodeNum, Mode, Pid, ProgramId, ResourceId, SecId, Uid};
     use std::collections::HashMap;
@@ -566,7 +717,7 @@ mod tests {
         }
     }
 
-    fn install(pf: &mut ProcessFirewall, env: &mut MockEnv, line: &str) {
+    fn install(pf: &ProcessFirewall, env: &mut MockEnv, line: &str) {
         pf.install(line, &mut env.mac, &mut env.programs).unwrap();
     }
 
@@ -580,9 +731,9 @@ mod tests {
 
     #[test]
     fn disabled_firewall_never_blocks() {
-        let mut pf = ProcessFirewall::new(OptLevel::Disabled);
+        let pf = ProcessFirewall::new(OptLevel::Disabled);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j DROP");
         let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
         assert_eq!(d.verdict, Verdict::Allow);
         assert_eq!(pf.stats().invocations(), 0);
@@ -590,9 +741,9 @@ mod tests {
 
     #[test]
     fn label_match_drops_and_reports_rule() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
         let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
         assert_eq!(d.verdict, Verdict::Deny);
         assert_eq!(d.dropped_by, Some(("input".into(), 0)));
@@ -612,10 +763,10 @@ mod tests {
 
     #[test]
     fn negated_set_drops_everything_outside() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o FILE_OPEN -d ~{lib_t|usr_t} -j DROP",
         );
@@ -638,9 +789,9 @@ mod tests {
 
     #[test]
     fn operation_selector_gates_rule() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_WRITE -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_WRITE -j DROP");
         assert_eq!(
             pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
             Verdict::Allow
@@ -653,10 +804,10 @@ mod tests {
 
     #[test]
     fn entrypoint_match_requires_program_and_pc() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
         );
@@ -674,10 +825,10 @@ mod tests {
 
     #[test]
     fn malformed_stack_fails_open_for_that_process() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
         );
@@ -691,15 +842,15 @@ mod tests {
     #[test]
     fn state_set_then_state_match_tocttou_pair() {
         // R5/R6-style: record inode at bind, drop chmod on a different one.
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 50, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO",
         );
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
         );
@@ -733,10 +884,10 @@ mod tests {
 
     #[test]
     fn state_match_with_missing_key_never_fires() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 51, 666);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
         );
@@ -748,14 +899,14 @@ mod tests {
 
     #[test]
     fn signal_chain_blocks_nested_handler() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new();
         for r in [
             "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
             "pftables -A signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
             "pftables -A signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1",
         ] {
-            install(&mut pf, &mut env, r);
+            install(&pf, &mut env, r);
         }
         env.signal = Some(SignalInfo {
             signal: pf_types::SignalNum::SIGALRM,
@@ -774,10 +925,10 @@ mod tests {
 
     #[test]
     fn sigreturn_clears_signal_state() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new();
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn \
              -j STATE --set --key 'sig' --value 0",
@@ -790,11 +941,11 @@ mod tests {
 
     #[test]
     fn compare_module_owner_mismatch() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         env.link_owner = Some(Uid(666));
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o LINK_READ -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER \
              --nequal -j DROP",
@@ -812,10 +963,10 @@ mod tests {
 
     #[test]
     fn adv_access_module() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o FILE_OPEN -m ADV_ACCESS --write --accessible -j DROP",
         );
@@ -839,10 +990,10 @@ mod tests {
 
     #[test]
     fn accept_short_circuits_later_drops() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j ACCEPT");
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j ACCEPT");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j DROP");
         assert_eq!(
             pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
             Verdict::Allow
@@ -852,13 +1003,9 @@ mod tests {
 
     #[test]
     fn log_target_records_context_and_continues() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(
-            &mut pf,
-            &mut env,
-            "pftables -o FILE_OPEN -j LOG --tag trace",
-        );
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j LOG --tag trace");
         assert_eq!(
             pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
             Verdict::Allow
@@ -874,9 +1021,9 @@ mod tests {
 
     #[test]
     fn drops_are_logged_as_denials() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
         pf.evaluate(&mut env, LsmOperation::FileOpen);
         let logs = pf.take_logs();
         assert_eq!(logs.len(), 1);
@@ -905,7 +1052,7 @@ mod tests {
             OptLevel::LazyCon,
             OptLevel::EptSpc,
         ] {
-            let mut pf = ProcessFirewall::new(level);
+            let pf = ProcessFirewall::new(level);
             let mut vs = Vec::new();
             for &(label, ino, owner, op) in &cases {
                 let mut env = MockEnv::new().with_object(label, ino, owner);
@@ -926,12 +1073,175 @@ mod tests {
         }
     }
 
+    /// The concurrent extension of
+    /// [`all_optimization_levels_agree_on_verdicts`]: the same per-task
+    /// workloads, run once sequentially and once with one thread per
+    /// task against one shared firewall, must produce identical
+    /// per-task verdict sequences at every optimization level. Only
+    /// per-task state (STATE dictionary, session, context cache) may
+    /// influence a verdict, so thread interleaving cannot change it.
+    #[test]
+    fn multithreaded_verdict_sequences_match_single_threaded() {
+        use std::sync::Arc;
+
+        let rules = [
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -d tmp_t -j DROP",
+            "pftables -o FILE_WRITE -d ~{lib_t|etc_t} -j DROP",
+            "pftables -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO",
+            "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+        ];
+        // Four "tasks", each with its own case sequence (label, ino, op).
+        let tasks: [Vec<(&str, u64, LsmOperation)>; 4] = [
+            vec![
+                ("tmp_t", 5, LsmOperation::FileOpen),
+                ("tmp_t", 5, LsmOperation::SocketBind),
+                ("tmp_t", 5, LsmOperation::SocketSetattr),
+                ("tmp_t", 6, LsmOperation::SocketSetattr),
+            ],
+            vec![
+                ("lib_t", 6, LsmOperation::FileOpen),
+                ("lib_t", 6, LsmOperation::FileWrite),
+                ("tmp_t", 7, LsmOperation::FileWrite),
+            ],
+            vec![
+                ("etc_t", 7, LsmOperation::FileWrite),
+                ("tmp_t", 8, LsmOperation::SocketSetattr),
+                ("tmp_t", 8, LsmOperation::SocketBind),
+                ("tmp_t", 9, LsmOperation::SocketSetattr),
+            ],
+            vec![
+                ("tmp_t", 10, LsmOperation::FileOpen),
+                ("tmp_t", 10, LsmOperation::FileWrite),
+            ],
+        ];
+
+        // One task's run: fresh env + session, its cases in order.
+        fn run_task(pf: &ProcessFirewall, cases: &[(&str, u64, LsmOperation)]) -> Vec<Verdict> {
+            let mut session = TaskSession::new();
+            let mut verdicts = Vec::new();
+            let mut state = HashMap::new();
+            for &(label, ino, op) in cases {
+                let mut env = MockEnv::new().with_object(label, ino, 1000);
+                env.state = std::mem::take(&mut state);
+                verdicts.push(session.evaluate(pf, &mut env, op).verdict);
+                state = env.state; // STATE persists across the task's calls
+            }
+            verdicts
+        }
+
+        for level in [
+            OptLevel::Full,
+            OptLevel::ConCache,
+            OptLevel::LazyCon,
+            OptLevel::EptSpc,
+        ] {
+            let pf = Arc::new(ProcessFirewall::new(level));
+            let mut env0 = MockEnv::new();
+            for r in rules {
+                pf.install(r, &mut env0.mac, &mut env0.programs).unwrap();
+            }
+
+            let sequential: Vec<Vec<Verdict>> =
+                tasks.iter().map(|cases| run_task(&pf, cases)).collect();
+
+            let handles: Vec<_> = tasks
+                .iter()
+                .map(|cases| {
+                    let pf = Arc::clone(&pf);
+                    let cases = cases.clone();
+                    std::thread::spawn(move || run_task(&pf, &cases))
+                })
+                .collect();
+            let threaded: Vec<Vec<Verdict>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+            assert_eq!(
+                sequential, threaded,
+                "per-task verdict sequences diverged at {level:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_swaps_ruleset_atomically() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let gen_before = pf.generation();
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny
+        );
+
+        // A failing reload (bad line) must leave everything untouched.
+        let err = pf.reload(
+            ["pftables -o FILE_OPEN -d etc_t -j DROP", "pftables -j"],
+            &mut env.mac,
+            &mut env.programs,
+        );
+        assert!(err.is_err());
+        assert_eq!(pf.generation(), gen_before, "no partial publication");
+        assert_eq!(pf.rule_count(), 1);
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Deny
+        );
+
+        // A good reload replaces the whole base in one generation.
+        let (n, generation) = pf
+            .reload(
+                ["# comment", "pftables -o FILE_WRITE -d tmp_t -j DROP"],
+                &mut env.mac,
+                &mut env.programs,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(generation, gen_before + 1);
+        assert_eq!(pf.rule_count(), 1);
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow, "old rule is gone");
+        assert_eq!(d.generation, generation, "verdict attributes to the swap");
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileWrite).verdict,
+            Verdict::Deny
+        );
+    }
+
+    #[test]
+    fn install_all_is_all_or_nothing() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new();
+        let err = pf.install_all(
+            [
+                "pftables -o FILE_OPEN -j DROP",
+                "pftables -D input -o FILE_WRITE -j DROP", // no such rule
+            ],
+            &mut env.mac,
+            &mut env.programs,
+        );
+        assert!(err.is_err());
+        assert_eq!(pf.rule_count(), 0, "failed batch applies nothing");
+        let gen_before = pf.generation();
+        let n = pf
+            .install_all(
+                [
+                    "pftables -o FILE_OPEN -j DROP",
+                    "pftables -o FILE_WRITE -j DROP",
+                ],
+                &mut env.mac,
+                &mut env.programs,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(pf.generation(), gen_before + 1, "one batch, one generation");
+    }
+
     #[test]
     fn concache_avoids_repeated_unwinds() {
-        let mut pf = ProcessFirewall::new(OptLevel::ConCache);
+        let pf = ProcessFirewall::new(OptLevel::ConCache);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -d tmp_t -j LOG",
         );
@@ -947,7 +1257,7 @@ mod tests {
     fn eptspc_skips_unrelated_entrypoint_rules() {
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         let mk = |level: OptLevel, env: &mut MockEnv| {
-            let mut pf = ProcessFirewall::new(level);
+            let pf = ProcessFirewall::new(level);
             // 50 rules for other entrypoints + one generic matcher-free op.
             for i in 0..50 {
                 pf.install(
@@ -971,10 +1281,10 @@ mod tests {
 
     #[test]
     fn return_target_ends_chain_without_verdict() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j RETURN");
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j RETURN");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j DROP");
         assert_eq!(
             pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
             Verdict::Allow,
@@ -984,11 +1294,11 @@ mod tests {
 
     #[test]
     fn jump_returns_to_caller_on_fallthrough() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -I input -o FILE_OPEN -j SIDE");
-        install(&mut pf, &mut env, "pftables -A side -o FILE_WRITE -j DROP");
-        install(&mut pf, &mut env, "pftables -A input -o FILE_OPEN -j DROP");
+        install(&pf, &mut env, "pftables -I input -o FILE_OPEN -j SIDE");
+        install(&pf, &mut env, "pftables -A side -o FILE_WRITE -j DROP");
+        install(&pf, &mut env, "pftables -A input -o FILE_OPEN -j DROP");
         // side chain has no FILE_OPEN rule, so control returns and the
         // second input rule fires.
         let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
@@ -998,25 +1308,24 @@ mod tests {
 
     #[test]
     fn rule_delete_via_install() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
         assert_eq!(pf.rule_count(), 1);
         // `-D` with the same spec removes it (text match ignores the -D).
         let line = "pftables -o FILE_OPEN -d tmp_t -j DROP";
         let parsed = parse_rule(line, &mut env.mac, &mut env.programs).unwrap();
-        pf.base
-            .delete(&ChainName::Input, &parsed.rule.text)
+        pf.delete_rule(&ChainName::Input, &parsed.rule.text)
             .unwrap();
         assert_eq!(pf.rule_count(), 0);
     }
 
     #[test]
     fn jump_to_missing_chain_falls_through() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j NOWHERE");
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j NOWHERE");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
         let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
         assert_eq!(d.verdict, Verdict::Deny, "empty jump target is a no-op");
         assert_eq!(d.dropped_by, Some(("input".into(), 1)));
@@ -1024,10 +1333,10 @@ mod tests {
 
     #[test]
     fn self_jump_cycle_terminates_at_depth_limit() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -I input -o FILE_OPEN -j LOOPY");
-        install(&mut pf, &mut env, "pftables -A loopy -o FILE_OPEN -j LOOPY");
+        install(&pf, &mut env, "pftables -I input -o FILE_OPEN -j LOOPY");
+        install(&pf, &mut env, "pftables -A loopy -o FILE_OPEN -j LOOPY");
         // Must return (default allow), not recurse forever.
         let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
         assert_eq!(d.verdict, Verdict::Allow);
@@ -1035,7 +1344,7 @@ mod tests {
 
     #[test]
     fn resource_id_default_match() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         let res = pf_types::ResourceId::File {
             dev: DeviceId(0),
@@ -1043,7 +1352,7 @@ mod tests {
         }
         .as_u64();
         install(
-            &mut pf,
+            &pf,
             &mut env,
             &format!("pftables -o FILE_OPEN -r {res} -j DROP"),
         );
@@ -1067,10 +1376,10 @@ mod tests {
 
     #[test]
     fn caller_module_matches_main_binary() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o FILE_OPEN -m CALLER --program /usr/bin/apache2 -j DROP",
         );
@@ -1088,10 +1397,10 @@ mod tests {
 
     #[test]
     fn state_unset_target_removes_entries() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -o FILE_OPEN -j STATE --unset --key 0x77",
         );
@@ -1102,9 +1411,9 @@ mod tests {
 
     #[test]
     fn subject_selector_gates_on_process_label() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -s user_t -o FILE_OPEN -j DROP");
+        install(&pf, &mut env, "pftables -s user_t -o FILE_OPEN -j DROP");
         // Mock subject is httpd_t.
         assert_eq!(
             pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
@@ -1119,18 +1428,18 @@ mod tests {
 
     #[test]
     fn trace_follows_exact_rule_path() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -A input -o FILE_OPEN -j TRACE");
-        install(&mut pf, &mut env, "pftables -A input -o FILE_WRITE -j DROP");
-        install(&mut pf, &mut env, "pftables -A input -o FILE_OPEN -j SIDE");
+        install(&pf, &mut env, "pftables -A input -o FILE_OPEN -j TRACE");
+        install(&pf, &mut env, "pftables -A input -o FILE_WRITE -j DROP");
+        install(&pf, &mut env, "pftables -A input -o FILE_OPEN -j SIDE");
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -A side -o FILE_OPEN -j LOG --tag traced",
         );
         install(
-            &mut pf,
+            &pf,
             &mut env,
             "pftables -A side -o FILE_OPEN -d tmp_t -j DROP",
         );
@@ -1165,11 +1474,11 @@ mod tests {
 
     #[test]
     fn drop_patches_same_invocation_log_verdicts() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_WRITE -j LOG --tag w");
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -j LOG --tag o");
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_WRITE -j LOG --tag w");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j LOG --tag o");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
         // LOG then default allow: the record keeps its ALLOW verdict.
         pf.evaluate(&mut env, LsmOperation::FileWrite);
         // LOG then DROP in the same invocation: patched to DENY.
@@ -1183,10 +1492,10 @@ mod tests {
 
     #[test]
     fn verdict_counters_partition_invocations() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
-        install(&mut pf, &mut env, "pftables -o FILE_READ -j ACCEPT");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_READ -j ACCEPT");
         for _ in 0..3 {
             pf.evaluate(&mut env, LsmOperation::FileOpen);
         }
@@ -1208,10 +1517,10 @@ mod tests {
 
     #[test]
     fn detailed_mode_tracks_per_rule_counters() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
-        install(&mut pf, &mut env, "pftables -o FILE_WRITE -j DROP");
-        install(&mut pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_WRITE -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
         pf.evaluate(&mut env, LsmOperation::FileOpen);
         assert!(
             pf.metrics().chain_snapshot(&ChainName::Input).is_none(),
@@ -1226,7 +1535,7 @@ mod tests {
 
     #[test]
     fn install_all_skips_comments_and_blanks() {
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         let mut env = MockEnv::new();
         let n = pf
             .install_all(

@@ -37,7 +37,14 @@
 //! * [`metrics`] is the observability registry: the legacy counters,
 //!   per-rule/per-operation/per-field detail, latency histograms, the
 //!   TRACE event ring, and the Prometheus/JSON exporters (see
-//!   `docs/OBSERVABILITY.md`).
+//!   `docs/OBSERVABILITY.md`) — all thread-safe, with sharded latency
+//!   histograms merged on export;
+//! * [`snapshot`] holds the immutable [`snapshot::RulesetSnapshot`]
+//!   and the [`snapshot::SharedRuleset`] swap cell that make rule
+//!   loads atomic and evaluation lock-free (see `docs/CONCURRENCY.md`);
+//! * [`session`] is the per-task [`session::TaskSession`]: the pinned
+//!   snapshot plus reusable per-invocation scratch each simulated
+//!   process owns.
 //!
 //! # Examples
 //!
@@ -68,18 +75,22 @@ pub mod log;
 pub mod metrics;
 pub mod render;
 pub mod rule;
+pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod value;
 
 pub use chain::{ChainName, RuleBase};
 pub use config::{OptLevel, PfConfig};
 pub use context::CtxField;
-pub use engine::ProcessFirewall;
+pub use engine::{EvalDecision, ProcessFirewall};
 pub use env::{EvalEnv, ObjectInfo, SignalInfo};
 pub use lang::render_rule;
 pub use log::LogEntry;
-pub use metrics::{ChainSnapshot, Histogram, Metrics, TraceEvent};
+pub use metrics::{ChainSnapshot, Histogram, Metrics, ShardedHistogram, TraceEvent};
 pub use render::render_rules;
 pub use rule::{MatchModule, Rule, Target};
+pub use session::TaskSession;
+pub use snapshot::{RulesetSnapshot, SharedRuleset};
 pub use stats::PfStats;
 pub use value::{state_key, ValueExpr};

@@ -14,17 +14,25 @@
 //!   fetches;
 //! * the TRACE target's bounded event ring.
 //!
-//! Everything is interior-mutable so `Engine::evaluate(&self, …)` stays
-//! re-entrant the way a kernel hook is. The detail layer is gated by
-//! [`Metrics::set_detailed`]: with recording off (the default) every
-//! detail hook is a no-op and no clock is read, which is the baseline
-//! the `metrics_overhead` bench compares against. The six legacy
-//! counters and `default_allows` are always on — they define engine
-//! semantics that existing tests assert.
+//! The registry is **thread-safe**: the firewall hook runs re-entrantly
+//! from many tasks at once (the paper's LSM hooks run with interrupts
+//! enabled), so every counter is a relaxed atomic and the latency
+//! histograms are *sharded* — each recording thread owns one shard of
+//! atomic buckets, and [`Metrics::eval_latency`]/
+//! [`Metrics::fetch_latency`] merge the shards into one summary
+//! histogram on export. The rarely-touched structures (per-rule counter
+//! maps, the TRACE ring) sit behind plain mutexes off the hot path.
+//!
+//! The detail layer is gated by [`Metrics::set_detailed`]: with
+//! recording off (the default) every detail hook is a no-op and no
+//! clock is read, which is the baseline the `metrics_overhead` bench
+//! compares against. The six legacy counters and `default_allows` are
+//! always on — they define engine semantics that existing tests assert.
 
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use pf_types::LsmOperation;
@@ -39,6 +47,20 @@ pub const TRACE_RING_CAP: usize = 4096;
 
 const NUM_OPS: usize = LsmOperation::ALL.len();
 const NUM_FIELDS: usize = CtxField::ALL.len();
+
+/// Number of shards in a [`ShardedHistogram`]. Recording threads are
+/// assigned shards round-robin, so up to this many threads record
+/// without sharing a cache line of buckets.
+pub const HISTOGRAM_SHARDS: usize = 8;
+
+/// The shard this thread records latency samples into.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % HISTOGRAM_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
 
 /// One structured TRACE event: a rule traversed after a TRACE target
 /// fired in the same invocation (mirroring iptables' TRACE semantics).
@@ -75,11 +97,11 @@ impl TraceEvent {
 #[derive(Debug, Default)]
 struct FieldCounters {
     /// Context-module invocations for this field.
-    fetches: Cell<u64>,
+    fetches: AtomicU64,
     /// Fetches served from the per-syscall task cache.
-    hits: Cell<u64>,
+    hits: AtomicU64,
     /// Fetches where the field was unavailable for the operation.
-    misses: Cell<u64>,
+    misses: AtomicU64,
 }
 
 /// Per-rule evaluated/hit tallies for one chain, indexed by rule index.
@@ -111,23 +133,23 @@ pub struct ChainSnapshot {
 ///
 /// Values below 8 ns get exact buckets; above that each power-of-two
 /// octave is split into four linear sub-buckets, so relative error is
-/// bounded by 25 % across the full `u64` range. Interior-mutable like
-/// the rest of the registry.
+/// bounded by 25 % across the full `u64` range. All cells are relaxed
+/// atomics, so `record` takes `&self` and is safe from any thread.
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: Box<[Cell<u64>; Histogram::NUM_BUCKETS]>,
-    count: Cell<u64>,
-    sum: Cell<u64>,
-    max: Cell<u64>,
+    buckets: Box<[AtomicU64; Histogram::NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: Box::new(std::array::from_fn(|_| Cell::new(0))),
-            count: Cell::new(0),
-            sum: Cell::new(0),
-            max: Cell::new(0),
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -162,54 +184,88 @@ impl Histogram {
 
     /// Records one value.
     pub fn record(&self, v: u64) {
-        let b = &self.buckets[Self::bucket_index(v)];
-        b.set(b.get() + 1);
-        self.count.set(self.count.get() + 1);
-        self.sum.set(self.sum.get().saturating_add(v));
-        if v > self.max.get() {
-            self.max.set(v);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum: a wrapped total would corrupt means silently.
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(v);
+            match self
+                .sum
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(cur) => sum = cur,
+            }
         }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds every bucket and summary cell of `other` into `self`.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        let add = other.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(add);
+            match self
+                .sum
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(cur) => sum = cur,
+            }
+        }
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded values (saturating).
     pub fn sum(&self) -> u64 {
-        self.sum.get()
+        self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest recorded value (0 when empty).
     pub fn max(&self) -> u64 {
-        self.max.get()
+        self.max.load(Ordering::Relaxed)
     }
 
     /// Mean of recorded values (0 when empty).
     pub fn mean(&self) -> u64 {
-        match self.count.get() {
+        match self.count() {
             0 => 0,
-            n => self.sum.get() / n,
+            n => self.sum() / n,
         }
     }
 
     /// Approximate `p`-th percentile (`0.0 ..= 1.0`): the upper bound of
     /// the bucket containing that rank, clamped to the recorded maximum.
     pub fn percentile(&self, p: f64) -> u64 {
-        let n = self.count.get();
+        let n = self.count();
         if n == 0 {
             return 0;
         }
         let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (idx, b) in self.buckets.iter().enumerate() {
-            seen += b.get();
+            seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return Self::bucket_upper(idx).min(self.max.get());
+                return Self::bucket_upper(idx).min(self.max());
             }
         }
-        self.max.get()
+        self.max()
     }
 
     /// Median shorthand.
@@ -225,11 +281,11 @@ impl Histogram {
     /// Zeroes the histogram.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
-            b.set(0);
+            b.store(0, Ordering::Relaxed);
         }
-        self.count.set(0);
-        self.sum.set(0);
-        self.max.set(0);
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// Non-empty `(upper_bound, cumulative_count)` pairs, ascending —
@@ -238,8 +294,9 @@ impl Histogram {
         let mut out = Vec::new();
         let mut cum = 0u64;
         for (idx, b) in self.buckets.iter().enumerate() {
-            if b.get() > 0 {
-                cum += b.get();
+            let v = b.load(Ordering::Relaxed);
+            if v > 0 {
+                cum += v;
                 out.push((Self::bucket_upper(idx), cum));
             }
         }
@@ -247,37 +304,81 @@ impl Histogram {
     }
 }
 
+/// A latency histogram split into [`HISTOGRAM_SHARDS`] per-thread
+/// shards.
+///
+/// Each recording thread is assigned one shard round-robin and only
+/// ever touches that shard's atomics, so concurrent recorders do not
+/// contend on bucket cache lines. Readers call [`ShardedHistogram::merged`]
+/// to fold every shard into one summary [`Histogram`] — merge semantics
+/// are purely additive (bucket counts, count, saturating sum, max), so
+/// a merged view taken while recorders are live is a consistent
+/// *at-least* snapshot.
+#[derive(Debug, Default)]
+pub struct ShardedHistogram {
+    shards: [Histogram; HISTOGRAM_SHARDS],
+}
+
+impl ShardedHistogram {
+    /// Records one value into the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.shards[shard_index()].record(v);
+    }
+
+    /// Folds every shard into one summary histogram.
+    pub fn merged(&self) -> Histogram {
+        let out = Histogram::default();
+        for shard in &self.shards {
+            out.merge_from(shard);
+        }
+        out
+    }
+
+    /// Total recorded values across all shards.
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(Histogram::count).sum()
+    }
+
+    /// Zeroes every shard.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.reset();
+        }
+    }
+}
+
 /// The engine's metrics registry. See the module docs for the layout.
 #[derive(Debug, Default)]
 pub struct Metrics {
     // --- legacy counters (always on; semantics asserted by tests) ---
-    invocations: Cell<u64>,
-    rules_evaluated: Cell<u64>,
-    ctx_fetches: Cell<u64>,
-    cache_hits: Cell<u64>,
-    drops: Cell<u64>,
-    accepts: Cell<u64>,
+    invocations: AtomicU64,
+    rules_evaluated: AtomicU64,
+    ctx_fetches: AtomicU64,
+    cache_hits: AtomicU64,
+    drops: AtomicU64,
+    accepts: AtomicU64,
     /// Invocations that fell through every rule to the default-ALLOW
     /// policy (explicit ACCEPTs are counted separately in `accepts`).
-    default_allows: Cell<u64>,
+    default_allows: AtomicU64,
     // --- detail layer (gated by `detailed`) ---
-    detailed: Cell<bool>,
+    detailed: AtomicBool,
     per_op: PerOp,
     fields: PerField,
-    chains: RefCell<BTreeMap<ChainName, ChainCounters>>,
-    eval_ns: Histogram,
-    fetch_ns: Histogram,
+    chains: Mutex<BTreeMap<ChainName, ChainCounters>>,
+    eval_ns: ShardedHistogram,
+    fetch_ns: ShardedHistogram,
     // --- TRACE ring (driven by rules, not by `detailed`) ---
-    trace: RefCell<VecDeque<TraceEvent>>,
-    trace_dropped: Cell<u64>,
+    trace: Mutex<VecDeque<TraceEvent>>,
+    trace_dropped: AtomicU64,
 }
 
 #[derive(Debug)]
-struct PerOp([Cell<u64>; NUM_OPS]);
+struct PerOp([AtomicU64; NUM_OPS]);
 
 impl Default for PerOp {
     fn default() -> Self {
-        PerOp(std::array::from_fn(|_| Cell::new(0)))
+        PerOp(std::array::from_fn(|_| AtomicU64::new(0)))
     }
 }
 
@@ -299,107 +400,107 @@ impl Metrics {
     /// Resets every counter, histogram, and the trace ring. The detail
     /// recording flag is preserved.
     pub fn reset(&self) {
-        self.invocations.set(0);
-        self.rules_evaluated.set(0);
-        self.ctx_fetches.set(0);
-        self.cache_hits.set(0);
-        self.drops.set(0);
-        self.accepts.set(0);
-        self.default_allows.set(0);
+        self.invocations.store(0, Ordering::Relaxed);
+        self.rules_evaluated.store(0, Ordering::Relaxed);
+        self.ctx_fetches.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.drops.store(0, Ordering::Relaxed);
+        self.accepts.store(0, Ordering::Relaxed);
+        self.default_allows.store(0, Ordering::Relaxed);
         for c in &self.per_op.0 {
-            c.set(0);
+            c.store(0, Ordering::Relaxed);
         }
         for f in &self.fields.0 {
-            f.fetches.set(0);
-            f.hits.set(0);
-            f.misses.set(0);
+            f.fetches.store(0, Ordering::Relaxed);
+            f.hits.store(0, Ordering::Relaxed);
+            f.misses.store(0, Ordering::Relaxed);
         }
-        self.chains.borrow_mut().clear();
+        self.chains.lock().unwrap().clear();
         self.eval_ns.reset();
         self.fetch_ns.reset();
-        self.trace.borrow_mut().clear();
-        self.trace_dropped.set(0);
+        self.trace.lock().unwrap().clear();
+        self.trace_dropped.store(0, Ordering::Relaxed);
     }
 
     /// Turns the detail layer (per-rule/per-op/per-field counters and
     /// latency histograms) on or off. Off is the no-op recorder: the
     /// detail hooks cost one branch and no clock is read.
     pub fn set_detailed(&self, on: bool) {
-        self.detailed.set(on);
+        self.detailed.store(on, Ordering::Relaxed);
     }
 
     /// Whether the detail layer is recording.
     pub fn detailed(&self) -> bool {
-        self.detailed.get()
+        self.detailed.load(Ordering::Relaxed)
     }
 
     // --- legacy bump API (kept from `PfStats`) ---
 
     #[inline]
     pub(crate) fn bump_invocations(&self) {
-        self.invocations.set(self.invocations.get() + 1);
+        self.invocations.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn bump_rules(&self) {
-        self.rules_evaluated.set(self.rules_evaluated.get() + 1);
+        self.rules_evaluated.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn bump_ctx_fetches(&self) {
-        self.ctx_fetches.set(self.ctx_fetches.get() + 1);
+        self.ctx_fetches.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn bump_cache_hits(&self) {
-        self.cache_hits.set(self.cache_hits.get() + 1);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn bump_drops(&self) {
-        self.drops.set(self.drops.get() + 1);
+        self.drops.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn bump_accepts(&self) {
-        self.accepts.set(self.accepts.get() + 1);
+        self.accepts.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn bump_default_allows(&self) {
-        self.default_allows.set(self.default_allows.get() + 1);
+        self.default_allows.fetch_add(1, Ordering::Relaxed);
     }
 
     // --- legacy accessors (kept from `PfStats`) ---
 
     /// Firewall hook invocations.
     pub fn invocations(&self) -> u64 {
-        self.invocations.get()
+        self.invocations.load(Ordering::Relaxed)
     }
 
     /// Rules whose match evaluation started.
     pub fn rules_evaluated(&self) -> u64 {
-        self.rules_evaluated.get()
+        self.rules_evaluated.load(Ordering::Relaxed)
     }
 
     /// Context-module fetches performed.
     pub fn ctx_fetches(&self) -> u64 {
-        self.ctx_fetches.get()
+        self.ctx_fetches.load(Ordering::Relaxed)
     }
 
     /// Context fetches satisfied from the per-syscall cache.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.get()
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// DROP verdicts returned.
     pub fn drops(&self) -> u64 {
-        self.drops.get()
+        self.drops.load(Ordering::Relaxed)
     }
 
     /// Explicit ACCEPT verdicts returned (default allows not counted).
     pub fn accepts(&self) -> u64 {
-        self.accepts.get()
+        self.accepts.load(Ordering::Relaxed)
     }
 
     /// Invocations resolved by the implicit default-ALLOW policy.
@@ -407,22 +508,21 @@ impl Metrics {
     /// Every invocation ends one of three ways, so
     /// `drops + accepts + default_allows == invocations` holds.
     pub fn default_allows(&self) -> u64 {
-        self.default_allows.get()
+        self.default_allows.load(Ordering::Relaxed)
     }
 
     // --- per-operation counters ---
 
     #[inline]
     pub(crate) fn op_invoked(&self, op: LsmOperation) {
-        if self.detailed.get() {
-            let c = &self.per_op.0[op as usize];
-            c.set(c.get() + 1);
+        if self.detailed() {
+            self.per_op.0[op as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Hook invocations for one operation (detail layer).
     pub fn op_invocations(&self, op: LsmOperation) -> u64 {
-        self.per_op.0[op as usize].get()
+        self.per_op.0[op as usize].load(Ordering::Relaxed)
     }
 
     // --- per-rule / per-chain counters ---
@@ -432,14 +532,14 @@ impl Metrics {
     // branch and push the map lookup out of line.
     #[inline]
     pub(crate) fn rule_evaluated(&self, chain: &ChainName, index: usize) {
-        if self.detailed.get() {
+        if self.detailed() {
             self.rule_evaluated_slow(chain, index);
         }
     }
 
     #[cold]
     fn rule_evaluated_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.chains.borrow_mut();
+        let mut chains = self.chains.lock().unwrap();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.evaluated[index] += 1;
@@ -447,14 +547,14 @@ impl Metrics {
 
     #[inline]
     pub(crate) fn rule_hit(&self, chain: &ChainName, index: usize) {
-        if self.detailed.get() {
+        if self.detailed() {
             self.rule_hit_slow(chain, index);
         }
     }
 
     #[cold]
     fn rule_hit_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.chains.borrow_mut();
+        let mut chains = self.chains.lock().unwrap();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.hits[index] += 1;
@@ -462,47 +562,58 @@ impl Metrics {
 
     /// Snapshot of one chain's per-rule counters, if any were recorded.
     pub fn chain_snapshot(&self, chain: &ChainName) -> Option<ChainSnapshot> {
-        self.chains.borrow().get(chain).map(|c| ChainSnapshot {
-            evaluated: c.evaluated.clone(),
-            hits: c.hits.clone(),
-        })
+        self.chains
+            .lock()
+            .unwrap()
+            .get(chain)
+            .map(|c| ChainSnapshot {
+                evaluated: c.evaluated.clone(),
+                hits: c.hits.clone(),
+            })
     }
 
     /// Names of chains with recorded per-rule counters.
     pub fn chains_seen(&self) -> Vec<ChainName> {
-        self.chains.borrow().keys().cloned().collect()
+        self.chains.lock().unwrap().keys().cloned().collect()
     }
 
     // --- per-field counters ---
 
     #[inline]
     pub(crate) fn field_fetch(&self, field: CtxField) {
-        if self.detailed.get() {
-            let f = &self.fields.0[field.bit() as usize];
-            f.fetches.set(f.fetches.get() + 1);
+        if self.detailed() {
+            self.fields.0[field.bit() as usize]
+                .fetches
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
     #[inline]
     pub(crate) fn field_hit(&self, field: CtxField) {
-        if self.detailed.get() {
-            let f = &self.fields.0[field.bit() as usize];
-            f.hits.set(f.hits.get() + 1);
+        if self.detailed() {
+            self.fields.0[field.bit() as usize]
+                .hits
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
     #[inline]
     pub(crate) fn field_miss(&self, field: CtxField) {
-        if self.detailed.get() {
-            let f = &self.fields.0[field.bit() as usize];
-            f.misses.set(f.misses.get() + 1);
+        if self.detailed() {
+            self.fields.0[field.bit() as usize]
+                .misses
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// `(fetches, cache_hits, misses)` for one context field.
     pub fn field_counts(&self, field: CtxField) -> (u64, u64, u64) {
         let f = &self.fields.0[field.bit() as usize];
-        (f.fetches.get(), f.hits.get(), f.misses.get())
+        (
+            f.fetches.load(Ordering::Relaxed),
+            f.hits.load(Ordering::Relaxed),
+            f.misses.load(Ordering::Relaxed),
+        )
     }
 
     // --- latency histograms ---
@@ -510,7 +621,7 @@ impl Metrics {
     /// Starts a timer when the detail layer records; `None` otherwise.
     #[inline]
     pub(crate) fn timer(&self) -> Option<Instant> {
-        if self.detailed.get() {
+        if self.detailed() {
             Some(Instant::now())
         } else {
             None
@@ -535,40 +646,41 @@ impl Metrics {
         }
     }
 
-    /// Whole-hook evaluation latency (detail layer).
-    pub fn eval_latency(&self) -> &Histogram {
-        &self.eval_ns
+    /// Whole-hook evaluation latency (detail layer): every per-thread
+    /// shard merged into one summary histogram.
+    pub fn eval_latency(&self) -> Histogram {
+        self.eval_ns.merged()
     }
 
-    /// Context-fetch latency (detail layer).
-    pub fn fetch_latency(&self) -> &Histogram {
-        &self.fetch_ns
+    /// Context-fetch latency (detail layer), merged across shards.
+    pub fn fetch_latency(&self) -> Histogram {
+        self.fetch_ns.merged()
     }
 
     // --- TRACE ring ---
 
     pub(crate) fn push_trace(&self, event: TraceEvent) {
-        let mut ring = self.trace.borrow_mut();
+        let mut ring = self.trace.lock().unwrap();
         if ring.len() >= TRACE_RING_CAP {
             ring.pop_front();
-            self.trace_dropped.set(self.trace_dropped.get() + 1);
+            self.trace_dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(event);
     }
 
     /// Drains the TRACE event ring, oldest first.
     pub fn drain_trace(&self) -> Vec<TraceEvent> {
-        self.trace.borrow_mut().drain(..).collect()
+        self.trace.lock().unwrap().drain(..).collect()
     }
 
     /// Buffered TRACE events.
     pub fn trace_len(&self) -> usize {
-        self.trace.borrow().len()
+        self.trace.lock().unwrap().len()
     }
 
     /// TRACE events discarded because the ring was full.
     pub fn trace_dropped(&self) -> u64 {
-        self.trace_dropped.get()
+        self.trace_dropped.load(Ordering::Relaxed)
     }
 
     // --- exporters ---
@@ -627,8 +739,8 @@ impl Metrics {
             }
         }
         for (metric, hist) in [
-            ("pf_eval_latency_ns", &self.eval_ns),
-            ("pf_fetch_latency_ns", &self.fetch_ns),
+            ("pf_eval_latency_ns", self.eval_latency()),
+            ("pf_fetch_latency_ns", self.fetch_latency()),
         ] {
             for (le, cum) in hist.cumulative_buckets() {
                 let _ = writeln!(out, "{metric}_bucket{{le=\"{le}\"}} {cum}");
@@ -706,8 +818,8 @@ impl Metrics {
         }
         s.push('}');
         for (name, hist) in [
-            ("eval_latency_ns", &self.eval_ns),
-            ("fetch_latency_ns", &self.fetch_ns),
+            ("eval_latency_ns", self.eval_latency()),
+            ("fetch_latency_ns", self.fetch_latency()),
         ] {
             let _ = write!(
                 s,
@@ -804,6 +916,59 @@ mod tests {
         assert_eq!(cum.last().unwrap().1, 100, "cumulative ends at count");
         h.reset();
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn sharded_histogram_merges_across_threads() {
+        let sh = std::sync::Arc::new(ShardedHistogram::default());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sh = sh.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    sh.record(t * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let merged = sh.merged();
+        assert_eq!(merged.count(), 1000);
+        assert_eq!(sh.count(), 1000);
+        assert_eq!(merged.max(), 3249);
+        let expected_sum: u64 = (0..4u64)
+            .flat_map(|t| (0..250u64).map(move |i| t * 1000 + i))
+            .sum();
+        assert_eq!(merged.sum(), expected_sum);
+        sh.reset();
+        assert_eq!(sh.merged().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_bumps_do_not_lose_updates() {
+        let m = std::sync::Arc::new(Metrics::new());
+        m.set_detailed(true);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5000 {
+                    m.bump_invocations();
+                    m.bump_default_allows();
+                    m.op_invoked(LsmOperation::FileOpen);
+                    m.rule_evaluated(&ChainName::Input, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.invocations(), 20_000);
+        assert_eq!(m.default_allows(), 20_000);
+        assert_eq!(m.op_invocations(LsmOperation::FileOpen), 20_000);
+        let snap = m.chain_snapshot(&ChainName::Input).unwrap();
+        assert_eq!(snap.evaluated, [0, 20_000]);
     }
 
     #[test]

@@ -77,7 +77,7 @@ mod tests {
     fn listing_includes_every_chain_and_rule() {
         let mut mac = pf_mac::ubuntu_mini();
         let mut programs = Interner::new();
-        let mut pf = ProcessFirewall::new(OptLevel::Full);
+        let pf = ProcessFirewall::new(OptLevel::Full);
         pf.install_all(
             [
                 "pftables -o FILE_OPEN -d tmp_t -j DROP",

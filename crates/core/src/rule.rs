@@ -1,6 +1,6 @@
 //! Rule structure: default matches, match modules, targets.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pf_types::{LabelSet, LsmOperation, ProgramId};
 
@@ -186,7 +186,13 @@ impl Target {
 }
 
 /// One complete firewall rule.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The hit counter is a relaxed atomic so rules can be shared read-only
+/// across concurrently evaluating tasks (see `snapshot.rs`); `Clone`
+/// carries the current count forward (a reload-edited rule base keeps
+/// the tallies of the rules it retained), and equality ignores it — two
+/// rules are the same rule regardless of how often they have fired.
+#[derive(Debug)]
 pub struct Rule {
     /// The default matches.
     pub def: DefaultMatches,
@@ -197,8 +203,31 @@ pub struct Rule {
     /// The original rule text (for display, deletion, and logs).
     pub text: String,
     /// Times this rule's target fired (match + modules all passed).
-    hits: Cell<u64>,
+    hits: AtomicU64,
 }
+
+impl Clone for Rule {
+    fn clone(&self) -> Self {
+        Rule {
+            def: self.def.clone(),
+            matches: self.matches.clone(),
+            target: self.target.clone(),
+            text: self.text.clone(),
+            hits: AtomicU64::new(self.hits()),
+        }
+    }
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.def == other.def
+            && self.matches == other.matches
+            && self.target == other.target
+            && self.text == other.text
+    }
+}
+
+impl Eq for Rule {}
 
 impl Rule {
     /// Creates a rule with a zeroed hit counter.
@@ -213,7 +242,7 @@ impl Rule {
             matches,
             target,
             text,
-            hits: Cell::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -225,11 +254,11 @@ impl Rule {
 
     /// Times this rule matched and its target ran.
     pub fn hits(&self) -> u64 {
-        self.hits.get()
+        self.hits.load(Ordering::Relaxed)
     }
 
     pub(crate) fn bump_hits(&self) {
-        self.hits.set(self.hits.get() + 1);
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -1,6 +1,7 @@
 //! The kernel: authorization pipeline, PF hook plumbing, process table.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use pf_core::{EvalEnv, ObjectInfo, ProcessFirewall, SignalInfo};
@@ -93,8 +94,11 @@ pub struct Kernel {
     pub mac: MacPolicy,
     /// Interned program paths shared by tasks, frames, and rules.
     pub programs: Interner,
-    /// The Process Firewall.
-    pub firewall: ProcessFirewall,
+    /// The Process Firewall. Shared behind an `Arc` so many kernels
+    /// (one per stress-harness thread) can evaluate hooks against one
+    /// rule base concurrently; each task reaches it through its own
+    /// lock-free [`pf_core::TaskSession`].
+    pub firewall: Arc<ProcessFirewall>,
     pub(crate) tasks: HashMap<Pid, Task>,
     next_pid: u32,
     pub(crate) clock: u64,
@@ -152,7 +156,7 @@ impl Kernel {
             vfs: Vfs::new(root_label),
             mac,
             programs: Interner::new(),
-            firewall: ProcessFirewall::new(pf_core::OptLevel::EptSpc),
+            firewall: Arc::new(ProcessFirewall::new(pf_core::OptLevel::EptSpc)),
             tasks: HashMap::new(),
             next_pid: 1,
             clock: 0,
@@ -175,6 +179,17 @@ impl Kernel {
     ) -> PfResult<usize> {
         self.firewall
             .install_all(lines, &mut self.mac, &mut self.programs)
+    }
+
+    /// Replaces this kernel's firewall with a shared instance (so
+    /// several kernels evaluate hooks against one rule base). Resets
+    /// every task's session: pins from the previous firewall must not
+    /// leak across instances.
+    pub fn set_firewall(&mut self, firewall: Arc<ProcessFirewall>) {
+        self.firewall = firewall;
+        for task in self.tasks.values_mut() {
+            task.pf_session.reset();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -561,6 +576,10 @@ pub(crate) fn pf_hook(
         }
         None => None,
     };
+    // The session lives inside the task, but `KernelEnv` needs the
+    // whole task mutably; take the session out for the duration of the
+    // evaluation and put it back once the env borrow ends.
+    let mut session = std::mem::take(&mut task.pf_session);
     let mut env = KernelEnv {
         task,
         vfs,
@@ -573,7 +592,9 @@ pub(crate) fn pf_hook(
         clock,
         frame_limit,
     };
-    let decision = firewall.evaluate(&mut env, op);
+    let decision = session.evaluate(firewall, &mut env, op);
+    drop(env);
+    task.pf_session = session;
     match decision.verdict {
         pf_types::Verdict::Allow => Ok(()),
         pf_types::Verdict::Deny => {

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+use pf_core::TaskSession;
 use pf_types::{Fd, Gid, Pid, ProgramId, SecId, SignalNum, SyscallNr, Uid};
 use pf_vfs::ObjRef;
 
@@ -96,6 +97,10 @@ pub struct Task {
     /// The firewall's per-syscall context cache (cleared at syscall
     /// entry; the CONCACHE optimization).
     pub pf_cache: HashMap<u8, u64>,
+    /// The task's firewall session: the pinned ruleset snapshot and
+    /// per-invocation scratch. Owning it here gives each simulated
+    /// process its own lock-free path into the shared firewall.
+    pub pf_session: TaskSession,
     /// Current syscall: number plus raw args (arg 0 is the number).
     pub syscall: (SyscallNr, [u64; 4]),
     /// Ring buffer of recent syscall numbers (process context for
@@ -132,6 +137,7 @@ impl Task {
             in_handler: 0,
             pf_state: HashMap::new(),
             pf_cache: HashMap::new(),
+            pf_session: TaskSession::new(),
             syscall: (SyscallNr::Null, [0; 4]),
             syscall_trace: VecDeque::with_capacity(SYSCALL_TRACE_LEN),
             exited: false,

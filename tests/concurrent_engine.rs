@@ -1,0 +1,297 @@
+//! Multi-process stress test for the concurrent firewall engine.
+//!
+//! Eight worker threads hammer one shared [`ProcessFirewall`] through
+//! per-task [`TaskSession`]s (10 000 hook invocations each) while a
+//! reloader thread keeps hot-swapping the entire rule base between two
+//! variants, `pftables-restore`-style. The assertions are the two
+//! linearizability properties the snapshot design promises:
+//!
+//! 1. **No torn reads.** Every verdict carries the generation of the
+//!    snapshot that produced it, and the verdict is exactly what that
+//!    generation's ruleset prescribes — never a mix of the old and new
+//!    rules, never a generation that was not published.
+//! 2. **No lost counts.** Globally,
+//!    `drops + accepts + default_allows == invocations` even under
+//!    maximal contention on the relaxed counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use process_firewall::firewall::{
+    EvalEnv, ObjectInfo, OptLevel, ProcessFirewall, SignalInfo, TaskSession,
+};
+use process_firewall::mac::{ubuntu_mini, MacPolicy};
+use process_firewall::types::{
+    DeviceId, Gid, InodeNum, Interner, LsmOperation, Mode, Pid, ProgramId, ResourceId, SecId, Uid,
+    Verdict,
+};
+
+const WORKERS: usize = 8;
+const INVOCATIONS_PER_WORKER: usize = 10_000;
+const MIN_RELOADS: u64 = 20;
+
+/// The two ruleset variants the reloader alternates between. Variant
+/// `v` drops opens of `LABELS[v]` and nothing else.
+const LABELS: [&str; 2] = ["tmp_t", "etc_t"];
+
+fn variant_lines(v: usize) -> Vec<String> {
+    vec![format!("pftables -o FILE_OPEN -d {} -j DROP", LABELS[v])]
+}
+
+/// Minimal environment: fixed subject/program, one file object whose
+/// label is chosen per invocation. Interning is deterministic, so every
+/// thread's `ubuntu_mini()` agrees on all `SecId`s with the interners
+/// the rules were installed through.
+struct Env {
+    mac: MacPolicy,
+    programs: Interner,
+    subject: SecId,
+    program: ProgramId,
+    objects: [ObjectInfo; 2],
+    current: usize,
+}
+
+impl Env {
+    fn new() -> Self {
+        let mac = ubuntu_mini();
+        let mut programs = Interner::new();
+        let subject = mac.lookup_label("httpd_t").unwrap();
+        let program = programs.intern("/usr/bin/apache2");
+        let objects = [0, 1].map(|i| ObjectInfo {
+            sid: mac.lookup_label(LABELS[i]).unwrap(),
+            resource: ResourceId::File {
+                dev: DeviceId(0),
+                ino: InodeNum(5 + i as u64),
+            },
+            owner: Uid(0),
+            group: Gid(0),
+            mode: Mode::FILE_DEFAULT,
+        });
+        Env {
+            mac,
+            programs,
+            subject,
+            program,
+            objects,
+            current: 0,
+        }
+    }
+}
+
+impl EvalEnv for Env {
+    fn subject_sid(&self) -> SecId {
+        self.subject
+    }
+    fn program(&self) -> ProgramId {
+        self.program
+    }
+    fn pid(&self) -> Pid {
+        Pid(1)
+    }
+    fn unwind_entrypoint(&mut self) -> Option<(ProgramId, u64)> {
+        Some((self.program, 0x100))
+    }
+    fn object(&self) -> Option<ObjectInfo> {
+        Some(self.objects[self.current])
+    }
+    fn link_target_owner(&mut self) -> Option<Uid> {
+        None
+    }
+    fn syscall_arg(&self, _idx: usize) -> u64 {
+        0
+    }
+    fn signal(&self) -> Option<SignalInfo> {
+        None
+    }
+    fn mac(&self) -> &MacPolicy {
+        &self.mac
+    }
+    fn program_name(&self, id: ProgramId) -> String {
+        self.programs.resolve(id).to_owned()
+    }
+    fn state_get(&self, _key: u64) -> Option<u64> {
+        None
+    }
+    fn state_set(&mut self, _key: u64, _value: u64) {}
+    fn state_unset(&mut self, _key: u64) {}
+    fn cache_get(&self, _slot: u8) -> Option<u64> {
+        None
+    }
+    fn cache_put(&mut self, _slot: u8, _value: u64) {}
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// One worker observation: which snapshot generation produced which
+/// verdict for which object label.
+struct Observation {
+    generation: u64,
+    label: usize,
+    denied: bool,
+}
+
+#[test]
+fn concurrent_stress_with_hot_reloads_has_no_torn_reads() {
+    let fw = Arc::new(ProcessFirewall::new(OptLevel::Full));
+    // Generation → variant map. The initial install and every reload
+    // record which ruleset each published generation carries.
+    let published: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::new());
+
+    {
+        let mut env = Env::new();
+        let lines = variant_lines(0);
+        fw.install_all(
+            lines.iter().map(String::as_str),
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        published.lock().unwrap().insert(fw.generation(), 0);
+    }
+
+    // Workers + reloader + the main thread all line up on the barrier.
+    let start = Barrier::new(WORKERS + 2);
+    let done = AtomicBool::new(false);
+    let observations: Vec<Vec<Observation>> = std::thread::scope(|s| {
+        // The reloader: flip between the two variants until the workers
+        // finish, but always at least MIN_RELOADS times so the workers
+        // genuinely race against swaps.
+        let reloader = {
+            let fw = Arc::clone(&fw);
+            let done = &done;
+            let published = &published;
+            let start = &start;
+            s.spawn(move || {
+                let mut env = Env::new();
+                start.wait();
+                let mut n = 0u64;
+                while !done.load(Ordering::Relaxed) || n < MIN_RELOADS {
+                    let variant = ((n + 1) % 2) as usize; // 1, 0, 1, 0, ...
+                    let lines = variant_lines(variant);
+                    let (_count, generation) = fw
+                        .reload(
+                            lines.iter().map(String::as_str),
+                            &mut env.mac,
+                            &mut env.programs,
+                        )
+                        .expect("hot reload");
+                    published.lock().unwrap().insert(generation, variant);
+                    n += 1;
+                    std::thread::yield_now();
+                }
+                n
+            })
+        };
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let fw = Arc::clone(&fw);
+                let start = &start;
+                s.spawn(move || {
+                    let mut env = Env::new();
+                    let mut session = TaskSession::new();
+                    let mut seen = Vec::with_capacity(INVOCATIONS_PER_WORKER);
+                    start.wait();
+                    for i in 0..INVOCATIONS_PER_WORKER {
+                        let label = (w + i) % 2;
+                        env.current = label;
+                        let d = session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+                        seen.push(Observation {
+                            generation: d.generation,
+                            label,
+                            denied: d.verdict == Verdict::Deny,
+                        });
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        start.wait();
+        let observations: Vec<Vec<Observation>> =
+            workers.into_iter().map(|h| h.join().unwrap()).collect();
+        done.store(true, Ordering::Relaxed);
+        let reloads = reloader.join().unwrap();
+        assert!(reloads >= MIN_RELOADS);
+        observations
+    });
+
+    // Property 1: every verdict is attributable to exactly one
+    // published generation and matches that generation's ruleset.
+    let published = published.into_inner().unwrap();
+    let mut generations_seen = std::collections::HashSet::new();
+    for obs in observations.iter().flatten() {
+        let variant = published
+            .get(&obs.generation)
+            .unwrap_or_else(|| panic!("verdict from unpublished generation {}", obs.generation));
+        let expect_deny = obs.label == *variant;
+        assert_eq!(
+            obs.denied,
+            expect_deny,
+            "torn read: generation {} (variant {}) gave {} for label {}",
+            obs.generation,
+            variant,
+            if obs.denied { "DENY" } else { "ALLOW" },
+            LABELS[obs.label]
+        );
+        generations_seen.insert(obs.generation);
+    }
+    assert!(
+        !generations_seen.is_empty(),
+        "workers recorded no generations"
+    );
+
+    // Property 2: the global counter invariant. Only the workers
+    // evaluate, so invocations is exactly WORKERS * INVOCATIONS_PER_WORKER.
+    let m = fw.metrics();
+    assert_eq!(m.invocations(), (WORKERS * INVOCATIONS_PER_WORKER) as u64);
+    assert_eq!(
+        m.drops() + m.accepts() + m.default_allows(),
+        m.invocations(),
+        "lost counter updates under contention"
+    );
+}
+
+/// A session pinned before a reload must keep evaluating under its old
+/// snapshot even while other sessions see the new one — and both
+/// must stay internally consistent for the whole overlap.
+#[test]
+fn pinned_sessions_and_fresh_sessions_coexist_across_reload() {
+    let fw = ProcessFirewall::new(OptLevel::Full);
+    let mut env = Env::new();
+    fw.install_all(
+        variant_lines(0).iter().map(String::as_str),
+        &mut env.mac,
+        &mut env.programs,
+    )
+    .unwrap();
+
+    let mut pinned = TaskSession::new();
+    let old_gen = pinned.pin(&fw);
+
+    let (_, new_gen) = fw
+        .reload(
+            variant_lines(1).iter().map(String::as_str),
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+    assert!(new_gen > old_gen);
+
+    let mut fresh = TaskSession::new();
+    for _ in 0..100 {
+        env.current = 0; // tmp_t: dropped by variant 0, allowed by variant 1
+        let d_old = pinned.evaluate_pinned(&fw, &mut env, LsmOperation::FileOpen);
+        assert_eq!((d_old.generation, d_old.verdict), (old_gen, Verdict::Deny));
+        let d_new = fresh.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+        assert_eq!((d_new.generation, d_new.verdict), (new_gen, Verdict::Allow));
+
+        env.current = 1; // etc_t: the mirror image
+        let d_old = pinned.evaluate_pinned(&fw, &mut env, LsmOperation::FileOpen);
+        assert_eq!((d_old.generation, d_old.verdict), (old_gen, Verdict::Allow));
+        let d_new = fresh.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+        assert_eq!((d_new.generation, d_new.verdict), (new_gen, Verdict::Deny));
+    }
+}

@@ -296,9 +296,217 @@ proptest! {
         prop_assert_eq!(a, b);
 
         // And it actually installs.
-        let mut pf = ProcessFirewall::new(OptLevel::EptSpc);
+        let pf = ProcessFirewall::new(OptLevel::EptSpc);
         pf.install(&text, &mut mac, &mut progs).unwrap();
         prop_assert_eq!(pf.rule_count(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot hot reload: linearizability and atomicity.
+// ---------------------------------------------------------------------
+
+mod reload_env {
+    use process_firewall::firewall::{EvalEnv, ObjectInfo, SignalInfo};
+    use process_firewall::mac::{ubuntu_mini, MacPolicy};
+    use process_firewall::types::{
+        DeviceId, Gid, InodeNum, Interner, Mode, Pid, ProgramId, ResourceId, SecId, Uid,
+    };
+
+    /// Minimal evaluation environment over one labelled file object.
+    pub struct Env {
+        pub mac: MacPolicy,
+        pub programs: Interner,
+        subject: SecId,
+        program: ProgramId,
+        object: ObjectInfo,
+    }
+
+    impl Env {
+        pub fn new(label: &str) -> Self {
+            let mac = ubuntu_mini();
+            let mut programs = Interner::new();
+            let subject = mac.lookup_label("httpd_t").unwrap();
+            let program = programs.intern("/usr/bin/apache2");
+            let sid = mac.lookup_label(label).unwrap();
+            Env {
+                mac,
+                programs,
+                subject,
+                program,
+                object: ObjectInfo {
+                    sid,
+                    resource: ResourceId::File {
+                        dev: DeviceId(0),
+                        ino: InodeNum(5),
+                    },
+                    owner: Uid(0),
+                    group: Gid(0),
+                    mode: Mode::FILE_DEFAULT,
+                },
+            }
+        }
+    }
+
+    impl EvalEnv for Env {
+        fn subject_sid(&self) -> SecId {
+            self.subject
+        }
+        fn program(&self) -> ProgramId {
+            self.program
+        }
+        fn pid(&self) -> Pid {
+            Pid(1)
+        }
+        fn unwind_entrypoint(&mut self) -> Option<(ProgramId, u64)> {
+            Some((self.program, 0x100))
+        }
+        fn object(&self) -> Option<ObjectInfo> {
+            Some(self.object)
+        }
+        fn link_target_owner(&mut self) -> Option<Uid> {
+            None
+        }
+        fn syscall_arg(&self, _idx: usize) -> u64 {
+            0
+        }
+        fn signal(&self) -> Option<SignalInfo> {
+            None
+        }
+        fn mac(&self) -> &MacPolicy {
+            &self.mac
+        }
+        fn program_name(&self, id: ProgramId) -> String {
+            self.programs.resolve(id).to_owned()
+        }
+        fn state_get(&self, _key: u64) -> Option<u64> {
+            None
+        }
+        fn state_set(&mut self, _key: u64, _value: u64) {}
+        fn state_unset(&mut self, _key: u64) {}
+        fn cache_get(&self, _slot: u8) -> Option<u64> {
+            None
+        }
+        fn cache_put(&mut self, _slot: u8, _value: u64) {}
+        fn now(&self) -> u64 {
+            0
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // A reload mid-trace is linearizable: an invocation still pinned
+    // to the pre-reload snapshot gets exactly the old ruleset's
+    // verdict, a fresh session gets exactly the new one, and both
+    // verdicts carry the generation that proves which ruleset decided
+    // them. No verdict is ever unreachable under both rulesets.
+    #[test]
+    fn mid_trace_reload_yields_only_attributable_verdicts(
+        old_set in prop::collection::vec(0usize..5, 0..5),
+        new_set in prop::collection::vec(0usize..5, 0..5),
+        access in 0usize..5,
+    ) {
+        use process_firewall::firewall::TaskSession;
+        use process_firewall::types::LsmOperation;
+
+        let labels = label_pool();
+        let lines = |set: &[usize]| -> Vec<String> {
+            set.iter()
+                .map(|&l| format!("pftables -o FILE_OPEN -d {} -j DROP", labels[l]))
+                .collect()
+        };
+        let mut env = reload_env::Env::new(labels[access]);
+        let fw = ProcessFirewall::new(OptLevel::Full);
+        let old_lines = lines(&old_set);
+        fw.install_all(
+            old_lines.iter().map(String::as_str),
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        let expect_old = old_set.contains(&access);
+        let expect_new = new_set.contains(&access);
+
+        let mut pinned = TaskSession::new();
+        let old_gen = pinned.pin(&fw);
+
+        let new_lines = lines(&new_set);
+        let (applied, new_gen) = fw
+            .reload(
+                new_lines.iter().map(String::as_str),
+                &mut env.mac,
+                &mut env.programs,
+            )
+            .unwrap();
+        prop_assert_eq!(applied, new_set.len());
+        prop_assert!(new_gen > old_gen);
+
+        // The in-flight invocation completes under the old ruleset.
+        let d = pinned.evaluate_pinned(&fw, &mut env, LsmOperation::FileOpen);
+        prop_assert_eq!(d.generation, old_gen);
+        prop_assert_eq!(d.verdict == Verdict::Deny, expect_old);
+
+        // A fresh session sees only the new ruleset.
+        let mut fresh = TaskSession::new();
+        let d = fresh.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+        prop_assert_eq!(d.generation, new_gen);
+        prop_assert_eq!(d.verdict == Verdict::Deny, expect_new);
+
+        // The pinned session catches up as soon as it stops pinning.
+        let d = pinned.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+        prop_assert_eq!(d.generation, new_gen);
+        prop_assert_eq!(d.verdict == Verdict::Deny, expect_new);
+    }
+
+    // A reload batch containing any bad line publishes nothing: the
+    // generation, the rule count, and every verdict stay exactly as
+    // they were.
+    #[test]
+    fn failed_reload_is_all_or_nothing(
+        keep in prop::collection::vec(0usize..5, 1..5),
+        replacement in prop::collection::vec(0usize..5, 1..5),
+        bad_pos in 0usize..5,
+        access in 0usize..5,
+    ) {
+        use process_firewall::types::LsmOperation;
+
+        let labels = label_pool();
+        let mut env = reload_env::Env::new(labels[access]);
+        let fw = ProcessFirewall::new(OptLevel::Full);
+        let old_lines: Vec<String> = keep
+            .iter()
+            .map(|&l| format!("pftables -o FILE_OPEN -d {} -j DROP", labels[l]))
+            .collect();
+        fw.install_all(
+            old_lines.iter().map(String::as_str),
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        let gen_before = fw.generation();
+        let count_before = fw.rule_count();
+        let verdict_before = fw.evaluate(&mut env, LsmOperation::FileOpen).verdict;
+
+        let mut batch: Vec<String> = replacement
+            .iter()
+            .map(|&l| format!("pftables -o FILE_OPEN -d {} -j DROP", labels[l]))
+            .collect();
+        batch.insert(
+            bad_pos.min(batch.len()),
+            "pftables --definitely-not-a-flag".to_owned(),
+        );
+        let err = fw.reload(
+            batch.iter().map(String::as_str),
+            &mut env.mac,
+            &mut env.programs,
+        );
+        prop_assert!(err.is_err());
+        prop_assert_eq!(fw.generation(), gen_before, "generation leaked");
+        prop_assert_eq!(fw.rule_count(), count_before, "rules leaked");
+        let verdict_after = fw.evaluate(&mut env, LsmOperation::FileOpen).verdict;
+        prop_assert_eq!(verdict_after, verdict_before, "verdict changed");
     }
 }
 
