@@ -31,7 +31,7 @@ fn main() {
             let rules = full_rule_base(FULL_RULE_COUNT);
             let refs: Vec<&str> = rules.iter().map(String::as_str).collect();
             k.install_rules(refs).unwrap();
-            k.firewall.set_level(level);
+            k.firewall.set_level(level).unwrap();
             let pid = k.spawn("staff_t", "/usr/bin/bench", Uid::ROOT, Gid::ROOT);
             let prog = k.programs.intern("/usr/bin/bench");
             for i in 0..depth {

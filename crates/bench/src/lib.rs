@@ -38,7 +38,7 @@ pub fn world_at(level: OptLevel, rules: RuleSet) -> (Kernel, Pid) {
         let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
         k.install_rules(refs).unwrap();
     }
-    k.firewall.set_level(level);
+    k.firewall.set_level(level).unwrap();
     let pid = k.spawn("staff_t", "/usr/bin/bench", Uid::ROOT, Gid::ROOT);
     // Give the process a realistic call-stack depth: entrypoint
     // retrieval cost (and hence what CONCACHE saves) scales with it.

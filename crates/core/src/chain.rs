@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use pf_types::{PfError, PfResult, ProgramId};
 
-use crate::rule::Rule;
+use crate::rule::{CtxPolicy, Rule};
 
 /// A chain designator.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,6 +66,15 @@ pub struct RuleBase {
     input_generic: Vec<usize>,
     /// Entrypoint → indices of input-chain rules bound to it.
     input_by_ept: HashMap<(ProgramId, u64), Vec<usize>>,
+    /// Indices of *every* entrypoint-bound input rule, in chain order.
+    /// Scanned when the entrypoint fetch *fails*: without a trusted
+    /// entrypoint the partition cannot be consulted, so each bound
+    /// rule's `--ctx-missing` policy must get its say (Section 4.3's
+    /// soundness argument assumes a successful, possibly-absent fetch).
+    input_entrypoint_all: Vec<usize>,
+    /// Chain-level `--ctx-missing` defaults (`pftables -P chain
+    /// --ctx-missing ...`), consulted when a rule has no override.
+    ctx_defaults: BTreeMap<ChainName, CtxPolicy>,
 }
 
 impl RuleBase {
@@ -189,12 +198,16 @@ impl RuleBase {
     fn recompile(&mut self) {
         self.input_generic.clear();
         self.input_by_ept.clear();
+        self.input_entrypoint_all.clear();
         let Some(input) = self.chains.get(&ChainName::Input) else {
             return;
         };
         for (i, rule) in input.iter().enumerate() {
             match rule.def.entrypoint() {
-                Some(key) => self.input_by_ept.entry(key).or_default().push(i),
+                Some(key) => {
+                    self.input_by_ept.entry(key).or_default().push(i);
+                    self.input_entrypoint_all.push(i);
+                }
                 None => self.input_generic.push(i),
             }
         }
@@ -213,6 +226,29 @@ impl RuleBase {
     /// Number of distinct entrypoint-specific chains.
     pub fn entrypoint_chain_count(&self) -> usize {
         self.input_by_ept.len()
+    }
+
+    /// Indices of every entrypoint-bound input rule, in chain order —
+    /// the degraded-path scan used when the entrypoint fetch fails.
+    pub fn input_entrypoint_all(&self) -> &[usize] {
+        &self.input_entrypoint_all
+    }
+
+    /// Sets (or with `None`, clears) a chain's `--ctx-missing` default.
+    pub fn set_ctx_default(&mut self, chain: ChainName, policy: Option<CtxPolicy>) {
+        match policy {
+            Some(p) => {
+                self.ctx_defaults.insert(chain, p);
+            }
+            None => {
+                self.ctx_defaults.remove(&chain);
+            }
+        }
+    }
+
+    /// The chain's `--ctx-missing` default, if one was configured.
+    pub fn ctx_default(&self, chain: &ChainName) -> Option<CtxPolicy> {
+        self.ctx_defaults.get(chain).copied()
     }
 }
 

@@ -10,7 +10,7 @@
 use pf_types::{ProgramId, SecId};
 
 use crate::config::PfConfig;
-use crate::env::EvalEnv;
+use crate::env::{EvalEnv, Fetched};
 use crate::metrics::Metrics;
 
 /// One retrievable context field.
@@ -123,6 +123,13 @@ const CACHE_EPT_MISSING: u8 = 2;
 /// configuration decides whether everything is fetched eagerly up front
 /// (FULL) and whether the entrypoint survives across invocations in the
 /// task cache (CONCACHE).
+///
+/// Every accessor reports the tri-state [`Fetched`]: `Missing` is
+/// benign absence (no object on this operation), `Failed` means the
+/// substrate attempted the fetch and errored. Failed fetches are
+/// memoized for the invocation but never written to the CONCACHE
+/// per-syscall cache — a later invocation in the same syscall retries
+/// rather than pinning the degraded state.
 pub struct Packet<'e> {
     env: &'e mut dyn EvalEnv,
     config: PfConfig,
@@ -131,14 +138,24 @@ pub struct Packet<'e> {
     /// Set when a TRACE rule fires: the clock trace events are stamped
     /// against for the rest of the invocation.
     trace_started: Option<std::time::Instant>,
-    entrypoint: Option<(ProgramId, u64)>,
-    object_sid: Option<Option<SecId>>,
-    resource_id: Option<Option<u64>>,
-    dac_owner: Option<Option<u64>>,
-    tgt_dac_owner: Option<Option<u64>>,
-    adv_write: Option<Option<bool>>,
-    adv_read: Option<Option<bool>>,
-    signal_num: Option<Option<u64>>,
+    entrypoint: Fetched<(ProgramId, u64)>,
+    object_sid: Option<Fetched<SecId>>,
+    resource_id: Option<Fetched<u64>>,
+    dac_owner: Option<Fetched<u64>>,
+    tgt_dac_owner: Option<Fetched<u64>>,
+    adv_write: Option<Fetched<bool>>,
+    adv_read: Option<Fetched<bool>>,
+    signal_num: Option<Fetched<u64>>,
+}
+
+/// Records one tri-state fetch in the metrics registry: the detailed
+/// fetch/miss counters as before, plus the always-on per-field failure
+/// counter when the fetch errored.
+fn note<T>(metrics: &Metrics, field: CtxField, t0: Option<std::time::Instant>, v: &Fetched<T>) {
+    metrics.observe_fetch(field, t0, v.is_missing());
+    if v.is_failed() {
+        metrics.field_failure(field);
+    }
 }
 
 impl<'e> Packet<'e> {
@@ -149,7 +166,7 @@ impl<'e> Packet<'e> {
             config,
             collected: 0,
             trace_started: None,
-            entrypoint: None,
+            entrypoint: Fetched::Missing,
             object_sid: None,
             resource_id: None,
             dac_owner: None,
@@ -211,10 +228,12 @@ impl<'e> Packet<'e> {
     }
 
     /// The entrypoint, unwound from the user stack (and cached in the
-    /// task's per-syscall cache under CONCACHE). `None` when the stack is
-    /// malformed — the §4.4 sanitization path, which only forfeits the
-    /// process's own protection.
-    pub fn entrypoint_value(&mut self, metrics: &Metrics) -> Option<(ProgramId, u64)> {
+    /// task's per-syscall cache under CONCACHE). `Missing` when the stack
+    /// is benignly malformed — the §4.4 sanitization path, which only
+    /// forfeits the process's own protection. `Failed` when the substrate
+    /// reports the unwind itself errored; failed unwinds are never
+    /// written to the cache.
+    pub fn entrypoint_value(&mut self, metrics: &Metrics) -> Fetched<(ProgramId, u64)> {
         if self.collected & (1 << CtxField::Entrypoint.bit()) != 0 {
             return self.entrypoint;
         }
@@ -223,8 +242,8 @@ impl<'e> Packet<'e> {
             if self.env.cache_get(CACHE_EPT_MISSING).is_some() {
                 metrics.bump_cache_hits();
                 metrics.field_hit(CtxField::Entrypoint);
-                self.entrypoint = None;
-                return None;
+                self.entrypoint = Fetched::Missing;
+                return self.entrypoint;
             }
             if let (Some(prog), Some(pc)) = (
                 self.env.cache_get(CACHE_EPT_PROG),
@@ -232,62 +251,64 @@ impl<'e> Packet<'e> {
             ) {
                 metrics.bump_cache_hits();
                 metrics.field_hit(CtxField::Entrypoint);
-                let ep = (pf_types::InternId(prog as u32), pc);
-                self.entrypoint = Some(ep);
+                self.entrypoint = Fetched::Value((pf_types::InternId(prog as u32), pc));
                 return self.entrypoint;
             }
         }
         metrics.bump_ctx_fetches();
         let t0 = metrics.timer();
-        let ep = self.env.unwind_entrypoint();
-        metrics.observe_fetch(CtxField::Entrypoint, t0, ep.is_none());
+        let ep = self.env.try_unwind_entrypoint();
+        note(metrics, CtxField::Entrypoint, t0, &ep);
         self.entrypoint = ep;
         if self.config.context_caching {
             match ep {
-                Some((prog, pc)) => {
+                Fetched::Value((prog, pc)) => {
                     self.env.cache_put(CACHE_EPT_PROG, prog.0 as u64);
                     self.env.cache_put(CACHE_EPT_PC, pc);
                 }
-                None => self.env.cache_put(CACHE_EPT_MISSING, 1),
+                Fetched::Missing => self.env.cache_put(CACHE_EPT_MISSING, 1),
+                // A failed unwind is transient: leave the cache empty so
+                // the next invocation in this syscall retries.
+                Fetched::Failed(_) => {}
             }
         }
         ep
     }
 
     /// The object's MAC label, if the operation has an object.
-    pub fn object_sid_value(&mut self, metrics: &Metrics) -> Option<SecId> {
+    pub fn object_sid_value(&mut self, metrics: &Metrics) -> Fetched<SecId> {
         if self.object_sid.is_none() {
             self.mark(CtxField::ObjectSid);
             metrics.bump_ctx_fetches();
             let t0 = metrics.timer();
-            let v = self.env.object().map(|o| o.sid);
-            metrics.observe_fetch(CtxField::ObjectSid, t0, v.is_none());
+            let v = self.env.try_object().map(|o| o.sid);
+            note(metrics, CtxField::ObjectSid, t0, &v);
             self.object_sid = Some(v);
         }
         self.object_sid.unwrap()
     }
 
     /// The resource identifier folded to `u64` (`C_INO`).
-    pub fn resource_id_value(&mut self, metrics: &Metrics) -> Option<u64> {
+    pub fn resource_id_value(&mut self, metrics: &Metrics) -> Fetched<u64> {
         if self.resource_id.is_none() {
             self.mark(CtxField::ResourceId);
             metrics.bump_ctx_fetches();
             let t0 = metrics.timer();
-            let v = self.env.object().map(|o| o.resource.as_u64());
-            metrics.observe_fetch(CtxField::ResourceId, t0, v.is_none());
+            let v = self.env.try_object().map(|o| o.resource.as_u64());
+            note(metrics, CtxField::ResourceId, t0, &v);
             self.resource_id = Some(v);
         }
         self.resource_id.unwrap()
     }
 
     /// The object's DAC owner uid (`C_DAC_OWNER`).
-    pub fn dac_owner_value(&mut self, metrics: &Metrics) -> Option<u64> {
+    pub fn dac_owner_value(&mut self, metrics: &Metrics) -> Fetched<u64> {
         if self.dac_owner.is_none() {
             self.mark(CtxField::DacOwner);
             metrics.bump_ctx_fetches();
             let t0 = metrics.timer();
-            let v = self.env.object().map(|o| o.owner.0 as u64);
-            metrics.observe_fetch(CtxField::DacOwner, t0, v.is_none());
+            let v = self.env.try_object().map(|o| o.owner.0 as u64);
+            note(metrics, CtxField::DacOwner, t0, &v);
             self.dac_owner = Some(v);
         }
         self.dac_owner.unwrap()
@@ -295,54 +316,57 @@ impl<'e> Packet<'e> {
 
     /// The symlink target's DAC owner uid (`C_TGT_DAC_OWNER`), available
     /// only on link-traversal operations.
-    pub fn tgt_dac_owner_value(&mut self, metrics: &Metrics) -> Option<u64> {
+    pub fn tgt_dac_owner_value(&mut self, metrics: &Metrics) -> Fetched<u64> {
         if self.tgt_dac_owner.is_none() {
             self.mark(CtxField::TgtDacOwner);
             metrics.bump_ctx_fetches();
             let t0 = metrics.timer();
-            let v = self.env.link_target_owner().map(|u| u.0 as u64);
-            metrics.observe_fetch(CtxField::TgtDacOwner, t0, v.is_none());
+            let v = self.env.try_link_target_owner().map(|u| u.0 as u64);
+            note(metrics, CtxField::TgtDacOwner, t0, &v);
             self.tgt_dac_owner = Some(v);
         }
         self.tgt_dac_owner.unwrap()
     }
 
-    /// Whether the object is adversary-writable (low integrity).
-    pub fn adv_write_value(&mut self, metrics: &Metrics) -> Option<bool> {
+    /// Whether the object is adversary-writable (low integrity). A failed
+    /// object fetch propagates: the adversary-access computation cannot
+    /// run without the label.
+    pub fn adv_write_value(&mut self, metrics: &Metrics) -> Fetched<bool> {
         if self.adv_write.is_none() {
             self.mark(CtxField::AdvWrite);
             metrics.bump_ctx_fetches();
             let sid = self.object_sid_value(metrics);
             let t0 = metrics.timer();
             let v = sid.map(|s| self.env.mac().adversary_writable(s));
-            metrics.observe_fetch(CtxField::AdvWrite, t0, v.is_none());
+            note(metrics, CtxField::AdvWrite, t0, &v);
             self.adv_write = Some(v);
         }
         self.adv_write.unwrap()
     }
 
-    /// Whether the object is adversary-readable (low secrecy).
-    pub fn adv_read_value(&mut self, metrics: &Metrics) -> Option<bool> {
+    /// Whether the object is adversary-readable (low secrecy). A failed
+    /// object fetch propagates, as for [`Packet::adv_write_value`].
+    pub fn adv_read_value(&mut self, metrics: &Metrics) -> Fetched<bool> {
         if self.adv_read.is_none() {
             self.mark(CtxField::AdvRead);
             metrics.bump_ctx_fetches();
             let sid = self.object_sid_value(metrics);
             let t0 = metrics.timer();
             let v = sid.map(|s| self.env.mac().adversary_readable(s));
-            metrics.observe_fetch(CtxField::AdvRead, t0, v.is_none());
+            note(metrics, CtxField::AdvRead, t0, &v);
             self.adv_read = Some(v);
         }
         self.adv_read.unwrap()
     }
 
     /// Signal number, on signal-delivery operations.
-    pub fn signal_value(&mut self, metrics: &Metrics) -> Option<u64> {
+    pub fn signal_value(&mut self, metrics: &Metrics) -> Fetched<u64> {
         if self.signal_num.is_none() {
             self.mark(CtxField::SignalNum);
             metrics.bump_ctx_fetches();
             let t0 = metrics.timer();
-            let v = self.env.signal().map(|s| s.signal.0 as u64);
-            metrics.observe_fetch(CtxField::SignalNum, t0, v.is_none());
+            let v = self.env.try_signal().map(|s| s.signal.0 as u64);
+            note(metrics, CtxField::SignalNum, t0, &v);
             self.signal_num = Some(v);
         }
         self.signal_num.unwrap()
@@ -360,9 +384,10 @@ impl<'e> Packet<'e> {
         self.env.syscall_arg(n as usize)
     }
 
-    /// Resolves a [`CtxField`] to its `u64` encoding, or `None` when the
-    /// field is unavailable for this operation.
-    pub fn field_value(&mut self, field: CtxField, metrics: &Metrics) -> Option<u64> {
+    /// Resolves a [`CtxField`] to its `u64` encoding; `Missing` when the
+    /// field is unavailable for this operation, `Failed` when the fetch
+    /// errored.
+    pub fn field_value(&mut self, field: CtxField, metrics: &Metrics) -> Fetched<u64> {
         match field {
             CtxField::Entrypoint => self.entrypoint_value(metrics).map(|(p, pc)| {
                 // Fold program and pc for comparisons; rules match the
@@ -375,7 +400,7 @@ impl<'e> Packet<'e> {
             CtxField::TgtDacOwner => self.tgt_dac_owner_value(metrics),
             CtxField::AdvWrite => self.adv_write_value(metrics).map(u64::from),
             CtxField::AdvRead => self.adv_read_value(metrics).map(u64::from),
-            CtxField::Arg(n) => Some(self.arg_value(n, metrics)),
+            CtxField::Arg(n) => Fetched::Value(self.arg_value(n, metrics)),
             CtxField::SignalNum => self.signal_value(metrics),
         }
     }

@@ -29,7 +29,7 @@
 //! DROP-patches-same-invocation-LOG rule (`docs/OBSERVABILITY.md`)
 //! holds even with interleaved concurrent invocations.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pf_types::{Interner, LsmOperation, PfResult, Verdict};
 
@@ -38,11 +38,11 @@ use pf_mac::MacPolicy;
 use crate::chain::{ChainName, RuleBase};
 use crate::config::{OptLevel, PfConfig};
 use crate::context::Packet;
-use crate::env::EvalEnv;
+use crate::env::{CtxError, EvalEnv, Fetched};
 use crate::lang::{parse_command, Command, RuleOp};
 use crate::log::LogEntry;
 use crate::metrics::{Metrics, TraceEvent};
-use crate::rule::{MatchModule, Rule, Target};
+use crate::rule::{CtxPolicy, MatchModule, Rule, Target};
 use crate::snapshot::{RulesetSnapshot, SharedRuleset};
 use crate::value::ValueExpr;
 
@@ -51,13 +51,20 @@ use crate::value::ValueExpr;
 pub struct EvalDecision {
     /// Allow or deny.
     pub verdict: Verdict,
-    /// For denies: the chain name and rule index that fired.
+    /// For denies: the chain name and rule index that fired. Indices
+    /// are only meaningful within the snapshot named by `generation`;
+    /// use [`ProcessFirewall::attribute`] for a safe lazy resolution.
     pub dropped_by: Option<(String, usize)>,
     /// The generation of the ruleset snapshot that produced this
     /// verdict. Each invocation runs against exactly one snapshot, so
     /// under concurrent hot reloads every verdict is attributable to
     /// one published ruleset — never a mix.
     pub generation: u64,
+    /// `true` when a context fetch *failed* (not merely came up absent)
+    /// somewhere in this invocation and a `--ctx-missing` policy had to
+    /// decide the outcome. Degraded decisions are counted separately in
+    /// the metrics registry (`degraded_drops` / `degraded_allows`).
+    pub degraded: bool,
 }
 
 impl EvalDecision {
@@ -66,6 +73,7 @@ impl EvalDecision {
             verdict: Verdict::Allow,
             dropped_by: None,
             generation,
+            degraded: false,
         }
     }
 }
@@ -96,6 +104,7 @@ fn apply_command(base: &mut RuleBase, cmd: Command) -> PfResult<()> {
         Command::Flush(Some(chain)) => base.flush(&chain)?,
         Command::Flush(None) => base.clear(),
         Command::DeleteChain(chain) => base.delete_chain(&chain)?,
+        Command::CtxDefault(chain, policy) => base.set_ctx_default(chain, Some(policy)),
     }
     Ok(())
 }
@@ -115,19 +124,20 @@ impl ProcessFirewall {
         self.shared.load().config()
     }
 
-    /// Switches optimization preset (rules are kept).
-    pub fn set_level(&self, level: OptLevel) {
-        self.set_config(level.config());
+    /// Switches optimization preset (rules are kept), returning the new
+    /// snapshot generation. On error the previous snapshot stays live.
+    pub fn set_level(&self, level: OptLevel) -> PfResult<u64> {
+        self.set_config(level.config())
     }
 
-    /// Sets an explicit configuration.
-    pub fn set_config(&self, config: PfConfig) {
-        self.shared
-            .update(|d| {
-                d.config = config;
-                Ok(())
-            })
-            .expect("config edit is infallible");
+    /// Sets an explicit configuration, returning the new snapshot
+    /// generation. On error the previous snapshot stays live.
+    pub fn set_config(&self, config: PfConfig) -> PfResult<u64> {
+        let ((), generation) = self.shared.update(|d| {
+            d.config = config;
+            Ok(())
+        })?;
+        Ok(generation)
     }
 
     /// Parses and applies one `pftables` line (a rule or a
@@ -213,14 +223,14 @@ impl ProcessFirewall {
         Ok(())
     }
 
-    /// Removes every installed rule (a new snapshot generation).
-    pub fn clear_rules(&self) {
-        self.shared
-            .update(|d| {
-                d.base.clear();
-                Ok(())
-            })
-            .expect("clear is infallible");
+    /// Removes every installed rule, returning the new snapshot
+    /// generation. On error the previous snapshot stays live.
+    pub fn clear_rules(&self) -> PfResult<u64> {
+        let ((), generation) = self.shared.update(|d| {
+            d.base.clear();
+            Ok(())
+        })?;
+        Ok(generation)
     }
 
     /// Total installed rules.
@@ -260,14 +270,38 @@ impl ProcessFirewall {
         self.metrics.drain_trace()
     }
 
+    /// Locks the LOG sink, recovering from poisoning. A task that
+    /// panicked while holding the guard must not take logging down for
+    /// every later evaluation: the buffer is append-only (whole `Vec`
+    /// pushes, no partial records), so the recovered contents are
+    /// consistent.
+    fn lock_logs(&self) -> MutexGuard<'_, Vec<LogEntry>> {
+        self.logs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Drains accumulated LOG records.
     pub fn take_logs(&self) -> Vec<LogEntry> {
-        std::mem::take(&mut *self.logs.lock().unwrap())
+        std::mem::take(&mut *self.lock_logs())
     }
 
     /// Number of buffered LOG records.
     pub fn log_count(&self) -> usize {
-        self.logs.lock().unwrap().len()
+        self.lock_logs().len()
+    }
+
+    /// Resolves a decision's `dropped_by` attribution to the original
+    /// rule text — but only while the owning snapshot generation is
+    /// still the published one. After a hot reload the stored index may
+    /// point at a *different* rule in the newer snapshot, so a stale
+    /// decision yields `None` rather than mis-attributing the deny.
+    pub fn attribute(&self, decision: &EvalDecision) -> Option<String> {
+        let (chain, index) = decision.dropped_by.as_ref()?;
+        let snap = self.base();
+        if snap.generation() != decision.generation {
+            return None;
+        }
+        snap.rule_text(&ChainName::parse(chain), *index)
+            .map(str::to_owned)
     }
 
     /// The PF hook: decide whether this operation may proceed.
@@ -312,14 +346,24 @@ impl ProcessFirewall {
             config,
             metrics: &self.metrics,
             logs: scratch,
+            degraded: false,
         };
-        let decision = match inv.run(&mut pkt, op) {
+        let run = inv.run(&mut pkt, op);
+        let degraded = inv.degraded;
+        let mut decision = match run {
             Some(d) => d,
             None => {
                 self.metrics.bump_default_allows();
                 EvalDecision::allow(snap.generation())
             }
         };
+        decision.degraded |= degraded;
+        if decision.degraded {
+            match decision.verdict {
+                Verdict::Deny => self.metrics.bump_degraded_drops(),
+                Verdict::Allow => self.metrics.bump_degraded_allows(),
+            }
+        }
         if decision.verdict == Verdict::Deny {
             for entry in scratch.iter_mut() {
                 if entry.verdict != "DENY" {
@@ -328,7 +372,7 @@ impl ProcessFirewall {
             }
         }
         if !scratch.is_empty() {
-            self.logs.lock().unwrap().append(scratch);
+            self.lock_logs().append(scratch);
         }
         self.metrics.observe_eval(t0);
         decision
@@ -344,6 +388,34 @@ struct Invocation<'a> {
     config: PfConfig,
     metrics: &'a Metrics,
     logs: &'a mut Vec<LogEntry>,
+    /// Set as soon as any context fetch *fails* and a `--ctx-missing`
+    /// policy has to decide; stamped onto the decision and every TRACE
+    /// event emitted afterwards.
+    degraded: bool,
+}
+
+/// The tri-state outcome of matching one rule against a packet.
+enum RuleEval {
+    /// Every selector matched; run the target.
+    Match,
+    /// Some selector did not match (or came up benignly absent).
+    NoMatch,
+    /// A context fetch failed and the governing policy is
+    /// [`CtxPolicy::Drop`]: deny immediately, attributed to this rule.
+    FailDrop,
+}
+
+/// Unwraps a [`Fetched`] inside a `Result<bool, CtxError>` function:
+/// benign absence means "no match", a failure propagates to the caller
+/// so the rule's `--ctx-missing` policy can decide.
+macro_rules! fetched {
+    ($e:expr) => {
+        match $e {
+            Fetched::Value(v) => v,
+            Fetched::Missing => return Ok(false),
+            Fetched::Failed(e) => return Err(e),
+        }
+    };
 }
 
 impl<'a> Invocation<'a> {
@@ -370,9 +442,26 @@ impl<'a> Invocation<'a> {
                 return Some(d);
             }
             if snap.entrypoint_chain_count() > 0 {
-                if let Some(ept) = pkt.entrypoint_value(self.metrics) {
-                    if let Some(indices) = snap.input_for_entrypoint(ept) {
-                        let bound = indices.iter().map(|&i| (i, &input[i]));
+                match pkt.entrypoint_value(self.metrics) {
+                    Fetched::Value(ept) => {
+                        if let Some(indices) = snap.input_for_entrypoint(ept) {
+                            let bound = indices.iter().map(|&i| (i, &input[i]));
+                            if let Some(d) = self.run_seq(&ChainName::Input, bound, pkt, op, 0) {
+                                return Some(d);
+                            }
+                        }
+                    }
+                    // Benign absence (e.g. a sanitized malformed stack,
+                    // Section 4.4): no entrypoint chain applies.
+                    Fetched::Missing => {}
+                    // Degraded path: without a trusted entrypoint the
+                    // partition cannot be consulted, so scan *every*
+                    // entrypoint-bound rule and let each rule's
+                    // `--ctx-missing` policy decide — equivalent to the
+                    // FULL traversal restricted to the bound rules.
+                    Fetched::Failed(_) => {
+                        self.degraded = true;
+                        let bound = snap.input_entrypoint_all().iter().map(|&i| (i, &input[i]));
                         if let Some(d) = self.run_seq(&ChainName::Input, bound, pkt, op, 0) {
                             return Some(d);
                         }
@@ -411,11 +500,12 @@ impl<'a> Invocation<'a> {
         for (index, rule) in rules {
             self.metrics.bump_rules();
             self.metrics.rule_evaluated(chain, index);
-            let matched = self.rule_matches(rule, pkt, op);
-            if matched {
+            let eval = self.rule_matches(rule, pkt, op, chain);
+            let fired = !matches!(eval, RuleEval::NoMatch);
+            if fired {
                 rule.bump_hits();
                 self.metrics.rule_hit(chain, index);
-                if matches!(rule.target, Target::Trace) {
+                if matches!(rule.target, Target::Trace) && matches!(eval, RuleEval::Match) {
                     pkt.start_trace();
                 }
             }
@@ -425,13 +515,28 @@ impl<'a> Invocation<'a> {
                 self.metrics.push_trace(TraceEvent {
                     chain: chain.name(),
                     rule_index: index,
-                    matched,
+                    matched: fired,
                     target: rule.target.kind_name(),
                     elapsed_ns: clock.elapsed().as_nanos() as u64,
+                    degraded: self.degraded,
                 });
             }
-            if !matched {
-                continue;
+            match eval {
+                RuleEval::NoMatch => continue,
+                RuleEval::FailDrop => {
+                    // Fail closed: a selector's context fetch failed and
+                    // the governing policy is `drop`. The deny is
+                    // attributed to this rule and flagged degraded.
+                    self.metrics.bump_drops();
+                    self.emit_log(pkt, op, "CTXFAIL", "DENY");
+                    return Some(EvalDecision {
+                        verdict: Verdict::Deny,
+                        dropped_by: Some((chain.name(), index)),
+                        generation: self.snap.generation(),
+                        degraded: true,
+                    });
+                }
+                RuleEval::Match => {}
             }
             match &rule.target {
                 Target::Drop => {
@@ -441,6 +546,7 @@ impl<'a> Invocation<'a> {
                         verdict: Verdict::Deny,
                         dropped_by: Some((chain.name(), index)),
                         generation: self.snap.generation(),
+                        degraded: self.degraded,
                     });
                 }
                 Target::Accept => {
@@ -457,11 +563,14 @@ impl<'a> Invocation<'a> {
                         }
                     }
                 }
-                Target::StateSet { key, value } => {
-                    if let Some(v) = self.resolve(*value, pkt) {
-                        pkt.env().state_set(*key, v);
-                    }
-                }
+                Target::StateSet { key, value } => match self.resolve(*value, pkt) {
+                    Fetched::Value(v) => pkt.env().state_set(*key, v),
+                    Fetched::Missing => {}
+                    // The value could not be recorded; later STATE
+                    // matches will see a stale/absent key, so flag the
+                    // invocation degraded.
+                    Fetched::Failed(_) => self.degraded = true,
+                },
                 Target::StateUnset { key } => pkt.env().state_unset(*key),
                 Target::Log { tag } => self.emit_log(pkt, op, tag, "ALLOW"),
                 Target::Trace => {}
@@ -470,93 +579,163 @@ impl<'a> Invocation<'a> {
         None
     }
 
-    fn resolve(&mut self, value: ValueExpr, pkt: &mut Packet<'_>) -> Option<u64> {
+    fn resolve(&mut self, value: ValueExpr, pkt: &mut Packet<'_>) -> Fetched<u64> {
         match value {
-            ValueExpr::Lit(v) => Some(v),
+            ValueExpr::Lit(v) => Fetched::Value(v),
             ValueExpr::Ctx(field) => pkt.field_value(field, self.metrics),
         }
     }
 
-    fn rule_matches(&mut self, rule: &Rule, pkt: &mut Packet<'_>, op: LsmOperation) -> bool {
+    /// Resolves the `--ctx-missing` policy that governs a failed context
+    /// fetch in `rule`: the rule's own override, else the chain default,
+    /// else the engine default — fail-closed for DROP rules, fail-open
+    /// for everything else. Also marks the invocation degraded: by the
+    /// time this runs, a fetch has definitely failed.
+    fn on_ctx_failure(&mut self, rule: &Rule, chain: &ChainName) -> CtxPolicy {
+        self.degraded = true;
+        rule.ctx_policy
+            .or_else(|| self.snap.ctx_default(chain))
+            .unwrap_or(if matches!(rule.target, Target::Drop) {
+                CtxPolicy::Drop
+            } else {
+                CtxPolicy::Skip
+            })
+    }
+
+    fn rule_matches(
+        &mut self,
+        rule: &Rule,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+        chain: &ChainName,
+    ) -> RuleEval {
         // Cheapest selectors first so lazy context fetches stay minimal.
         if let Some(rule_op) = rule.def.op {
             if rule_op != op {
-                return false;
+                return RuleEval::NoMatch;
             }
         }
         if let Some(subject) = &rule.def.subject {
             if !subject.contains(pkt.env_ref().subject_sid()) {
-                return false;
+                return RuleEval::NoMatch;
             }
         }
+        // Each fallible selector is arbitrated *individually* by the
+        // rule's `--ctx-missing` policy: under `match` only the failed
+        // selector counts as satisfied — every other selector (and the
+        // match modules) still gets its say.
         match rule.def.entrypoint() {
-            Some(want) => {
-                if pkt.entrypoint_value(self.metrics) != Some(want) {
-                    return false;
+            Some(want) => match pkt.entrypoint_value(self.metrics) {
+                Fetched::Value(got) => {
+                    if got != want {
+                        return RuleEval::NoMatch;
+                    }
                 }
-            }
+                Fetched::Missing => return RuleEval::NoMatch,
+                Fetched::Failed(_) => {
+                    if let Some(eval) = self.ctx_fail(rule, chain) {
+                        return eval;
+                    }
+                }
+            },
             None => {
                 // `-p` alone constrains the main program binary.
                 if let Some(prog) = rule.def.program {
                     if pkt.env_ref().program() != prog {
-                        return false;
+                        return RuleEval::NoMatch;
                     }
                 }
             }
         }
         if let Some(resource) = rule.def.resource {
-            if pkt.resource_id_value(self.metrics) != Some(resource) {
-                return false;
+            match pkt.resource_id_value(self.metrics) {
+                Fetched::Value(got) => {
+                    if got != resource {
+                        return RuleEval::NoMatch;
+                    }
+                }
+                Fetched::Missing => return RuleEval::NoMatch,
+                Fetched::Failed(_) => {
+                    if let Some(eval) = self.ctx_fail(rule, chain) {
+                        return eval;
+                    }
+                }
             }
         }
         if let Some(object) = &rule.def.object {
             match pkt.object_sid_value(self.metrics) {
-                Some(sid) if object.contains(sid) => {}
-                _ => return false,
+                Fetched::Value(sid) => {
+                    if !object.contains(sid) {
+                        return RuleEval::NoMatch;
+                    }
+                }
+                Fetched::Missing => return RuleEval::NoMatch,
+                Fetched::Failed(_) => {
+                    if let Some(eval) = self.ctx_fail(rule, chain) {
+                        return eval;
+                    }
+                }
             }
         }
         for m in &rule.matches {
-            if !self.module_matches(m, pkt) {
-                return false;
+            match self.module_matches(m, pkt) {
+                Ok(true) => {}
+                Ok(false) => return RuleEval::NoMatch,
+                Err(_) => {
+                    if let Some(eval) = self.ctx_fail(rule, chain) {
+                        return eval;
+                    }
+                }
             }
         }
-        true
+        RuleEval::Match
     }
 
-    fn module_matches(&mut self, m: &MatchModule, pkt: &mut Packet<'_>) -> bool {
-        match m {
+    /// Arbitrates one failed context fetch against the rule's
+    /// `--ctx-missing` policy. `Some` short-circuits the rule; `None`
+    /// (the `match` policy) treats the failed selector as satisfied and
+    /// lets the remaining selectors keep gating.
+    fn ctx_fail(&mut self, rule: &Rule, chain: &ChainName) -> Option<RuleEval> {
+        match self.on_ctx_failure(rule, chain) {
+            CtxPolicy::Skip => Some(RuleEval::NoMatch),
+            CtxPolicy::Drop => Some(RuleEval::FailDrop),
+            CtxPolicy::Match => None,
+        }
+    }
+
+    fn module_matches(&mut self, m: &MatchModule, pkt: &mut Packet<'_>) -> Result<bool, CtxError> {
+        Ok(match m {
             MatchModule::State { key, cmp, negate } => {
-                let Some(current) = pkt.env_ref().state_get(*key) else {
-                    // A missing key never matches: before the "check" call
-                    // records state, the "use"-side rule must not fire.
-                    return false;
+                let current = match pkt.env_ref().try_state_get(*key) {
+                    // A missing key never matches: before the "check"
+                    // call records state, the "use"-side rule must not
+                    // fire.
+                    Fetched::Missing => return Ok(false),
+                    Fetched::Value(v) => v,
+                    Fetched::Failed(e) => return Err(e),
                 };
-                let Some(want) = self.resolve(*cmp, pkt) else {
-                    return false;
-                };
+                let want = fetched!(self.resolve(*cmp, pkt));
                 (current == want) != *negate
             }
-            MatchModule::SignalMatch => match pkt.env_ref().signal() {
-                Some(sig) => sig.has_handler && !sig.unblockable,
-                None => false,
+            MatchModule::SignalMatch => match pkt.env_ref().try_signal() {
+                Fetched::Value(sig) => sig.has_handler && !sig.unblockable,
+                Fetched::Missing => false,
+                Fetched::Failed(e) => return Err(e),
             },
             MatchModule::SyscallArgs { arg, cmp, negate } => {
                 let v = pkt.arg_value(*arg, self.metrics);
-                let Some(want) = self.resolve(*cmp, pkt) else {
-                    return false;
-                };
+                let want = fetched!(self.resolve(*cmp, pkt));
                 (v == want) != *negate
             }
             MatchModule::Compare { v1, v2, negate } => {
-                let (Some(a), Some(b)) = (self.resolve(*v1, pkt), self.resolve(*v2, pkt)) else {
-                    return false;
-                };
+                let a = fetched!(self.resolve(*v1, pkt));
+                let b = fetched!(self.resolve(*v2, pkt));
                 (a == b) != *negate
             }
-            MatchModule::Owner { uid, negate } => match pkt.dac_owner_value(self.metrics) {
-                Some(owner) => (owner == *uid) != *negate,
-                None => false,
-            },
+            MatchModule::Owner { uid, negate } => {
+                let owner = fetched!(pkt.dac_owner_value(self.metrics));
+                (owner == *uid) != *negate
+            }
             MatchModule::Interp { script, line } => match pkt.env_ref().interp_frame() {
                 Some((s, l)) => s == *script && line.map(|want| want == l).unwrap_or(true),
                 None => false,
@@ -568,15 +747,15 @@ impl<'a> Invocation<'a> {
                 } else {
                     pkt.adv_read_value(self.metrics)
                 };
-                v == Some(*want)
+                fetched!(v) == *want
             }
-        }
+        })
     }
 
     fn emit_log(&mut self, pkt: &mut Packet<'_>, op: LsmOperation, tag: &str, verdict: &str) {
-        let ept = pkt.entrypoint_value(self.metrics);
-        let adv_write = pkt.adv_write_value(self.metrics).unwrap_or(false);
-        let adv_read = pkt.adv_read_value(self.metrics).unwrap_or(false);
+        let ept = pkt.entrypoint_value(self.metrics).ok();
+        let adv_write = pkt.adv_write_value(self.metrics).ok().unwrap_or(false);
+        let adv_read = pkt.adv_read_value(self.metrics).ok().unwrap_or(false);
         let env = pkt.env_ref();
         let mac = env.mac();
         let object = env.object();
@@ -625,6 +804,13 @@ mod tests {
         state: HashMap<u64, u64>,
         cache: HashMap<u8, u64>,
         unwind_count: u64,
+        /// When set, `try_unwind_entrypoint` reports a *failed* fetch
+        /// (not a missing one) — the degraded path under test.
+        fail_unwind: bool,
+        /// Same for `try_object`.
+        fail_object: bool,
+        /// Same for `try_state_get`.
+        fail_state: bool,
     }
 
     impl MockEnv {
@@ -646,6 +832,9 @@ mod tests {
                 state: HashMap::new(),
                 cache: HashMap::new(),
                 unwind_count: 0,
+                fail_unwind: false,
+                fail_object: false,
+                fail_state: false,
             }
         }
 
@@ -714,6 +903,24 @@ mod tests {
         }
         fn now(&self) -> u64 {
             7
+        }
+        fn try_unwind_entrypoint(&mut self) -> crate::env::Fetched<(ProgramId, u64)> {
+            if self.fail_unwind {
+                return Fetched::Failed(CtxError::UnwindFault);
+            }
+            Fetched::from_option(self.unwind_entrypoint())
+        }
+        fn try_object(&self) -> crate::env::Fetched<ObjectInfo> {
+            if self.fail_object {
+                return Fetched::Failed(CtxError::ObjectFault);
+            }
+            Fetched::from_option(self.object())
+        }
+        fn try_state_get(&self, key: u64) -> crate::env::Fetched<u64> {
+            if self.fail_state {
+                return Fetched::Failed(CtxError::StateLoss);
+            }
+            Fetched::from_option(self.state_get(key))
         }
     }
 
@@ -1061,7 +1268,7 @@ mod tests {
                     pf.install(r, &mut env.mac, &mut env.programs).unwrap();
                 }
                 vs.push(pf.evaluate(&mut env, op).verdict);
-                pf.clear_rules();
+                pf.clear_rules().unwrap();
             }
             verdicts.push(vs);
         }
@@ -1551,5 +1758,237 @@ mod tests {
             .unwrap();
         assert_eq!(n, 2);
         assert_eq!(pf.rule_count(), 2);
+    }
+
+    // --- fail-safe context semantics (`--ctx-missing`) ---
+
+    #[test]
+    fn failed_unwind_fails_closed_for_drop_rules() {
+        // Entrypoint-bound invariant; the unwind *errors* (not merely a
+        // sanitized malformed stack). The engine default for DROP rules
+        // is fail-closed, so the access must be denied — on the FULL
+        // path and on the EPTSPC degraded path alike.
+        for level in [OptLevel::Full, OptLevel::EptSpc] {
+            let pf = ProcessFirewall::new(level);
+            let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+            install(
+                &pf,
+                &mut env,
+                "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+            );
+            env.fail_unwind = true;
+            let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+            assert_eq!(d.verdict, Verdict::Deny, "{level:?} must fail closed");
+            assert!(d.degraded, "{level:?} decision is degraded");
+            assert_eq!(d.dropped_by, Some(("input".into(), 0)));
+            assert_eq!(pf.metrics().degraded_drops(), 1);
+            assert_eq!(pf.metrics().degraded_allows(), 0);
+            assert_eq!(
+                pf.metrics()
+                    .field_failures(crate::context::CtxField::Entrypoint),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn missing_context_is_not_degraded() {
+        // A benignly absent entrypoint (stack: None — the §4.4 sanitized
+        // path) keeps its historical fail-open meaning and is NOT
+        // counted degraded.
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+        );
+        env.stack = None;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow);
+        assert!(!d.degraded);
+        assert_eq!(pf.metrics().degraded_allows(), 0);
+        assert_eq!(pf.metrics().degraded_drops(), 0);
+    }
+
+    #[test]
+    fn ctx_missing_skip_overrides_fail_closed_default() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN --ctx-missing skip -j DROP",
+        );
+        env.fail_unwind = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow, "skip fails open");
+        assert!(d.degraded, "but the allow is reported degraded");
+        assert_eq!(pf.metrics().degraded_allows(), 1);
+        assert_eq!(pf.metrics().degraded_drops(), 0);
+    }
+
+    #[test]
+    fn ctx_missing_match_checks_remaining_selectors() {
+        // `match` treats the failed selector as satisfied but the other
+        // selectors still decide: tmp_t matches (deny), etc_t does not.
+        let rule = "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -d tmp_t \
+                    --ctx-missing match -j DROP";
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, rule);
+        env.fail_unwind = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        assert!(d.degraded);
+
+        let pf2 = ProcessFirewall::new(OptLevel::Full);
+        let mut env2 = MockEnv::new().with_object("etc_t", 6, 0);
+        install(&pf2, &mut env2, rule);
+        env2.fail_unwind = true;
+        let d2 = pf2.evaluate(&mut env2, LsmOperation::FileOpen);
+        assert_eq!(d2.verdict, Verdict::Allow, "object selector still gates");
+        assert!(d2.degraded);
+    }
+
+    #[test]
+    fn chain_default_applies_and_rule_override_wins() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -P input --ctx-missing skip");
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+        );
+        env.fail_unwind = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow, "chain default skip fails open");
+        assert!(d.degraded);
+
+        // A per-rule `drop` override beats the chain's `skip` default.
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_WRITE --ctx-missing drop -j DROP",
+        );
+        let d2 = pf.evaluate(&mut env, LsmOperation::FileWrite);
+        assert_eq!(d2.verdict, Verdict::Deny, "rule override wins");
+        assert!(d2.degraded);
+    }
+
+    #[test]
+    fn failed_object_fetch_fails_closed() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        env.fail_object = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        assert!(d.degraded);
+        assert!(
+            pf.metrics()
+                .field_failures(crate::context::CtxField::ObjectSid)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn failed_state_read_is_policy_governed() {
+        // R4-style use-check rule: STATE match over a lost dictionary.
+        let rule = "pftables -o FILE_OPEN -m STATE --key 1 --cmp 42 -j DROP";
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, rule);
+        env.state.insert(1, 42);
+        env.fail_state = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "DROP rule fails closed");
+        assert!(d.degraded);
+    }
+
+    #[test]
+    fn degraded_flag_reaches_trace_events() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j TRACE");
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN --ctx-missing skip -j DROP",
+        );
+        env.fail_unwind = true;
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        let events = pf.drain_trace();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().any(|e| e.degraded),
+            "the traversal after the failed fetch is flagged degraded"
+        );
+    }
+
+    // --- poisoned-lock recovery (satellite 1) ---
+
+    #[test]
+    fn poisoned_log_lock_recovers() {
+        let pf = Arc::new(ProcessFirewall::new(OptLevel::Full));
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -j LOG --tag x");
+        pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(pf.log_count(), 1);
+        // One thread panics while holding the log-sink guard…
+        let pf2 = Arc::clone(&pf);
+        let worker = std::thread::spawn(move || {
+            let _guard = pf2.logs.lock().unwrap();
+            panic!("worker dies mid-append");
+        });
+        assert!(worker.join().is_err(), "worker panicked as intended");
+        // …and evaluation, counting, and draining all keep working.
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow);
+        assert_eq!(pf.log_count(), 2);
+        assert_eq!(pf.take_logs().len(), 2);
+        assert_eq!(pf.log_count(), 0);
+    }
+
+    // --- generation-checked attribution (satellite 3) ---
+
+    #[test]
+    fn attribution_is_generation_checked_across_reloads() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        let rule = "pftables -o FILE_OPEN -d tmp_t -j DROP";
+        install(&pf, &mut env, rule);
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        assert_eq!(pf.attribute(&d).as_deref(), Some(rule));
+
+        // A reload shifts the rule to index 1: the stale decision's
+        // (generation, index) pair must not resolve against the new
+        // snapshot, where index 0 now names a different rule.
+        pf.reload(
+            ["pftables -o FILE_WRITE -j DROP", rule],
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        assert_eq!(pf.attribute(&d), None, "stale generation never resolves");
+
+        let d2 = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d2.dropped_by, Some(("input".into(), 1)));
+        assert_eq!(pf.attribute(&d2).as_deref(), Some(rule));
+    }
+
+    // --- config/clear error propagation (satellite 2) ---
+
+    #[test]
+    fn config_edits_return_generations() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let g0 = pf.generation();
+        let g1 = pf.set_level(OptLevel::EptSpc).unwrap();
+        assert_eq!(g1, g0 + 1);
+        let g2 = pf.clear_rules().unwrap();
+        assert_eq!(g2, g1 + 1);
+        assert_eq!(pf.generation(), g2);
     }
 }

@@ -38,6 +38,103 @@ pub struct SignalInfo {
     pub in_handler: bool,
 }
 
+/// Why a context fetch *failed* — as opposed to the context being
+/// benignly absent.
+///
+/// Section 4.4 of the paper notes that context collection "may fail";
+/// the engine distinguishes the two outcomes because they demand
+/// different policy. A process with no signal info on an `open(2)` is
+/// *Missing* context (nothing to match — today's semantics). A stack
+/// the unwinder could not walk, or an inode the VFS raced away, is
+/// *Failed* context: the fetch was attempted and errored, exactly the
+/// window an adversary aims for, so rules may elect to fail closed
+/// (`--ctx-missing drop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtxError {
+    /// The user-stack unwinder aborted (corrupt frames, depth cap).
+    UnwindFault,
+    /// The object's metadata could not be read (VFS race, stale inode).
+    ObjectFault,
+    /// The symlink-target owner lookup raced with a rename/unlink.
+    LinkRace,
+    /// The per-process STATE dictionary was lost or unreadable.
+    StateLoss,
+}
+
+impl CtxError {
+    /// Stable lowercase name, for logs and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtxError::UnwindFault => "unwind_fault",
+            CtxError::ObjectFault => "object_fault",
+            CtxError::LinkRace => "link_race",
+            CtxError::StateLoss => "state_loss",
+        }
+    }
+}
+
+/// The tri-state result of a context fetch.
+///
+/// `Missing` is the benign absence the legacy `Option` API expressed as
+/// `None` — a selector over missing context simply does not match.
+/// `Failed` means the fetch was attempted and errored; what happens next
+/// is governed by the matching rule's `--ctx-missing` policy (see
+/// `docs/RULES.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetched<T> {
+    /// The fetch succeeded.
+    Value(T),
+    /// The context is benignly absent for this operation.
+    Missing,
+    /// The fetch was attempted and errored.
+    Failed(CtxError),
+}
+
+impl<T> Fetched<T> {
+    /// Lifts a legacy `Option` fetch: `None` is benign absence.
+    pub fn from_option(v: Option<T>) -> Self {
+        match v {
+            Some(v) => Fetched::Value(v),
+            None => Fetched::Missing,
+        }
+    }
+
+    /// Collapses back to the legacy `Option` view (`Failed` → `None`).
+    pub fn ok(self) -> Option<T> {
+        match self {
+            Fetched::Value(v) => Some(v),
+            Fetched::Missing | Fetched::Failed(_) => None,
+        }
+    }
+
+    /// Maps the carried value, preserving `Missing`/`Failed`.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Fetched<U> {
+        match self {
+            Fetched::Value(v) => Fetched::Value(f(v)),
+            Fetched::Missing => Fetched::Missing,
+            Fetched::Failed(e) => Fetched::Failed(e),
+        }
+    }
+
+    /// `true` for `Missing`.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Fetched::Missing)
+    }
+
+    /// The fetch error, when the fetch failed.
+    pub fn err(&self) -> Option<CtxError> {
+        match self {
+            Fetched::Failed(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Failed`.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Fetched::Failed(_))
+    }
+}
+
 /// The firewall's window into the process and the resource.
 ///
 /// Implementations borrow kernel state for the duration of one
@@ -45,6 +142,14 @@ pub struct SignalInfo {
 /// (`unwind_entrypoint`) may fail benignly: per Section 4.4 of the paper,
 /// malformed process state aborts context evaluation and merely costs the
 /// process its own protection.
+///
+/// The `try_*` methods are the fail-safe contract: they report the
+/// tri-state [`Fetched`] so the engine can tell benign absence from a
+/// fetch error. Their defaults wrap the legacy `Option` methods (every
+/// `None` maps to `Missing`), so existing substrates keep today's
+/// fail-open behaviour unchanged; substrates (or fault injectors) that
+/// can observe real fetch errors override them to return
+/// [`Fetched::Failed`].
 pub trait EvalEnv {
     /// The subject (process) MAC label.
     fn subject_sid(&self) -> SecId;
@@ -105,5 +210,33 @@ pub trait EvalEnv {
     /// keep the default `None`.
     fn interp_frame(&self) -> Option<(String, u32)> {
         None
+    }
+
+    /// Tri-state entrypoint fetch. Default: legacy `None` is `Missing`.
+    fn try_unwind_entrypoint(&mut self) -> Fetched<(ProgramId, u64)> {
+        Fetched::from_option(self.unwind_entrypoint())
+    }
+
+    /// Tri-state object fetch. Default: legacy `None` is `Missing`.
+    fn try_object(&self) -> Fetched<ObjectInfo> {
+        Fetched::from_option(self.object())
+    }
+
+    /// Tri-state symlink-target-owner fetch. Default: legacy `None` is
+    /// `Missing`.
+    fn try_link_target_owner(&mut self) -> Fetched<Uid> {
+        Fetched::from_option(self.link_target_owner())
+    }
+
+    /// Tri-state signal-context fetch. Default: legacy `None` is
+    /// `Missing`.
+    fn try_signal(&self) -> Fetched<SignalInfo> {
+        Fetched::from_option(self.signal())
+    }
+
+    /// Tri-state STATE-dictionary read. Default: legacy `None` is
+    /// `Missing` (the key was never set).
+    fn try_state_get(&self, key: u64) -> Fetched<u64> {
+        Fetched::from_option(self.state_get(key))
     }
 }

@@ -20,7 +20,7 @@ use pf_types::{Interner, LabelSet, LsmOperation, PfError, PfResult};
 use pf_mac::MacPolicy;
 
 use crate::chain::ChainName;
-use crate::rule::{DefaultMatches, MatchModule, Rule, Target};
+use crate::rule::{CtxPolicy, DefaultMatches, MatchModule, Rule, Target};
 use crate::value::{state_key, ValueExpr};
 
 /// What an installed rule line asks the firewall to do.
@@ -121,7 +121,7 @@ impl Cursor {
         t
     }
 
-    fn expect(&mut self, what: &str) -> PfResult<String> {
+    fn need(&mut self, what: &str) -> PfResult<String> {
         self.next().ok_or_else(|| err(format!("expected {what}")))
     }
 }
@@ -137,6 +137,10 @@ pub enum Command {
     Flush(Option<ChainName>),
     /// `-X name`: delete an empty user chain.
     DeleteChain(ChainName),
+    /// `-P chain --ctx-missing skip|match|drop`: set the chain-level
+    /// default policy for failed context fetches (see
+    /// [`crate::rule::CtxPolicy`]).
+    CtxDefault(ChainName, CtxPolicy),
 }
 
 /// Parses one `pftables` line: chain-management commands (`-N`, `-F`,
@@ -173,6 +177,19 @@ pub fn parse_command(
                 .ok_or_else(|| err("expected chain name after -X"))?;
             Ok(Command::DeleteChain(ChainName::parse(name)))
         }
+        Some("-P") => {
+            let name = toks
+                .get(i + 1)
+                .ok_or_else(|| err("expected chain name after -P"))?;
+            if toks.get(i + 2).map(String::as_str) != Some("--ctx-missing") {
+                return Err(err("-P expects --ctx-missing <skip|match|drop>"));
+            }
+            let pol = toks
+                .get(i + 3)
+                .and_then(|p| CtxPolicy::parse(p))
+                .ok_or_else(|| err("--ctx-missing expects skip, match, or drop"))?;
+            Ok(Command::CtxDefault(ChainName::parse(name), pol))
+        }
         _ => parse_rule(line, mac, programs).map(|p| Command::Rule(Box::new(p))),
     }
 }
@@ -198,57 +215,65 @@ pub fn parse_rule(
     let mut def = DefaultMatches::default();
     let mut matches: Vec<MatchModule> = Vec::new();
     let mut target: Option<Target> = None;
+    let mut ctx_policy: Option<CtxPolicy> = None;
 
     while let Some(tok) = cur.next() {
         match tok.as_str() {
             "-t" => {
-                let table = cur.expect("table name after -t")?;
+                let table = cur.need("table name after -t")?;
                 if table != "filter" && table != "mangle" {
                     return Err(err(format!("unknown table `{table}`")));
                 }
             }
             "-I" => {
-                let chain = cur.expect("chain after -I")?;
+                let chain = cur.need("chain after -I")?;
                 op = Some(RuleOp::InsertHead(ChainName::parse(&chain)));
             }
             "-A" => {
-                let chain = cur.expect("chain after -A")?;
+                let chain = cur.need("chain after -A")?;
                 op = Some(RuleOp::Append(ChainName::parse(&chain)));
             }
             "-D" => {
-                let chain = cur.expect("chain after -D")?;
+                let chain = cur.need("chain after -D")?;
                 op = Some(RuleOp::Delete(ChainName::parse(&chain)));
             }
             "-s" => {
-                let set = cur.expect("label set after -s")?;
+                let set = cur.need("label set after -s")?;
                 def.subject = Some(parse_label_set(&set, mac)?);
             }
             "-d" => {
-                let set = cur.expect("label set after -d")?;
+                let set = cur.need("label set after -d")?;
                 def.object = Some(parse_label_set(&set, mac)?);
             }
             "-i" => {
-                let pc = cur.expect("entrypoint pc after -i")?;
+                let pc = cur.need("entrypoint pc after -i")?;
                 def.entrypoint_pc = Some(parse_num(&pc)?);
             }
             "-p" => {
-                let prog = cur.expect("program path after -p")?;
+                let prog = cur.need("program path after -p")?;
                 def.program = Some(programs.intern(&prog));
             }
             "-o" => {
-                let opname = cur.expect("operation after -o")?;
+                let opname = cur.need("operation after -o")?;
                 def.op = Some(opname.parse::<LsmOperation>().map_err(err)?);
             }
             "-r" => {
-                let res = cur.expect("resource id after -r")?;
+                let res = cur.need("resource id after -r")?;
                 def.resource = Some(parse_num(&res)?);
             }
+            "--ctx-missing" => {
+                let pol = cur.need("policy after --ctx-missing")?;
+                ctx_policy = Some(
+                    CtxPolicy::parse(&pol)
+                        .ok_or_else(|| err(format!("unknown --ctx-missing policy `{pol}`")))?,
+                );
+            }
             "-m" => {
-                let module = cur.expect("module name after -m")?;
+                let module = cur.need("module name after -m")?;
                 matches.push(parse_match_module(&module, &mut cur, programs)?);
             }
             "-j" => {
-                let tname = cur.expect("target after -j")?;
+                let tname = cur.need("target after -j")?;
                 target = Some(parse_target(&tname, &mut cur)?);
             }
             other => return Err(err(format!("unexpected token `{other}`"))),
@@ -256,9 +281,11 @@ pub fn parse_rule(
     }
 
     let target = target.ok_or_else(|| err("rule has no target (-j)"))?;
+    let mut rule = Rule::new(def, matches, target, line.to_owned());
+    rule.ctx_policy = ctx_policy;
     Ok(ParsedRule {
         op: op.unwrap_or(RuleOp::Append(ChainName::Input)),
-        rule: Rule::new(def, matches, target, line.to_owned()),
+        rule,
     })
 }
 
@@ -276,11 +303,11 @@ fn parse_match_module(
                 match opt {
                     "--key" => {
                         cur.next();
-                        key = Some(state_key(&cur.expect("key")?));
+                        key = Some(state_key(&cur.need("key")?));
                     }
                     "--cmp" => {
                         cur.next();
-                        cmp = Some(ValueExpr::parse(&cur.expect("comparand")?).map_err(err)?);
+                        cmp = Some(ValueExpr::parse(&cur.need("comparand")?).map_err(err)?);
                     }
                     "--nequal" => {
                         cur.next();
@@ -308,16 +335,16 @@ fn parse_match_module(
                 match opt {
                     "--arg" => {
                         cur.next();
-                        arg = Some(parse_num(&cur.expect("arg index")?)? as u8);
+                        arg = Some(parse_num(&cur.need("arg index")?)? as u8);
                     }
                     "--equal" => {
                         cur.next();
-                        cmp = Some(ValueExpr::parse(&cur.expect("comparand")?).map_err(err)?);
+                        cmp = Some(ValueExpr::parse(&cur.need("comparand")?).map_err(err)?);
                         negate = false;
                     }
                     "--nequal" => {
                         cur.next();
-                        cmp = Some(ValueExpr::parse(&cur.expect("comparand")?).map_err(err)?);
+                        cmp = Some(ValueExpr::parse(&cur.need("comparand")?).map_err(err)?);
                         negate = true;
                     }
                     _ => break,
@@ -337,11 +364,11 @@ fn parse_match_module(
                 match opt {
                     "--v1" => {
                         cur.next();
-                        v1 = Some(ValueExpr::parse(&cur.expect("v1")?).map_err(err)?);
+                        v1 = Some(ValueExpr::parse(&cur.need("v1")?).map_err(err)?);
                     }
                     "--v2" => {
                         cur.next();
-                        v2 = Some(ValueExpr::parse(&cur.expect("v2")?).map_err(err)?);
+                        v2 = Some(ValueExpr::parse(&cur.need("v2")?).map_err(err)?);
                     }
                     "--nequal" => {
                         cur.next();
@@ -393,7 +420,7 @@ fn parse_match_module(
                 match opt {
                     "--uid" => {
                         cur.next();
-                        uid = Some(parse_num(&cur.expect("uid")?)?);
+                        uid = Some(parse_num(&cur.need("uid")?)?);
                     }
                     "--nequal" => {
                         cur.next();
@@ -418,11 +445,11 @@ fn parse_match_module(
                 match opt {
                     "--script" => {
                         cur.next();
-                        script = Some(cur.expect("script path")?);
+                        script = Some(cur.need("script path")?);
                     }
                     "--line" => {
                         cur.next();
-                        line = Some(parse_num(&cur.expect("line number")?)? as u32);
+                        line = Some(parse_num(&cur.need("line number")?)? as u32);
                     }
                     _ => break,
                 }
@@ -438,7 +465,7 @@ fn parse_match_module(
                 match opt {
                     "--program" => {
                         cur.next();
-                        program = Some(cur.expect("caller program path")?);
+                        program = Some(cur.need("caller program path")?);
                     }
                     _ => break,
                 }
@@ -464,7 +491,7 @@ fn parse_target(name: &str, cur: &mut Cursor) -> PfResult<Target> {
                 match opt {
                     "--tag" => {
                         cur.next();
-                        tag = cur.expect("tag")?;
+                        tag = cur.need("tag")?;
                     }
                     _ => break,
                 }
@@ -488,11 +515,11 @@ fn parse_target(name: &str, cur: &mut Cursor) -> PfResult<Target> {
                     }
                     "--key" => {
                         cur.next();
-                        key = Some(state_key(&cur.expect("key")?));
+                        key = Some(state_key(&cur.need("key")?));
                     }
                     "--value" => {
                         cur.next();
-                        value = Some(ValueExpr::parse(&cur.expect("value")?).map_err(err)?);
+                        value = Some(ValueExpr::parse(&cur.need("value")?).map_err(err)?);
                     }
                     _ => break,
                 }
@@ -544,6 +571,9 @@ pub fn render_rule(rule: &Rule, chain: &ChainName, mac: &MacPolicy, programs: &I
     }
     if let Some(res) = rule.def.resource {
         let _ = write!(out, " -r 0x{res:x}");
+    }
+    if let Some(pol) = rule.ctx_policy {
+        let _ = write!(out, " --ctx-missing {}", pol.name());
     }
     for m in &rule.matches {
         match m {
@@ -769,6 +799,8 @@ mod tests {
             "pftables -m STATE --cmp 1 -j DROP",
             "pftables -j STATE --key 1",
             "pftables -x -j DROP",
+            "pftables -o FILE_OPEN --ctx-missing wat -j DROP",
+            "pftables -o FILE_OPEN --ctx-missing -j DROP",
         ] {
             assert!(parse_rule(bad, &mut mac, &mut progs).is_err(), "{bad}");
         }
@@ -827,6 +859,9 @@ mod tests {
             "pftables -p /lib/libssl.so -i 0x100 -m CALLER --program /usr/sbin/nginx -j DROP",
             "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
             "pftables -o FILE_OPEN -r 0x2a -j RETURN",
+            "pftables -p /bin/sh -i 0x42 -o FILE_OPEN --ctx-missing drop -j DROP",
+            "pftables --ctx-missing match -o LINK_READ \
+             -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
         ];
         for line in lines {
             let p1 = parse_rule(line, &mut mac, &mut progs).unwrap();
@@ -844,8 +879,44 @@ mod tests {
                 p2.rule.target, p1.rule.target,
                 "target drift for `{line}` → `{r1}`"
             );
+            assert_eq!(
+                p2.rule.ctx_policy, p1.rule.ctx_policy,
+                "ctx-missing drift for `{line}` → `{r1}`"
+            );
             let r2 = render_rule(&p2.rule, &chain, &mac, &progs);
             assert_eq!(r1, r2, "render not a fixed point for `{line}`");
         }
+    }
+
+    #[test]
+    fn parses_ctx_missing_policies() {
+        let (mut mac, mut progs) = setup();
+        for (pol, want) in [
+            ("skip", CtxPolicy::Skip),
+            ("match", CtxPolicy::Match),
+            ("drop", CtxPolicy::Drop),
+        ] {
+            let p = parse_rule(
+                &format!("pftables -o FILE_OPEN --ctx-missing {pol} -j DROP"),
+                &mut mac,
+                &mut progs,
+            )
+            .unwrap();
+            assert_eq!(p.rule.ctx_policy, Some(want), "{pol}");
+        }
+        let p = parse_rule("pftables -o FILE_OPEN -j DROP", &mut mac, &mut progs).unwrap();
+        assert_eq!(p.rule.ctx_policy, None);
+    }
+
+    #[test]
+    fn parses_chain_ctx_default_command() {
+        let (mut mac, mut progs) = setup();
+        let cmd =
+            parse_command("pftables -P input --ctx-missing drop", &mut mac, &mut progs).unwrap();
+        assert_eq!(cmd, Command::CtxDefault(ChainName::Input, CtxPolicy::Drop));
+        assert!(parse_command("pftables -P input", &mut mac, &mut progs).is_err());
+        assert!(
+            parse_command("pftables -P input --ctx-missing wat", &mut mac, &mut progs).is_err()
+        );
     }
 }

@@ -70,6 +70,7 @@ pub mod config;
 pub mod context;
 pub mod engine;
 pub mod env;
+pub mod fault;
 pub mod lang;
 pub mod log;
 pub mod metrics;
@@ -84,12 +85,13 @@ pub use chain::{ChainName, RuleBase};
 pub use config::{OptLevel, PfConfig};
 pub use context::CtxField;
 pub use engine::{EvalDecision, ProcessFirewall};
-pub use env::{EvalEnv, ObjectInfo, SignalInfo};
+pub use env::{CtxError, EvalEnv, Fetched, ObjectInfo, SignalInfo};
+pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyEnv};
 pub use lang::render_rule;
 pub use log::LogEntry;
 pub use metrics::{ChainSnapshot, Histogram, Metrics, ShardedHistogram, TraceEvent};
 pub use render::render_rules;
-pub use rule::{MatchModule, Rule, Target};
+pub use rule::{CtxPolicy, MatchModule, Rule, Target};
 pub use session::TaskSession;
 pub use snapshot::{RulesetSnapshot, SharedRuleset};
 pub use stats::PfStats;

@@ -76,6 +76,9 @@ pub struct TraceEvent {
     pub target: &'static str,
     /// Nanoseconds since the TRACE target fired.
     pub elapsed_ns: u64,
+    /// Whether the invocation was already running degraded (a context
+    /// fetch had failed) when this rule was traversed.
+    pub degraded: bool,
 }
 
 impl TraceEvent {
@@ -86,14 +89,14 @@ impl TraceEvent {
         esc(&mut s, &self.chain);
         let _ = write!(
             s,
-            "\",\"rule\":{},\"matched\":{},\"target\":\"{}\",\"elapsed_ns\":{}}}",
-            self.rule_index, self.matched, self.target, self.elapsed_ns
+            "\",\"rule\":{},\"matched\":{},\"target\":\"{}\",\"elapsed_ns\":{},\"degraded\":{}}}",
+            self.rule_index, self.matched, self.target, self.elapsed_ns, self.degraded
         );
         s
     }
 }
 
-/// Per-context-field fetch/hit/miss counters.
+/// Per-context-field fetch/hit/miss/failure counters.
 #[derive(Debug, Default)]
 struct FieldCounters {
     /// Context-module invocations for this field.
@@ -102,6 +105,10 @@ struct FieldCounters {
     hits: AtomicU64,
     /// Fetches where the field was unavailable for the operation.
     misses: AtomicU64,
+    /// Fetches that were attempted and *errored* (not merely absent) —
+    /// the degraded case `--ctx-missing` policies govern. Always on:
+    /// failures are security signals, not profiling detail.
+    failures: AtomicU64,
 }
 
 /// Per-rule evaluated/hit tallies for one chain, indexed by rule index.
@@ -361,6 +368,12 @@ pub struct Metrics {
     /// Invocations that fell through every rule to the default-ALLOW
     /// policy (explicit ACCEPTs are counted separately in `accepts`).
     default_allows: AtomicU64,
+    /// Denies issued while the invocation was degraded (a context fetch
+    /// failed). Always on, like the verdict counters they refine.
+    degraded_drops: AtomicU64,
+    /// Allows issued while the invocation was degraded — each one is a
+    /// place where a failed fetch *could* have masked an invariant.
+    degraded_allows: AtomicU64,
     // --- detail layer (gated by `detailed`) ---
     detailed: AtomicBool,
     per_op: PerOp,
@@ -407,6 +420,8 @@ impl Metrics {
         self.drops.store(0, Ordering::Relaxed);
         self.accepts.store(0, Ordering::Relaxed);
         self.default_allows.store(0, Ordering::Relaxed);
+        self.degraded_drops.store(0, Ordering::Relaxed);
+        self.degraded_allows.store(0, Ordering::Relaxed);
         for c in &self.per_op.0 {
             c.store(0, Ordering::Relaxed);
         }
@@ -414,12 +429,31 @@ impl Metrics {
             f.fetches.store(0, Ordering::Relaxed);
             f.hits.store(0, Ordering::Relaxed);
             f.misses.store(0, Ordering::Relaxed);
+            f.failures.store(0, Ordering::Relaxed);
         }
-        self.chains.lock().unwrap().clear();
+        self.lock_chains().clear();
         self.eval_ns.reset();
         self.fetch_ns.reset();
-        self.trace.lock().unwrap().clear();
+        self.lock_trace().clear();
         self.trace_dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Locks the per-chain counter map, recovering from poisoning: the
+    /// map only ever grows monotonic tallies, so contents left by a
+    /// panicked recorder are still valid statistics.
+    fn lock_chains(&self) -> std::sync::MutexGuard<'_, BTreeMap<ChainName, ChainCounters>> {
+        self.chains
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Locks the TRACE ring, recovering from poisoning: pushes and
+    /// drains are single whole-event operations, so the ring is always
+    /// structurally consistent.
+    fn lock_trace(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.trace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Turns the detail layer (per-rule/per-op/per-field counters and
@@ -471,6 +505,16 @@ impl Metrics {
         self.default_allows.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn bump_degraded_drops(&self) {
+        self.degraded_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn bump_degraded_allows(&self) {
+        self.degraded_allows.fetch_add(1, Ordering::Relaxed);
+    }
+
     // --- legacy accessors (kept from `PfStats`) ---
 
     /// Firewall hook invocations.
@@ -511,6 +555,19 @@ impl Metrics {
         self.default_allows.load(Ordering::Relaxed)
     }
 
+    /// DROP (or CTXFAIL) verdicts issued while the invocation was
+    /// degraded by a failed context fetch. A subset of
+    /// [`Metrics::drops`].
+    pub fn degraded_drops(&self) -> u64 {
+        self.degraded_drops.load(Ordering::Relaxed)
+    }
+
+    /// Allow verdicts (explicit or default) issued while the invocation
+    /// was degraded by a failed context fetch.
+    pub fn degraded_allows(&self) -> u64 {
+        self.degraded_allows.load(Ordering::Relaxed)
+    }
+
     // --- per-operation counters ---
 
     #[inline]
@@ -539,7 +596,7 @@ impl Metrics {
 
     #[cold]
     fn rule_evaluated_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.chains.lock().unwrap();
+        let mut chains = self.lock_chains();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.evaluated[index] += 1;
@@ -554,7 +611,7 @@ impl Metrics {
 
     #[cold]
     fn rule_hit_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.chains.lock().unwrap();
+        let mut chains = self.lock_chains();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.hits[index] += 1;
@@ -562,19 +619,15 @@ impl Metrics {
 
     /// Snapshot of one chain's per-rule counters, if any were recorded.
     pub fn chain_snapshot(&self, chain: &ChainName) -> Option<ChainSnapshot> {
-        self.chains
-            .lock()
-            .unwrap()
-            .get(chain)
-            .map(|c| ChainSnapshot {
-                evaluated: c.evaluated.clone(),
-                hits: c.hits.clone(),
-            })
+        self.lock_chains().get(chain).map(|c| ChainSnapshot {
+            evaluated: c.evaluated.clone(),
+            hits: c.hits.clone(),
+        })
     }
 
     /// Names of chains with recorded per-rule counters.
     pub fn chains_seen(&self) -> Vec<ChainName> {
-        self.chains.lock().unwrap().keys().cloned().collect()
+        self.lock_chains().keys().cloned().collect()
     }
 
     // --- per-field counters ---
@@ -604,6 +657,23 @@ impl Metrics {
                 .misses
                 .fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records a *failed* fetch of one context field. Always on —
+    /// unlike the profiling counters, a fetch failure is a security
+    /// signal (the condition `--ctx-missing` policies arbitrate).
+    #[inline]
+    pub(crate) fn field_failure(&self, field: CtxField) {
+        self.fields.0[field.bit() as usize]
+            .failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failed fetches recorded for one context field.
+    pub fn field_failures(&self, field: CtxField) -> u64 {
+        self.fields.0[field.bit() as usize]
+            .failures
+            .load(Ordering::Relaxed)
     }
 
     /// `(fetches, cache_hits, misses)` for one context field.
@@ -660,7 +730,7 @@ impl Metrics {
     // --- TRACE ring ---
 
     pub(crate) fn push_trace(&self, event: TraceEvent) {
-        let mut ring = self.trace.lock().unwrap();
+        let mut ring = self.lock_trace();
         if ring.len() >= TRACE_RING_CAP {
             ring.pop_front();
             self.trace_dropped.fetch_add(1, Ordering::Relaxed);
@@ -670,12 +740,12 @@ impl Metrics {
 
     /// Drains the TRACE event ring, oldest first.
     pub fn drain_trace(&self) -> Vec<TraceEvent> {
-        self.trace.lock().unwrap().drain(..).collect()
+        self.lock_trace().drain(..).collect()
     }
 
     /// Buffered TRACE events.
     pub fn trace_len(&self) -> usize {
-        self.trace.lock().unwrap().len()
+        self.lock_trace().len()
     }
 
     /// TRACE events discarded because the ring was full.
@@ -698,6 +768,8 @@ impl Metrics {
         let _ = writeln!(out, "pf_drops_total {}", self.drops());
         let _ = writeln!(out, "pf_accepts_total {}", self.accepts());
         let _ = writeln!(out, "pf_default_allows_total {}", self.default_allows());
+        let _ = writeln!(out, "pf_degraded_drops_total {}", self.degraded_drops());
+        let _ = writeln!(out, "pf_degraded_allows_total {}", self.degraded_allows());
         let _ = writeln!(
             out,
             "pf_trace_events_dropped_total {}",
@@ -737,6 +809,16 @@ impl Metrics {
                     "pf_ctx_field_misses_total{{field=\"{name}\"}} {misses}"
                 );
             }
+            // Failure counters are always on (not detail-gated), so
+            // they get their own non-zero gate.
+            let failures = self.field_failures(field);
+            if failures > 0 {
+                let _ = writeln!(
+                    out,
+                    "pf_ctx_field_failures_total{{field=\"{}\"}} {failures}",
+                    field.cname()
+                );
+            }
         }
         for (metric, hist) in [
             ("pf_eval_latency_ns", self.eval_latency()),
@@ -759,7 +841,8 @@ impl Metrics {
             s,
             "{{\"counters\":{{\"invocations\":{},\"rules_evaluated\":{},\
              \"ctx_fetches\":{},\"cache_hits\":{},\"drops\":{},\"accepts\":{},\
-             \"default_allows\":{},\"trace_dropped\":{}}}",
+             \"default_allows\":{},\"degraded_drops\":{},\
+             \"degraded_allows\":{},\"trace_dropped\":{}}}",
             self.invocations(),
             self.rules_evaluated(),
             self.ctx_fetches(),
@@ -767,6 +850,8 @@ impl Metrics {
             self.drops(),
             self.accepts(),
             self.default_allows(),
+            self.degraded_drops(),
+            self.degraded_allows(),
             self.trace_dropped(),
         );
         s.push_str(",\"ops\":{");
@@ -804,14 +889,16 @@ impl Metrics {
         let mut first = true;
         for field in CtxField::ALL {
             let (fetches, hits, misses) = self.field_counts(field);
-            if fetches + hits + misses > 0 {
+            let failures = self.field_failures(field);
+            if fetches + hits + misses + failures > 0 {
                 if !first {
                     s.push(',');
                 }
                 first = false;
                 let _ = write!(
                     s,
-                    "\"{}\":{{\"fetches\":{fetches},\"hits\":{hits},\"misses\":{misses}}}",
+                    "\"{}\":{{\"fetches\":{fetches},\"hits\":{hits},\
+                     \"misses\":{misses},\"failures\":{failures}}}",
                     field.cname()
                 );
             }
@@ -981,6 +1068,7 @@ mod tests {
                 matched: true,
                 target: "DROP",
                 elapsed_ns: 0,
+                degraded: false,
             });
         }
         assert_eq!(m.trace_len(), TRACE_RING_CAP);
@@ -999,11 +1087,12 @@ mod tests {
             matched: false,
             target: "ACCEPT",
             elapsed_ns: 42,
+            degraded: true,
         };
         assert_eq!(
             e.to_json(),
             "{\"chain\":\"side\\\"chain\",\"rule\":3,\"matched\":false,\
-             \"target\":\"ACCEPT\",\"elapsed_ns\":42}"
+             \"target\":\"ACCEPT\",\"elapsed_ns\":42,\"degraded\":true}"
         );
     }
 

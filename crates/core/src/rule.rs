@@ -121,6 +121,52 @@ pub enum MatchModule {
     },
 }
 
+/// What a rule does when a context field it needs *failed* to fetch
+/// (`--ctx-missing`), as opposed to being benignly absent.
+///
+/// Benign absence keeps its historical meaning — the selector simply
+/// does not match. A *failed* fetch (see [`crate::env::Fetched`]) is the
+/// degraded case this policy governs:
+///
+/// * `Skip` — treat the rule as not matching and continue (fail-open;
+///   the engine default for non-DROP rules);
+/// * `Match` — treat the failed selector as satisfied and keep checking
+///   the rule's other selectors (conservative matching);
+/// * `Drop` — deny the operation immediately, attributed to this rule
+///   (fail-closed; the engine default for DROP rules).
+///
+/// Any of the three marks the decision *degraded* for metrics/TRACE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxPolicy {
+    /// Fail open: the rule does not match.
+    Skip,
+    /// Conservative: the failed selector counts as satisfied.
+    Match,
+    /// Fail closed: deny immediately.
+    Drop,
+}
+
+impl CtxPolicy {
+    /// The `--ctx-missing` keyword for this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtxPolicy::Skip => "skip",
+            CtxPolicy::Match => "match",
+            CtxPolicy::Drop => "drop",
+        }
+    }
+
+    /// Parses a `--ctx-missing` keyword.
+    pub fn parse(tok: &str) -> Option<CtxPolicy> {
+        Some(match tok {
+            "skip" => CtxPolicy::Skip,
+            "match" => CtxPolicy::Match,
+            "drop" => CtxPolicy::Drop,
+            _ => return None,
+        })
+    }
+}
+
 /// Targets (`-j`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Target {
@@ -200,6 +246,10 @@ pub struct Rule {
     pub matches: Vec<MatchModule>,
     /// The action when everything matches.
     pub target: Target,
+    /// Per-rule `--ctx-missing` override; `None` defers to the chain
+    /// default, then to the engine default (fail-closed for DROP rules,
+    /// fail-open otherwise).
+    pub ctx_policy: Option<CtxPolicy>,
     /// The original rule text (for display, deletion, and logs).
     pub text: String,
     /// Times this rule's target fired (match + modules all passed).
@@ -212,6 +262,7 @@ impl Clone for Rule {
             def: self.def.clone(),
             matches: self.matches.clone(),
             target: self.target.clone(),
+            ctx_policy: self.ctx_policy,
             text: self.text.clone(),
             hits: AtomicU64::new(self.hits()),
         }
@@ -223,6 +274,7 @@ impl PartialEq for Rule {
         self.def == other.def
             && self.matches == other.matches
             && self.target == other.target
+            && self.ctx_policy == other.ctx_policy
             && self.text == other.text
     }
 }
@@ -230,7 +282,8 @@ impl PartialEq for Rule {
 impl Eq for Rule {}
 
 impl Rule {
-    /// Creates a rule with a zeroed hit counter.
+    /// Creates a rule with a zeroed hit counter and no `--ctx-missing`
+    /// override.
     pub fn new(
         def: DefaultMatches,
         matches: Vec<MatchModule>,
@@ -241,6 +294,7 @@ impl Rule {
             def,
             matches,
             target,
+            ctx_policy: None,
             text,
             hits: AtomicU64::new(0),
         }

@@ -81,7 +81,9 @@ impl TaskSession {
     /// Pins the firewall's current snapshot and returns its generation.
     pub fn pin(&mut self, fw: &ProcessFirewall) -> u64 {
         self.refresh(fw);
-        self.snap.as_ref().expect("just pinned").generation()
+        // `refresh` always pins; the fallback only defends against a
+        // future refactor breaking that invariant.
+        self.generation().unwrap_or_else(|| fw.generation())
     }
 
     /// The generation this session is pinned to, if any.
@@ -109,8 +111,12 @@ impl TaskSession {
         op: LsmOperation,
     ) -> EvalDecision {
         self.refresh(fw);
-        let snap = self.snap.as_deref().expect("refreshed");
-        fw.evaluate_on(snap, env, op, &mut self.scratch)
+        match self.snap.as_deref() {
+            Some(snap) => fw.evaluate_on(snap, env, op, &mut self.scratch),
+            // Unreachable after `refresh`, but never panic on the hook
+            // path: fall back to a one-shot snapshot load.
+            None => fw.evaluate(env, op),
+        }
     }
 
     /// Evaluates against the snapshot pinned earlier, ignoring newer
@@ -126,8 +132,10 @@ impl TaskSession {
         if self.snap.is_none() || self.owner != Self::owner_id(fw) {
             self.refresh(fw);
         }
-        let snap = self.snap.as_deref().expect("pinned");
-        fw.evaluate_on(snap, env, op, &mut self.scratch)
+        match self.snap.as_deref() {
+            Some(snap) => fw.evaluate_on(snap, env, op, &mut self.scratch),
+            None => fw.evaluate(env, op),
+        }
     }
 }
 

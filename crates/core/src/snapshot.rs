@@ -34,7 +34,7 @@
 
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pf_types::PfResult;
 
@@ -70,6 +70,13 @@ impl RulesetSnapshot {
     /// The publication generation: 0 for a fresh firewall, +1 per swap.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The original text of the rule at `index` in `chain`, if any.
+    /// Used to resolve a deny attribution against the snapshot that
+    /// actually produced it (see `ProcessFirewall::attribute`).
+    pub fn rule_text(&self, chain: &crate::chain::ChainName, index: usize) -> Option<&str> {
+        self.base.chain(chain).get(index).map(|r| r.text.as_str())
     }
 }
 
@@ -124,13 +131,23 @@ impl SharedRuleset {
         }
     }
 
+    /// Locks the swap cell, recovering from poisoning. The invariant
+    /// the lock protects (`current` always holds a fully published
+    /// snapshot) cannot be broken mid-critical-section: the `Arc` store
+    /// is the last step of `update` and is itself atomic. A writer that
+    /// panicked inside its *edit closure* never reached the store, so
+    /// the previous snapshot is still live and readers must keep going.
+    fn lock_current(&self) -> MutexGuard<'_, Arc<RulesetSnapshot>> {
+        self.current.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the currently published snapshot.
     ///
     /// Locks only to clone the `Arc`; the snapshot itself is immutable
     /// and valid for as long as the caller holds it, across any number
     /// of subsequent swaps.
     pub fn load(&self) -> Arc<RulesetSnapshot> {
-        self.current.lock().unwrap().clone()
+        self.lock_current().clone()
     }
 
     /// The current generation, without taking the writer lock.
@@ -149,7 +166,7 @@ impl SharedRuleset {
         &self,
         edit: impl FnOnce(&mut RulesetDraft) -> PfResult<T>,
     ) -> PfResult<(T, u64)> {
-        let mut current = self.current.lock().unwrap();
+        let mut current = self.lock_current();
         let mut draft = RulesetDraft {
             config: current.config,
             base: current.base.clone(),

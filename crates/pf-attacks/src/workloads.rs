@@ -155,7 +155,7 @@ mod tests {
             let refs: Vec<&str> = rules.iter().map(String::as_str).collect();
             k.install_rules(refs).unwrap();
         }
-        k.firewall.set_level(level);
+        k.firewall.set_level(level).unwrap();
         setup_build_tree(&mut k);
         k
     }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use pf_core::{EvalEnv, ObjectInfo, ProcessFirewall, SignalInfo};
+use pf_core::{EvalEnv, FaultInjector, FaultyEnv, ObjectInfo, ProcessFirewall, SignalInfo};
 use pf_mac::{Access, MacPolicy};
 use pf_types::{
     Gid, Interner, LsmOperation, PfError, PfResult, Pid, ProgramId, ResourceId, SecId, SyscallNr,
@@ -118,6 +118,11 @@ pub struct Kernel {
     pub record_surface: bool,
     /// Recorded resolution steps (see [`SurfaceEntry`]).
     pub surface: Vec<SurfaceEntry>,
+    /// When set, every firewall hook evaluates through a
+    /// [`FaultyEnv`] drawing from this injector — the soak/bench
+    /// harness for the fail-safe context semantics. `None` (the
+    /// default) adds nothing to the hook path.
+    pub fault_injection: Option<FaultInjector>,
 }
 
 /// One recorded pathname-resolution step: which process, from which
@@ -164,6 +169,7 @@ impl Kernel {
             symlink_protection: false,
             record_surface: false,
             surface: Vec::new(),
+            fault_injection: None,
         }
     }
 
@@ -416,6 +422,7 @@ impl Kernel {
             &self.programs,
             self.clock,
             self.frame_limit,
+            self.fault_injection.as_ref(),
             op,
             object,
             link_ctx,
@@ -443,8 +450,10 @@ impl Kernel {
             record_surface,
             surface,
             symlink_protection,
+            fault_injection,
             ..
         } = self;
+        let fault = fault_injection.as_ref();
         let task = tasks.get_mut(&pid).ok_or(PfError::NoSuchProcess(pid.0))?;
         let cwd = task.cwd;
         let mut hook = |vfs: &Vfs, ev: &ResolveEvent| -> PfResult<()> {
@@ -471,6 +480,7 @@ impl Kernel {
                         programs,
                         *clock,
                         *frame_limit,
+                        fault,
                         LsmOperation::DirSearch,
                         Some(*dir),
                         None,
@@ -502,6 +512,7 @@ impl Kernel {
                         programs,
                         *clock,
                         *frame_limit,
+                        fault,
                         LsmOperation::LinkRead,
                         Some(*link),
                         Some((*dir, target.clone())),
@@ -555,6 +566,7 @@ pub(crate) fn pf_hook(
     programs: &Interner,
     clock: u64,
     frame_limit: usize,
+    fault: Option<&FaultInjector>,
     op: LsmOperation,
     object: Option<ObjRef>,
     link_ctx: Option<(ObjRef, String)>,
@@ -592,7 +604,13 @@ pub(crate) fn pf_hook(
         clock,
         frame_limit,
     };
-    let decision = session.evaluate(firewall, &mut env, op);
+    let decision = match fault {
+        Some(injector) => {
+            let mut faulty = FaultyEnv::new(&mut env, injector);
+            session.evaluate(firewall, &mut faulty, op)
+        }
+        None => session.evaluate(firewall, &mut env, op),
+    };
     drop(env);
     task.pf_session = session;
     match decision.verdict {

@@ -16,7 +16,7 @@ fn fully_armed_world(level: OptLevel) -> Kernel {
     let rules = full_rule_base(FULL_RULE_COUNT);
     let refs: Vec<&str> = rules.iter().map(String::as_str).collect();
     k.install_rules(refs).unwrap();
-    k.firewall.set_level(level);
+    k.firewall.set_level(level).unwrap();
     k
 }
 

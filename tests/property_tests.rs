@@ -221,7 +221,7 @@ proptest! {
                 };
                 k.install_rules([rule.as_str()]).unwrap();
             }
-            k.firewall.set_level(level);
+            k.firewall.set_level(level).unwrap();
             let pid = k.spawn("user_t", "/bin/victim", Uid(1000), Gid(1000));
             let (target_lbl, pc) = access;
             let path = match labels[target_lbl] {
