@@ -4,7 +4,9 @@
 //! Columns, left to right, cumulatively enable optimizations exactly as
 //! the paper's table does: DISABLED (hook off), BASE (default allow
 //! only), FULL (1218 rules, no optimizations), CONCACHE (+ context
-//! caching), LAZYCON (+ lazy context), EPTSPC (+ entrypoint chains).
+//! caching), LAZYCON (+ lazy context), EPTSPC (+ entrypoint chains) —
+//! plus the VCACHE extension (+ per-task verdict caching; see
+//! `table6_vcache` for its dedicated repeated-invocation harness).
 
 use pf_bench::micro::{op_runner, SYSCALLS};
 use pf_bench::{dump_metrics_json, overhead_pct, time_per_iter, us, world_at, RuleSet};
@@ -16,13 +18,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
     println!("Table 6: microbenchmarks (mean µs/op over {iters} iterations, % vs DISABLED)");
-    println!("{:-<118}", "");
+    println!("{:-<138}", "");
     print!("{:<12}", "syscall");
     for level in OptLevel::ALL {
         print!(" {:>17}", level.name());
     }
     println!();
-    println!("{:-<118}", "");
+    println!("{:-<138}", "");
 
     for name in SYSCALLS {
         let mut cells: Vec<String> = Vec::new();
@@ -53,7 +55,7 @@ fn main() {
         }
         println!();
     }
-    println!("{:-<118}", "");
+    println!("{:-<138}", "");
     println!(
         "Shape check vs paper: BASE ~ DISABLED; FULL worst (linear rule scan + eager context);\n\
          each optimization reduces overhead; EPTSPC returns resource syscalls to near-BASE."

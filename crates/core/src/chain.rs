@@ -2,16 +2,26 @@
 //!
 //! Network firewalls let administrators organize rules into chains by
 //! hand; the Process Firewall builds chains *automatically* from rule
-//! entrypoints (Section 4.3). Because the rule base contains only deny
-//! rules over a default allow, partitioning entrypoint-bearing rules out
-//! of the linear scan cannot change any verdict — it only changes how
-//! many rules the engine must look at.
+//! entrypoints (Section 4.3). Partitioning preserves verdicts **only
+//! if install order is preserved**: ACCEPT, RETURN, LOG, and STATE
+//! rules make outcomes order-dependent, so the engine walks the
+//! generic and entrypoint-bound partitions as a merge over the index
+//! vectors below (ascending install indices), never one partition
+//! after the other. The partition changes how many rules the engine
+//! must look at, not the order in which the surviving ones run.
+//!
+//! Rule compilation also performs the **static cacheability analysis**
+//! backing the VCACHE verdict cache: each rule carries purity flags
+//! (computed in `rule.rs` from its modules and target), and
+//! [`RuleBase::statically_cacheable`] summarizes whether every rule
+//! reachable from the built-in chains is key-determined and
+//! side-effect free.
 
 use std::collections::{BTreeMap, HashMap};
 
 use pf_types::{PfError, PfResult, ProgramId};
 
-use crate::rule::{CtxPolicy, Rule};
+use crate::rule::{CtxPolicy, Rule, Target};
 
 /// A chain designator.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -59,13 +69,19 @@ impl ChainName {
 /// `Clone` supports the engine's copy-on-write reload path: rule edits
 /// clone the current base, mutate the copy, and publish it as a fresh
 /// immutable snapshot (see `snapshot.rs`).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct RuleBase {
     chains: BTreeMap<ChainName, Vec<Rule>>,
     /// Indices (into the input chain) of rules without an entrypoint.
     input_generic: Vec<usize>,
     /// Entrypoint → indices of input-chain rules bound to it.
     input_by_ept: HashMap<(ProgramId, u64), Vec<usize>>,
+    /// Static cacheability summary: `true` when every rule reachable
+    /// from the built-in chains (following `-j` jumps) is pure for the
+    /// verdict cache. Conservative and advisory — the engine also
+    /// tracks purity per walk, so a mixed base still caches the walks
+    /// that avoid its impure rules.
+    statically_cacheable: bool,
     /// Indices of *every* entrypoint-bound input rule, in chain order.
     /// Scanned when the entrypoint fetch *fails*: without a trusted
     /// entrypoint the partition cannot be consulted, so each bound
@@ -77,6 +93,19 @@ pub struct RuleBase {
     ctx_defaults: BTreeMap<ChainName, CtxPolicy>,
 }
 
+impl Default for RuleBase {
+    fn default() -> Self {
+        RuleBase {
+            chains: BTreeMap::new(),
+            input_generic: Vec::new(),
+            input_by_ept: HashMap::new(),
+            input_entrypoint_all: Vec::new(),
+            statically_cacheable: true,
+            ctx_defaults: BTreeMap::new(),
+        }
+    }
+}
+
 impl RuleBase {
     /// Creates an empty rule base.
     pub fn new() -> Self {
@@ -85,15 +114,13 @@ impl RuleBase {
 
     /// Appends (or with `insert_head`, prepends) a rule to a chain.
     pub fn add(&mut self, chain: ChainName, rule: Rule, insert_head: bool) {
-        let rules = self.chains.entry(chain.clone()).or_default();
+        let rules = self.chains.entry(chain).or_default();
         if insert_head {
             rules.insert(0, rule);
         } else {
             rules.push(rule);
         }
-        if chain == ChainName::Input {
-            self.recompile();
-        }
+        self.recompile();
     }
 
     /// Deletes the first rule in `chain` whose text equals `text`.
@@ -107,9 +134,7 @@ impl RuleBase {
             .position(|r| r.text == text)
             .ok_or_else(|| PfError::RuleError(format!("no matching rule in {chain:?}")))?;
         rules.remove(pos);
-        if *chain == ChainName::Input {
-            self.recompile();
-        }
+        self.recompile();
         Ok(())
     }
 
@@ -128,6 +153,7 @@ impl RuleBase {
             )));
         }
         self.chains.insert(chain, Vec::new());
+        self.recompile();
         Ok(())
     }
 
@@ -136,9 +162,7 @@ impl RuleBase {
         match self.chains.get_mut(chain) {
             Some(rules) => {
                 rules.clear();
-                if *chain == ChainName::Input {
-                    self.recompile();
-                }
+                self.recompile();
                 Ok(())
             }
             None => Err(PfError::RuleError(format!(
@@ -161,6 +185,7 @@ impl RuleBase {
         match self.chains.get(chain) {
             Some(rules) if rules.is_empty() => {
                 self.chains.remove(chain);
+                self.recompile();
                 Ok(())
             }
             Some(_) => Err(PfError::RuleError(format!(
@@ -194,11 +219,14 @@ impl RuleBase {
         self.chains.iter().map(|(c, r)| (c, r.as_slice()))
     }
 
-    /// Rebuilds the entrypoint partition of the input chain.
+    /// Snapshot compile step, run on every rule-base mutation: rebuilds
+    /// the entrypoint partition of the input chain and the static
+    /// cacheability summary.
     fn recompile(&mut self) {
         self.input_generic.clear();
         self.input_by_ept.clear();
         self.input_entrypoint_all.clear();
+        self.statically_cacheable = self.compute_statically_cacheable();
         let Some(input) = self.chains.get(&ChainName::Input) else {
             return;
         };
@@ -211,6 +239,38 @@ impl RuleBase {
                 None => self.input_generic.push(i),
             }
         }
+    }
+
+    /// Walks the jump graph from the built-in chains and reports whether
+    /// every reachable rule is pure for the verdict cache.
+    fn compute_statically_cacheable(&self) -> bool {
+        let mut pending = vec![ChainName::Input, ChainName::SyscallBegin];
+        let mut visited: Vec<ChainName> = Vec::new();
+        while let Some(chain) = pending.pop() {
+            if visited.contains(&chain) {
+                continue;
+            }
+            for rule in self.chain(&chain) {
+                if !rule.vc_pure() {
+                    return false;
+                }
+                if let Target::Jump(name) = &rule.target {
+                    pending.push(ChainName::parse(name));
+                }
+            }
+            visited.push(chain);
+        }
+        true
+    }
+
+    /// Whether every rule reachable from the built-in chains is pure for
+    /// the verdict cache (no STATE/signal/syscall-arg/owner/interpreter
+    /// matchers, no STATE/LOG/TRACE targets). When `true`, every
+    /// non-degraded traversal outcome is cache-eligible; when `false`,
+    /// the engine's per-walk tracking still caches the traversals that
+    /// avoid the impure rules.
+    pub fn statically_cacheable(&self) -> bool {
+        self.statically_cacheable
     }
 
     /// Indices of input-chain rules with no entrypoint (always scanned).
@@ -319,6 +379,45 @@ mod tests {
         assert_eq!(rb.len(), 1);
         assert!(rb.input_for_entrypoint((InternId(1), 2)).is_none());
         assert!(rb.delete(&ChainName::Input, "zzz").is_err());
+    }
+
+    #[test]
+    fn static_cacheability_follows_jump_reachability() {
+        use crate::rule::MatchModule;
+        use crate::value::ValueExpr;
+
+        let mut rb = RuleBase::new();
+        assert!(rb.statically_cacheable(), "empty base is trivially pure");
+        rb.add(ChainName::Input, rule("pure", Some((1, 0x10))), false);
+        assert!(rb.statically_cacheable());
+
+        // An impure rule in an unreachable user chain does not count…
+        let state_rule = Rule::new(
+            DefaultMatches::default(),
+            vec![MatchModule::State {
+                key: 1,
+                cmp: ValueExpr::Lit(1),
+                negate: false,
+            }],
+            Target::Drop,
+            "state".to_owned(),
+        );
+        rb.add(ChainName::User("island".into()), state_rule, false);
+        assert!(rb.statically_cacheable());
+
+        // …until a jump from input makes it reachable.
+        let jump = Rule::new(
+            DefaultMatches::default(),
+            vec![],
+            Target::Jump("island".into()),
+            "jump".to_owned(),
+        );
+        rb.add(ChainName::Input, jump, false);
+        assert!(!rb.statically_cacheable());
+
+        // Deleting the jump restores the summary.
+        rb.delete(&ChainName::Input, "jump").unwrap();
+        assert!(rb.statically_cacheable());
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct PfConfig {
     /// EPTSPC: organize entrypoint-bearing rules into chains keyed by
     /// (program, pc) so only the applicable chain is traversed.
     pub entrypoint_chains: bool,
+    /// VCACHE: memoize whole verdicts in a per-task cache keyed by the
+    /// operation and its key context fields, consulted before the chain
+    /// walk. Only traversals the cacheability analysis proves
+    /// key-determined are inserted (see `chain.rs` / `engine.rs`).
+    pub verdict_cache: bool,
 }
 
 impl Default for PfConfig {
@@ -32,7 +37,9 @@ impl Default for PfConfig {
 ///
 /// Each level includes the optimizations of the previous one, mirroring
 /// the table's columns left to right:
-/// `DISABLED → BASE → FULL → CONCACHE → LAZYCON → EPTSPC`.
+/// `DISABLED → BASE → FULL → CONCACHE → LAZYCON → EPTSPC → VCACHE`.
+/// VCACHE extends the paper's ladder: beyond caching *context*, it
+/// caches whole *verdicts* per task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptLevel {
     /// Firewall completely off.
@@ -47,17 +54,20 @@ pub enum OptLevel {
     LazyCon,
     /// + entrypoint-specific chains.
     EptSpc,
+    /// + per-task verdict cache.
+    Vcache,
 }
 
 impl OptLevel {
     /// All levels in Table 6 column order.
-    pub const ALL: [OptLevel; 6] = [
+    pub const ALL: [OptLevel; 7] = [
         OptLevel::Disabled,
         OptLevel::Base,
         OptLevel::Full,
         OptLevel::ConCache,
         OptLevel::LazyCon,
         OptLevel::EptSpc,
+        OptLevel::Vcache,
     ];
 
     /// The column heading used in Table 6.
@@ -69,7 +79,16 @@ impl OptLevel {
             OptLevel::ConCache => "CONCACHE",
             OptLevel::LazyCon => "LAZYCON",
             OptLevel::EptSpc => "EPTSPC",
+            OptLevel::Vcache => "VCACHE",
         }
+    }
+
+    /// Parses a level name as used in Table 6 headings and the
+    /// `pftables -O <LEVEL>` command (case-insensitive).
+    pub fn parse(tok: &str) -> Option<OptLevel> {
+        OptLevel::ALL
+            .into_iter()
+            .find(|l| l.name().eq_ignore_ascii_case(tok))
     }
 
     /// Expands the preset into concrete toggles.
@@ -80,30 +99,42 @@ impl OptLevel {
                 context_caching: false,
                 lazy_context: false,
                 entrypoint_chains: false,
+                verdict_cache: false,
             },
             OptLevel::Base | OptLevel::Full => PfConfig {
                 enabled: true,
                 context_caching: false,
                 lazy_context: false,
                 entrypoint_chains: false,
+                verdict_cache: false,
             },
             OptLevel::ConCache => PfConfig {
                 enabled: true,
                 context_caching: true,
                 lazy_context: false,
                 entrypoint_chains: false,
+                verdict_cache: false,
             },
             OptLevel::LazyCon => PfConfig {
                 enabled: true,
                 context_caching: true,
                 lazy_context: true,
                 entrypoint_chains: false,
+                verdict_cache: false,
             },
             OptLevel::EptSpc => PfConfig {
                 enabled: true,
                 context_caching: true,
                 lazy_context: true,
                 entrypoint_chains: true,
+                verdict_cache: false,
+            },
+            OptLevel::Vcache => PfConfig {
+                enabled: true,
+                context_caching: true,
+                lazy_context: true,
+                entrypoint_chains: true,
+                verdict_cache: true,
             },
         }
     }
@@ -119,10 +150,13 @@ mod tests {
         let cc = OptLevel::ConCache.config();
         let lc = OptLevel::LazyCon.config();
         let ep = OptLevel::EptSpc.config();
+        let vc = OptLevel::Vcache.config();
         assert!(!full.context_caching && !full.lazy_context && !full.entrypoint_chains);
         assert!(cc.context_caching && !cc.lazy_context);
         assert!(lc.context_caching && lc.lazy_context && !lc.entrypoint_chains);
         assert!(ep.context_caching && ep.lazy_context && ep.entrypoint_chains);
+        assert!(!ep.verdict_cache);
+        assert!(vc.entrypoint_chains && vc.verdict_cache);
     }
 
     #[test]
@@ -133,6 +167,17 @@ mod tests {
 
     #[test]
     fn default_is_fully_optimized() {
+        // VCACHE is opt-in (it trades LOG/hit-counter fidelity on cached
+        // paths for speed), so the default stays at EPTSPC.
         assert_eq!(PfConfig::default(), OptLevel::EptSpc.config());
+    }
+
+    #[test]
+    fn level_names_round_trip_through_parse() {
+        for level in OptLevel::ALL {
+            assert_eq!(OptLevel::parse(level.name()), Some(level));
+            assert_eq!(OptLevel::parse(&level.name().to_lowercase()), Some(level));
+        }
+        assert_eq!(OptLevel::parse("TURBO"), None);
     }
 }

@@ -29,6 +29,7 @@
 //! DROP-patches-same-invocation-LOG rule (`docs/OBSERVABILITY.md`)
 //! holds even with interleaved concurrent invocations.
 
+use std::cell::RefCell;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pf_types::{Interner, LsmOperation, PfResult, Verdict};
@@ -43,8 +44,9 @@ use crate::lang::{parse_command, Command, RuleOp};
 use crate::log::LogEntry;
 use crate::metrics::{Metrics, TraceEvent};
 use crate::rule::{CtxPolicy, MatchModule, Rule, Target};
-use crate::snapshot::{RulesetSnapshot, SharedRuleset};
+use crate::snapshot::{RulesetDraft, RulesetSnapshot, SharedRuleset};
 use crate::value::ValueExpr;
+use crate::vcache::{CacheEntry, VerdictCache, VerdictKey, VerdictKind};
 
 /// The outcome of one firewall invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,19 +94,20 @@ const _: fn() = || {
     assert_send_sync::<ProcessFirewall>();
 };
 
-/// Applies one parsed `pftables` command to a rule-base draft.
-fn apply_command(base: &mut RuleBase, cmd: Command) -> PfResult<()> {
+/// Applies one parsed `pftables` command to a ruleset draft.
+fn apply_command(draft: &mut RulesetDraft, cmd: Command) -> PfResult<()> {
     match cmd {
         Command::Rule(parsed) => match parsed.op {
-            RuleOp::InsertHead(chain) => base.add(chain, parsed.rule, true),
-            RuleOp::Append(chain) => base.add(chain, parsed.rule, false),
-            RuleOp::Delete(chain) => base.delete(&chain, &parsed.rule.text)?,
+            RuleOp::InsertHead(chain) => draft.base.add(chain, parsed.rule, true),
+            RuleOp::Append(chain) => draft.base.add(chain, parsed.rule, false),
+            RuleOp::Delete(chain) => draft.base.delete(&chain, &parsed.rule.text)?,
         },
-        Command::NewChain(chain) => base.new_chain(chain)?,
-        Command::Flush(Some(chain)) => base.flush(&chain)?,
-        Command::Flush(None) => base.clear(),
-        Command::DeleteChain(chain) => base.delete_chain(&chain)?,
-        Command::CtxDefault(chain, policy) => base.set_ctx_default(chain, Some(policy)),
+        Command::NewChain(chain) => draft.base.new_chain(chain)?,
+        Command::Flush(Some(chain)) => draft.base.flush(&chain)?,
+        Command::Flush(None) => draft.base.clear(),
+        Command::DeleteChain(chain) => draft.base.delete_chain(&chain)?,
+        Command::CtxDefault(chain, policy) => draft.base.set_ctx_default(chain, Some(policy)),
+        Command::SetLevel(level) => draft.config = level.config(),
     }
     Ok(())
 }
@@ -149,7 +152,7 @@ impl ProcessFirewall {
         programs: &mut Interner,
     ) -> PfResult<()> {
         let cmd = parse_command(line, mac, programs)?;
-        self.shared.update(|d| apply_command(&mut d.base, cmd))?;
+        self.shared.update(|d| apply_command(d, cmd))?;
         Ok(())
     }
 
@@ -176,7 +179,7 @@ impl ProcessFirewall {
         }
         self.shared.update(|d| {
             for cmd in cmds {
-                apply_command(&mut d.base, cmd)?;
+                apply_command(d, cmd)?;
             }
             Ok(())
         })?;
@@ -209,7 +212,7 @@ impl ProcessFirewall {
         let ((), generation) = self.shared.update(|d| {
             d.base = RuleBase::new();
             for cmd in cmds {
-                apply_command(&mut d.base, cmd)?;
+                apply_command(d, cmd)?;
             }
             Ok(())
         })?;
@@ -314,20 +317,43 @@ impl ProcessFirewall {
     /// instead, which skips the snapshot load while the generation is
     /// unchanged and reuses its LOG scratch allocation.
     pub fn evaluate(&self, env: &mut dyn EvalEnv, op: LsmOperation) -> EvalDecision {
+        // One-shot callers reuse a thread-local LOG buffer, so even the
+        // sessionless hook path is allocation-free in the steady state.
+        thread_local! {
+            static ONE_SHOT_SCRATCH: RefCell<Vec<LogEntry>> = const { RefCell::new(Vec::new()) };
+        }
         let snap = self.shared.load();
-        let mut scratch = Vec::new();
-        self.evaluate_on(&snap, env, op, &mut scratch)
+        ONE_SHOT_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.evaluate_on(&snap, env, op, &mut scratch),
+            // A re-entrant evaluate on the same thread (an `EvalEnv`
+            // whose callbacks evaluate): fall back to a fresh buffer.
+            Err(_) => self.evaluate_on(&snap, env, op, &mut Vec::new()),
+        })
     }
 
     /// Evaluates one invocation against an explicit snapshot, using
-    /// `scratch` as the invocation-local LOG buffer. The backbone of
-    /// both [`ProcessFirewall::evaluate`] and the session API.
+    /// `scratch` as the invocation-local LOG buffer.
     pub(crate) fn evaluate_on(
         &self,
         snap: &RulesetSnapshot,
         env: &mut dyn EvalEnv,
         op: LsmOperation,
         scratch: &mut Vec<LogEntry>,
+    ) -> EvalDecision {
+        self.evaluate_cached(snap, env, op, scratch, None)
+    }
+
+    /// The backbone of every evaluate path: one invocation against an
+    /// explicit snapshot, optionally consulting a per-task
+    /// [`VerdictCache`] (the VCACHE rung; see `vcache.rs` for the
+    /// soundness gates).
+    pub(crate) fn evaluate_cached(
+        &self,
+        snap: &RulesetSnapshot,
+        env: &mut dyn EvalEnv,
+        op: LsmOperation,
+        scratch: &mut Vec<LogEntry>,
+        cache: Option<&mut VerdictCache>,
     ) -> EvalDecision {
         let config = snap.config();
         if !config.enabled {
@@ -341,20 +367,76 @@ impl ProcessFirewall {
         // this invocation's records before they reach the shared sink.
         scratch.clear();
         let mut pkt = Packet::new(env, config);
+        // VCACHE: consult the verdict cache before walking. Key fetches
+        // go through the memoizing packet, so a miss's walk reuses them.
+        let mut cache_ctx = None;
+        if let Some(vc) = cache {
+            if config.verdict_cache && !snap.is_empty() {
+                // The snapshot's compile-time summary is the fast-path
+                // filter: if any reachable rule is impure, no walk can
+                // ever be cached, so skip the key build entirely — it
+                // would eagerly unwind the entrypoint and fetch object
+                // context that LAZYCON would otherwise defer.
+                if !snap.statically_cacheable() {
+                    self.metrics.bump_vcache_uncacheable(op);
+                } else {
+                    match VerdictKey::build(&mut pkt, op, &self.metrics) {
+                        Some(key) => {
+                            if let Some(entry) = vc.lookup(&key) {
+                                self.metrics.bump_vcache_hit(op);
+                                // Hits bump the verdict counter the original
+                                // walk would have, so the partition
+                                // `drops + accepts + default_allows ==
+                                // invocations` keeps holding.
+                                match entry.kind {
+                                    VerdictKind::Drop => self.metrics.bump_drops(),
+                                    VerdictKind::Accept => self.metrics.bump_accepts(),
+                                    VerdictKind::DefaultAllow => self.metrics.bump_default_allows(),
+                                }
+                                let decision = entry.decision.clone();
+                                if let Some(log) = &entry.log {
+                                    let mut log = log.clone();
+                                    log.ts = pkt.env_ref().now();
+                                    self.lock_logs().push(log);
+                                }
+                                self.metrics.observe_eval(t0);
+                                return decision;
+                            }
+                            cache_ctx = Some((vc, key));
+                        }
+                        // A key field *failed* to fetch: the outcome is not
+                        // attributable to key context — bypass the cache.
+                        None => self.metrics.bump_vcache_uncacheable(op),
+                    }
+                }
+            }
+        }
         let mut inv = Invocation {
             snap,
             config,
             metrics: &self.metrics,
             logs: scratch,
             degraded: false,
+            cache_track: cache_ctx.is_some(),
+            cache_blocked: false,
         };
         let run = inv.run(&mut pkt, op);
         let degraded = inv.degraded;
-        let mut decision = match run {
-            Some(d) => d,
+        let cache_blocked = inv.cache_blocked;
+        let (mut decision, kind) = match run {
+            Some(d) => {
+                let kind = match d.verdict {
+                    Verdict::Deny => VerdictKind::Drop,
+                    Verdict::Allow => VerdictKind::Accept,
+                };
+                (d, kind)
+            }
             None => {
                 self.metrics.bump_default_allows();
-                EvalDecision::allow(snap.generation())
+                (
+                    EvalDecision::allow(snap.generation()),
+                    VerdictKind::DefaultAllow,
+                )
             }
         };
         decision.degraded |= degraded;
@@ -369,6 +451,29 @@ impl ProcessFirewall {
                 if entry.verdict != "DENY" {
                     entry.verdict = "DENY".to_owned();
                 }
+            }
+        }
+        if let Some((vc, key)) = cache_ctx {
+            if decision.degraded || cache_blocked {
+                self.metrics.bump_vcache_uncacheable(op);
+            } else {
+                self.metrics.bump_vcache_miss(op);
+                // A cacheable deny emitted exactly one log record (the
+                // DROP line: LOG targets block caching, CTXFAIL implies
+                // degraded); store it for replay so cached denials stay
+                // in the audit stream.
+                let log = match kind {
+                    VerdictKind::Drop => scratch.first().cloned(),
+                    _ => None,
+                };
+                vc.insert(
+                    key,
+                    CacheEntry {
+                        decision: decision.clone(),
+                        kind,
+                        log,
+                    },
+                );
             }
         }
         if !scratch.is_empty() {
@@ -392,6 +497,42 @@ struct Invocation<'a> {
     /// policy has to decide; stamped onto the decision and every TRACE
     /// event emitted afterwards.
     degraded: bool,
+    /// `true` when this walk's outcome is a VCACHE insertion candidate,
+    /// so traversal must watch for rules that make it key-undetermined.
+    cache_track: bool,
+    /// Set when a traversed rule consulted context outside the verdict
+    /// key or carried a side-effecting target; blocks the insertion.
+    cache_blocked: bool,
+}
+
+/// Merges two ascending index slices into one ascending sequence — the
+/// two-way merge that restores install order when the input chain's
+/// generic and entrypoint-bound partitions are walked together.
+struct MergeIndices<'s> {
+    a: &'s [usize],
+    b: &'s [usize],
+}
+
+impl<'s> MergeIndices<'s> {
+    fn new(a: &'s [usize], b: &'s [usize]) -> Self {
+        MergeIndices { a, b }
+    }
+}
+
+impl Iterator for MergeIndices<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let from_a = match (self.a.first(), self.b.first()) {
+            (Some(&x), Some(&y)) => x <= y,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let source = if from_a { &mut self.a } else { &mut self.b };
+        let (&head, rest) = source.split_first()?;
+        *source = rest;
+        Some(head)
+    }
 }
 
 /// The tri-state outcome of matching one rule against a packet.
@@ -437,38 +578,42 @@ impl<'a> Invocation<'a> {
         };
         if self.config.entrypoint_chains && start == ChainName::Input {
             let input = snap.chain(&ChainName::Input);
-            let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
-            if let Some(d) = self.run_seq(&ChainName::Input, generic, pkt, op, 0) {
-                return Some(d);
+            if snap.entrypoint_chain_count() == 0 {
+                // No entrypoint-bound rules: the generic indices are the
+                // whole chain, and no unwind is needed to walk it.
+                let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
+                return self.run_seq(&ChainName::Input, generic, pkt, op, 0);
             }
-            if snap.entrypoint_chain_count() > 0 {
-                match pkt.entrypoint_value(self.metrics) {
-                    Fetched::Value(ept) => {
-                        if let Some(indices) = snap.input_for_entrypoint(ept) {
-                            let bound = indices.iter().map(|&i| (i, &input[i]));
-                            if let Some(d) = self.run_seq(&ChainName::Input, bound, pkt, op, 0) {
-                                return Some(d);
-                            }
-                        }
-                    }
-                    // Benign absence (e.g. a sanitized malformed stack,
-                    // Section 4.4): no entrypoint chain applies.
-                    Fetched::Missing => {}
-                    // Degraded path: without a trusted entrypoint the
-                    // partition cannot be consulted, so scan *every*
-                    // entrypoint-bound rule and let each rule's
-                    // `--ctx-missing` policy decide — equivalent to the
-                    // FULL traversal restricted to the bound rules.
-                    Fetched::Failed(_) => {
-                        self.degraded = true;
-                        let bound = snap.input_entrypoint_all().iter().map(|&i| (i, &input[i]));
-                        if let Some(d) = self.run_seq(&ChainName::Input, bound, pkt, op, 0) {
-                            return Some(d);
-                        }
-                    }
+            // Bound chains exist, so which rules apply depends on the
+            // caller's entrypoint — resolve it *before* traversal so the
+            // generic and bound partitions can be merged back into
+            // install order. Interleaved ACCEPT/RETURN/LOG/STATE rules
+            // make relative order verdict-relevant, so a generic-first
+            // walk would diverge from FULL.
+            match pkt.entrypoint_value(self.metrics) {
+                Fetched::Value(ept) => {
+                    let bound = snap.input_for_entrypoint(ept).unwrap_or(&[]);
+                    let merged =
+                        MergeIndices::new(snap.input_generic(), bound).map(|i| (i, &input[i]));
+                    self.run_seq(&ChainName::Input, merged, pkt, op, 0)
+                }
+                // Benign absence (e.g. a sanitized malformed stack,
+                // Section 4.4): no entrypoint chain applies — only the
+                // generic rules can match.
+                Fetched::Missing => {
+                    let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
+                    self.run_seq(&ChainName::Input, generic, pkt, op, 0)
+                }
+                // Degraded path: without a trusted entrypoint the
+                // partition cannot be consulted, so walk the *whole*
+                // input chain in install order — exactly the FULL
+                // traversal — and let each rule's `--ctx-missing`
+                // policy decide.
+                Fetched::Failed(_) => {
+                    self.degraded = true;
+                    self.run_seq(&ChainName::Input, input.iter().enumerate(), pkt, op, 0)
                 }
             }
-            None
         } else {
             self.run_chain(&start, pkt, op, 0)
         }
@@ -538,6 +683,12 @@ impl<'a> Invocation<'a> {
                 }
                 RuleEval::Match => {}
             }
+            // A matched rule with a side-effecting target (STATE, LOG,
+            // TRACE) makes this walk unrepeatable: replaying a cached
+            // verdict would skip the side effect.
+            if self.cache_track && rule.vc_impure_target {
+                self.cache_blocked = true;
+            }
             match &rule.target {
                 Target::Drop => {
                     self.metrics.bump_drops();
@@ -561,6 +712,13 @@ impl<'a> Invocation<'a> {
                         if let Some(d) = self.run_chain(&sub, pkt, op, depth + 1) {
                             return Some(d);
                         }
+                    } else {
+                        // The target chain never got its say: surface
+                        // the truncation instead of silently pretending
+                        // the traversal was complete.
+                        self.metrics.bump_jump_depth_exceeded();
+                        self.degraded = true;
+                        self.emit_log(pkt, op, "JUMPDEPTH", "ALLOW");
                     }
                 }
                 Target::StateSet { key, value } => match self.resolve(*value, pkt) {
@@ -676,6 +834,13 @@ impl<'a> Invocation<'a> {
                     }
                 }
             }
+        }
+        // Every selector so far is key-determined; the match modules
+        // below may not be. Once an impure module gets consulted the
+        // rule's outcome (and thus the verdict) may depend on context
+        // outside the verdict key, so the walk must not be cached.
+        if self.cache_track && rule.vc_impure_match {
+            self.cache_blocked = true;
         }
         for m in &rule.matches {
             match self.module_matches(m, pkt) {
@@ -1258,6 +1423,7 @@ mod tests {
             OptLevel::ConCache,
             OptLevel::LazyCon,
             OptLevel::EptSpc,
+            OptLevel::Vcache,
         ] {
             let pf = ProcessFirewall::new(level);
             let mut vs = Vec::new();
@@ -1341,6 +1507,7 @@ mod tests {
             OptLevel::ConCache,
             OptLevel::LazyCon,
             OptLevel::EptSpc,
+            OptLevel::Vcache,
         ] {
             let pf = Arc::new(ProcessFirewall::new(level));
             let mut env0 = MockEnv::new();
@@ -1990,5 +2157,217 @@ mod tests {
         let g2 = pf.clear_rules().unwrap();
         assert_eq!(g2, g1 + 1);
         assert_eq!(pf.generation(), g2);
+    }
+
+    #[test]
+    fn set_level_command_switches_optimization_preset() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new();
+        install(&pf, &mut env, "pftables -O VCACHE");
+        assert_eq!(pf.config(), OptLevel::Vcache.config());
+        install(&pf, &mut env, "pftables -O disabled");
+        assert!(!pf.config().enabled);
+    }
+
+    // --- order-preserving EPTSPC traversal (the headline bugfix) ---
+
+    #[test]
+    fn eptspc_merge_preserves_install_order_across_partitions() {
+        // An entrypoint-bound ACCEPT (or RETURN) installed *before* a
+        // generic DROP: the old generic-first traversal walked the DROP
+        // first and denied what FULL allows.
+        for bound_rule in [
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j ACCEPT",
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j RETURN",
+        ] {
+            for level in [OptLevel::Full, OptLevel::EptSpc, OptLevel::Vcache] {
+                let pf = ProcessFirewall::new(level);
+                let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+                install(&pf, &mut env, bound_rule);
+                install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+                assert_eq!(
+                    pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+                    Verdict::Allow,
+                    "{level:?}: bound rule installed first must fire first"
+                );
+                // A caller from another entrypoint skips the bound rule
+                // and hits the generic DROP at every level.
+                let mut env2 = MockEnv::new().with_object("tmp_t", 5, 1000);
+                env2.stack = Some((env2.program, 0x200));
+                assert_eq!(
+                    pf.evaluate(&mut env2, LsmOperation::FileOpen).verdict,
+                    Verdict::Deny,
+                    "{level:?}: unbound caller falls through to the DROP"
+                );
+            }
+        }
+    }
+
+    // --- jump-depth exhaustion is surfaced (was a silent skip) ---
+
+    #[test]
+    fn jump_depth_exhaustion_is_counted_logged_and_degraded() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -I input -o FILE_OPEN -j LOOPY");
+        install(&pf, &mut env, "pftables -A loopy -o FILE_OPEN -j LOOPY");
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow);
+        assert!(d.degraded, "a truncated traversal is degraded");
+        assert_eq!(pf.metrics().jump_depth_exceeded(), 1);
+        let logs = pf.take_logs();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].tag, "JUMPDEPTH");
+        assert_eq!(pf.metrics().degraded_allows(), 1);
+    }
+
+    // --- the VCACHE verdict cache ---
+
+    #[test]
+    fn vcache_hits_preserve_verdicts_counters_and_deny_logs() {
+        let pf = ProcessFirewall::new(OptLevel::Vcache);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let mut session = TaskSession::new();
+        let d1 = session.evaluate(&pf, &mut env, LsmOperation::FileOpen);
+        assert_eq!(d1.verdict, Verdict::Deny);
+        assert_eq!(pf.metrics().vcache_misses(), 1);
+        assert_eq!(session.vcache_len(), 1);
+        let rules_after_miss = pf.metrics().rules_evaluated();
+        let d2 = session.evaluate(&pf, &mut env, LsmOperation::FileOpen);
+        assert_eq!(d2, d1, "cached decision is identical");
+        assert_eq!(pf.metrics().vcache_hits(), 1);
+        assert_eq!(
+            pf.metrics().rules_evaluated(),
+            rules_after_miss,
+            "a hit walks no rules"
+        );
+        // The deny log is replayed on the hit: both invocations audited.
+        let logs = pf.take_logs();
+        assert_eq!(logs.len(), 2);
+        assert!(logs.iter().all(|e| e.verdict == "DENY" && e.tag == "DROP"));
+        // Default-allow outcomes cache too, and the verdict counters
+        // keep partitioning invocations.
+        let d3 = session.evaluate(&pf, &mut env, LsmOperation::FileWrite);
+        let d4 = session.evaluate(&pf, &mut env, LsmOperation::FileWrite);
+        assert_eq!(d3.verdict, Verdict::Allow);
+        assert_eq!(d4.verdict, Verdict::Allow);
+        assert_eq!(pf.metrics().vcache_hits(), 2);
+        let m = pf.metrics();
+        assert_eq!(m.drops(), 2);
+        assert_eq!(m.default_allows(), 2);
+        assert_eq!(
+            m.drops() + m.accepts() + m.default_allows(),
+            m.invocations()
+        );
+    }
+
+    #[test]
+    fn vcache_is_invalidated_by_hot_reload() {
+        let pf = ProcessFirewall::new(OptLevel::Vcache);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let mut session = TaskSession::new();
+        for _ in 0..2 {
+            assert_eq!(
+                session
+                    .evaluate(&pf, &mut env, LsmOperation::FileOpen)
+                    .verdict,
+                Verdict::Deny
+            );
+        }
+        assert_eq!(session.vcache_len(), 1);
+        pf.reload(
+            ["pftables -o FILE_WRITE -d tmp_t -j DROP"],
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        let d = session.evaluate(&pf, &mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow, "stale deny must not be served");
+        assert_eq!(d.generation, pf.generation());
+    }
+
+    #[test]
+    fn state_dependent_walks_are_never_cached() {
+        let pf = ProcessFirewall::new(OptLevel::Vcache);
+        let mut env = MockEnv::new().with_object("tmp_t", 50, 1000);
+        install(
+            &pf,
+            &mut env,
+            "pftables -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO",
+        );
+        install(
+            &pf,
+            &mut env,
+            "pftables -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+        );
+        let mut session = TaskSession::new();
+        // Bind records inode 50; setattr on the same inode is allowed.
+        session.evaluate(&pf, &mut env, LsmOperation::SocketBind);
+        assert_eq!(
+            session
+                .evaluate(&pf, &mut env, LsmOperation::SocketSetattr)
+                .verdict,
+            Verdict::Allow
+        );
+        // Re-bind against inode 51: the recorded STATE changes but the
+        // (op, resource) key of a setattr on inode 50 does not — a
+        // cached Allow here would mask the TOCTTOU deny.
+        let sid = env.mac.lookup_label("tmp_t").unwrap();
+        env.object = Some(ObjectInfo {
+            sid,
+            resource: ResourceId::File {
+                dev: DeviceId(0),
+                ino: InodeNum(51),
+            },
+            owner: Uid(1000),
+            group: Gid(1000),
+            mode: Mode::FILE_DEFAULT,
+        });
+        session.evaluate(&pf, &mut env, LsmOperation::SocketBind);
+        env.object = Some(ObjectInfo {
+            sid,
+            resource: ResourceId::File {
+                dev: DeviceId(0),
+                ino: InodeNum(50),
+            },
+            owner: Uid(1000),
+            group: Gid(1000),
+            mode: Mode::FILE_DEFAULT,
+        });
+        let d = session.evaluate(&pf, &mut env, LsmOperation::SocketSetattr);
+        assert_eq!(
+            d.verdict,
+            Verdict::Deny,
+            "STATE-dependent verdicts must never be served from cache"
+        );
+        assert_eq!(pf.metrics().vcache_hits(), 0);
+        assert_eq!(session.vcache_len(), 0);
+        assert_eq!(pf.metrics().vcache_uncacheable(), 4);
+    }
+
+    #[test]
+    fn degraded_walks_bypass_the_verdict_cache() {
+        let pf = ProcessFirewall::new(OptLevel::Vcache);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+        );
+        env.fail_unwind = true;
+        let mut session = TaskSession::new();
+        let d = session.evaluate(&pf, &mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "fail-closed deny");
+        assert!(d.degraded);
+        assert_eq!(pf.metrics().vcache_hits(), 0);
+        assert_eq!(pf.metrics().vcache_misses(), 0);
+        assert_eq!(
+            pf.metrics().vcache_uncacheable(),
+            1,
+            "a failed key fetch bypasses the cache"
+        );
+        assert_eq!(session.vcache_len(), 0, "degraded walks are not inserted");
     }
 }

@@ -20,6 +20,7 @@ use pf_types::{Interner, LabelSet, LsmOperation, PfError, PfResult};
 use pf_mac::MacPolicy;
 
 use crate::chain::ChainName;
+use crate::config::OptLevel;
 use crate::rule::{CtxPolicy, DefaultMatches, MatchModule, Rule, Target};
 use crate::value::{state_key, ValueExpr};
 
@@ -141,6 +142,9 @@ pub enum Command {
     /// default policy for failed context fetches (see
     /// [`crate::rule::CtxPolicy`]).
     CtxDefault(ChainName, CtxPolicy),
+    /// `-O LEVEL`: switch the engine to the named Table 6 optimization
+    /// preset (`DISABLED`, `BASE`, …, `EPTSPC`, `VCACHE`).
+    SetLevel(OptLevel),
 }
 
 /// Parses one `pftables` line: chain-management commands (`-N`, `-F`,
@@ -189,6 +193,14 @@ pub fn parse_command(
                 .and_then(|p| CtxPolicy::parse(p))
                 .ok_or_else(|| err("--ctx-missing expects skip, match, or drop"))?;
             Ok(Command::CtxDefault(ChainName::parse(name), pol))
+        }
+        Some("-O") => {
+            let name = toks
+                .get(i + 1)
+                .ok_or_else(|| err("expected optimization level after -O"))?;
+            let level = OptLevel::parse(name)
+                .ok_or_else(|| err(format!("unknown optimization level `{name}`")))?;
+            Ok(Command::SetLevel(level))
         }
         _ => parse_rule(line, mac, programs).map(|p| Command::Rule(Box::new(p))),
     }
@@ -918,5 +930,23 @@ mod tests {
         assert!(
             parse_command("pftables -P input --ctx-missing wat", &mut mac, &mut progs).is_err()
         );
+    }
+
+    #[test]
+    fn parses_set_level_command() {
+        let (mut mac, mut progs) = setup();
+        for (tok, want) in [
+            ("DISABLED", OptLevel::Disabled),
+            ("eptspc", OptLevel::EptSpc),
+            ("VCACHE", OptLevel::Vcache),
+        ] {
+            let cmd = parse_command(&format!("pftables -O {tok}"), &mut mac, &mut progs).unwrap();
+            assert_eq!(cmd, Command::SetLevel(want), "{tok}");
+        }
+        assert!(parse_command("pftables -O", &mut mac, &mut progs).is_err());
+        assert!(parse_command("pftables -O TURBO", &mut mac, &mut progs).is_err());
+        // `-t` prefix composes with `-O` like the other management verbs.
+        let cmd = parse_command("pftables -t filter -O FULL", &mut mac, &mut progs).unwrap();
+        assert_eq!(cmd, Command::SetLevel(OptLevel::Full));
     }
 }

@@ -32,7 +32,11 @@
 //! * [`mod@env`] defines the [`env::EvalEnv`] trait the OS substrate
 //!   implements to expose process and resource state;
 //! * [`config`] holds the optimization toggles that form the columns of
-//!   Table 6 (DISABLED / BASE / FULL / CONCACHE / LAZYCON / EPTSPC);
+//!   Table 6 (DISABLED / BASE / FULL / CONCACHE / LAZYCON / EPTSPC),
+//!   plus the VCACHE extension;
+//! * [`vcache`] is the per-task verdict cache behind VCACHE: whole
+//!   traversal outcomes memoized by key context, guarded by the static
+//!   cacheability analysis in [`chain`]/[`rule`];
 //! * [`log`] is the LOG target's JSON record, consumed by `pf-rulegen`;
 //! * [`metrics`] is the observability registry: the legacy counters,
 //!   per-rule/per-operation/per-field detail, latency histograms, the
@@ -80,6 +84,7 @@ pub mod session;
 pub mod snapshot;
 pub mod stats;
 pub mod value;
+pub mod vcache;
 
 pub use chain::{ChainName, RuleBase};
 pub use config::{OptLevel, PfConfig};
@@ -96,3 +101,4 @@ pub use session::TaskSession;
 pub use snapshot::{RulesetSnapshot, SharedRuleset};
 pub use stats::PfStats;
 pub use value::{state_key, ValueExpr};
+pub use vcache::{VerdictCache, VerdictKey, VerdictKind};

@@ -26,8 +26,11 @@
 //! The detail layer is gated by [`Metrics::set_detailed`]: with
 //! recording off (the default) every detail hook is a no-op and no
 //! clock is read, which is the baseline the `metrics_overhead` bench
-//! compares against. The six legacy counters and `default_allows` are
-//! always on — they define engine semantics that existing tests assert.
+//! compares against. The six legacy counters, `default_allows`, the
+//! VCACHE totals (`vcache_hits`/`vcache_misses`/`vcache_uncacheable`),
+//! and `jump_depth_exceeded` are always on — they define engine
+//! semantics that existing tests assert; the per-operation VCACHE
+//! splits ride in the detail layer.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
@@ -374,9 +377,24 @@ pub struct Metrics {
     /// Allows issued while the invocation was degraded — each one is a
     /// place where a failed fetch *could* have masked an invariant.
     degraded_allows: AtomicU64,
+    /// Verdicts served from a per-task VCACHE cache without a walk.
+    vcache_hits: AtomicU64,
+    /// Cache-eligible walks that ran and were inserted.
+    vcache_misses: AtomicU64,
+    /// Invocations the cache had to stand aside for: a key field failed
+    /// to fetch, the walk was degraded, or a traversed rule consulted
+    /// context outside the key / carried a side-effecting target.
+    vcache_uncacheable: AtomicU64,
+    /// Jumps skipped because the traversal hit the depth limit — each
+    /// one is a chain that never got its say. Always on: like fetch
+    /// failures, a truncated traversal is a security signal.
+    jump_depth_exceeded: AtomicU64,
     // --- detail layer (gated by `detailed`) ---
     detailed: AtomicBool,
     per_op: PerOp,
+    vcache_hits_op: PerOp,
+    vcache_misses_op: PerOp,
+    vcache_uncacheable_op: PerOp,
     fields: PerField,
     chains: Mutex<BTreeMap<ChainName, ChainCounters>>,
     eval_ns: ShardedHistogram,
@@ -422,8 +440,19 @@ impl Metrics {
         self.default_allows.store(0, Ordering::Relaxed);
         self.degraded_drops.store(0, Ordering::Relaxed);
         self.degraded_allows.store(0, Ordering::Relaxed);
-        for c in &self.per_op.0 {
-            c.store(0, Ordering::Relaxed);
+        self.vcache_hits.store(0, Ordering::Relaxed);
+        self.vcache_misses.store(0, Ordering::Relaxed);
+        self.vcache_uncacheable.store(0, Ordering::Relaxed);
+        self.jump_depth_exceeded.store(0, Ordering::Relaxed);
+        for per_op in [
+            &self.per_op,
+            &self.vcache_hits_op,
+            &self.vcache_misses_op,
+            &self.vcache_uncacheable_op,
+        ] {
+            for c in &per_op.0 {
+                c.store(0, Ordering::Relaxed);
+            }
         }
         for f in &self.fields.0 {
             f.fetches.store(0, Ordering::Relaxed);
@@ -515,6 +544,37 @@ impl Metrics {
         self.degraded_allows.fetch_add(1, Ordering::Relaxed);
     }
 
+    // --- VCACHE / traversal-truncation counters (always on) ---
+
+    #[inline]
+    pub(crate) fn bump_vcache_hit(&self, op: LsmOperation) {
+        self.vcache_hits.fetch_add(1, Ordering::Relaxed);
+        if self.detailed() {
+            self.vcache_hits_op.0[op as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump_vcache_miss(&self, op: LsmOperation) {
+        self.vcache_misses.fetch_add(1, Ordering::Relaxed);
+        if self.detailed() {
+            self.vcache_misses_op.0[op as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump_vcache_uncacheable(&self, op: LsmOperation) {
+        self.vcache_uncacheable.fetch_add(1, Ordering::Relaxed);
+        if self.detailed() {
+            self.vcache_uncacheable_op.0[op as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump_jump_depth_exceeded(&self) {
+        self.jump_depth_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     // --- legacy accessors (kept from `PfStats`) ---
 
     /// Firewall hook invocations.
@@ -566,6 +626,37 @@ impl Metrics {
     /// was degraded by a failed context fetch.
     pub fn degraded_allows(&self) -> u64 {
         self.degraded_allows.load(Ordering::Relaxed)
+    }
+
+    /// Verdicts served from a per-task VCACHE cache without a walk.
+    pub fn vcache_hits(&self) -> u64 {
+        self.vcache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache-eligible walks that ran and were inserted for next time.
+    pub fn vcache_misses(&self) -> u64 {
+        self.vcache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Cache-bypassed invocations (failed key fetch, degraded walk, or
+    /// a rule outside the cacheable fragment on the path).
+    pub fn vcache_uncacheable(&self) -> u64 {
+        self.vcache_uncacheable.load(Ordering::Relaxed)
+    }
+
+    /// Jumps skipped at the traversal depth limit.
+    pub fn jump_depth_exceeded(&self) -> u64 {
+        self.jump_depth_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// `(hits, misses, uncacheable)` VCACHE counts for one operation
+    /// (detail layer).
+    pub fn vcache_op_counts(&self, op: LsmOperation) -> (u64, u64, u64) {
+        (
+            self.vcache_hits_op.0[op as usize].load(Ordering::Relaxed),
+            self.vcache_misses_op.0[op as usize].load(Ordering::Relaxed),
+            self.vcache_uncacheable_op.0[op as usize].load(Ordering::Relaxed),
+        )
     }
 
     // --- per-operation counters ---
@@ -770,6 +861,18 @@ impl Metrics {
         let _ = writeln!(out, "pf_default_allows_total {}", self.default_allows());
         let _ = writeln!(out, "pf_degraded_drops_total {}", self.degraded_drops());
         let _ = writeln!(out, "pf_degraded_allows_total {}", self.degraded_allows());
+        let _ = writeln!(out, "pf_vcache_hits_total {}", self.vcache_hits());
+        let _ = writeln!(out, "pf_vcache_misses_total {}", self.vcache_misses());
+        let _ = writeln!(
+            out,
+            "pf_vcache_uncacheable_total {}",
+            self.vcache_uncacheable()
+        );
+        let _ = writeln!(
+            out,
+            "pf_jump_depth_exceeded_total {}",
+            self.jump_depth_exceeded()
+        );
         let _ = writeln!(
             out,
             "pf_trace_events_dropped_total {}",
@@ -779,6 +882,28 @@ impl Metrics {
             let n = self.op_invocations(op);
             if n > 0 {
                 let _ = writeln!(out, "pf_op_invocations_total{{op=\"{}\"}} {n}", op.name());
+            }
+            let (hits, misses, uncacheable) = self.vcache_op_counts(op);
+            if hits > 0 {
+                let _ = writeln!(
+                    out,
+                    "pf_vcache_op_hits_total{{op=\"{}\"}} {hits}",
+                    op.name()
+                );
+            }
+            if misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "pf_vcache_op_misses_total{{op=\"{}\"}} {misses}",
+                    op.name()
+                );
+            }
+            if uncacheable > 0 {
+                let _ = writeln!(
+                    out,
+                    "pf_vcache_op_uncacheable_total{{op=\"{}\"}} {uncacheable}",
+                    op.name()
+                );
             }
         }
         for chain in self.chains_seen() {
@@ -842,7 +967,9 @@ impl Metrics {
             "{{\"counters\":{{\"invocations\":{},\"rules_evaluated\":{},\
              \"ctx_fetches\":{},\"cache_hits\":{},\"drops\":{},\"accepts\":{},\
              \"default_allows\":{},\"degraded_drops\":{},\
-             \"degraded_allows\":{},\"trace_dropped\":{}}}",
+             \"degraded_allows\":{},\"vcache_hits\":{},\"vcache_misses\":{},\
+             \"vcache_uncacheable\":{},\"jump_depth_exceeded\":{},\
+             \"trace_dropped\":{}}}",
             self.invocations(),
             self.rules_evaluated(),
             self.ctx_fetches(),
@@ -852,6 +979,10 @@ impl Metrics {
             self.default_allows(),
             self.degraded_drops(),
             self.degraded_allows(),
+            self.vcache_hits(),
+            self.vcache_misses(),
+            self.vcache_uncacheable(),
+            self.jump_depth_exceeded(),
             self.trace_dropped(),
         );
         s.push_str(",\"ops\":{");
@@ -1130,6 +1261,37 @@ mod tests {
                 "bad metric name in `{line}`"
             );
         }
+    }
+
+    #[test]
+    fn vcache_counters_export_and_reset() {
+        let m = Metrics::new();
+        m.set_detailed(true);
+        m.bump_vcache_hit(LsmOperation::FileOpen);
+        m.bump_vcache_hit(LsmOperation::FileOpen);
+        m.bump_vcache_miss(LsmOperation::FileOpen);
+        m.bump_vcache_uncacheable(LsmOperation::SocketBind);
+        m.bump_jump_depth_exceeded();
+        assert_eq!(m.vcache_hits(), 2);
+        assert_eq!(m.vcache_misses(), 1);
+        assert_eq!(m.vcache_uncacheable(), 1);
+        assert_eq!(m.jump_depth_exceeded(), 1);
+        assert_eq!(m.vcache_op_counts(LsmOperation::FileOpen), (2, 1, 0));
+        assert_eq!(m.vcache_op_counts(LsmOperation::SocketBind), (0, 0, 1));
+        let text = m.render_prometheus();
+        assert!(text.contains("pf_vcache_hits_total 2"));
+        assert!(text.contains("pf_vcache_misses_total 1"));
+        assert!(text.contains("pf_vcache_uncacheable_total 1"));
+        assert!(text.contains("pf_jump_depth_exceeded_total 1"));
+        assert!(text.contains("pf_vcache_op_hits_total{op=\"FILE_OPEN\"} 2"));
+        assert!(text.contains("pf_vcache_op_uncacheable_total{op=\"SOCKET_BIND\"} 1"));
+        let json = m.to_json();
+        assert!(json.contains("\"vcache_hits\":2"));
+        assert!(json.contains("\"jump_depth_exceeded\":1"));
+        m.reset();
+        assert_eq!(m.vcache_hits(), 0);
+        assert_eq!(m.jump_depth_exceeded(), 0);
+        assert_eq!(m.vcache_op_counts(LsmOperation::FileOpen), (0, 0, 0));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use pf_types::{LabelSet, LsmOperation, ProgramId};
 
+use crate::context::CtxField;
 use crate::value::ValueExpr;
 
 /// The default matches of Table 3: `-s`, `-d`, `-i`, `-o`, `-p` and the
@@ -254,6 +255,15 @@ pub struct Rule {
     pub text: String,
     /// Times this rule's target fired (match + modules all passed).
     hits: AtomicU64,
+    /// Cacheability analysis, match side: `true` when any match module
+    /// consults context outside the verdict-cache key (STATE entries,
+    /// signal state, syscall args, DAC owners, interpreter frames), so
+    /// a walk that reaches this rule's modules is not key-determined.
+    pub(crate) vc_impure_match: bool,
+    /// Cacheability analysis, target side: `true` for targets with side
+    /// effects (STATE writes, LOG, TRACE) that a cached verdict would
+    /// fail to replay.
+    pub(crate) vc_impure_target: bool,
 }
 
 impl Clone for Rule {
@@ -265,6 +275,8 @@ impl Clone for Rule {
             ctx_policy: self.ctx_policy,
             text: self.text.clone(),
             hits: AtomicU64::new(self.hits()),
+            vc_impure_match: self.vc_impure_match,
+            vc_impure_target: self.vc_impure_target,
         }
     }
 }
@@ -290,6 +302,14 @@ impl Rule {
         target: Target,
         text: String,
     ) -> Self {
+        let vc_impure_match = matches.iter().any(module_is_vc_impure);
+        let vc_impure_target = matches!(
+            target,
+            Target::StateSet { .. }
+                | Target::StateUnset { .. }
+                | Target::Log { .. }
+                | Target::Trace
+        );
         Rule {
             def,
             matches,
@@ -297,7 +317,16 @@ impl Rule {
             ctx_policy: None,
             text,
             hits: AtomicU64::new(0),
+            vc_impure_match,
+            vc_impure_target,
         }
+    }
+
+    /// Whether this rule is *pure* for the verdict cache: a traversal
+    /// through it is fully determined by the cache key's context fields
+    /// and has no side effects a cached verdict would skip.
+    pub fn vc_pure(&self) -> bool {
+        !self.vc_impure_match && !self.vc_impure_target
     }
 
     /// Returns `true` if the rule can live in an entrypoint-specific
@@ -316,6 +345,45 @@ impl Rule {
     }
 }
 
+/// Whether a value expression reads only context that is part of the
+/// verdict-cache key (so two invocations with equal keys resolve it to
+/// equal values).
+fn value_is_key_determined(v: &ValueExpr) -> bool {
+    match v {
+        ValueExpr::Lit(_) => true,
+        ValueExpr::Ctx(f) => matches!(
+            f,
+            CtxField::Entrypoint
+                | CtxField::ResourceId
+                | CtxField::ObjectSid
+                | CtxField::AdvWrite
+                | CtxField::AdvRead
+        ),
+    }
+}
+
+/// The static cacheability analysis for one match module: impure modules
+/// consult per-process or per-call context the verdict-cache key does
+/// not cover, so their outcome can change between equal-key invocations.
+fn module_is_vc_impure(m: &MatchModule) -> bool {
+    match m {
+        // STATE entries, signal-handler state, syscall arguments, DAC
+        // owners, and interpreter frames are all outside the key.
+        MatchModule::State { .. }
+        | MatchModule::SignalMatch
+        | MatchModule::SyscallArgs { .. }
+        | MatchModule::Owner { .. }
+        | MatchModule::Interp { .. } => true,
+        // COMPARE is pure only over key-covered context references.
+        MatchModule::Compare { v1, v2, .. } => {
+            !value_is_key_determined(v1) || !value_is_key_determined(v2)
+        }
+        // Adversary accessibility and the main-program binary are part
+        // of the key.
+        MatchModule::AdvAccess { .. } | MatchModule::Caller { .. } => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +398,53 @@ mod tests {
         assert_eq!(d.entrypoint(), None);
         d.entrypoint_pc = Some(0x596b);
         assert_eq!(d.entrypoint(), Some((InternId(3), 0x596b)));
+    }
+
+    #[test]
+    fn cacheability_analysis_flags_impure_rules() {
+        let rule = |m: Vec<MatchModule>, t: Target| {
+            Rule::new(DefaultMatches::default(), m, t, String::new())
+        };
+        assert!(rule(
+            vec![MatchModule::AdvAccess {
+                write: true,
+                want: true
+            }],
+            Target::Drop
+        )
+        .vc_pure());
+        let state = rule(
+            vec![MatchModule::State {
+                key: 1,
+                cmp: ValueExpr::Lit(1),
+                negate: false,
+            }],
+            Target::Drop,
+        );
+        assert!(state.vc_impure_match && !state.vc_impure_target);
+        assert!(state.clone().vc_impure_match, "clone keeps the flags");
+        assert!(rule(vec![], Target::Log { tag: "t".into() }).vc_impure_target);
+        assert!(rule(
+            vec![MatchModule::Compare {
+                v1: ValueExpr::Ctx(CtxField::ResourceId),
+                v2: ValueExpr::Lit(3),
+                negate: false,
+            }],
+            Target::Drop,
+        )
+        .vc_pure());
+        assert!(
+            rule(
+                vec![MatchModule::Compare {
+                    v1: ValueExpr::Ctx(CtxField::DacOwner),
+                    v2: ValueExpr::Ctx(CtxField::TgtDacOwner),
+                    negate: true,
+                }],
+                Target::Drop,
+            )
+            .vc_impure_match,
+            "COMPARE over non-key context is impure"
+        );
     }
 
     #[test]

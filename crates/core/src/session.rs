@@ -17,7 +17,11 @@
 //!   so evaluation under an unchanged ruleset takes **zero locks**
 //!   (one relaxed-cost atomic load is the whole synchronization);
 //! * the **LOG scratch** — the invocation-local buffer reused across
-//!   the task's invocations, so LOG-free hooks never allocate.
+//!   the task's invocations, so LOG-free hooks never allocate;
+//! * the **verdict cache** — the VCACHE memo table (see
+//!   [`crate::vcache`]), consulted only when the pinned configuration
+//!   enables it and cleared on every re-pin, so cached verdicts never
+//!   outlive the snapshot that produced them.
 //!
 //! [`TaskSession::evaluate`] refreshes the pin first (the task sees
 //! rule edits promptly); [`TaskSession::evaluate_pinned`] deliberately
@@ -34,12 +38,14 @@ use crate::engine::{EvalDecision, ProcessFirewall};
 use crate::env::EvalEnv;
 use crate::log::LogEntry;
 use crate::snapshot::RulesetSnapshot;
+use crate::vcache::VerdictCache;
 
 /// A task's private handle onto a shared [`ProcessFirewall`].
 ///
 /// `Default` is the unpinned state (the first evaluate pins); `Clone`
 /// (used when a simulated task forks) shares the pinned snapshot `Arc`
-/// but nothing mutable.
+/// but nothing mutable — the child's verdict cache starts empty (see
+/// [`VerdictCache`]'s `Clone`).
 #[derive(Debug, Clone, Default)]
 pub struct TaskSession {
     snap: Option<Arc<RulesetSnapshot>>,
@@ -48,6 +54,11 @@ pub struct TaskSession {
     /// generation counter is unrelated).
     owner: usize,
     scratch: Vec<LogEntry>,
+    /// The VCACHE verdict cache (active only when the pinned config has
+    /// `verdict_cache` set). Entries are valid for exactly one pinned
+    /// snapshot: every re-pin clears them wholesale, so no verdict
+    /// survives a generation bump or a firewall swap.
+    vcache: VerdictCache,
 }
 
 impl TaskSession {
@@ -75,6 +86,9 @@ impl TaskSession {
         if stale {
             self.snap = Some(fw.base());
             self.owner = id;
+            // Cached verdicts belong to the previous snapshot; a hot
+            // reload (or firewall swap) invalidates them wholesale.
+            self.vcache.clear();
         }
     }
 
@@ -96,10 +110,18 @@ impl TaskSession {
         self.snap.as_ref()
     }
 
-    /// Drops the pin; the next evaluate re-pins from scratch.
+    /// Drops the pin (and the verdict cache); the next evaluate re-pins
+    /// from scratch.
     pub fn reset(&mut self) {
         self.snap = None;
         self.owner = 0;
+        self.vcache.clear();
+    }
+
+    /// Number of verdicts currently memoized for this task (see
+    /// [`VerdictCache`]).
+    pub fn vcache_len(&self) -> usize {
+        self.vcache.len()
     }
 
     /// The PF hook through this session: picks up any newly published
@@ -112,7 +134,9 @@ impl TaskSession {
     ) -> EvalDecision {
         self.refresh(fw);
         match self.snap.as_deref() {
-            Some(snap) => fw.evaluate_on(snap, env, op, &mut self.scratch),
+            Some(snap) => {
+                fw.evaluate_cached(snap, env, op, &mut self.scratch, Some(&mut self.vcache))
+            }
             // Unreachable after `refresh`, but never panic on the hook
             // path: fall back to a one-shot snapshot load.
             None => fw.evaluate(env, op),
@@ -133,7 +157,9 @@ impl TaskSession {
             self.refresh(fw);
         }
         match self.snap.as_deref() {
-            Some(snap) => fw.evaluate_on(snap, env, op, &mut self.scratch),
+            Some(snap) => {
+                fw.evaluate_cached(snap, env, op, &mut self.scratch, Some(&mut self.vcache))
+            }
             None => fw.evaluate(env, op),
         }
     }
@@ -313,6 +339,25 @@ mod tests {
                 .verdict,
             Verdict::Deny
         );
+    }
+
+    #[test]
+    fn forked_session_starts_with_a_cold_verdict_cache() {
+        let fw = ProcessFirewall::new(OptLevel::Vcache);
+        let mut env = Env::new("tmp_t");
+        fw.install(
+            "pftables -o FILE_OPEN -d tmp_t -j DROP",
+            &mut env.mac,
+            &mut env.programs,
+        )
+        .unwrap();
+        let mut session = TaskSession::new();
+        session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+        assert_eq!(session.vcache_len(), 1);
+        let child = session.clone();
+        assert_eq!(child.vcache_len(), 0, "fork must not inherit verdicts");
+        session.reset();
+        assert_eq!(session.vcache_len(), 0, "reset drops the cache");
     }
 
     #[test]

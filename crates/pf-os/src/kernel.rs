@@ -794,6 +794,39 @@ mod tests {
     }
 
     #[test]
+    fn vcache_level_serves_repeat_hooks_and_forked_children_start_cold() {
+        use crate::OpenFlags;
+
+        let mut k = kernel();
+        k.put_file("/etc/passwd", b"root:x:0:0", 0o644, Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        k.install_rules(["pftables -o FILE_OPEN -d etc_t -j DROP"])
+            .unwrap();
+        k.firewall.set_level(pf_core::OptLevel::Vcache).unwrap();
+        let pid = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        for _ in 0..3 {
+            let e = k.open(pid, "/etc/passwd", OpenFlags::rdonly()).unwrap_err();
+            assert!(matches!(e, PfError::FirewallDenied { .. }));
+        }
+        let m = k.firewall.metrics();
+        let (hits, misses) = (m.vcache_hits(), m.vcache_misses());
+        assert!(hits > 0, "repeat hooks should hit the verdict cache");
+        assert_eq!(m.drops(), 3);
+
+        // A forked child owns its own (cold) cache, but gets the same
+        // denial; the parent's entries are untouched.
+        let child = k.fork(pid).unwrap();
+        assert!(k.task(child).unwrap().pf_session.vcache_len() == 0);
+        let e = k
+            .open(child, "/etc/passwd", OpenFlags::rdonly())
+            .unwrap_err();
+        assert!(matches!(e, PfError::FirewallDenied { .. }));
+        let m = k.firewall.metrics();
+        assert!(m.vcache_misses() > misses, "child walks populate anew");
+        assert!(m.vcache_hits() >= hits);
+    }
+
+    #[test]
     fn authorize_checks_dac() {
         let mut k = kernel();
         k.put_file("/etc/shadow", b"", 0o600, Uid::ROOT, Gid::ROOT)

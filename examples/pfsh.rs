@@ -102,12 +102,16 @@ impl Shell {
             ["stats"] => {
                 let s = self.kernel.firewall.stats();
                 Ok(format!(
-                    "invocations={} rules_evaluated={} ctx_fetches={} cache_hits={} drops={}",
+                    "invocations={} rules_evaluated={} ctx_fetches={} cache_hits={} drops={} \
+                     vcache_hits={} vcache_misses={} vcache_uncacheable={}",
                     s.invocations(),
                     s.rules_evaluated(),
                     s.ctx_fetches(),
                     s.cache_hits(),
-                    s.drops()
+                    s.drops(),
+                    s.vcache_hits(),
+                    s.vcache_misses(),
+                    s.vcache_uncacheable()
                 ))
             }
             ["as", pid, rest @ ..] => {

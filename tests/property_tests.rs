@@ -208,7 +208,13 @@ proptest! {
         // a random access must get the same verdict at every level.
         let labels = label_pool();
         let mut verdicts = Vec::new();
-        for level in [OptLevel::Full, OptLevel::ConCache, OptLevel::LazyCon, OptLevel::EptSpc] {
+        for level in [
+            OptLevel::Full,
+            OptLevel::ConCache,
+            OptLevel::LazyCon,
+            OptLevel::EptSpc,
+            OptLevel::Vcache,
+        ] {
             let mut k = standard_world();
             for &(lbl, with_ept, pc) in &rule_specs {
                 let rule = if with_ept {
