@@ -81,6 +81,17 @@ fn report(k: &pf_os::Kernel, workload: &str) {
     println!("drops            {}", m.drops());
     println!("accepts          {}", m.accepts());
     println!("default allows   {}", m.default_allows());
+    println!(
+        "vcache           {} hits / {} misses / {} uncacheable",
+        m.vcache_hits(),
+        m.vcache_misses(),
+        m.vcache_uncacheable()
+    );
+    println!(
+        "throttled        {} ratelimit / {} quota",
+        m.ratelimit_throttled(),
+        m.quota_exceeded()
+    );
     println!();
 
     println!("== per-operation invocations ==");
@@ -95,10 +106,56 @@ fn report(k: &pf_os::Kernel, workload: &str) {
     }
     println!();
 
+    // Per-operation verdict-cache splits (detail layer; zero rows only
+    // when the run never exercised VCACHE).
+    let mut vc_rows: Vec<(LsmOperation, u64, u64, u64)> = LsmOperation::ALL
+        .iter()
+        .map(|&op| {
+            let (h, mi, u) = m.vcache_op_counts(op);
+            (op, h, mi, u)
+        })
+        .filter(|&(_, h, mi, u)| h + mi + u > 0)
+        .collect();
+    vc_rows.sort_by_key(|r| std::cmp::Reverse(r.1 + r.2 + r.3));
+    println!("== per-operation vcache splits ==");
+    if vc_rows.is_empty() {
+        println!("(no vcache activity)");
+    } else {
+        println!(
+            "{:<28} {:>10} {:>10} {:>12}",
+            "operation", "hits", "misses", "uncacheable"
+        );
+        for (op, h, mi, u) in &vc_rows {
+            println!("{:<28} {h:>10} {mi:>10} {u:>12}", op.name());
+        }
+    }
+    println!();
+
+    // Per-operation throttle splits (RATELIMIT / QUOTA rejections).
+    let mut th_rows: Vec<(LsmOperation, u64, u64)> = LsmOperation::ALL
+        .iter()
+        .map(|&op| {
+            let (r, q) = m.throttle_op_counts(op);
+            (op, r, q)
+        })
+        .filter(|&(_, r, q)| r + q > 0)
+        .collect();
+    th_rows.sort_by_key(|r| std::cmp::Reverse(r.1 + r.2));
+    println!("== per-operation throttle splits ==");
+    if th_rows.is_empty() {
+        println!("(no throttled accesses)");
+    } else {
+        println!("{:<28} {:>10} {:>10}", "operation", "ratelimit", "quota");
+        for (op, r, q) in &th_rows {
+            println!("{:<28} {r:>10} {q:>10}", op.name());
+        }
+    }
+    println!();
+
     // Per-rule counters, hottest first. The full base has ~1218 rules,
     // almost all never evaluated under EPTSPC — show the active ones.
     const TOP: usize = 20;
-    let mut rows: Vec<(u64, u64, String, usize, String)> = Vec::new();
+    let mut rows: Vec<(u64, u64, u64, String, usize, String)> = Vec::new();
     let base = k.firewall.base();
     for chain in m.chains_seen() {
         let Some(snap) = m.chain_snapshot(&chain) else {
@@ -108,8 +165,9 @@ fn report(k: &pf_os::Kernel, workload: &str) {
         for (i, rule) in rules.iter().enumerate() {
             let evals = snap.evaluated.get(i).copied().unwrap_or(0);
             let hits = snap.hits.get(i).copied().unwrap_or(0);
-            if evals > 0 || hits > 0 {
-                rows.push((evals, hits, chain.name(), i, rule.text.clone()));
+            let throttled = snap.throttled.get(i).copied().unwrap_or(0);
+            if evals > 0 || hits > 0 || throttled > 0 {
+                rows.push((evals, hits, throttled, chain.name(), i, rule.text.clone()));
             }
         }
     }
@@ -121,11 +179,11 @@ fn report(k: &pf_os::Kernel, workload: &str) {
         TOP.min(rows.len())
     );
     println!(
-        "{:>10} {:>8}  {:<14} {:>4}  text",
-        "evals", "hits", "chain", "rule"
+        "{:>10} {:>8} {:>9}  {:<14} {:>4}  text",
+        "evals", "hits", "throttled", "chain", "rule"
     );
-    for (evals, hits, chain, index, text) in rows.iter().take(TOP) {
-        println!("{evals:>10} {hits:>8}  {chain:<14} {index:>4}  {text}");
+    for (evals, hits, throttled, chain, index, text) in rows.iter().take(TOP) {
+        println!("{evals:>10} {hits:>8} {throttled:>9}  {chain:<14} {index:>4}  {text}");
     }
     println!();
 

@@ -138,6 +138,7 @@ fn main() {
         object_fail: 0.02,
         link_fail: 0.02,
         state_fail: 0.02,
+        clock_fail: 0.02,
     };
 
     println!("Table 6 (faults): microbenchmarks under injected context-fetch failures");

@@ -18,6 +18,7 @@
 //! side-effect free.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use pf_types::{PfError, PfResult, ProgramId};
 
@@ -217,6 +218,38 @@ impl RuleBase {
     /// Iterates over `(chain, rules)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&ChainName, &[Rule])> {
         self.chains.iter().map(|(c, r)| (c, r.as_slice()))
+    }
+
+    /// Hot-reload carryover for throttle state: every RATELIMIT/QUOTA
+    /// rule in `self` whose text matches a throttle rule in the same
+    /// chain of `old` adopts the old rule's live [`ThrottleCell`], so
+    /// in-flight token buckets survive a reload that re-submits the
+    /// same rule (even at a different position). Matching is by full
+    /// rule text, first-come within a chain (duplicates pair up in
+    /// order); a *changed* rule matches nothing and keeps the fresh
+    /// cell `Rule::new` built — changing a rule resets its buckets.
+    ///
+    /// [`ThrottleCell`]: crate::ratelimit::ThrottleCell
+    pub(crate) fn carry_throttle_state(&mut self, old: &RuleBase) {
+        for (chain, rules) in self.chains.iter_mut() {
+            let old_rules = match old.chains.get(chain) {
+                Some(r) => r,
+                None => continue,
+            };
+            let mut used = vec![false; old_rules.len()];
+            for rule in rules.iter_mut().filter(|r| r.target.is_throttle()) {
+                let adopted = old_rules
+                    .iter()
+                    .enumerate()
+                    .find(|(i, o)| !used[*i] && o.target.is_throttle() && o.text == rule.text);
+                if let Some((i, o)) = adopted {
+                    used[i] = true;
+                    if let Some(cell) = o.throttle_cell() {
+                        rule.adopt_throttle(Arc::clone(cell));
+                    }
+                }
+            }
+        }
     }
 
     /// Snapshot compile step, run on every rule-base mutation: rebuilds

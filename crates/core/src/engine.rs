@@ -43,6 +43,7 @@ use crate::env::{CtxError, EvalEnv, Fetched};
 use crate::lang::{parse_command, Command, RuleOp};
 use crate::log::LogEntry;
 use crate::metrics::{Metrics, TraceEvent};
+use crate::ratelimit::{ExceedPolicy, PerKey};
 use crate::rule::{CtxPolicy, MatchModule, Rule, Target};
 use crate::snapshot::{RulesetDraft, RulesetSnapshot, SharedRuleset};
 use crate::value::ValueExpr;
@@ -732,9 +733,127 @@ impl<'a> Invocation<'a> {
                 Target::StateUnset { key } => pkt.env().state_unset(*key),
                 Target::Log { tag } => self.emit_log(pkt, op, tag, "ALLOW"),
                 Target::Trace => {}
+                Target::RateLimit { .. } | Target::Quota { .. } => {
+                    if let Some(d) = self.run_throttle(rule, chain, index, pkt, op) {
+                        return Some(d);
+                    }
+                }
             }
         }
         None
+    }
+
+    /// Executes a RATELIMIT/QUOTA target on a matched rule. `None`
+    /// means the access stays within budget (or the exceed policy is
+    /// permissive) and traversal continues; `Some` is a deny.
+    fn run_throttle(
+        &mut self,
+        rule: &Rule,
+        chain: &ChainName,
+        index: usize,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+    ) -> Option<EvalDecision> {
+        let (per, exceed) = match &rule.target {
+            Target::RateLimit { per, exceed, .. } | Target::Quota { per, exceed, .. } => {
+                (*per, *exceed)
+            }
+            _ => return None,
+        };
+        // Key derivation. A *Missing* key (e.g. `--per resource` on an
+        // objectless hook) is benign absence: those accesses share the
+        // zero bucket rather than escaping the throttle. A *Failed*
+        // fetch — or a failed clock read — is the adversary's window
+        // and goes through the `--ctx-missing` machinery below.
+        let key = match per {
+            PerKey::Subject => Fetched::Value(pkt.env_ref().subject_sid().0 as u64),
+            PerKey::Adversary => pkt.dac_owner_value(self.metrics),
+            PerKey::Resource => pkt.resource_id_value(self.metrics),
+        };
+        let now = pkt.env_ref().try_now();
+        let (key, now) = match (key, now) {
+            (Fetched::Failed(_), _) | (_, Fetched::Failed(_)) => {
+                // Fail-safe: the engine default for throttle targets is
+                // fail-closed (like DROP rules) — a stopped clock must
+                // not turn a rate limit into an unconditional allow.
+                return match self.on_ctx_failure(rule, chain) {
+                    CtxPolicy::Drop => {
+                        self.metrics.bump_drops();
+                        self.emit_log(pkt, op, "CTXFAIL", "DENY");
+                        Some(EvalDecision {
+                            verdict: Verdict::Deny,
+                            dropped_by: Some((chain.name(), index)),
+                            generation: self.snap.generation(),
+                            degraded: true,
+                        })
+                    }
+                    // Explicit opt-out (`--ctx-missing skip`): the rule
+                    // stands aside, but never silently — the decision
+                    // is already marked degraded and the lapse logged.
+                    CtxPolicy::Skip => {
+                        self.emit_log(pkt, op, "CTXFAIL", "ALLOW");
+                        None
+                    }
+                    // `match`: treat the unaccountable access as over
+                    // budget and let the exceed policy arbitrate.
+                    CtxPolicy::Match => self.throttle_exceeded(rule, chain, index, pkt, op, exceed),
+                };
+            }
+            (key, now) => (key.ok().unwrap_or(0), now.ok().unwrap_or(0)),
+        };
+        let granted = match (&rule.target, rule.throttle_cell()) {
+            (Target::RateLimit { rate, burst, .. }, Some(cell)) => {
+                cell.rate_consume(key, now, *rate, *burst)
+            }
+            (Target::Quota { limit, window, .. }, Some(cell)) => {
+                cell.quota_consume(key, now, *limit, *window)
+            }
+            _ => return None,
+        };
+        if granted {
+            return None;
+        }
+        match &rule.target {
+            Target::RateLimit { .. } => self.metrics.bump_ratelimit_throttled(op, chain, index),
+            Target::Quota { .. } => self.metrics.bump_quota_exceeded(op, chain, index),
+            _ => {}
+        }
+        self.throttle_exceeded(rule, chain, index, pkt, op, exceed)
+    }
+
+    /// Applies a throttle target's `--exceed` policy to an over-budget
+    /// (or unaccountable, under `--ctx-missing match`) access.
+    fn throttle_exceeded(
+        &mut self,
+        rule: &Rule,
+        chain: &ChainName,
+        index: usize,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+        exceed: ExceedPolicy,
+    ) -> Option<EvalDecision> {
+        let tag = rule.target.kind_name();
+        match exceed {
+            ExceedPolicy::Drop => {
+                self.metrics.bump_drops();
+                self.emit_log(pkt, op, tag, "DENY");
+                Some(EvalDecision {
+                    verdict: Verdict::Deny,
+                    dropped_by: Some((chain.name(), index)),
+                    generation: self.snap.generation(),
+                    degraded: self.degraded,
+                })
+            }
+            ExceedPolicy::Log => {
+                self.emit_log(pkt, op, tag, "ALLOW");
+                None
+            }
+            ExceedPolicy::Degrade => {
+                self.degraded = true;
+                self.emit_log(pkt, op, tag, "ALLOW");
+                None
+            }
+        }
     }
 
     fn resolve(&mut self, value: ValueExpr, pkt: &mut Packet<'_>) -> Fetched<u64> {
@@ -746,18 +865,24 @@ impl<'a> Invocation<'a> {
 
     /// Resolves the `--ctx-missing` policy that governs a failed context
     /// fetch in `rule`: the rule's own override, else the chain default,
-    /// else the engine default — fail-closed for DROP rules, fail-open
+    /// else the engine default — fail-closed for DROP and throttle
+    /// rules (a stopped clock must not disarm a rate limit), fail-open
     /// for everything else. Also marks the invocation degraded: by the
     /// time this runs, a fetch has definitely failed.
     fn on_ctx_failure(&mut self, rule: &Rule, chain: &ChainName) -> CtxPolicy {
         self.degraded = true;
         rule.ctx_policy
             .or_else(|| self.snap.ctx_default(chain))
-            .unwrap_or(if matches!(rule.target, Target::Drop) {
-                CtxPolicy::Drop
-            } else {
-                CtxPolicy::Skip
-            })
+            .unwrap_or(
+                if matches!(
+                    rule.target,
+                    Target::Drop | Target::RateLimit { .. } | Target::Quota { .. }
+                ) {
+                    CtxPolicy::Drop
+                } else {
+                    CtxPolicy::Skip
+                },
+            )
     }
 
     fn rule_matches(

@@ -59,6 +59,10 @@ pub enum CtxError {
     LinkRace,
     /// The per-process STATE dictionary was lost or unreadable.
     StateLoss,
+    /// The virtual clock could not be read — throttle targets depend on
+    /// it, and a stopped clock would otherwise let every access through
+    /// a rate limit.
+    ClockFault,
 }
 
 impl CtxError {
@@ -69,6 +73,7 @@ impl CtxError {
             CtxError::ObjectFault => "object_fault",
             CtxError::LinkRace => "link_race",
             CtxError::StateLoss => "state_loss",
+            CtxError::ClockFault => "clock_fault",
         }
     }
 }
@@ -238,5 +243,12 @@ pub trait EvalEnv {
     /// `Missing` (the key was never set).
     fn try_state_get(&self, key: u64) -> Fetched<u64> {
         Fetched::from_option(self.state_get(key))
+    }
+
+    /// Tri-state virtual-clock read, consumed by RATELIMIT/QUOTA
+    /// targets. Default: the infallible [`EvalEnv::now`]. Fault-injecting
+    /// wrappers override this to model a clock the hook cannot read.
+    fn try_now(&self) -> Fetched<u64> {
+        Fetched::Value(self.now())
     }
 }

@@ -40,6 +40,10 @@ pub struct FaultConfig {
     /// Probability a STATE-dictionary read is lost
     /// ([`CtxError::StateLoss`]).
     pub state_fail: f64,
+    /// Probability a virtual-clock read fails
+    /// ([`CtxError::ClockFault`]) — the channel RATELIMIT/QUOTA
+    /// targets depend on.
+    pub clock_fail: f64,
 }
 
 impl FaultConfig {
@@ -56,6 +60,7 @@ impl FaultConfig {
             object_fail: rate,
             link_fail: rate,
             state_fail: rate,
+            clock_fail: rate,
         }
     }
 }
@@ -72,12 +77,14 @@ pub struct FaultStats {
     pub link: u64,
     /// Injected [`CtxError::StateLoss`]es.
     pub state: u64,
+    /// Injected [`CtxError::ClockFault`]s.
+    pub clock: u64,
 }
 
 impl FaultStats {
     /// Total injected faults across every channel.
     pub fn total(&self) -> u64 {
-        self.unwind + self.object + self.link + self.state
+        self.unwind + self.object + self.link + self.state + self.clock
     }
 }
 
@@ -95,6 +102,7 @@ pub struct FaultInjector {
     object: AtomicU64,
     link: AtomicU64,
     state: AtomicU64,
+    clock: AtomicU64,
 }
 
 impl FaultInjector {
@@ -109,6 +117,7 @@ impl FaultInjector {
             object: AtomicU64::new(0),
             link: AtomicU64::new(0),
             state: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -124,6 +133,7 @@ impl FaultInjector {
             object: self.object.load(Ordering::Relaxed),
             link: self.link.load(Ordering::Relaxed),
             state: self.state.load(Ordering::Relaxed),
+            clock: self.clock.load(Ordering::Relaxed),
         }
     }
 
@@ -186,6 +196,14 @@ impl FaultInjector {
         let hit = self.roll(self.cfg.state_fail);
         if hit {
             self.state.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn roll_clock(&self) -> bool {
+        let hit = self.roll(self.cfg.clock_fail);
+        if hit {
+            self.clock.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
@@ -311,6 +329,13 @@ impl EvalEnv for FaultyEnv<'_> {
         }
         self.inner.try_state_get(key)
     }
+
+    fn try_now(&self) -> Fetched<u64> {
+        if self.injector.roll_clock() {
+            return Fetched::Failed(CtxError::ClockFault);
+        }
+        self.inner.try_now()
+    }
 }
 
 #[cfg(test)]
@@ -362,12 +387,17 @@ mod tests {
             object_fail: 0.0,
             link_fail: 1.0,
             state_fail: 0.0,
+            clock_fail: 1.0,
         });
         assert!(inj.roll_unwind());
         assert!(!inj.roll_object());
         assert!(inj.roll_link());
         assert!(!inj.roll_state());
+        assert!(inj.roll_clock());
         let s = inj.stats();
-        assert_eq!((s.unwind, s.object, s.link, s.state), (1, 0, 1, 0));
+        assert_eq!(
+            (s.unwind, s.object, s.link, s.state, s.clock),
+            (1, 0, 1, 0, 1)
+        );
     }
 }

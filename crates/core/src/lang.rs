@@ -21,6 +21,7 @@ use pf_mac::MacPolicy;
 
 use crate::chain::ChainName;
 use crate::config::OptLevel;
+use crate::ratelimit::{self, ExceedPolicy, PerKey};
 use crate::rule::{CtxPolicy, DefaultMatches, MatchModule, Rule, Target};
 use crate::value::{state_key, ValueExpr};
 
@@ -549,9 +550,104 @@ fn parse_target(name: &str, cur: &mut Cursor) -> PfResult<Target> {
             }
         }
         "TRACE" => Ok(Target::Trace),
+        "RATELIMIT" => {
+            let mut rate = None;
+            let mut burst = None;
+            let (mut per, mut exceed) = (PerKey::default(), ExceedPolicy::default());
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--rate" => {
+                        cur.next();
+                        rate = Some(parse_num(&cur.need("rate")?)?);
+                    }
+                    "--burst" => {
+                        cur.next();
+                        burst = Some(parse_num(&cur.need("burst")?)?);
+                    }
+                    "--per" => {
+                        cur.next();
+                        let k = cur.need("per key")?;
+                        per = PerKey::parse(&k)
+                            .ok_or_else(|| err(format!("unknown --per key `{k}`")))?;
+                    }
+                    "--exceed" => {
+                        cur.next();
+                        let p = cur.need("exceed policy")?;
+                        exceed = ExceedPolicy::parse(&p)
+                            .ok_or_else(|| err(format!("unknown --exceed policy `{p}`")))?;
+                    }
+                    _ => break,
+                }
+            }
+            let rate = rate.ok_or_else(|| err("RATELIMIT requires --rate"))?;
+            let burst = burst.unwrap_or(rate.min(ratelimit::MAX_BURST));
+            check_bound("RATELIMIT --rate", rate, ratelimit::MAX_RATE)?;
+            check_bound("RATELIMIT --burst", burst, ratelimit::MAX_BURST)?;
+            Ok(Target::RateLimit {
+                rate,
+                burst,
+                per,
+                exceed,
+            })
+        }
+        "QUOTA" => {
+            let mut limit = None;
+            let mut window = ratelimit::DEFAULT_WINDOW;
+            let (mut per, mut exceed) = (PerKey::default(), ExceedPolicy::default());
+            while let Some(opt) = cur.peek() {
+                match opt {
+                    "--limit" => {
+                        cur.next();
+                        limit = Some(parse_num(&cur.need("limit")?)?);
+                    }
+                    "--window" => {
+                        cur.next();
+                        window = parse_num(&cur.need("window")?)?;
+                    }
+                    "--per" => {
+                        cur.next();
+                        let k = cur.need("per key")?;
+                        per = PerKey::parse(&k)
+                            .ok_or_else(|| err(format!("unknown --per key `{k}`")))?;
+                    }
+                    "--exceed" => {
+                        cur.next();
+                        let p = cur.need("exceed policy")?;
+                        exceed = ExceedPolicy::parse(&p)
+                            .ok_or_else(|| err(format!("unknown --exceed policy `{p}`")))?;
+                    }
+                    _ => break,
+                }
+            }
+            let limit = limit.ok_or_else(|| err("QUOTA requires --limit"))?;
+            check_bound("QUOTA --limit", limit, ratelimit::MAX_LIMIT)?;
+            check_bound("QUOTA --window", window, ratelimit::MAX_WINDOW)?;
+            Ok(Target::Quota {
+                limit,
+                window,
+                per,
+                exceed,
+            })
+        }
         // Any other name jumps to a user chain (e.g. `-j SIGNAL_CHAIN`).
         other => Ok(Target::Jump(other.to_ascii_lowercase())),
     }
+}
+
+/// Rejects degenerate (`0`) and oversized throttle parameters: a
+/// zero-rate bucket or zero-grant quota is a DROP rule in disguise and
+/// almost certainly a typo, and oversized values would overflow the
+/// packed 32-bit state halves.
+fn check_bound(what: &str, value: u64, max: u64) -> PfResult<()> {
+    if value == 0 {
+        return Err(err(format!(
+            "{what} must be at least 1 (use -j DROP to deny outright)"
+        )));
+    }
+    if value > max {
+        return Err(err(format!("{what} must be at most {max}")));
+    }
+    Ok(())
 }
 
 /// Renders a rule back into canonical `pftables` syntax.
@@ -656,6 +752,32 @@ pub fn render_rule(rule: &Rule, chain: &ChainName, mac: &MacPolicy, programs: &I
                     let _ = write!(out, " --tag {tag}");
                 }
             }
+        }
+        Target::RateLimit {
+            rate,
+            burst,
+            per,
+            exceed,
+        } => {
+            let _ = write!(
+                out,
+                " -j RATELIMIT --rate {rate} --burst {burst} --per {} --exceed {}",
+                per.name(),
+                exceed.name()
+            );
+        }
+        Target::Quota {
+            limit,
+            window,
+            per,
+            exceed,
+        } => {
+            let _ = write!(
+                out,
+                " -j QUOTA --limit {limit} --window {window} --per {} --exceed {}",
+                per.name(),
+                exceed.name()
+            );
         }
     }
     out
@@ -813,9 +935,57 @@ mod tests {
             "pftables -x -j DROP",
             "pftables -o FILE_OPEN --ctx-missing wat -j DROP",
             "pftables -o FILE_OPEN --ctx-missing -j DROP",
+            // Throttle targets: degenerate and oversized parameters.
+            "pftables -o FILE_OPEN -j RATELIMIT",
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 0",
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 8 --burst 0",
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 8000000",
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 8 --burst 8000000",
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 8 --per everyone",
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 8 --exceed explode",
+            "pftables -o FILE_OPEN -j QUOTA",
+            "pftables -o FILE_OPEN -j QUOTA --limit 0",
+            "pftables -o FILE_OPEN -j QUOTA --limit 5 --window 0",
+            "pftables -o FILE_OPEN -j QUOTA --limit 99999999999",
         ] {
             assert!(parse_rule(bad, &mut mac, &mut progs).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn ratelimit_defaults_and_quota_window_default() {
+        let (mut mac, mut progs) = setup();
+        let p = parse_rule(
+            "pftables -o FILE_OPEN -j RATELIMIT --rate 8",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(
+            p.rule.target,
+            Target::RateLimit {
+                rate: 8,
+                burst: 8,
+                per: crate::ratelimit::PerKey::Subject,
+                exceed: crate::ratelimit::ExceedPolicy::Drop,
+            },
+            "burst defaults to rate; per/exceed to subject/drop"
+        );
+        let p = parse_rule(
+            "pftables -o FILE_OPEN -j QUOTA --limit 5 --per resource --exceed degrade",
+            &mut mac,
+            &mut progs,
+        )
+        .unwrap();
+        assert_eq!(
+            p.rule.target,
+            Target::Quota {
+                limit: 5,
+                window: crate::ratelimit::DEFAULT_WINDOW,
+                per: crate::ratelimit::PerKey::Resource,
+                exceed: crate::ratelimit::ExceedPolicy::Degrade,
+            }
+        );
     }
 
     #[test]
@@ -874,6 +1044,12 @@ mod tests {
             "pftables -p /bin/sh -i 0x42 -o FILE_OPEN --ctx-missing drop -j DROP",
             "pftables --ctx-missing match -o LINK_READ \
              -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+            "pftables -o PROCESS_SIGNAL_DELIVERY -j RATELIMIT --rate 128 --burst 4",
+            "pftables -s httpd_t -d etc_t -o FILE_OPEN \
+             -j RATELIMIT --rate 32 --burst 2 --per adversary --exceed degrade",
+            "pftables -o FILE_CREATE -d tmp_t -j QUOTA --limit 8",
+            "pftables -o FILE_CREATE -d tmp_t --ctx-missing skip \
+             -j QUOTA --limit 8 --window 4096 --per resource --exceed log",
         ];
         for line in lines {
             let p1 = parse_rule(line, &mut mac, &mut progs).unwrap();

@@ -78,6 +78,7 @@ pub mod fault;
 pub mod lang;
 pub mod log;
 pub mod metrics;
+pub mod ratelimit;
 pub mod render;
 pub mod rule;
 pub mod session;
@@ -95,6 +96,7 @@ pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyEnv};
 pub use lang::render_rule;
 pub use log::LogEntry;
 pub use metrics::{ChainSnapshot, Histogram, Metrics, ShardedHistogram, TraceEvent};
+pub use ratelimit::{ExceedPolicy, PerKey, ThrottleCell};
 pub use render::render_rules;
 pub use rule::{CtxPolicy, MatchModule, Rule, Target};
 pub use session::TaskSession;

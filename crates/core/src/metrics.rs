@@ -119,6 +119,7 @@ struct FieldCounters {
 struct ChainCounters {
     evaluated: Vec<u64>,
     hits: Vec<u64>,
+    throttled: Vec<u64>,
 }
 
 impl ChainCounters {
@@ -126,6 +127,7 @@ impl ChainCounters {
         if self.evaluated.len() <= index {
             self.evaluated.resize(index + 1, 0);
             self.hits.resize(index + 1, 0);
+            self.throttled.resize(index + 1, 0);
         }
     }
 }
@@ -137,6 +139,9 @@ pub struct ChainSnapshot {
     pub evaluated: Vec<u64>,
     /// Times each rule matched (target ran), by rule index.
     pub hits: Vec<u64>,
+    /// Times each rule's RATELIMIT/QUOTA budget rejected an access,
+    /// by rule index (zero for non-throttle rules).
+    pub throttled: Vec<u64>,
 }
 
 /// A log-linear latency histogram over nanosecond values.
@@ -389,12 +394,19 @@ pub struct Metrics {
     /// one is a chain that never got its say. Always on: like fetch
     /// failures, a truncated traversal is a security signal.
     jump_depth_exceeded: AtomicU64,
+    /// Accesses rejected by a RATELIMIT token bucket. Always on: a
+    /// throttled flood is a security signal, not a profiling detail.
+    ratelimit_throttled: AtomicU64,
+    /// Accesses rejected by a QUOTA windowed counter. Always on.
+    quota_exceeded: AtomicU64,
     // --- detail layer (gated by `detailed`) ---
     detailed: AtomicBool,
     per_op: PerOp,
     vcache_hits_op: PerOp,
     vcache_misses_op: PerOp,
     vcache_uncacheable_op: PerOp,
+    ratelimit_throttled_op: PerOp,
+    quota_exceeded_op: PerOp,
     fields: PerField,
     chains: Mutex<BTreeMap<ChainName, ChainCounters>>,
     eval_ns: ShardedHistogram,
@@ -444,11 +456,15 @@ impl Metrics {
         self.vcache_misses.store(0, Ordering::Relaxed);
         self.vcache_uncacheable.store(0, Ordering::Relaxed);
         self.jump_depth_exceeded.store(0, Ordering::Relaxed);
+        self.ratelimit_throttled.store(0, Ordering::Relaxed);
+        self.quota_exceeded.store(0, Ordering::Relaxed);
         for per_op in [
             &self.per_op,
             &self.vcache_hits_op,
             &self.vcache_misses_op,
             &self.vcache_uncacheable_op,
+            &self.ratelimit_throttled_op,
+            &self.quota_exceeded_op,
         ] {
             for c in &per_op.0 {
                 c.store(0, Ordering::Relaxed);
@@ -575,6 +591,39 @@ impl Metrics {
         self.jump_depth_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
+    // --- throttle counters (always-on totals, detail splits) ---
+
+    #[inline]
+    pub(crate) fn bump_ratelimit_throttled(
+        &self,
+        op: LsmOperation,
+        chain: &ChainName,
+        index: usize,
+    ) {
+        self.ratelimit_throttled.fetch_add(1, Ordering::Relaxed);
+        if self.detailed() {
+            self.ratelimit_throttled_op.0[op as usize].fetch_add(1, Ordering::Relaxed);
+            self.rule_throttled_slow(chain, index);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump_quota_exceeded(&self, op: LsmOperation, chain: &ChainName, index: usize) {
+        self.quota_exceeded.fetch_add(1, Ordering::Relaxed);
+        if self.detailed() {
+            self.quota_exceeded_op.0[op as usize].fetch_add(1, Ordering::Relaxed);
+            self.rule_throttled_slow(chain, index);
+        }
+    }
+
+    #[cold]
+    fn rule_throttled_slow(&self, chain: &ChainName, index: usize) {
+        let mut chains = self.lock_chains();
+        let c = chains.entry(chain.clone()).or_default();
+        c.ensure(index);
+        c.throttled[index] += 1;
+    }
+
     // --- legacy accessors (kept from `PfStats`) ---
 
     /// Firewall hook invocations.
@@ -659,6 +708,26 @@ impl Metrics {
         )
     }
 
+    /// Accesses rejected by a RATELIMIT token bucket (regardless of
+    /// the rule's `--exceed` policy).
+    pub fn ratelimit_throttled(&self) -> u64 {
+        self.ratelimit_throttled.load(Ordering::Relaxed)
+    }
+
+    /// Accesses rejected by a QUOTA windowed counter.
+    pub fn quota_exceeded(&self) -> u64 {
+        self.quota_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// `(ratelimit_throttled, quota_exceeded)` for one operation
+    /// (detail layer).
+    pub fn throttle_op_counts(&self, op: LsmOperation) -> (u64, u64) {
+        (
+            self.ratelimit_throttled_op.0[op as usize].load(Ordering::Relaxed),
+            self.quota_exceeded_op.0[op as usize].load(Ordering::Relaxed),
+        )
+    }
+
     // --- per-operation counters ---
 
     #[inline]
@@ -713,6 +782,7 @@ impl Metrics {
         self.lock_chains().get(chain).map(|c| ChainSnapshot {
             evaluated: c.evaluated.clone(),
             hits: c.hits.clone(),
+            throttled: c.throttled.clone(),
         })
     }
 
@@ -875,6 +945,12 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "pf_ratelimit_throttled_total {}",
+            self.ratelimit_throttled()
+        );
+        let _ = writeln!(out, "pf_quota_exceeded_total {}", self.quota_exceeded());
+        let _ = writeln!(
+            out,
             "pf_trace_events_dropped_total {}",
             self.trace_dropped()
         );
@@ -905,6 +981,21 @@ impl Metrics {
                     op.name()
                 );
             }
+            let (throttled, quota) = self.throttle_op_counts(op);
+            if throttled > 0 {
+                let _ = writeln!(
+                    out,
+                    "pf_ratelimit_op_throttled_total{{op=\"{}\"}} {throttled}",
+                    op.name()
+                );
+            }
+            if quota > 0 {
+                let _ = writeln!(
+                    out,
+                    "pf_quota_op_exceeded_total{{op=\"{}\"}} {quota}",
+                    op.name()
+                );
+            }
         }
         for chain in self.chains_seen() {
             let snap = self.chain_snapshot(&chain).unwrap();
@@ -918,6 +1009,13 @@ impl Metrics {
                     out,
                     "pf_rule_hits_total{{chain=\"{name}\",rule=\"{i}\"}} {hit}"
                 );
+                let throttled = snap.throttled.get(i).copied().unwrap_or(0);
+                if throttled > 0 {
+                    let _ = writeln!(
+                        out,
+                        "pf_rule_throttled_total{{chain=\"{name}\",rule=\"{i}\"}} {throttled}"
+                    );
+                }
             }
         }
         for field in CtxField::ALL {
@@ -969,6 +1067,7 @@ impl Metrics {
              \"default_allows\":{},\"degraded_drops\":{},\
              \"degraded_allows\":{},\"vcache_hits\":{},\"vcache_misses\":{},\
              \"vcache_uncacheable\":{},\"jump_depth_exceeded\":{},\
+             \"ratelimit_throttled\":{},\"quota_exceeded\":{},\
              \"trace_dropped\":{}}}",
             self.invocations(),
             self.rules_evaluated(),
@@ -983,6 +1082,8 @@ impl Metrics {
             self.vcache_misses(),
             self.vcache_uncacheable(),
             self.jump_depth_exceeded(),
+            self.ratelimit_throttled(),
+            self.quota_exceeded(),
             self.trace_dropped(),
         );
         s.push_str(",\"ops\":{");
@@ -1012,7 +1113,11 @@ impl Metrics {
                 if i > 0 {
                     s.push(',');
                 }
-                let _ = write!(s, "{{\"rule\":{i},\"evaluated\":{ev},\"hits\":{hit}}}");
+                let throttled = snap.throttled.get(i).copied().unwrap_or(0);
+                let _ = write!(
+                    s,
+                    "{{\"rule\":{i},\"evaluated\":{ev},\"hits\":{hit},\"throttled\":{throttled}}}"
+                );
             }
             s.push(']');
         }
@@ -1295,6 +1400,45 @@ mod tests {
     }
 
     #[test]
+    fn throttle_counters_export_and_reset() {
+        let m = Metrics::new();
+        m.set_detailed(true);
+        m.bump_ratelimit_throttled(LsmOperation::ProcessSignalDelivery, &ChainName::Input, 0);
+        m.bump_ratelimit_throttled(LsmOperation::ProcessSignalDelivery, &ChainName::Input, 0);
+        m.bump_quota_exceeded(LsmOperation::FileCreate, &ChainName::Input, 1);
+        assert_eq!(m.ratelimit_throttled(), 2);
+        assert_eq!(m.quota_exceeded(), 1);
+        assert_eq!(
+            m.throttle_op_counts(LsmOperation::ProcessSignalDelivery),
+            (2, 0)
+        );
+        assert_eq!(m.throttle_op_counts(LsmOperation::FileCreate), (0, 1));
+        let snap = m.chain_snapshot(&ChainName::Input).unwrap();
+        assert_eq!(snap.throttled, vec![2, 1]);
+        let text = m.render_prometheus();
+        assert!(text.contains("pf_ratelimit_throttled_total 2"));
+        assert!(text.contains("pf_quota_exceeded_total 1"));
+        assert!(text.contains("pf_ratelimit_op_throttled_total{op=\"PROCESS_SIGNAL_DELIVERY\"} 2"));
+        assert!(text.contains("pf_quota_op_exceeded_total{op=\"FILE_CREATE\"} 1"));
+        assert!(text.contains("pf_rule_throttled_total{chain=\"input\",rule=\"0\"} 2"));
+        let json = m.to_json();
+        assert!(json.contains("\"ratelimit_throttled\":2"));
+        assert!(json.contains("\"quota_exceeded\":1"));
+        m.reset();
+        assert_eq!(m.ratelimit_throttled(), 0);
+        assert_eq!(m.quota_exceeded(), 0);
+        assert_eq!(
+            m.throttle_op_counts(LsmOperation::ProcessSignalDelivery),
+            (0, 0)
+        );
+        // The always-on totals record even with the detail layer off.
+        m.set_detailed(false);
+        m.bump_quota_exceeded(LsmOperation::FileCreate, &ChainName::Input, 0);
+        assert_eq!(m.quota_exceeded(), 1);
+        assert_eq!(m.throttle_op_counts(LsmOperation::FileCreate), (0, 0));
+    }
+
+    #[test]
     fn json_snapshot_shape() {
         let m = Metrics::new();
         m.set_detailed(true);
@@ -1307,7 +1451,9 @@ mod tests {
         assert!(json.contains("\"invocations\":1"));
         assert!(json.contains("\"default_allows\":1"));
         assert!(json.contains("\"SOCKET_BIND\":1"));
-        assert!(json.contains("\"input\":[{\"rule\":0,\"evaluated\":1,\"hits\":0}]"));
+        assert!(
+            json.contains("\"input\":[{\"rule\":0,\"evaluated\":1,\"hits\":0,\"throttled\":0}]")
+        );
         assert!(json.contains("\"eval_latency_ns\""));
     }
 }

@@ -1,10 +1,12 @@
 //! Rule structure: default matches, match modules, targets.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pf_types::{LabelSet, LsmOperation, ProgramId};
 
 use crate::context::CtxField;
+use crate::ratelimit::{ExceedPolicy, PerKey, ThrottleCell};
 use crate::value::ValueExpr;
 
 /// The default matches of Table 3: `-s`, `-d`, `-i`, `-o`, `-p` and the
@@ -204,6 +206,31 @@ pub enum Target {
     /// structured trace event into the engine's ring buffer — the
     /// iptables TRACE semantics, adapted to one hook invocation.
     Trace,
+    /// `-j RATELIMIT --rate N --burst M [--per K] [--exceed P]`: a
+    /// keyed token bucket. Within budget the rule continues; over
+    /// budget the `--exceed` policy decides (deny by default).
+    RateLimit {
+        /// Tokens accrued per [`crate::ratelimit::RATE_PERIOD`] ticks.
+        rate: u64,
+        /// Bucket capacity in whole tokens.
+        burst: u64,
+        /// What each bucket is keyed by.
+        per: PerKey,
+        /// What happens to over-budget accesses.
+        exceed: ExceedPolicy,
+    },
+    /// `-j QUOTA --limit N [--window T] [--per K] [--exceed P]`: a
+    /// keyed windowed counter — at most N grants per T-tick window.
+    Quota {
+        /// Grants allowed per window.
+        limit: u64,
+        /// Window length in virtual-clock ticks.
+        window: u64,
+        /// What each counter is keyed by.
+        per: PerKey,
+        /// What happens to over-budget accesses.
+        exceed: ExceedPolicy,
+    },
 }
 
 impl Target {
@@ -228,7 +255,15 @@ impl Target {
             Target::StateSet { .. } | Target::StateUnset { .. } => "STATE",
             Target::Log { .. } => "LOG",
             Target::Trace => "TRACE",
+            Target::RateLimit { .. } => "RATELIMIT",
+            Target::Quota { .. } => "QUOTA",
         }
+    }
+
+    /// Whether this target consumes throttle state (RATELIMIT/QUOTA)
+    /// and therefore owns a [`ThrottleCell`].
+    pub fn is_throttle(&self) -> bool {
+        matches!(self, Target::RateLimit { .. } | Target::Quota { .. })
     }
 }
 
@@ -261,9 +296,14 @@ pub struct Rule {
     /// a walk that reaches this rule's modules is not key-determined.
     pub(crate) vc_impure_match: bool,
     /// Cacheability analysis, target side: `true` for targets with side
-    /// effects (STATE writes, LOG, TRACE) that a cached verdict would
-    /// fail to replay.
+    /// effects (STATE writes, LOG, TRACE, throttle-state consumption)
+    /// that a cached verdict would fail to replay.
     pub(crate) vc_impure_target: bool,
+    /// Throttle state for RATELIMIT/QUOTA targets; `None` otherwise.
+    /// Shared by `Clone` (an `Arc`, like the rule itself in snapshots)
+    /// so in-flight buckets survive snapshot edits, and ignored by
+    /// equality — like `hits`, state is not part of a rule's identity.
+    pub(crate) throttle: Option<Arc<ThrottleCell>>,
 }
 
 impl Clone for Rule {
@@ -277,6 +317,7 @@ impl Clone for Rule {
             hits: AtomicU64::new(self.hits()),
             vc_impure_match: self.vc_impure_match,
             vc_impure_target: self.vc_impure_target,
+            throttle: self.throttle.clone(),
         }
     }
 }
@@ -309,7 +350,14 @@ impl Rule {
                 | Target::StateUnset { .. }
                 | Target::Log { .. }
                 | Target::Trace
+                | Target::RateLimit { .. }
+                | Target::Quota { .. }
         );
+        let throttle = if target.is_throttle() {
+            Some(Arc::new(ThrottleCell::new()))
+        } else {
+            None
+        };
         Rule {
             def,
             matches,
@@ -319,6 +367,20 @@ impl Rule {
             hits: AtomicU64::new(0),
             vc_impure_match,
             vc_impure_target,
+            throttle,
+        }
+    }
+
+    /// The throttle state cell backing a RATELIMIT/QUOTA target.
+    pub(crate) fn throttle_cell(&self) -> Option<&Arc<ThrottleCell>> {
+        self.throttle.as_ref()
+    }
+
+    /// Replaces this rule's throttle cell with `cell` — the hot-reload
+    /// carryover hook (see `RuleBase::carry_throttle_state`).
+    pub(crate) fn adopt_throttle(&mut self, cell: Arc<ThrottleCell>) {
+        if self.throttle.is_some() {
+            self.throttle = Some(cell);
         }
     }
 

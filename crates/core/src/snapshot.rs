@@ -172,6 +172,12 @@ impl SharedRuleset {
             base: current.base.clone(),
         };
         let value = edit(&mut draft)?;
+        // Throttle-state carryover: RATELIMIT/QUOTA rules re-submitted
+        // verbatim (a hot `reload()` re-parses every line into fresh
+        // `Rule`s) keep their in-flight token buckets; changed rules
+        // start fresh. Clone-path edits already share cells through
+        // `Rule::clone`, for which this is a no-op re-adoption.
+        draft.base.carry_throttle_state(&current.base);
         let generation = current.generation + 1;
         *current = Arc::new(RulesetSnapshot {
             config: draft.config,

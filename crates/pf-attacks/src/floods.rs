@@ -1,0 +1,168 @@
+//! Abuse-flood scenarios mitigated by `RATELIMIT`/`QUOTA` rules.
+//!
+//! The Table 4 exploits are *one-shot* integrity violations: a single
+//! malicious access that a `DROP` rule can deny outright. The attacks
+//! here are **floods** — every individual access is formally permitted
+//! (same-uid signals, world-writable `/tmp` creates, reads the DAC/MAC
+//! policy allows), so a plain `DROP` rule would also deny the
+//! legitimate trickle. The right response is graceful degradation:
+//! throttle the aggregate rate and let well-behaved traffic through.
+//!
+//! Each scenario returns enough outcome detail for its test to assert
+//! three things at once: the unprotected run is overwhelmed, the
+//! protected run clamps the flood near the configured budget, and a
+//! legitimate client still gets service.
+
+use pf_os::standard_world;
+use pf_os::OpenFlags;
+use pf_types::{Gid, PfResult, SignalNum, Uid};
+
+use crate::webserver::Apache;
+
+/// Signal-storm DoS: a same-uid attacker hammers a daemon with
+/// `SIGALRM` faster than the daemon can do useful work between
+/// deliveries. Every kill passes the uid permission check, so only a
+/// rate budget on the *delivery* hook helps.
+///
+/// Returns `(delivered, legit_after_idle)`: how many of the 60 storm
+/// signals reached the victim, and whether a later well-spaced signal
+/// still got through.
+pub fn signal_storm(protect: bool) -> PfResult<(u32, bool)> {
+    let mut k = standard_world();
+    if protect {
+        // Budget: a burst of 4 deliveries, refilling at 128 per 1024
+        // clock ticks (one tick per syscall) — an eighth of a token per
+        // storm iteration, so the storm nets the burst plus a trickle.
+        k.install_rules(["pftables -I input -o PROCESS_SIGNAL_DELIVERY \
+             -j RATELIMIT --rate 128 --burst 4 --per subject --exceed drop"])?;
+    }
+    let victim = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+    let attacker = k.spawn("user_t", "/bin/sh", Uid::ROOT, Gid::ROOT);
+
+    let mut delivered = 0u32;
+    for _ in 0..60 {
+        if k.kill(attacker, victim, SignalNum::SIGALRM)? {
+            delivered += 1;
+        }
+    }
+
+    // The storm subsides: ordinary syscall traffic advances the clock,
+    // the bucket refills, and a legitimate signal is delivered again.
+    for _ in 0..64 {
+        k.sigprocmask(victim, SignalNum::SIGHUP, false)?;
+    }
+    let legit = k.kill(attacker, victim, SignalNum::SIGALRM)?;
+    Ok((delivered, legit))
+}
+
+/// Inode-squat flood: an adversary pre-creates dozens of well-known
+/// names in `/tmp` to squat future victims (the bulk version of the
+/// file-squatting class). Each create is DAC-legal in the shared
+/// sticky directory, so the mitigation is a per-subject creation
+/// *quota* on `tmp_t`, not a blanket deny.
+///
+/// Returns `(created, denied, legit_ok)`: squats that succeeded, squats
+/// the firewall denied, and whether an unrelated subject could still
+/// create its own scratch file afterwards.
+pub fn inode_squat_flood(protect: bool) -> PfResult<(u32, u32, bool)> {
+    let mut k = standard_world();
+    if protect {
+        k.install_rules(["pftables -I input -o FILE_CREATE -d tmp_t \
+             -j QUOTA --limit 8 --window 100000 --per subject --exceed drop"])?;
+    }
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let (mut created, mut denied) = (0u32, 0u32);
+    for i in 0..40 {
+        match k.open(adversary, &format!("/tmp/sq{i}"), OpenFlags::creat(0o666)) {
+            Ok(fd) => {
+                created += 1;
+                k.close(adversary, fd)?;
+            }
+            Err(e) if e.is_firewall_denial() => denied += 1,
+            Err(e) => return Err(e),
+        }
+    }
+
+    // The quota is per subject: a legitimate daemon's scratch file in
+    // the same directory is unaffected by the adversary's exhaustion.
+    let daemon = k.spawn("init_t", "/usr/sbin/cron", Uid::ROOT, Gid::ROOT);
+    let legit = k
+        .open(daemon, "/tmp/cron.scratch", OpenFlags::creat(0o600))
+        .is_ok();
+    Ok((created, denied, legit))
+}
+
+/// LFI probe burst: a scanner fires traversal probes at an unfiltered
+/// web server. Rather than a hard docroot deny (which the admin may not
+/// be able to deploy for a CGI that legitimately touches `/etc`), the
+/// rule rate-limits the server's `etc_t` opens so a probe loop leaks a
+/// bounded handful while interactive traffic is untouched.
+///
+/// Returns `(leaks, benign_ok)`: probe responses that exposed the
+/// password file out of 30 attempts, and whether ordinary page loads
+/// kept working throughout the burst.
+pub fn lfi_probe_burst(protect: bool) -> PfResult<(u32, bool)> {
+    let mut k = standard_world();
+    let mut apache = Apache::start(&mut k);
+    apache.filter_dotdot = false; // The programmer forgot the filter.
+    if protect {
+        k.install_rules(["pftables -I input -s httpd_t -d etc_t -o FILE_OPEN \
+             -j RATELIMIT --rate 8 --burst 2 --per subject --exceed drop"])?;
+    }
+    let mut leaks = 0u32;
+    let mut benign = true;
+    for _ in 0..30 {
+        if apache
+            .handle_request(&mut k, "/../../etc/passwd")
+            .map(|b| b.starts_with(b"root:"))
+            .unwrap_or(false)
+        {
+            leaks += 1;
+        }
+        benign &= apache.handle_request(&mut k, "/index.html").is_ok();
+    }
+    Ok((leaks, benign))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_storm_is_throttled_not_silenced() {
+        let (delivered, legit) = signal_storm(false).unwrap();
+        assert_eq!(delivered, 60, "unprotected victim absorbs the storm");
+        assert!(legit);
+        let (delivered, legit) = signal_storm(true).unwrap();
+        assert!(
+            (4..=16).contains(&delivered),
+            "throttled storm clamps near burst+trickle, got {delivered}"
+        );
+        assert!(legit, "well-spaced legitimate signal still delivered");
+    }
+
+    #[test]
+    fn inode_squat_flood_hits_the_quota() {
+        let (created, denied, legit) = inode_squat_flood(false).unwrap();
+        assert_eq!(created, 40, "unprotected adversary squats everything");
+        assert_eq!(denied, 0);
+        assert!(legit);
+        let (created, denied, legit) = inode_squat_flood(true).unwrap();
+        assert_eq!(created, 8, "exactly the quota budget succeeds");
+        assert_eq!(denied, 32);
+        assert!(legit, "other subjects keep their own creation budget");
+    }
+
+    #[test]
+    fn lfi_probe_burst_leaks_a_bounded_handful() {
+        let (leaks, benign) = lfi_probe_burst(false).unwrap();
+        assert_eq!(leaks, 30, "unfiltered server leaks on every probe");
+        assert!(benign);
+        let (leaks, benign) = lfi_probe_burst(true).unwrap();
+        assert!(
+            (1..=6).contains(&leaks),
+            "rate limit clamps the probe loop, got {leaks}"
+        );
+        assert!(benign, "docroot pages served throughout the burst");
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`exploits`] — executable reproductions of exploits E1–E9 (Table 4),
 //!   each with an unprotected run (attack succeeds), a protected run
 //!   (firewall blocks it), and a benign twin (no false positive);
+//! * [`floods`] — abuse floods (signal storm, inode-squat flood, LFI
+//!   probe burst) mitigated by `RATELIMIT`/`QUOTA` throttle rules;
 //! * [`webserver`] — the Apache model used for the
 //!   `SymLinksIfOwnerMatch` comparison of Figure 5 and the
 //!   directory-traversal scenarios;
@@ -18,6 +20,7 @@
 //!   web serving).
 
 pub mod exploits;
+pub mod floods;
 pub mod races;
 pub mod ruleset;
 pub mod safe_open;

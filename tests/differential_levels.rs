@@ -42,7 +42,7 @@ fn rule_line(kind: usize, lbl: usize, bound: bool, pc: u64) -> String {
     } else {
         String::new()
     };
-    match kind % 5 {
+    match kind % 7 {
         0 => format!("pftables {ept}-o FILE_OPEN -d {l} -j DROP"),
         1 => format!("pftables {ept}-o FILE_OPEN -d {l} -j ACCEPT"),
         2 => format!("pftables {ept}-o FILE_OPEN -d {l} -j RETURN"),
@@ -51,6 +51,16 @@ fn rule_line(kind: usize, lbl: usize, bound: bool, pc: u64) -> String {
             "pftables {ept}-o FILE_OPEN -d {l} -j STATE --set --key {} --value {}",
             40 + lbl as u64,
             pc
+        ),
+        // Throttle targets are impure (bucket state advances per walk),
+        // so VCACHE must classify them uncacheable and re-walk — the
+        // differential below proves the verdict stream still agrees,
+        // because each level's kernel replays the identical clock.
+        5 => format!(
+            "pftables {ept}-o FILE_OPEN -d {l} -j RATELIMIT --rate 300 --burst 2 --exceed drop"
+        ),
+        6 => format!(
+            "pftables {ept}-o FILE_OPEN -d {l} -j QUOTA --limit 3 --window 512 --exceed drop"
         ),
         _ => unreachable!(),
     }
@@ -103,7 +113,7 @@ proptest! {
     #[test]
     fn full_eptspc_vcache_verdicts_and_side_effects_agree(
         rules in prop::collection::vec(
-            (0usize..5, 0usize..5, any::<bool>(), 0u64..3),
+            (0usize..7, 0usize..5, any::<bool>(), 0u64..3),
             1..14
         ),
         trace in prop::collection::vec((0usize..5, 0u64..3), 1..10),

@@ -505,6 +505,63 @@ fn eight_thread_soak_over_full_ruleset_under_faults() {
 }
 
 #[test]
+fn clock_fault_on_throttle_rule_fails_closed() {
+    // A bucket generous enough that a healthy clock grants everything:
+    // any denial below is attributable to the injected clock fault, not
+    // to budget exhaustion.
+    const RULE: &str = "pftables -o FILE_OPEN \
+         -j RATELIMIT --rate 1000 --burst 1000 --exceed drop";
+    let mut mac = ubuntu_mini();
+    let mut programs = Interner::new();
+    let pf = ProcessFirewall::new(OptLevel::EptSpc);
+    pf.install(RULE, &mut mac, &mut programs).unwrap();
+
+    let mut env = AttackEnv::new(
+        programs.clone(),
+        "user_t",
+        "/bin/sh",
+        0x100,
+        "etc_t",
+        5,
+        1000,
+    );
+    assert_eq!(
+        pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+        Verdict::Allow,
+        "fault-free throttle grants within budget"
+    );
+
+    // A stopped clock must not turn the rate limit into an
+    // unconditional allow: the engine default for throttle targets is
+    // fail-closed, and the decision is reported degraded.
+    let injector = FaultInjector::new(FaultConfig {
+        clock_fail: 1.0,
+        ..FaultConfig::off(7)
+    });
+    let mut faulty = FaultyEnv::new(&mut env, &injector);
+    let d = pf.evaluate(&mut faulty, LsmOperation::FileOpen);
+    assert_eq!(d.verdict, Verdict::Deny, "clock fault fails closed");
+    assert!(d.degraded, "fail-closed throttle deny is degraded");
+    assert_eq!(pf.metrics().degraded_drops(), 1);
+    assert!(injector.stats().clock > 0, "the clock channel fired");
+
+    // The explicit opt-out: `-P input --ctx-missing skip` lets traffic
+    // through a blinded throttle, but never silently — the decision is
+    // still marked degraded (and the lapse is logged).
+    pf.install(
+        "pftables -P input --ctx-missing skip",
+        &mut mac,
+        &mut programs,
+    )
+    .unwrap();
+    let mut faulty = FaultyEnv::new(&mut env, &injector);
+    let d = pf.evaluate(&mut faulty, LsmOperation::FileOpen);
+    assert_eq!(d.verdict, Verdict::Allow, "skip policy stands aside");
+    assert!(d.degraded, "no silent allow: the skip is reported degraded");
+    assert_eq!(pf.metrics().degraded_allows(), 1);
+}
+
+#[test]
 fn kernel_hook_applies_fault_injection() {
     // The pf-os plumbing: arm `Kernel::fault_injection` and replay the
     // E1 library-open attack through the real hook. With a 10% unwind
