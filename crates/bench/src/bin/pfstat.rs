@@ -1,22 +1,28 @@
 //! `pfstat`: the observability report tool.
 //!
 //! Runs one pf-attacks workload under the full rule base (EPTSPC) with
-//! detailed metrics enabled, then prints the counter/histogram report:
-//! summary counters, per-operation invocation counts, per-rule
-//! evaluated/hit counters, per-context-field fetch statistics, and the
-//! evaluation / context-fetch latency histograms.
+//! detailed metrics enabled and decision-event sampling at `always`,
+//! then prints the counter/histogram report: summary counters,
+//! per-operation invocation counts, per-rule evaluated/hit counters,
+//! per-context-field fetch statistics, the evaluation / context-fetch
+//! latency histograms, the decision-event plane tallies, and live
+//! RATELIMIT/QUOTA bucket occupancy.
 //!
 //! ```text
 //! usage: pfstat [apache|boot|web] [--json|--prometheus]
 //! ```
 //!
 //! `--json` and `--prometheus` switch the output to the corresponding
-//! exporter format (see docs/OBSERVABILITY.md).
+//! firewall-level exporter format — metrics plus event-plane counters
+//! plus throttle occupancy (see docs/OBSERVABILITY.md).
+
+use std::collections::HashMap;
 
 use pf_attacks::workloads::{apache_build, boot, setup_build_tree, web_serve};
 use pf_bench::{world_at, RuleSet};
+use pf_core::events::EventKind;
 use pf_core::metrics::Histogram;
-use pf_core::{CtxField, OptLevel};
+use pf_core::{CtxField, OptLevel, SamplingMode};
 use pf_types::LsmOperation;
 
 fn usage() -> ! {
@@ -44,6 +50,7 @@ fn main() {
 
     let (mut k, _) = world_at(OptLevel::EptSpc, RuleSet::Full);
     k.firewall.metrics().set_detailed(true);
+    k.firewall.set_sampling(SamplingMode::Always);
     match workload.as_str() {
         "apache" => {
             setup_build_tree(&mut k);
@@ -59,8 +66,8 @@ fn main() {
     }
 
     match mode {
-        Mode::Json => println!("{}", k.firewall.metrics().to_json()),
-        Mode::Prometheus => print!("{}", k.firewall.metrics().render_prometheus()),
+        Mode::Json => println!("{}", k.firewall.to_json()),
+        Mode::Prometheus => print!("{}", k.firewall.render_prometheus()),
         Mode::Report => report(&k, &workload),
     }
 }
@@ -206,6 +213,89 @@ fn report(k: &pf_os::Kernel, workload: &str) {
     print_histogram("hook evaluation latency", m.eval_latency());
     println!();
     print_histogram("context fetch latency", m.fetch_latency());
+    println!();
+
+    // Decision-event plane: drain what the workload emitted and tally
+    // kinds, verdicts, and sampled-decision latency.
+    let plane = k.firewall.events();
+    println!(
+        "== event plane (sampling `{}`) ==",
+        plane.sampling().render()
+    );
+    let events = plane.drain();
+    println!(
+        "emitted {} / drained {} / overwritten {}",
+        plane.emitted(),
+        plane.drained(),
+        plane.dropped()
+    );
+    if events.is_empty() {
+        println!("(no events drained)");
+    } else {
+        let mut kinds: HashMap<&'static str, u64> = HashMap::new();
+        let mut verdicts: HashMap<&'static str, u64> = HashMap::new();
+        let lat = Histogram::default();
+        for ev in &events {
+            *kinds.entry(ev.kind.name()).or_default() += 1;
+            if ev.kind == EventKind::Decision {
+                *verdicts.entry(ev.verdict.name()).or_default() += 1;
+                lat.record(ev.latency_ns);
+            }
+        }
+        let mut kinds: Vec<_> = kinds.into_iter().collect();
+        kinds.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        for (kind, n) in kinds {
+            println!("{kind:<28} {n}");
+        }
+        let mut verdicts: Vec<_> = verdicts.into_iter().collect();
+        verdicts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        for (verdict, n) in verdicts {
+            println!("  verdict {verdict:<20} {n}");
+        }
+        if lat.count() > 0 {
+            println!(
+                "sampled decision latency: p50 {} ns, p99 {} ns, p99.9 {} ns",
+                lat.p50(),
+                lat.p99(),
+                lat.percentile(99.9)
+            );
+        }
+    }
+    println!();
+
+    // Live per-key throttle bucket occupancy, straight off the packed
+    // atomic words — no locks taken, buckets keep moving underneath.
+    let occupancy = k.firewall.throttle_occupancy();
+    println!("== throttle occupancy ==");
+    if occupancy.is_empty() {
+        println!("(no RATELIMIT/QUOTA rules installed)");
+    } else {
+        for occ in &occupancy {
+            println!("{}[{}] {} — {}", occ.chain, occ.index, occ.kind, occ.text);
+            if occ.slots.is_empty() {
+                println!("  (no active buckets)");
+            }
+            for slot in &occ.slots {
+                let value = if occ.kind == "RATELIMIT" {
+                    slot.tokens()
+                } else {
+                    slot.count()
+                };
+                println!(
+                    "  key {:#018x}  tick {:>8}  {} {:>8}{}",
+                    slot.key,
+                    slot.tick,
+                    if occ.kind == "RATELIMIT" {
+                        "tokens"
+                    } else {
+                        "count "
+                    },
+                    value,
+                    if slot.spill { "  [spill]" } else { "" }
+                );
+            }
+        }
+    }
 }
 
 fn print_histogram(title: &str, h: Histogram) {

@@ -176,26 +176,6 @@ fn time_verdict(fw: &ProcessFirewall, env: &mut Env, iters: u64, expect: Verdict
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-/// Appends one run object to the `BENCH_table6.json` trajectory file,
-/// creating it when absent.
-fn append_trajectory(run: &str) {
-    const PATH: &str = "BENCH_table6.json";
-    let body = match std::fs::read_to_string(PATH) {
-        Ok(existing) => match existing.trim_end().strip_suffix("]}") {
-            Some(prefix) if !prefix.trim_end().ends_with('[') => {
-                format!("{prefix},{run}]}}")
-            }
-            Some(prefix) => format!("{prefix}{run}]}}"),
-            None => format!("{{\"schema\":\"table6-trajectory-v1\",\"runs\":[{run}]}}"),
-        },
-        Err(_) => format!("{{\"schema\":\"table6-trajectory-v1\",\"runs\":[{run}]}}"),
-    };
-    match std::fs::write(PATH, body) {
-        Ok(()) => println!("appended run to {PATH}"),
-        Err(e) => eprintln!("could not write {PATH}: {e}"),
-    }
-}
-
 fn main() {
     let iters: u64 = std::env::args()
         .nth(1)
@@ -273,7 +253,7 @@ fn main() {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
-    append_trajectory(&run);
+    pf_bench::append_trajectory("BENCH_table6.json", "table6-trajectory-v1", &run);
 
     // Acceptance bars.
     assert_eq!(grant_allocs, 0, "granted throttle path allocated");

@@ -248,7 +248,7 @@ fn main() {
     let mut json = String::from("{");
     let _ = write!(
         json,
-        "\"iters\":{iters},\"rules\":{n_rules},\
+        "\"bench\":\"table6_vcache\",\"iters\":{iters},\"rules\":{n_rules},\
          \"eptspc_ns_per_invocation\":{eptspc_ns:.2},\
          \"vcache_ns_per_invocation\":{vcache_ns:.2},\
          \"speedup\":{speedup:.4},\
@@ -262,6 +262,7 @@ fn main() {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    pf_bench::append_trajectory("BENCH_table6.json", "table6-trajectory-v1", &json);
 
     // Acceptance bars.
     assert_eq!(

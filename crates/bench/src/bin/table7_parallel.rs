@@ -446,4 +446,30 @@ fn write_json(
         Ok(()) => eprintln!("results: wrote {}", path.display()),
         Err(e) => eprintln!("results: could not write {}: {e}", path.display()),
     }
+
+    // Compact headline run for the cross-commit trajectory file.
+    let mut run = String::from("{\"bench\":\"table7_parallel\"");
+    run.push_str(&format!(
+        ",\"requests_per_client\":{requests},\"host_cpus\":{nproc}"
+    ));
+    for r in results {
+        run.push_str(&format!(
+            ",\"t{}_hooks_per_cpu_s\":{},\"t{}_eval_p50_ns\":{},\"t{}_eval_p99_ns\":{}",
+            r.threads,
+            opt(r.hooks_per_cpu_s),
+            r.threads,
+            r.eval_p50_ns,
+            r.threads,
+            r.eval_p99_ns
+        ));
+    }
+    run.push_str(&format!(",\"cpu_speedup_4_vs_1\":{}", opt(speedup_cpu)));
+    if let Some(s) = soak {
+        run.push_str(&format!(
+            ",\"soak_reloads\":{},\"soak_syscalls\":{}",
+            s.reloads, s.syscalls
+        ));
+    }
+    run.push('}');
+    pf_bench::append_trajectory("BENCH_table7.json", "table7-trajectory-v1", &run);
 }

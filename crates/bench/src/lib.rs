@@ -96,6 +96,32 @@ pub fn dump_metrics_json(json: &str, name: &str) {
     }
 }
 
+/// Appends one run object to a JSON trajectory file of the shape
+/// `{"schema":"<schema>","runs":[...]}`, creating the file when absent
+/// or unparseable. Trajectory files (e.g. the repo-root
+/// `BENCH_table6.json`) accumulate one run object per harness
+/// invocation so CI can track headline numbers across commits.
+///
+/// Best-effort, like [`dump_metrics_json`]: a write failure is a
+/// warning, not an error.
+pub fn append_trajectory(path: &str, schema: &str, run: &str) {
+    let fresh = || format!("{{\"schema\":\"{schema}\",\"runs\":[{run}]}}");
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => match existing.trim_end().strip_suffix("]}") {
+            Some(prefix) if !prefix.trim_end().ends_with('[') => {
+                format!("{prefix},{run}]}}")
+            }
+            Some(prefix) => format!("{prefix}{run}]}}"),
+            None => fresh(),
+        },
+        Err(_) => fresh(),
+    };
+    match std::fs::write(path, body) {
+        Ok(()) => println!("appended run to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 /// Joins named metrics documents into one JSON object:
 /// `{"name1": <doc1>, "name2": <doc2>, …}`.
 pub fn combine_metrics_json(sections: &[(String, String)]) -> String {

@@ -210,6 +210,17 @@ impl<'e> Packet<'e> {
         self.collected |= 1 << field.bit();
     }
 
+    /// The entrypoint *iff it was already collected this invocation* —
+    /// a read-only peek for event emission that never forces an unwind
+    /// (so recording a decision event cannot perturb the lazy-fetch
+    /// behaviour it is observing).
+    pub(crate) fn entrypoint_collected(&self) -> Option<(ProgramId, u64)> {
+        if self.collected & (1 << CtxField::Entrypoint.bit()) == 0 {
+            return None;
+        }
+        self.entrypoint.ok()
+    }
+
     /// Eagerly materializes every context field (the unoptimized FULL
     /// behaviour: "a naive design simply fetches all process and resource
     /// contexts", Section 4.2).

@@ -31,6 +31,7 @@
 
 use std::cell::RefCell;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use pf_types::{Interner, LsmOperation, PfResult, Verdict};
 
@@ -40,10 +41,14 @@ use crate::chain::{ChainName, RuleBase};
 use crate::config::{OptLevel, PfConfig};
 use crate::context::Packet;
 use crate::env::{CtxError, EvalEnv, Fetched};
+use crate::events::{
+    self, DecisionEvent, EventKind, EventPlane, EventVerdict, Gate, SamplingMode, ThrottleOutcome,
+    VcacheOutcome,
+};
 use crate::lang::{parse_command, Command, RuleOp};
 use crate::log::LogEntry;
-use crate::metrics::{Metrics, TraceEvent};
-use crate::ratelimit::{ExceedPolicy, PerKey};
+use crate::metrics::{prom_label_esc, Metrics, TraceEvent};
+use crate::ratelimit::{ExceedPolicy, PerKey, ThrottleSlotState};
 use crate::rule::{CtxPolicy, MatchModule, Rule, Target};
 use crate::snapshot::{RulesetDraft, RulesetSnapshot, SharedRuleset};
 use crate::value::ValueExpr;
@@ -86,6 +91,25 @@ pub struct ProcessFirewall {
     shared: SharedRuleset,
     metrics: Metrics,
     logs: Mutex<Vec<LogEntry>>,
+    events: EventPlane,
+}
+
+/// One throttle rule's live bucket occupancy, as reported by
+/// [`ProcessFirewall::throttle_occupancy`].
+#[derive(Debug, Clone)]
+pub struct ThrottleOccupancy {
+    /// Chain the rule lives in.
+    pub chain: String,
+    /// Rule index within the chain.
+    pub index: usize,
+    /// The rule's target kind (`RATELIMIT` or `QUOTA`).
+    pub kind: &'static str,
+    /// The rule's original `pftables` text.
+    pub text: String,
+    /// Live per-key slot states — a racy-by-design snapshot; each slot
+    /// is individually consistent (see
+    /// [`crate::ratelimit::ThrottleCell::occupancy`]).
+    pub slots: Vec<ThrottleSlotState>,
 }
 
 // The engine is shared across simulated tasks (and real threads in the
@@ -109,8 +133,27 @@ fn apply_command(draft: &mut RulesetDraft, cmd: Command) -> PfResult<()> {
         Command::DeleteChain(chain) => draft.base.delete_chain(&chain)?,
         Command::CtxDefault(chain, policy) => draft.base.set_ctx_default(chain, Some(policy)),
         Command::SetLevel(level) => draft.config = level.config(),
+        // Sampling is runtime state on the event plane, not snapshot
+        // state; every caller routes it before building a draft. A
+        // stray occurrence here is a harmless no-op.
+        Command::SetSampling(_) => {}
     }
     Ok(())
+}
+
+/// Splits the `-E` sampling directives out of a parsed command batch:
+/// they apply to the event plane (runtime state), not the snapshot.
+fn split_sampling(cmds: &mut Vec<Command>) -> Vec<SamplingMode> {
+    let mut sampling = Vec::new();
+    cmds.retain(|cmd| {
+        if let Command::SetSampling(mode) = cmd {
+            sampling.push(*mode);
+            false
+        } else {
+            true
+        }
+    });
+    sampling
 }
 
 impl ProcessFirewall {
@@ -120,6 +163,50 @@ impl ProcessFirewall {
             shared: SharedRuleset::new(level.config()),
             metrics: Metrics::new(),
             logs: Mutex::new(Vec::new()),
+            events: EventPlane::new(),
+        }
+    }
+
+    /// The decision-event tracing plane (see [`crate::events`]).
+    pub fn events(&self) -> &EventPlane {
+        &self.events
+    }
+
+    /// Sets the decision-event sampling mode — one atomic store, no
+    /// snapshot swap, no generation bump. Equivalent to installing a
+    /// `pftables -E <mode>` line.
+    pub fn set_sampling(&self, mode: SamplingMode) {
+        self.events.set_sampling(mode);
+    }
+
+    /// The current decision-event sampling mode.
+    pub fn sampling(&self) -> SamplingMode {
+        self.events.sampling()
+    }
+
+    /// Captures the pre-edit snapshot and a timer when the event plane
+    /// is armed; management verbs thread it into [`Self::note_commit`]
+    /// so commit events can report the edit's duration and rule diff.
+    fn control_span(&self) -> Option<(Arc<RulesetSnapshot>, Instant)> {
+        if self.events.sampling() == SamplingMode::Off {
+            return None;
+        }
+        Some((self.shared.load(), Instant::now()))
+    }
+
+    /// Emits the commit-only self-observability event single-command
+    /// management verbs share: generation, edit duration, rule diff vs
+    /// the pre-edit snapshot, and post-edit rule count.
+    fn note_commit(&self, span: Option<(Arc<RulesetSnapshot>, Instant)>, generation: u64) {
+        if let Some((before, t0)) = span {
+            let after = self.shared.load();
+            self.events.emit_control(
+                EventKind::ReloadCommit,
+                generation,
+                t0.elapsed().as_nanos() as u64,
+                before.rule_diff(&after),
+                after.len() as u64,
+            );
         }
     }
 
@@ -137,10 +224,12 @@ impl ProcessFirewall {
     /// Sets an explicit configuration, returning the new snapshot
     /// generation. On error the previous snapshot stays live.
     pub fn set_config(&self, config: PfConfig) -> PfResult<u64> {
+        let span = self.control_span();
         let ((), generation) = self.shared.update(|d| {
             d.config = config;
             Ok(())
         })?;
+        self.note_commit(span, generation);
         Ok(generation)
     }
 
@@ -153,7 +242,15 @@ impl ProcessFirewall {
         programs: &mut Interner,
     ) -> PfResult<()> {
         let cmd = parse_command(line, mac, programs)?;
-        self.shared.update(|d| apply_command(d, cmd))?;
+        if let Command::SetSampling(mode) = cmd {
+            // Runtime directive: one atomic store on the event plane,
+            // no snapshot swap, no generation bump.
+            self.events.set_sampling(mode);
+            return Ok(());
+        }
+        let span = self.control_span();
+        let ((), generation) = self.shared.update(|d| apply_command(d, cmd))?;
+        self.note_commit(span, generation);
         Ok(())
     }
 
@@ -174,17 +271,73 @@ impl ProcessFirewall {
             }
             cmds.push(parse_command(line, mac, programs)?);
         }
-        let n = cmds.len();
-        if n == 0 {
-            return Ok(0);
+        let sampling = split_sampling(&mut cmds);
+        let n = cmds.len() + sampling.len();
+        if cmds.is_empty() {
+            // Only `-E` directives (or nothing): no snapshot to build.
+            for mode in sampling {
+                self.events.set_sampling(mode);
+            }
+            return Ok(n);
         }
-        self.shared.update(|d| {
+        let before = self.shared.load();
+        let t0 = Instant::now();
+        self.events.emit_control(
+            EventKind::ReloadBegin,
+            before.generation(),
+            0,
+            0,
+            before.len() as u64,
+        );
+        match self.shared.update(|d| {
             for cmd in cmds {
                 apply_command(d, cmd)?;
             }
             Ok(())
-        })?;
-        Ok(n)
+        }) {
+            Ok(((), generation)) => {
+                for mode in sampling {
+                    self.events.set_sampling(mode);
+                }
+                self.note_batch_commit(&before, t0, generation);
+                Ok(n)
+            }
+            Err(e) => {
+                self.note_batch_abort(&before, t0);
+                Err(e)
+            }
+        }
+    }
+
+    /// Emits the commit event for a successful batch edit. Runs after
+    /// any batched `-E` directives took effect, so a batch that *turns
+    /// sampling on* records its own commit; the rule diff is computed
+    /// only when the plane ends up armed.
+    fn note_batch_commit(&self, before: &RulesetSnapshot, t0: Instant, generation: u64) {
+        if self.events.sampling() == SamplingMode::Off {
+            return;
+        }
+        let after = self.shared.load();
+        self.events.emit_control(
+            EventKind::ReloadCommit,
+            generation,
+            t0.elapsed().as_nanos() as u64,
+            before.rule_diff(&after),
+            after.len() as u64,
+        );
+    }
+
+    /// Emits the abort event for a failed batch edit: the published
+    /// snapshot is untouched, so the event carries the *surviving*
+    /// generation and rule count.
+    fn note_batch_abort(&self, before: &RulesetSnapshot, t0: Instant) {
+        self.events.emit_control(
+            EventKind::ReloadAbort,
+            before.generation(),
+            t0.elapsed().as_nanos() as u64,
+            0,
+            before.len() as u64,
+        );
     }
 
     /// `pftables-restore`: atomically **replaces** the whole rule base
@@ -209,31 +362,56 @@ impl ProcessFirewall {
             }
             cmds.push(parse_command(line, mac, programs)?);
         }
-        let n = cmds.len();
-        let ((), generation) = self.shared.update(|d| {
+        let sampling = split_sampling(&mut cmds);
+        let n = cmds.len() + sampling.len();
+        let before = self.shared.load();
+        let t0 = Instant::now();
+        self.events.emit_control(
+            EventKind::ReloadBegin,
+            before.generation(),
+            0,
+            0,
+            before.len() as u64,
+        );
+        match self.shared.update(|d| {
             d.base = RuleBase::new();
             for cmd in cmds {
                 apply_command(d, cmd)?;
             }
             Ok(())
-        })?;
-        Ok((n, generation))
+        }) {
+            Ok(((), generation)) => {
+                for mode in sampling {
+                    self.events.set_sampling(mode);
+                }
+                self.note_batch_commit(&before, t0, generation);
+                Ok((n, generation))
+            }
+            Err(e) => {
+                self.note_batch_abort(&before, t0);
+                Err(e)
+            }
+        }
     }
 
     /// Deletes the first rule in `chain` whose original text equals
     /// `text` (a new snapshot generation).
     pub fn delete_rule(&self, chain: &ChainName, text: &str) -> PfResult<()> {
-        self.shared.update(|d| d.base.delete(chain, text))?;
+        let span = self.control_span();
+        let ((), generation) = self.shared.update(|d| d.base.delete(chain, text))?;
+        self.note_commit(span, generation);
         Ok(())
     }
 
     /// Removes every installed rule, returning the new snapshot
     /// generation. On error the previous snapshot stays live.
     pub fn clear_rules(&self) -> PfResult<u64> {
+        let span = self.control_span();
         let ((), generation) = self.shared.update(|d| {
             d.base.clear();
             Ok(())
         })?;
+        self.note_commit(span, generation);
         Ok(generation)
     }
 
@@ -272,6 +450,116 @@ impl ProcessFirewall {
     /// Drains the TRACE event ring, oldest first (see [`Target::Trace`]).
     pub fn drain_trace(&self) -> Vec<TraceEvent> {
         self.metrics.drain_trace()
+    }
+
+    /// Live bucket occupancy of every installed RATELIMIT/QUOTA rule:
+    /// which keys hold slots, their token balance or window count, and
+    /// whether the shared spill bucket is engaged. Each slot is read
+    /// atomically but the walk is racy by design — it observes the
+    /// buckets without serializing against consumers.
+    pub fn throttle_occupancy(&self) -> Vec<ThrottleOccupancy> {
+        let snap = self.base();
+        let mut out = Vec::new();
+        for (chain, rules) in snap.iter() {
+            for (index, rule) in rules.iter().enumerate() {
+                if !rule.target.is_throttle() {
+                    continue;
+                }
+                if let Some(cell) = rule.throttle_cell() {
+                    out.push(ThrottleOccupancy {
+                        chain: chain.name(),
+                        index,
+                        kind: rule.target.kind_name(),
+                        text: rule.text.clone(),
+                        slots: cell.occupancy(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the firewall-wide Prometheus exposition: everything in
+    /// [`Metrics::render_prometheus`] plus the decision-event plane
+    /// counters and live throttle bucket occupancy.
+    ///
+    /// Occupancy values are gauges: token balance for RATELIMIT rules,
+    /// window grant count for QUOTA rules, keyed by
+    /// `{chain,rule,kind,key,spill}`. Label values are escaped per the
+    /// text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.metrics.render_prometheus();
+        let _ = writeln!(out, "pf_events_emitted_total {}", self.events.emitted());
+        let _ = writeln!(out, "pf_events_drained_total {}", self.events.drained());
+        let _ = writeln!(out, "pf_events_dropped_total {}", self.events.dropped());
+        out.push_str("pf_event_sampling_mode{mode=\"");
+        prom_label_esc(&mut out, &self.events.sampling().render());
+        out.push_str("\"} 1\n");
+        for occ in self.throttle_occupancy() {
+            for slot in &occ.slots {
+                let value = if occ.kind == "RATELIMIT" {
+                    slot.tokens()
+                } else {
+                    slot.count()
+                };
+                out.push_str("pf_throttle_occupancy{chain=\"");
+                prom_label_esc(&mut out, &occ.chain);
+                let _ = write!(
+                    out,
+                    "\",rule=\"{}\",kind=\"{}\",key=\"",
+                    occ.index, occ.kind
+                );
+                let _ = write!(out, "{}", slot.key);
+                let _ = writeln!(out, "\",spill=\"{}\"}} {value}", slot.spill);
+            }
+        }
+        out
+    }
+
+    /// Renders the firewall-wide JSON snapshot: everything in
+    /// [`Metrics::to_json`] plus an `events` object (plane counters and
+    /// the active sampling mode) and a `throttle_occupancy` array with
+    /// one entry per live bucket slot (`value` is the token balance for
+    /// RATELIMIT rules, the window grant count for QUOTA rules).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = self.metrics.to_json();
+        s.pop(); // reopen the metrics object to append firewall-level keys
+        s.push_str(",\"events\":{\"emitted\":");
+        let _ = write!(s, "{}", self.events.emitted());
+        let _ = write!(s, ",\"drained\":{}", self.events.drained());
+        let _ = write!(s, ",\"dropped\":{}", self.events.dropped());
+        s.push_str(",\"sampling\":\"");
+        crate::log::esc(&mut s, &self.events.sampling().render());
+        s.push_str("\"},\"throttle_occupancy\":[");
+        let mut first = true;
+        for occ in self.throttle_occupancy() {
+            for slot in &occ.slots {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let value = if occ.kind == "RATELIMIT" {
+                    slot.tokens()
+                } else {
+                    slot.count()
+                };
+                s.push_str("{\"chain\":\"");
+                crate::log::esc(&mut s, &occ.chain);
+                s.push_str("\",\"rule\":");
+                let _ = write!(s, "{}", occ.index);
+                let _ = write!(s, ",\"kind\":\"{}\",\"text\":\"", occ.kind);
+                crate::log::esc(&mut s, &occ.text);
+                let _ = write!(
+                    s,
+                    "\",\"key\":{},\"tick\":{},\"value\":{value},\"spill\":{}}}",
+                    slot.key, slot.tick, slot.spill
+                );
+            }
+        }
+        s.push_str("]}");
+        s
     }
 
     /// Locks the LOG sink, recovering from poisoning. A task that
@@ -341,7 +629,7 @@ impl ProcessFirewall {
         op: LsmOperation,
         scratch: &mut Vec<LogEntry>,
     ) -> EvalDecision {
-        self.evaluate_cached(snap, env, op, scratch, None)
+        self.evaluate_cached(snap, env, op, scratch, None, events::thread_shard())
     }
 
     /// The backbone of every evaluate path: one invocation against an
@@ -355,6 +643,7 @@ impl ProcessFirewall {
         op: LsmOperation,
         scratch: &mut Vec<LogEntry>,
         cache: Option<&mut VerdictCache>,
+        shard: usize,
     ) -> EvalDecision {
         let config = snap.config();
         if !config.enabled {
@@ -363,6 +652,17 @@ impl ProcessFirewall {
         self.metrics.bump_invocations();
         self.metrics.op_invoked(op);
         let t0 = self.metrics.timer();
+        // Decision-event span: with sampling off this is one relaxed
+        // load and no clock read; when the gate selects the invocation
+        // it claims a globally ordered id and starts its own timer
+        // (`t0` above is detail-layer-gated, so it can't be reused).
+        let gate = self.events.decision_gate();
+        let (event_id, ev_t0) = if gate.armed() {
+            (self.events.claim_id(), Some(Instant::now()))
+        } else {
+            (0, None)
+        };
+        let mut vc_outcome = VcacheOutcome::None;
         // LOG rules run before the verdict is known; they buffer in the
         // invocation-local scratch so a later DROP can patch exactly
         // this invocation's records before they reach the shared sink.
@@ -380,11 +680,13 @@ impl ProcessFirewall {
                 // context that LAZYCON would otherwise defer.
                 if !snap.statically_cacheable() {
                     self.metrics.bump_vcache_uncacheable(op);
+                    vc_outcome = VcacheOutcome::Uncacheable;
                 } else {
                     match VerdictKey::build(&mut pkt, op, &self.metrics) {
                         Some(key) => {
                             if let Some(entry) = vc.lookup(&key) {
                                 self.metrics.bump_vcache_hit(op);
+                                vc_outcome = VcacheOutcome::Hit;
                                 // Hits bump the verdict counter the original
                                 // walk would have, so the partition
                                 // `drops + accepts + default_allows ==
@@ -401,13 +703,44 @@ impl ProcessFirewall {
                                     self.lock_logs().push(log);
                                 }
                                 self.metrics.observe_eval(t0);
+                                let verdict = match entry.kind {
+                                    VerdictKind::Drop => EventVerdict::Deny,
+                                    VerdictKind::Accept => EventVerdict::Allow,
+                                    VerdictKind::DefaultAllow => EventVerdict::DefaultAllow,
+                                };
+                                let rk = if event_id != 0 {
+                                    decision
+                                        .dropped_by
+                                        .as_ref()
+                                        .map(|(c, i)| events::rule_key(c, *i))
+                                        .unwrap_or(0)
+                                } else {
+                                    0
+                                };
+                                self.emit_decision_event(
+                                    gate,
+                                    shard,
+                                    event_id,
+                                    ev_t0,
+                                    &mut pkt,
+                                    op,
+                                    &decision,
+                                    verdict,
+                                    vc_outcome,
+                                    ThrottleOutcome::None,
+                                    0,
+                                    rk,
+                                );
                                 return decision;
                             }
                             cache_ctx = Some((vc, key));
                         }
                         // A key field *failed* to fetch: the outcome is not
                         // attributable to key context — bypass the cache.
-                        None => self.metrics.bump_vcache_uncacheable(op),
+                        None => {
+                            self.metrics.bump_vcache_uncacheable(op);
+                            vc_outcome = VcacheOutcome::Uncacheable;
+                        }
                     }
                 }
             }
@@ -420,10 +753,17 @@ impl ProcessFirewall {
             degraded: false,
             cache_track: cache_ctx.is_some(),
             cache_blocked: false,
+            event_id,
+            hops: 0,
+            throttle: ThrottleOutcome::None,
+            fired_rule: 0,
         };
         let run = inv.run(&mut pkt, op);
         let degraded = inv.degraded;
         let cache_blocked = inv.cache_blocked;
+        let hops = inv.hops;
+        let throttle = inv.throttle;
+        let fired_rule = inv.fired_rule;
         let (mut decision, kind) = match run {
             Some(d) => {
                 let kind = match d.verdict {
@@ -457,8 +797,10 @@ impl ProcessFirewall {
         if let Some((vc, key)) = cache_ctx {
             if decision.degraded || cache_blocked {
                 self.metrics.bump_vcache_uncacheable(op);
+                vc_outcome = VcacheOutcome::Uncacheable;
             } else {
                 self.metrics.bump_vcache_miss(op);
+                vc_outcome = VcacheOutcome::Miss;
                 // A cacheable deny emitted exactly one log record (the
                 // DROP line: LOG targets block caching, CTXFAIL implies
                 // degraded); store it for replay so cached denials stay
@@ -481,7 +823,84 @@ impl ProcessFirewall {
             self.lock_logs().append(scratch);
         }
         self.metrics.observe_eval(t0);
+        let verdict = match kind {
+            VerdictKind::Drop => EventVerdict::Deny,
+            VerdictKind::Accept => EventVerdict::Allow,
+            VerdictKind::DefaultAllow => EventVerdict::DefaultAllow,
+        };
+        let rk = if event_id != 0 {
+            decision
+                .dropped_by
+                .as_ref()
+                .map(|(c, i)| events::rule_key(c, *i))
+                .unwrap_or(fired_rule)
+        } else {
+            0
+        };
+        self.emit_decision_event(
+            gate, shard, event_id, ev_t0, &mut pkt, op, &decision, verdict, vc_outcome, throttle,
+            hops, rk,
+        );
         decision
+    }
+
+    /// Builds and emits one [`DecisionEvent`] for a completed
+    /// invocation. No-op unless the gate selected the invocation;
+    /// under `errors-only` the fully built event is discarded when the
+    /// outcome is clean (the id was already claimed, so `seq` gaps in
+    /// drained output are expected in that mode).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_decision_event(
+        &self,
+        gate: Gate,
+        shard: usize,
+        seq: u64,
+        t0: Option<Instant>,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+        decision: &EvalDecision,
+        verdict: EventVerdict,
+        vcache: VcacheOutcome,
+        throttle: ThrottleOutcome,
+        hops: u32,
+        rule_key: u64,
+    ) {
+        if !gate.armed() {
+            return;
+        }
+        let mut ev = DecisionEvent::empty();
+        ev.seq = seq;
+        ev.kind = EventKind::Decision;
+        ev.generation = decision.generation;
+        ev.op = op;
+        ev.verdict = verdict;
+        ev.degraded = decision.degraded;
+        ev.vcache = vcache;
+        ev.throttle = throttle;
+        ev.hops = hops;
+        ev.rule_key = rule_key;
+        {
+            let env = pkt.env_ref();
+            ev.ts = env.now();
+            ev.pid = env.pid().0;
+            ev.subject = env.subject_sid().0;
+            ev.program = env.program().0;
+        }
+        // Read-only peek: only report the entrypoint if the walk
+        // already collected it, so observation never perturbs the
+        // lazy-fetch behaviour it is recording.
+        if let Some((prog, pc)) = pkt.entrypoint_collected() {
+            ev.ept_prog = prog.0;
+            ev.ept_pc = pc;
+        }
+        ev.trace_armed = pkt.trace_clock().is_some();
+        if let Some(t0) = t0 {
+            ev.latency_ns = t0.elapsed().as_nanos() as u64;
+        }
+        if gate == Gate::ErrorsOnly && !ev.is_error() {
+            return;
+        }
+        self.events.emit(shard, &ev);
     }
 }
 
@@ -504,6 +923,21 @@ struct Invocation<'a> {
     /// Set when a traversed rule consulted context outside the verdict
     /// key or carried a side-effecting target; blocks the insertion.
     cache_blocked: bool,
+    /// Decision-event id claimed for this invocation, or 0 when the
+    /// sampling gate did not select it. Stamped into TRACE hops so the
+    /// per-hop chain path joins back to its decision event.
+    event_id: u64,
+    /// Rules traversed by this walk (every chain, jumps included).
+    hops: u32,
+    /// The invocation's throttle outcome: `Granted` once any throttle
+    /// rule admits the access, upgraded to `RateLimited`/`QuotaExceeded`
+    /// if one rejects it (rejections are terminal for the walk, so the
+    /// last write wins correctly).
+    throttle: ThrottleOutcome,
+    /// [`events::rule_key`] of the ACCEPT rule that ended the walk, if
+    /// any; denials are attributed via `dropped_by` instead. Only
+    /// computed when `event_id != 0`.
+    fired_rule: u64,
 }
 
 /// Merges two ascending index slices into one ascending sequence — the
@@ -644,6 +1078,7 @@ impl<'a> Invocation<'a> {
         // state, so traversal itself is re-entrant (Section 5.1).
         const MAX_DEPTH: u32 = 16;
         for (index, rule) in rules {
+            self.hops += 1;
             self.metrics.bump_rules();
             self.metrics.rule_evaluated(chain, index);
             let eval = self.rule_matches(rule, pkt, op, chain);
@@ -665,6 +1100,8 @@ impl<'a> Invocation<'a> {
                     target: rule.target.kind_name(),
                     elapsed_ns: clock.elapsed().as_nanos() as u64,
                     degraded: self.degraded,
+                    invocation: self.event_id,
+                    gap: false,
                 });
             }
             match eval {
@@ -703,6 +1140,11 @@ impl<'a> Invocation<'a> {
                 }
                 Target::Accept => {
                     self.metrics.bump_accepts();
+                    if self.event_id != 0 {
+                        // `as_str` avoids the `name()` allocation; only
+                        // sampled invocations pay even the hash.
+                        self.fired_rule = events::rule_key(chain.as_str(), index);
+                    }
                     return Some(EvalDecision::allow(self.snap.generation()));
                 }
                 Target::Continue => {}
@@ -811,6 +1253,9 @@ impl<'a> Invocation<'a> {
             _ => return None,
         };
         if granted {
+            if self.throttle == ThrottleOutcome::None {
+                self.throttle = ThrottleOutcome::Granted;
+            }
             return None;
         }
         match &rule.target {
@@ -833,6 +1278,12 @@ impl<'a> Invocation<'a> {
         exceed: ExceedPolicy,
     ) -> Option<EvalDecision> {
         let tag = rule.target.kind_name();
+        // Over budget (or unaccountable under `--ctx-missing match`):
+        // record which flavour rejected, whatever the exceed policy.
+        self.throttle = match &rule.target {
+            Target::RateLimit { .. } => ThrottleOutcome::RateLimited,
+            _ => ThrottleOutcome::QuotaExceeded,
+        };
         match exceed {
             ExceedPolicy::Drop => {
                 self.metrics.bump_drops();

@@ -21,6 +21,7 @@ use pf_mac::MacPolicy;
 
 use crate::chain::ChainName;
 use crate::config::OptLevel;
+use crate::events::SamplingMode;
 use crate::ratelimit::{self, ExceedPolicy, PerKey};
 use crate::rule::{CtxPolicy, DefaultMatches, MatchModule, Rule, Target};
 use crate::value::{state_key, ValueExpr};
@@ -146,6 +147,11 @@ pub enum Command {
     /// `-O LEVEL`: switch the engine to the named Table 6 optimization
     /// preset (`DISABLED`, `BASE`, …, `EPTSPC`, `VCACHE`).
     SetLevel(OptLevel),
+    /// `-E off|always|errors-only|1/N`: set the decision-event sampling
+    /// mode (see [`crate::events::SamplingMode`]). Unlike every other
+    /// command this is runtime state, not snapshot state — it takes
+    /// effect with one atomic store and does not bump the generation.
+    SetSampling(SamplingMode),
 }
 
 /// Parses one `pftables` line: chain-management commands (`-N`, `-F`,
@@ -202,6 +208,14 @@ pub fn parse_command(
             let level = OptLevel::parse(name)
                 .ok_or_else(|| err(format!("unknown optimization level `{name}`")))?;
             Ok(Command::SetLevel(level))
+        }
+        Some("-E") => {
+            let mode = toks
+                .get(i + 1)
+                .ok_or_else(|| err("expected sampling mode after -E"))?;
+            let mode = SamplingMode::parse(mode)
+                .ok_or_else(|| err(format!("unknown sampling mode `{mode}`")))?;
+            Ok(Command::SetSampling(mode))
         }
         _ => parse_rule(line, mac, programs).map(|p| Command::Rule(Box::new(p))),
     }
@@ -1124,5 +1138,25 @@ mod tests {
         // `-t` prefix composes with `-O` like the other management verbs.
         let cmd = parse_command("pftables -t filter -O FULL", &mut mac, &mut progs).unwrap();
         assert_eq!(cmd, Command::SetLevel(OptLevel::Full));
+    }
+
+    #[test]
+    fn parses_set_sampling_command() {
+        let (mut mac, mut progs) = setup();
+        for (tok, want) in [
+            ("off", SamplingMode::Off),
+            ("always", SamplingMode::Always),
+            ("errors-only", SamplingMode::ErrorsOnly),
+            ("1/64", SamplingMode::OneIn(64)),
+        ] {
+            let cmd = parse_command(&format!("pftables -E {tok}"), &mut mac, &mut progs).unwrap();
+            assert_eq!(cmd, Command::SetSampling(want), "{tok}");
+        }
+        assert!(parse_command("pftables -E", &mut mac, &mut progs).is_err());
+        assert!(parse_command("pftables -E sometimes", &mut mac, &mut progs).is_err());
+        assert!(parse_command("pftables -E 1/0", &mut mac, &mut progs).is_err());
+        // `-t` prefix composes with `-E` like the other management verbs.
+        let cmd = parse_command("pftables -t filter -E 1/8", &mut mac, &mut progs).unwrap();
+        assert_eq!(cmd, Command::SetSampling(SamplingMode::OneIn(8)));
     }
 }

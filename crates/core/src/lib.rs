@@ -43,6 +43,11 @@
 //!   TRACE event ring, and the Prometheus/JSON exporters (see
 //!   `docs/OBSERVABILITY.md`) — all thread-safe, with sharded latency
 //!   histograms merged on export;
+//! * [`events`] is the decision-event tracing plane: per-shard
+//!   lock-free rings of compact [`events::DecisionEvent`]s (verdict,
+//!   generation, vcache/throttle outcome, latency) sampled at a
+//!   runtime-settable rate, drained in emission order by `pftop` and
+//!   JSONL exports;
 //! * [`snapshot`] holds the immutable [`snapshot::RulesetSnapshot`]
 //!   and the [`snapshot::SharedRuleset`] swap cell that make rule
 //!   loads atomic and evaluation lock-free (see `docs/CONCURRENCY.md`);
@@ -74,6 +79,7 @@ pub mod config;
 pub mod context;
 pub mod engine;
 pub mod env;
+pub mod events;
 pub mod fault;
 pub mod lang;
 pub mod log;
@@ -90,13 +96,17 @@ pub mod vcache;
 pub use chain::{ChainName, RuleBase};
 pub use config::{OptLevel, PfConfig};
 pub use context::CtxField;
-pub use engine::{EvalDecision, ProcessFirewall};
+pub use engine::{EvalDecision, ProcessFirewall, ThrottleOccupancy};
 pub use env::{CtxError, EvalEnv, Fetched, ObjectInfo, SignalInfo};
+pub use events::{
+    DecisionEvent, EventKind, EventPlane, EventVerdict, SamplingMode, ThrottleOutcome,
+    VcacheOutcome,
+};
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyEnv};
 pub use lang::render_rule;
 pub use log::LogEntry;
 pub use metrics::{ChainSnapshot, Histogram, Metrics, ShardedHistogram, TraceEvent};
-pub use ratelimit::{ExceedPolicy, PerKey, ThrottleCell};
+pub use ratelimit::{ExceedPolicy, PerKey, ThrottleCell, ThrottleSlotState};
 pub use render::render_rules;
 pub use rule::{CtxPolicy, MatchModule, Rule, Target};
 pub use session::TaskSession;

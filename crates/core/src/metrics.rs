@@ -65,6 +65,22 @@ fn shard_index() -> usize {
     SHARD.with(|s| *s)
 }
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and line feed get a backslash escape;
+/// everything else passes through. Applied to every label whose value
+/// is not a fixed internal string — chain names and rule text are
+/// free-form `pftables` tokens and may contain all three.
+pub(crate) fn prom_label_esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 /// One structured TRACE event: a rule traversed after a TRACE target
 /// fired in the same invocation (mirroring iptables' TRACE semantics).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +98,16 @@ pub struct TraceEvent {
     /// Whether the invocation was already running degraded (a context
     /// fetch had failed) when this rule was traversed.
     pub degraded: bool,
+    /// Decision-event id of the invocation this hop belongs to (the
+    /// [`crate::events::DecisionEvent::seq`] the span was claimed
+    /// under), or 0 when decision-event sampling did not select the
+    /// invocation. Joins TRACE hops to their decision event.
+    pub invocation: u64,
+    /// Overflow gap marker: `true` on the first event drained after the
+    /// ring dropped one or more older events, i.e. "hops are missing
+    /// immediately before this one". Stamped by
+    /// [`Metrics::drain_trace`], never by the writer.
+    pub gap: bool,
 }
 
 impl TraceEvent {
@@ -92,8 +118,15 @@ impl TraceEvent {
         esc(&mut s, &self.chain);
         let _ = write!(
             s,
-            "\",\"rule\":{},\"matched\":{},\"target\":\"{}\",\"elapsed_ns\":{},\"degraded\":{}}}",
-            self.rule_index, self.matched, self.target, self.elapsed_ns, self.degraded
+            "\",\"rule\":{},\"matched\":{},\"target\":\"{}\",\"elapsed_ns\":{},\"degraded\":{},\
+             \"invocation\":{},\"gap\":{}}}",
+            self.rule_index,
+            self.matched,
+            self.target,
+            self.elapsed_ns,
+            self.degraded,
+            self.invocation,
+            self.gap
         );
         s
     }
@@ -414,6 +447,10 @@ pub struct Metrics {
     // --- TRACE ring (driven by rules, not by `detailed`) ---
     trace: Mutex<VecDeque<TraceEvent>>,
     trace_dropped: AtomicU64,
+    /// The `trace_dropped` total the last `drain_trace` observed; the
+    /// delta since then decides whether the next drain starts with a
+    /// gap marker.
+    trace_drop_mark: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -481,6 +518,7 @@ impl Metrics {
         self.fetch_ns.reset();
         self.lock_trace().clear();
         self.trace_dropped.store(0, Ordering::Relaxed);
+        self.trace_drop_mark.store(0, Ordering::Relaxed);
     }
 
     /// Locks the per-chain counter map, recovering from poisoning: the
@@ -900,8 +938,25 @@ impl Metrics {
     }
 
     /// Drains the TRACE event ring, oldest first.
+    ///
+    /// If the ring overflowed since the previous drain (see
+    /// [`Metrics::trace_dropped`]), the first drained event carries
+    /// `gap = true`: hops are missing immediately before it. The marker
+    /// is stamped here, on the reader side, so the push path stays one
+    /// `pop_front` + counter bump regardless of drain cadence.
     pub fn drain_trace(&self) -> Vec<TraceEvent> {
-        self.lock_trace().drain(..).collect()
+        let mut ring = self.lock_trace();
+        let mut events: Vec<TraceEvent> = ring.drain(..).collect();
+        // Mark-swap happens under the ring lock so two racing drains
+        // cannot both consume the same overflow delta.
+        let total = self.trace_dropped.load(Ordering::Relaxed);
+        let prior = self.trace_drop_mark.swap(total, Ordering::Relaxed);
+        if total > prior {
+            if let Some(first) = events.first_mut() {
+                first.gap = true;
+            }
+        }
+        events
     }
 
     /// Buffered TRACE events.
@@ -999,7 +1054,10 @@ impl Metrics {
         }
         for chain in self.chains_seen() {
             let snap = self.chain_snapshot(&chain).unwrap();
-            let name = chain.name();
+            // User chain names are free-form rule-language tokens;
+            // escape them like every other label value.
+            let mut name = String::new();
+            prom_label_esc(&mut name, &chain.name());
             for (i, (&ev, &hit)) in snap.evaluated.iter().zip(&snap.hits).enumerate() {
                 let _ = writeln!(
                     out,
@@ -1305,6 +1363,8 @@ mod tests {
                 target: "DROP",
                 elapsed_ns: 0,
                 degraded: false,
+                invocation: 0,
+                gap: false,
             });
         }
         assert_eq!(m.trace_len(), TRACE_RING_CAP);
@@ -1312,7 +1372,25 @@ mod tests {
         let events = m.drain_trace();
         assert_eq!(events.len(), TRACE_RING_CAP);
         assert_eq!(events[0].rule_index, 10, "oldest events were dropped");
+        assert!(events[0].gap, "overflow marks a gap on the first drain");
+        assert!(!events[1].gap, "only the first drained event is marked");
         assert_eq!(m.trace_len(), 0);
+
+        // A second overflow-free round drains without a gap marker.
+        m.push_trace(TraceEvent {
+            chain: "input".into(),
+            rule_index: 0,
+            matched: true,
+            target: "DROP",
+            elapsed_ns: 0,
+            degraded: false,
+            invocation: 7,
+            gap: false,
+        });
+        let events = m.drain_trace();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].gap, "no drops since last drain, no gap");
+        assert_eq!(events[0].invocation, 7);
     }
 
     #[test]
@@ -1324,11 +1402,14 @@ mod tests {
             target: "ACCEPT",
             elapsed_ns: 42,
             degraded: true,
+            invocation: 9001,
+            gap: true,
         };
         assert_eq!(
             e.to_json(),
             "{\"chain\":\"side\\\"chain\",\"rule\":3,\"matched\":false,\
-             \"target\":\"ACCEPT\",\"elapsed_ns\":42,\"degraded\":true}"
+             \"target\":\"ACCEPT\",\"elapsed_ns\":42,\"degraded\":true,\
+             \"invocation\":9001,\"gap\":true}"
         );
     }
 

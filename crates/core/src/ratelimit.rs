@@ -159,6 +159,43 @@ impl ExceedPolicy {
     }
 }
 
+/// One occupied throttle bucket, decoded for the exporters: which key
+/// it belongs to, its last tick, and its raw balance/count half.
+///
+/// Obtained from [`ThrottleCell::occupancy`]. The `raw` half is
+/// interpretation-dependent — use [`ThrottleSlotState::tokens`] for
+/// RATELIMIT rules and [`ThrottleSlotState::count`] for QUOTA rules
+/// (the rule's target, not the slot, says which applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThrottleSlotState {
+    /// The bucket key (subject SID, adversary uid, or resource fold,
+    /// per the rule's `--per`). 0 and meaningless for the spill slot.
+    pub key: u64,
+    /// High half of the packed word: the last refill tick (RATELIMIT)
+    /// or the window start tick (QUOTA).
+    pub tick: u32,
+    /// Low half of the packed word: the fixed-point token balance
+    /// (RATELIMIT) or the grant count (QUOTA).
+    pub raw: u32,
+    /// `true` for the shared spill bucket — the flag that says some
+    /// key population exhausted its probe window (state-exhaustion
+    /// pressure) and is sharing one conservative budget.
+    pub spill: bool,
+}
+
+impl ThrottleSlotState {
+    /// Whole tokens remaining, reading `raw` as a RATELIMIT balance.
+    pub fn tokens(&self) -> u32 {
+        self.raw >> FP_SHIFT
+    }
+
+    /// Grants recorded in the current window, reading `raw` as a QUOTA
+    /// count.
+    pub fn count(&self) -> u32 {
+        self.raw
+    }
+}
+
 /// One slot: a claimed key (stored as `key + 1`; 0 = unclaimed) and its
 /// packed state word.
 #[derive(Debug)]
@@ -334,6 +371,48 @@ impl ThrottleCell {
             }
         }
     }
+
+    /// A point-in-time snapshot of every touched bucket, for the
+    /// occupancy exporters (`pfstat`, Prometheus, JSON).
+    ///
+    /// The spill bucket appears (flagged) only once it has been
+    /// consumed from; claimed per-key slots appear even before their
+    /// first state write, with `raw == 0` meaning "fresh" (a full
+    /// RATELIMIT bucket / an empty QUOTA window). The walk is
+    /// lock-free and racy by design — each slot is one atomic load,
+    /// so a snapshot taken under traffic is per-slot consistent (the
+    /// packed word can never pair a tick with a foreign balance) but
+    /// not cross-slot consistent.
+    pub fn occupancy(&self) -> Vec<ThrottleSlotState> {
+        let mut out = Vec::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let state = slot.state.load(Ordering::Acquire);
+            let (tick, raw) = unpack(state);
+            if idx == 0 {
+                if state != 0 {
+                    out.push(ThrottleSlotState {
+                        key: 0,
+                        tick,
+                        raw,
+                        spill: true,
+                    });
+                }
+                continue;
+            }
+            // `checked_sub` skips unclaimed slots (stored key is 0) and
+            // undoes the `key + 1` encoding in one step.
+            let stored = slot.key.load(Ordering::Acquire);
+            if let Some(key) = stored.checked_sub(1) {
+                out.push(ThrottleSlotState {
+                    key,
+                    tick,
+                    raw,
+                    spill: false,
+                });
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -485,6 +564,26 @@ mod tests {
             }
         });
         assert_eq!(granted.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn occupancy_reports_claimed_slots_and_spill() {
+        let cell = ThrottleCell::new();
+        assert!(cell.occupancy().is_empty(), "untouched table is empty");
+        assert!(cell.rate_consume(7, 0, 512, 4));
+        let occ = cell.occupancy();
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].key, 7);
+        assert!(!occ[0].spill);
+        assert_eq!(occ[0].tokens(), 3, "burst 4 minus the granted token");
+        // u64::MAX cannot be key-encoded and always lands in the spill
+        // bucket, raising the spill flag in the snapshot.
+        assert!(cell.quota_consume(u64::MAX, 5, 4, 100));
+        let occ = cell.occupancy();
+        assert_eq!(occ.len(), 2);
+        let spill = occ.iter().find(|s| s.spill).unwrap();
+        assert_eq!(spill.count(), 1);
+        assert_eq!(spill.tick, 5);
     }
 
     #[test]

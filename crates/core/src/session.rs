@@ -46,7 +46,7 @@ use crate::vcache::VerdictCache;
 /// (used when a simulated task forks) shares the pinned snapshot `Arc`
 /// but nothing mutable — the child's verdict cache starts empty (see
 /// [`VerdictCache`]'s `Clone`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TaskSession {
     snap: Option<Arc<RulesetSnapshot>>,
     /// Identity of the firewall `snap` came from, so a session survives
@@ -59,6 +59,22 @@ pub struct TaskSession {
     /// snapshot: every re-pin clears them wholesale, so no verdict
     /// survives a generation bump or a firewall swap.
     vcache: VerdictCache,
+    /// The decision-event ring shard this session writes to, assigned
+    /// round-robin at construction so long-lived tasks spread across
+    /// shards without per-emit coordination (see [`crate::events`]).
+    event_shard: usize,
+}
+
+impl Default for TaskSession {
+    fn default() -> Self {
+        TaskSession {
+            snap: None,
+            owner: 0,
+            scratch: Vec::new(),
+            vcache: VerdictCache::default(),
+            event_shard: crate::events::session_shard(),
+        }
+    }
 }
 
 impl TaskSession {
@@ -134,9 +150,14 @@ impl TaskSession {
     ) -> EvalDecision {
         self.refresh(fw);
         match self.snap.as_deref() {
-            Some(snap) => {
-                fw.evaluate_cached(snap, env, op, &mut self.scratch, Some(&mut self.vcache))
-            }
+            Some(snap) => fw.evaluate_cached(
+                snap,
+                env,
+                op,
+                &mut self.scratch,
+                Some(&mut self.vcache),
+                self.event_shard,
+            ),
             // Unreachable after `refresh`, but never panic on the hook
             // path: fall back to a one-shot snapshot load.
             None => fw.evaluate(env, op),
@@ -157,9 +178,14 @@ impl TaskSession {
             self.refresh(fw);
         }
         match self.snap.as_deref() {
-            Some(snap) => {
-                fw.evaluate_cached(snap, env, op, &mut self.scratch, Some(&mut self.vcache))
-            }
+            Some(snap) => fw.evaluate_cached(
+                snap,
+                env,
+                op,
+                &mut self.scratch,
+                Some(&mut self.vcache),
+                self.event_shard,
+            ),
             None => fw.evaluate(env, op),
         }
     }

@@ -78,6 +78,46 @@ impl RulesetSnapshot {
     pub fn rule_text(&self, chain: &crate::chain::ChainName, index: usize) -> Option<&str> {
         self.base.chain(chain).get(index).map(|r| r.text.as_str())
     }
+
+    /// Every installed rule's original text, sorted — the multiset the
+    /// reload self-observability events diff to report how big an edit
+    /// was.
+    pub fn rule_texts_sorted(&self) -> Vec<&str> {
+        let mut texts: Vec<&str> = self
+            .base
+            .iter()
+            .flat_map(|(_, rules)| rules.iter().map(|r| r.text.as_str()))
+            .collect();
+        texts.sort_unstable();
+        texts
+    }
+
+    /// The rule-diff size against `other`: rules present in one
+    /// snapshot's text multiset but not the other's (added + removed).
+    /// Text-level, order-insensitive — the same measure the throttle
+    /// carryover uses to decide which rules "survived" a reload.
+    pub fn rule_diff(&self, other: &RulesetSnapshot) -> u64 {
+        let a = self.rule_texts_sorted();
+        let b = other.rule_texts_sorted();
+        let (mut i, mut j, mut diff) = (0usize, 0usize, 0u64);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(b[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    diff += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    diff += 1;
+                    j += 1;
+                }
+            }
+        }
+        diff + (a.len() - i) as u64 + (b.len() - j) as u64
+    }
 }
 
 impl Deref for RulesetSnapshot {
@@ -253,6 +293,30 @@ mod tests {
         assert_eq!(pinned.chain(&ChainName::Input)[0].text, "old");
         assert_eq!(shared.load().chain(&ChainName::Input)[0].text, "new");
         assert_eq!(pinned.generation() + 1, shared.load().generation());
+    }
+
+    #[test]
+    fn rule_diff_counts_added_and_removed() {
+        let shared = SharedRuleset::new(PfConfig::default());
+        shared
+            .update(|d| {
+                d.base.add(ChainName::Input, rule("a"), false);
+                d.base.add(ChainName::Input, rule("b"), false);
+                Ok(())
+            })
+            .unwrap();
+        let old = shared.load();
+        assert_eq!(old.rule_diff(&old), 0);
+        shared
+            .update(|d| {
+                d.base.delete(&ChainName::Input, "a")?;
+                d.base.add(ChainName::Input, rule("c"), false);
+                Ok(())
+            })
+            .unwrap();
+        let new = shared.load();
+        assert_eq!(old.rule_diff(&new), 2, "one removed plus one added");
+        assert_eq!(new.rule_diff(&old), 2, "diff is symmetric");
     }
 
     #[test]
