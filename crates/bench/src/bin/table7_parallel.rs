@@ -39,6 +39,10 @@ use std::time::{Duration, Instant};
 
 use pf_attacks::ruleset::{full_rule_base, FULL_RULE_COUNT};
 use pf_attacks::workloads::web_serve;
+use pf_bench::table7::{
+    aggregate, cpu_speedup_4_vs_1, render_full_json, render_trajectory_run, ConfigResult,
+    SoakResult, ThreadStats,
+};
 use pf_bench::{world_at, RuleSet};
 use pf_core::{OptLevel, ProcessFirewall};
 
@@ -58,26 +62,6 @@ fn thread_cpu_ns() -> Option<u64> {
     let utime: u64 = fields.get(11)?.parse().ok()?;
     let stime: u64 = fields.get(12)?.parse().ok()?;
     Some((utime + stime) * 10_000_000)
-}
-
-struct ThreadStats {
-    wall_ns: u64,
-    cpu_ns: Option<u64>,
-    syscalls: u64,
-}
-
-struct ConfigResult {
-    threads: usize,
-    hooks: u64,
-    syscalls: u64,
-    wall_max_s: f64,
-    cpu_total_s: Option<f64>,
-    hooks_per_wall_s: f64,
-    /// Σᵢ hooksᵢ / cpuᵢ — the scaling metric.
-    hooks_per_cpu_s: Option<f64>,
-    eval_p50_ns: u64,
-    eval_p99_ns: u64,
-    per_thread: Vec<ThreadStats>,
 }
 
 /// Runs `threads` workers against one shared firewall; returns
@@ -106,11 +90,11 @@ fn run_threads(
                     let t0 = Instant::now();
                     let syscalls = web_serve(&mut k, WEB_CLIENTS, requests).expect("web workload");
                     let wall_ns = t0.elapsed().as_nanos() as u64;
-                    // /proc CPU time ticks at 10 ms; below ~10 ticks the
-                    // reading is resolution noise, so treat it as absent
-                    // rather than dividing by it.
+                    // The reading is tick-granular (10 ms); keep it even
+                    // when tiny — the aggregator clamps before dividing,
+                    // so short runs stay conservative instead of null.
                     let cpu_ns = match (cpu0, thread_cpu_ns()) {
-                        (Some(a), Some(b)) if b - a >= 100_000_000 => Some(b - a),
+                        (Some(a), Some(b)) => Some(b.saturating_sub(a)),
                         _ => None,
                     };
                     ThreadStats {
@@ -137,24 +121,6 @@ fn run_config(threads: usize, requests: usize) -> ConfigResult {
     drop(template);
     let (per_thread, hooks) = run_threads(threads, requests, &shared);
 
-    let syscalls: u64 = per_thread.iter().map(|t| t.syscalls).sum();
-    let hooks_per_syscall = hooks as f64 / syscalls.max(1) as f64;
-    let wall_max_s = per_thread.iter().map(|t| t.wall_ns).max().unwrap_or(0) as f64 / 1e9;
-    let hooks_per_wall_s = hooks as f64 / wall_max_s.max(1e-9);
-    let (cpu_total_s, hooks_per_cpu_s) = if per_thread.iter().all(|t| t.cpu_ns.is_some()) {
-        let total: u64 = per_thread.iter().map(|t| t.cpu_ns.unwrap()).sum();
-        let agg: f64 = per_thread
-            .iter()
-            .map(|t| {
-                let cpu_s = (t.cpu_ns.unwrap() as f64 / 1e9).max(1e-9);
-                t.syscalls as f64 * hooks_per_syscall / cpu_s
-            })
-            .sum();
-        (Some(total as f64 / 1e9), Some(agg))
-    } else {
-        (None, None)
-    };
-
     // Separate instrumented pass on a fresh shared firewall: detailed
     // metrics serialize per-chain counters, so latency distributions
     // come from their own (shorter) run rather than polluting the
@@ -166,26 +132,7 @@ fn run_config(threads: usize, requests: usize) -> ConfigResult {
     let _ = run_threads(threads, (requests / 5).max(5), &instrumented);
     let hist = instrumented.metrics().eval_latency();
 
-    ConfigResult {
-        threads,
-        hooks,
-        syscalls,
-        wall_max_s,
-        cpu_total_s,
-        hooks_per_wall_s,
-        hooks_per_cpu_s,
-        eval_p50_ns: hist.p50(),
-        eval_p99_ns: hist.p99(),
-        per_thread,
-    }
-}
-
-struct SoakResult {
-    secs: f64,
-    workers: usize,
-    reloads: u64,
-    syscalls: u64,
-    generations_delta: u64,
+    aggregate(threads, hooks, per_thread, hist.p50(), hist.p99())
 }
 
 /// Four workers serve requests while a reloader thread hot-swaps the
@@ -350,21 +297,16 @@ fn main() {
     }
     println!("{:-<96}", "");
 
-    let speedup_cpu = match (
-        results.iter().find(|r| r.threads == 4),
-        results.iter().find(|r| r.threads == 1),
-    ) {
-        (Some(r4), Some(r1)) => match (r4.hooks_per_cpu_s, r1.hooks_per_cpu_s) {
-            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
-            _ => None,
-        },
-        _ => None,
-    };
-    if let Some(s) = speedup_cpu {
-        println!(
+    let speedup_cpu = cpu_speedup_4_vs_1(&results, nproc);
+    match speedup_cpu {
+        Some(s) => println!(
             "aggregate CPU-time hook throughput at 4 threads = {s:.2}x the 1-thread figure\n\
              (lock-free evaluate path: per-hook CPU cost stays flat as threads are added)"
-        );
+        ),
+        None => println!(
+            "cpu_speedup_4_vs_1: n/a (host has {nproc} CPU(s); oversubscribed CPU time \
+             measures contention, not scaling)"
+        ),
     }
 
     let soak = soak_secs.map(run_soak);
@@ -390,55 +332,15 @@ fn write_json(
     speedup_cpu: Option<f64>,
     soak: Option<&SoakResult>,
 ) {
-    fn opt(v: Option<f64>) -> String {
-        v.map(|x| format!("{x:.1}"))
-            .unwrap_or_else(|| "null".into())
-    }
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"workload\": \"web_serve\",\n  \"rules\": {FULL_RULE_COUNT},\n  \"level\": \"EPTSPC\",\n  \"clients\": {WEB_CLIENTS},\n  \"requests_per_client\": {requests},\n  \"host_cpus\": {nproc},\n"
-    ));
-    out.push_str(
-        "  \"note\": \"wall-clock throughput cannot scale past the host CPU count; hooks_per_cpu_s is the aggregate of per-thread hooks/CPU-second (utime+stime from /proc/thread-self/stat) and is the lock-freedom scaling metric\",\n",
+    let out = render_full_json(
+        FULL_RULE_COUNT,
+        WEB_CLIENTS,
+        requests,
+        nproc,
+        results,
+        speedup_cpu,
+        soak,
     );
-    out.push_str("  \"configs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"threads\": {}, \"hooks\": {}, \"syscalls\": {}, \"wall_max_s\": {:.3}, \"cpu_total_s\": {}, \"hooks_per_wall_s\": {:.1}, \"hooks_per_cpu_s\": {}, \"eval_p50_ns\": {}, \"eval_p99_ns\": {}, \"per_thread_cpu_s\": [{}]}}{}\n",
-            r.threads,
-            r.hooks,
-            r.syscalls,
-            r.wall_max_s,
-            opt(r.cpu_total_s),
-            r.hooks_per_wall_s,
-            opt(r.hooks_per_cpu_s),
-            r.eval_p50_ns,
-            r.eval_p99_ns,
-            r.per_thread
-                .iter()
-                .map(|t| t
-                    .cpu_ns
-                    .map(|n| format!("{:.3}", n as f64 / 1e9))
-                    .unwrap_or_else(|| "null".into()))
-                .collect::<Vec<_>>()
-                .join(", "),
-            if i + 1 == results.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"cpu_speedup_4_vs_1\": {},\n",
-        opt(speedup_cpu)
-    ));
-    match soak {
-        Some(s) => out.push_str(&format!(
-            "  \"soak\": {{\"secs\": {:.0}, \"workers\": {}, \"reloads\": {}, \"generations\": {}, \"syscalls\": {}, \"failures\": 0}}\n",
-            s.secs, s.workers, s.reloads, s.generations_delta, s.syscalls
-        )),
-        None => out.push_str("  \"soak\": null\n"),
-    }
-    out.push('}');
-    out.push('\n');
 
     let dir = std::path::Path::new("results");
     let path = dir.join("table7_parallel.json");
@@ -448,28 +350,6 @@ fn write_json(
     }
 
     // Compact headline run for the cross-commit trajectory file.
-    let mut run = String::from("{\"bench\":\"table7_parallel\"");
-    run.push_str(&format!(
-        ",\"requests_per_client\":{requests},\"host_cpus\":{nproc}"
-    ));
-    for r in results {
-        run.push_str(&format!(
-            ",\"t{}_hooks_per_cpu_s\":{},\"t{}_eval_p50_ns\":{},\"t{}_eval_p99_ns\":{}",
-            r.threads,
-            opt(r.hooks_per_cpu_s),
-            r.threads,
-            r.eval_p50_ns,
-            r.threads,
-            r.eval_p99_ns
-        ));
-    }
-    run.push_str(&format!(",\"cpu_speedup_4_vs_1\":{}", opt(speedup_cpu)));
-    if let Some(s) = soak {
-        run.push_str(&format!(
-            ",\"soak_reloads\":{},\"soak_syscalls\":{}",
-            s.reloads, s.syscalls
-        ));
-    }
-    run.push('}');
+    let run = render_trajectory_run(requests, nproc, results, speedup_cpu, soak);
     pf_bench::append_trajectory("BENCH_table7.json", "table7-trajectory-v1", &run);
 }

@@ -139,6 +139,8 @@ pub fn combine_metrics_json(sections: &[(String, String)]) -> String {
     out
 }
 
+pub mod table7;
+
 /// The Table 6 microbenchmark operations.
 pub mod micro {
     use super::*;

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use pf_types::{PfError, PfResult, ProgramId};
 
+use crate::compile::CompiledDispatch;
 use crate::rule::{CtxPolicy, Rule, Target};
 
 /// A chain designator.
@@ -92,6 +93,19 @@ pub struct RuleBase {
     /// Chain-level `--ctx-missing` defaults (`pftables -P chain
     /// --ctx-missing ...`), consulted when a rule has no override.
     ctx_defaults: BTreeMap<ChainName, CtxPolicy>,
+    /// RULESETC artifact: the input chain compiled into per-(op, label,
+    /// entrypoint) dispatch buckets (see `compile.rs`). Rebuilt by
+    /// [`RuleBase::recompile`] alongside the EPTSPC partition.
+    input_dispatch: CompiledDispatch,
+    /// Batch-compile mode: while set, mutators only mark [`Self::dirty`]
+    /// instead of recompiling, so an N-rule reload compiles once instead
+    /// of N times (quadratic at 10k+ rules). Entered by
+    /// [`SharedRuleset::update`]; never set on a published snapshot.
+    ///
+    /// [`SharedRuleset::update`]: crate::snapshot::SharedRuleset::update
+    deferred: bool,
+    /// Whether a mutation happened while `deferred` was set.
+    dirty: bool,
 }
 
 impl Default for RuleBase {
@@ -103,6 +117,9 @@ impl Default for RuleBase {
             input_entrypoint_all: Vec::new(),
             statically_cacheable: true,
             ctx_defaults: BTreeMap::new(),
+            input_dispatch: CompiledDispatch::default(),
+            deferred: false,
+            dirty: false,
         }
     }
 }
@@ -121,7 +138,7 @@ impl RuleBase {
         } else {
             rules.push(rule);
         }
-        self.recompile();
+        self.mark_changed();
     }
 
     /// Deletes the first rule in `chain` whose text equals `text`.
@@ -135,14 +152,14 @@ impl RuleBase {
             .position(|r| r.text == text)
             .ok_or_else(|| PfError::RuleError(format!("no matching rule in {chain:?}")))?;
         rules.remove(pos);
-        self.recompile();
+        self.mark_changed();
         Ok(())
     }
 
     /// Removes every rule from every chain.
     pub fn clear(&mut self) {
         self.chains.clear();
-        self.recompile();
+        self.mark_changed();
     }
 
     /// Declares an empty user chain (`pftables -N name`).
@@ -154,7 +171,7 @@ impl RuleBase {
             )));
         }
         self.chains.insert(chain, Vec::new());
-        self.recompile();
+        self.mark_changed();
         Ok(())
     }
 
@@ -163,7 +180,7 @@ impl RuleBase {
         match self.chains.get_mut(chain) {
             Some(rules) => {
                 rules.clear();
-                self.recompile();
+                self.mark_changed();
                 Ok(())
             }
             None => Err(PfError::RuleError(format!(
@@ -186,7 +203,7 @@ impl RuleBase {
         match self.chains.get(chain) {
             Some(rules) if rules.is_empty() => {
                 self.chains.remove(chain);
-                self.recompile();
+                self.mark_changed();
                 Ok(())
             }
             Some(_) => Err(PfError::RuleError(format!(
@@ -236,33 +253,71 @@ impl RuleBase {
                 Some(r) => r,
                 None => continue,
             };
-            let mut used = vec![false; old_rules.len()];
+            // Queue the old chain's live cells by rule text, in chain
+            // order, so duplicates pair up first-come — the same
+            // pairing the former linear re-scan produced, but O(n)
+            // instead of O(new × old) (quadratic reloads were visible
+            // at the 10k-rule scale RULESETC targets).
+            let mut cells: HashMap<&str, std::collections::VecDeque<&Arc<_>>> = HashMap::new();
+            for o in old_rules.iter().filter(|o| o.target.is_throttle()) {
+                if let Some(cell) = o.throttle_cell() {
+                    cells.entry(o.text.as_str()).or_default().push_back(cell);
+                }
+            }
             for rule in rules.iter_mut().filter(|r| r.target.is_throttle()) {
-                let adopted = old_rules
-                    .iter()
-                    .enumerate()
-                    .find(|(i, o)| !used[*i] && o.target.is_throttle() && o.text == rule.text);
-                if let Some((i, o)) = adopted {
-                    used[i] = true;
-                    if let Some(cell) = o.throttle_cell() {
-                        rule.adopt_throttle(Arc::clone(cell));
-                    }
+                if let Some(cell) = cells
+                    .get_mut(rule.text.as_str())
+                    .and_then(|q| q.pop_front())
+                {
+                    rule.adopt_throttle(Arc::clone(cell));
                 }
             }
         }
     }
 
+    /// Called by every mutator: recompile immediately, or — in the
+    /// deferred mode a batch edit enters via [`Self::set_deferred`] —
+    /// just remember that a recompile is owed.
+    fn mark_changed(&mut self) {
+        if self.deferred {
+            self.dirty = true;
+        } else {
+            self.recompile();
+        }
+    }
+
+    /// Enters batch-compile mode: subsequent mutations skip the
+    /// per-mutation [`Self::recompile`] until [`Self::finish_deferred`].
+    pub(crate) fn set_deferred(&mut self) {
+        self.deferred = true;
+    }
+
+    /// Leaves batch-compile mode, recompiling once if any mutation
+    /// happened while it was on. Returns `true` if a recompile ran (the
+    /// caller times it for the reload-commit event).
+    pub(crate) fn finish_deferred(&mut self) -> bool {
+        let owed = self.dirty;
+        self.deferred = false;
+        self.dirty = false;
+        if owed {
+            self.recompile();
+        }
+        owed
+    }
+
     /// Snapshot compile step, run on every rule-base mutation: rebuilds
-    /// the entrypoint partition of the input chain and the static
-    /// cacheability summary.
+    /// the entrypoint partition of the input chain, the RULESETC
+    /// dispatch tables, and the static cacheability summary.
     fn recompile(&mut self) {
         self.input_generic.clear();
         self.input_by_ept.clear();
         self.input_entrypoint_all.clear();
         self.statically_cacheable = self.compute_statically_cacheable();
         let Some(input) = self.chains.get(&ChainName::Input) else {
+            self.input_dispatch = CompiledDispatch::default();
             return;
         };
+        self.input_dispatch = CompiledDispatch::compile(input);
         for (i, rule) in input.iter().enumerate() {
             match rule.def.entrypoint() {
                 Some(key) => {
@@ -325,6 +380,11 @@ impl RuleBase {
     /// the degraded-path scan used when the entrypoint fetch fails.
     pub fn input_entrypoint_all(&self) -> &[usize] {
         &self.input_entrypoint_all
+    }
+
+    /// The compiled RULESETC dispatch tables for the input chain.
+    pub fn input_dispatch(&self) -> &CompiledDispatch {
+        &self.input_dispatch
     }
 
     /// Sets (or with `None`, clears) a chain's `--ctx-missing` default.

@@ -1,0 +1,353 @@
+//! RULESETC: snapshot-time compilation of the input chain into indexed
+//! dispatch tables.
+//!
+//! EPTSPC partitions the input chain along one dimension (the
+//! entrypoint). This module generalizes the idea: every input rule is
+//! indexed along **three** dimensions — LSM operation (`-o`), object
+//! label (`-d`), and entrypoint (`-p`/`-i`) — so a lookup touches only
+//! the rules whose selectors could possibly accept the invocation at
+//! hand. Rules whose selector along a dimension is absent (or too broad
+//! to index) land in that dimension's *wildcard* bucket; a lookup
+//! merges the exact bucket and the wildcard bucket of every dimension.
+//!
+//! The soundness argument is the same as EPTSPC's (Section 4.3): a rule
+//! excluded from a lookup is one whose indexed selector is *known not
+//! to match* the fetched context value, so skipping it cannot change
+//! the verdict — provided install order is preserved across the merged
+//! buckets, which [`MergeDispatch`] guarantees by walking the (sorted,
+//! pairwise-disjoint) index vectors as an ascending k-way merge. Fetch
+//! *failures* never consult the index at all (the engine falls back to
+//! a full or EPTSPC walk; see `engine.rs`), so `--ctx-missing` policies
+//! keep their say exactly as before.
+
+use std::collections::HashMap;
+
+use pf_types::{LsmOperation, ProgramId, SecId};
+
+use crate::rule::Rule;
+
+/// Label sets with more members than this are not fanned out into
+/// per-label buckets; the rule goes to the label-wildcard bucket
+/// instead. Keeps pathological `-d a,b,c,...` rules from multiplying
+/// the artifact size.
+pub const MAX_LABEL_FANOUT: usize = 16;
+
+/// One dispatch key: `None` along a dimension means "wildcard bucket".
+type DispatchKey = (
+    Option<LsmOperation>,
+    Option<SecId>,
+    Option<(ProgramId, u64)>,
+);
+
+/// The compiled artifact for one chain: rule indices bucketed by
+/// (operation, object label, entrypoint). Built once per snapshot
+/// compile; immutable and shared read-only afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledDispatch {
+    buckets: HashMap<DispatchKey, Vec<usize>>,
+    /// `true` when at least one rule is bucketed under a concrete
+    /// object label — the gate for eagerly fetching the label on
+    /// lookup. When `false` the label dimension is pure wildcard and
+    /// the fetch (with its failure modes) is skipped entirely.
+    has_label_buckets: bool,
+    /// Same gate for the entrypoint dimension (mirrors EPTSPC's
+    /// `entrypoint_chain_count() == 0` fast path).
+    has_ept_buckets: bool,
+    /// Rules indexed (== the chain length at compile time).
+    rules: usize,
+}
+
+impl CompiledDispatch {
+    /// Compiles a chain's rules into the three-dimensional index.
+    ///
+    /// Placement per rule and dimension:
+    /// * **operation** — `-o OP` present → the `Some(op)` half, else
+    ///   wildcard. Infallible at lookup (the operation is the hook
+    ///   argument, never fetched).
+    /// * **label** — a *positive* `-d` set with 1..=[`MAX_LABEL_FANOUT`]
+    ///   members fans out into one bucket per member (the rule can only
+    ///   match an object carrying one of exactly those labels). Negated
+    ///   sets, oversize sets, and the degenerate empty positive set all
+    ///   go to the wildcard: exclusion must be provable, not probable.
+    /// * **entrypoint** — `-p BIN -i PC` (both halves) → the exact
+    ///   `(program, pc)` bucket, else wildcard. Identical to the
+    ///   EPTSPC partition criterion.
+    pub fn compile(rules: &[Rule]) -> Self {
+        let mut this = CompiledDispatch {
+            rules: rules.len(),
+            ..Default::default()
+        };
+        for (i, rule) in rules.iter().enumerate() {
+            let op_key = rule.def.op;
+            let ept_key = rule.def.entrypoint();
+            this.has_ept_buckets |= ept_key.is_some();
+            match &rule.def.object {
+                Some(set)
+                    if !set.is_negated()
+                        && !set.raw_members().is_empty()
+                        && set.raw_members().len() <= MAX_LABEL_FANOUT =>
+                {
+                    // Fan-out: one bucket per member label. The member
+                    // list is sorted and deduplicated (a LabelSet
+                    // invariant), so each index lands in each member
+                    // bucket exactly once.
+                    this.has_label_buckets = true;
+                    for &sid in set.raw_members() {
+                        this.buckets
+                            .entry((op_key, Some(sid), ept_key))
+                            .or_default()
+                            .push(i);
+                    }
+                }
+                _ => {
+                    this.buckets
+                        .entry((op_key, None, ept_key))
+                        .or_default()
+                        .push(i);
+                }
+            }
+        }
+        this
+    }
+
+    /// Whether any rule is bucketed under a concrete object label.
+    pub fn has_label_buckets(&self) -> bool {
+        self.has_label_buckets
+    }
+
+    /// Whether any rule is bucketed under a concrete entrypoint.
+    pub fn has_ept_buckets(&self) -> bool {
+        self.has_ept_buckets
+    }
+
+    /// Number of rules indexed at compile time.
+    pub fn rule_count(&self) -> usize {
+        self.rules
+    }
+
+    /// Number of distinct (op, label, entrypoint) buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The largest single bucket — a capacity witness for the bench.
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Fills `out` with the bucket slices applicable to an invocation
+    /// whose fetched context is (`op`, `label`, `ept`) and returns how
+    /// many were filled (0..=8).
+    ///
+    /// `label`/`ept` are `None` when the field was *benignly absent*
+    /// (`Fetched::Missing`) or its dimension has no concrete buckets;
+    /// then only that dimension's wildcard half is consulted — exactly
+    /// the Missing → NoMatch semantics of the indexed selectors. The up
+    /// to 2×2×2 combinations are pairwise disjoint by construction
+    /// (each rule lives in exactly one op half, one ept half, and — for
+    /// any single fetched label — at most one label bucket), so the
+    /// merge below never sees a duplicate index.
+    pub fn select<'s>(
+        &'s self,
+        op: LsmOperation,
+        label: Option<SecId>,
+        ept: Option<(ProgramId, u64)>,
+        out: &mut [&'s [usize]; 8],
+    ) -> usize {
+        // An absent dimension makes its exact and wildcard halves
+        // identical, so consult only the wildcard once.
+        let label_halves = [label, None];
+        let label_halves = &label_halves[..1 + usize::from(label.is_some())];
+        let ept_halves = [ept, None];
+        let ept_halves = &ept_halves[..1 + usize::from(ept.is_some())];
+        let mut n = 0;
+        for op_key in [Some(op), None] {
+            for &label_key in label_halves {
+                for &ept_key in ept_halves {
+                    if let Some(bucket) = self.buckets.get(&(op_key, label_key, ept_key)) {
+                        out[n] = bucket.as_slice();
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Ascending k-way merge over up to 8 sorted, pairwise-disjoint index
+/// slices — the order-preserving walk over the selected buckets. Zero
+/// allocations: state is the slice array plus one cursor each.
+pub struct MergeDispatch<'s> {
+    slices: [&'s [usize]; 8],
+    cursors: [usize; 8],
+    n: usize,
+}
+
+impl<'s> MergeDispatch<'s> {
+    /// Builds a merge over `slices` (at most 8).
+    pub fn new(slices: &[&'s [usize]]) -> Self {
+        let mut this = MergeDispatch {
+            slices: [&[]; 8],
+            cursors: [0; 8],
+            n: slices.len().min(8),
+        };
+        this.slices[..this.n].copy_from_slice(&slices[..this.n]);
+        this
+    }
+}
+
+impl Iterator for MergeDispatch<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (slice idx, value)
+        for k in 0..self.n {
+            if let Some(&v) = self.slices[k].get(self.cursors[k]) {
+                if best.is_none_or(|(_, bv)| v < bv) {
+                    best = Some((k, v));
+                }
+            }
+        }
+        let (k, v) = best?;
+        self.cursors[k] += 1;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{DefaultMatches, Rule, Target};
+    use pf_types::{InternId, LabelSet};
+
+    fn rule(op: Option<LsmOperation>, object: Option<LabelSet>, ept: Option<(u32, u64)>) -> Rule {
+        Rule::new(
+            DefaultMatches {
+                op,
+                object,
+                program: ept.map(|(p, _)| InternId(p)),
+                entrypoint_pc: ept.map(|(_, pc)| pc),
+                ..Default::default()
+            },
+            vec![],
+            Target::Drop,
+            String::new(),
+        )
+    }
+
+    fn labels(members: &[u32]) -> LabelSet {
+        LabelSet::of(members.iter().map(|&m| InternId(m)))
+    }
+
+    fn lookup(
+        d: &CompiledDispatch,
+        op: LsmOperation,
+        label: Option<u32>,
+        ept: Option<(u32, u64)>,
+    ) -> Vec<usize> {
+        let mut slices: [&[usize]; 8] = [&[]; 8];
+        let n = d.select(
+            op,
+            label.map(InternId),
+            ept.map(|(p, pc)| (InternId(p), pc)),
+            &mut slices,
+        );
+        MergeDispatch::new(&slices[..n]).collect()
+    }
+
+    #[test]
+    fn empty_chain_compiles_to_nothing() {
+        let d = CompiledDispatch::compile(&[]);
+        assert_eq!(d.rule_count(), 0);
+        assert_eq!(d.bucket_count(), 0);
+        assert!(!d.has_label_buckets() && !d.has_ept_buckets());
+        assert!(lookup(&d, LsmOperation::FileOpen, None, None).is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_install_order_across_buckets() {
+        let rules = vec![
+            rule(Some(LsmOperation::FileOpen), None, None), // 0: op bucket
+            rule(None, Some(labels(&[7])), None),           // 1: label bucket
+            rule(None, None, Some((3, 0x10))),              // 2: ept bucket
+            rule(None, None, None),                         // 3: triple wildcard
+            rule(
+                Some(LsmOperation::FileOpen),
+                Some(labels(&[7])),
+                Some((3, 0x10)),
+            ), // 4: exact
+        ];
+        let d = CompiledDispatch::compile(&rules);
+        assert!(d.has_label_buckets() && d.has_ept_buckets());
+        // Everything applicable, merged back into install order.
+        assert_eq!(
+            lookup(&d, LsmOperation::FileOpen, Some(7), Some((3, 0x10))),
+            vec![0, 1, 2, 3, 4]
+        );
+        // A different label/entrypoint excludes the bound rules.
+        assert_eq!(
+            lookup(&d, LsmOperation::FileOpen, Some(9), Some((9, 0x90))),
+            vec![0, 3]
+        );
+        // A different op excludes the op-bound rules (1 needs label 7).
+        assert_eq!(
+            lookup(&d, LsmOperation::FileUnlink, Some(7), None),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn missing_dimensions_walk_wildcard_buckets_only() {
+        let rules = vec![
+            rule(None, Some(labels(&[7])), None),
+            rule(None, None, Some((3, 0x10))),
+            rule(None, None, None),
+        ];
+        let d = CompiledDispatch::compile(&rules);
+        // Benign absence along both fetched dimensions: only the
+        // wildcard rule can match, and only it is walked.
+        assert_eq!(lookup(&d, LsmOperation::FileOpen, None, None), vec![2]);
+    }
+
+    #[test]
+    fn multi_label_sets_fan_out_to_each_member() {
+        let rules = vec![rule(None, Some(labels(&[3, 5])), None)];
+        let d = CompiledDispatch::compile(&rules);
+        assert_eq!(d.bucket_count(), 2);
+        assert_eq!(lookup(&d, LsmOperation::FileOpen, Some(3), None), vec![0]);
+        assert_eq!(lookup(&d, LsmOperation::FileOpen, Some(5), None), vec![0]);
+        assert!(lookup(&d, LsmOperation::FileOpen, Some(4), None).is_empty());
+    }
+
+    #[test]
+    fn negated_and_oversize_sets_stay_wildcard() {
+        let negated = labels(&[7]).negated();
+        let oversize = labels(&(0..=MAX_LABEL_FANOUT as u32).collect::<Vec<_>>());
+        let empty = labels(&[]);
+        let rules = vec![
+            rule(None, Some(negated), None),
+            rule(None, Some(oversize), None),
+            rule(None, Some(empty), None),
+        ];
+        let d = CompiledDispatch::compile(&rules);
+        assert!(!d.has_label_buckets(), "no provable exclusion → no fan-out");
+        // Every lookup walks all three: none can be excluded by label.
+        assert_eq!(
+            lookup(&d, LsmOperation::FileOpen, Some(7), None),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn merge_handles_adjacent_and_interleaved_runs() {
+        let a = [0usize, 2, 4];
+        let b = [1usize, 3, 5];
+        let c = [6usize, 7];
+        let merged: Vec<_> = MergeDispatch::new(&[&a, &b, &c]).collect();
+        assert_eq!(merged, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let single: Vec<_> = MergeDispatch::new(&[&c]).collect();
+        assert_eq!(single, vec![6, 7]);
+        assert_eq!(MergeDispatch::new(&[]).count(), 0);
+    }
+}

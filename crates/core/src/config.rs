@@ -25,6 +25,11 @@ pub struct PfConfig {
     /// walk. Only traversals the cacheability analysis proves
     /// key-determined are inserted (see `chain.rs` / `engine.rs`).
     pub verdict_cache: bool,
+    /// RULESETC: evaluate the input chain through the compiled
+    /// per-(op, label, entrypoint) dispatch tables built at snapshot
+    /// compile time, so a miss walks only the rules that can possibly
+    /// match instead of the whole partition (see `compile.rs`).
+    pub compiled_dispatch: bool,
 }
 
 impl Default for PfConfig {
@@ -37,9 +42,11 @@ impl Default for PfConfig {
 ///
 /// Each level includes the optimizations of the previous one, mirroring
 /// the table's columns left to right:
-/// `DISABLED → BASE → FULL → CONCACHE → LAZYCON → EPTSPC → VCACHE`.
-/// VCACHE extends the paper's ladder: beyond caching *context*, it
-/// caches whole *verdicts* per task.
+/// `DISABLED → BASE → FULL → CONCACHE → LAZYCON → EPTSPC → VCACHE →
+/// RULESETC`. VCACHE and RULESETC extend the paper's ladder: beyond
+/// caching *context*, VCACHE caches whole *verdicts* per task, and
+/// RULESETC compiles the chain into indexed dispatch tables so even a
+/// verdict-cache miss skips the rules that cannot match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptLevel {
     /// Firewall completely off.
@@ -56,11 +63,13 @@ pub enum OptLevel {
     EptSpc,
     /// + per-task verdict cache.
     Vcache,
+    /// + compiled indexed dispatch for the miss path.
+    RulesetC,
 }
 
 impl OptLevel {
     /// All levels in Table 6 column order.
-    pub const ALL: [OptLevel; 7] = [
+    pub const ALL: [OptLevel; 8] = [
         OptLevel::Disabled,
         OptLevel::Base,
         OptLevel::Full,
@@ -68,6 +77,7 @@ impl OptLevel {
         OptLevel::LazyCon,
         OptLevel::EptSpc,
         OptLevel::Vcache,
+        OptLevel::RulesetC,
     ];
 
     /// The column heading used in Table 6.
@@ -80,6 +90,7 @@ impl OptLevel {
             OptLevel::LazyCon => "LAZYCON",
             OptLevel::EptSpc => "EPTSPC",
             OptLevel::Vcache => "VCACHE",
+            OptLevel::RulesetC => "RULESETC",
         }
     }
 
@@ -100,6 +111,7 @@ impl OptLevel {
                 lazy_context: false,
                 entrypoint_chains: false,
                 verdict_cache: false,
+                compiled_dispatch: false,
             },
             OptLevel::Base | OptLevel::Full => PfConfig {
                 enabled: true,
@@ -107,6 +119,7 @@ impl OptLevel {
                 lazy_context: false,
                 entrypoint_chains: false,
                 verdict_cache: false,
+                compiled_dispatch: false,
             },
             OptLevel::ConCache => PfConfig {
                 enabled: true,
@@ -114,6 +127,7 @@ impl OptLevel {
                 lazy_context: false,
                 entrypoint_chains: false,
                 verdict_cache: false,
+                compiled_dispatch: false,
             },
             OptLevel::LazyCon => PfConfig {
                 enabled: true,
@@ -121,6 +135,7 @@ impl OptLevel {
                 lazy_context: true,
                 entrypoint_chains: false,
                 verdict_cache: false,
+                compiled_dispatch: false,
             },
             OptLevel::EptSpc => PfConfig {
                 enabled: true,
@@ -128,6 +143,7 @@ impl OptLevel {
                 lazy_context: true,
                 entrypoint_chains: true,
                 verdict_cache: false,
+                compiled_dispatch: false,
             },
             OptLevel::Vcache => PfConfig {
                 enabled: true,
@@ -135,6 +151,15 @@ impl OptLevel {
                 lazy_context: true,
                 entrypoint_chains: true,
                 verdict_cache: true,
+                compiled_dispatch: false,
+            },
+            OptLevel::RulesetC => PfConfig {
+                enabled: true,
+                context_caching: true,
+                lazy_context: true,
+                entrypoint_chains: true,
+                verdict_cache: true,
+                compiled_dispatch: true,
             },
         }
     }
@@ -151,12 +176,15 @@ mod tests {
         let lc = OptLevel::LazyCon.config();
         let ep = OptLevel::EptSpc.config();
         let vc = OptLevel::Vcache.config();
+        let rc = OptLevel::RulesetC.config();
         assert!(!full.context_caching && !full.lazy_context && !full.entrypoint_chains);
         assert!(cc.context_caching && !cc.lazy_context);
         assert!(lc.context_caching && lc.lazy_context && !lc.entrypoint_chains);
         assert!(ep.context_caching && ep.lazy_context && ep.entrypoint_chains);
         assert!(!ep.verdict_cache);
         assert!(vc.entrypoint_chains && vc.verdict_cache);
+        assert!(!vc.compiled_dispatch);
+        assert!(rc.entrypoint_chains && rc.verdict_cache && rc.compiled_dispatch);
     }
 
     #[test]

@@ -37,7 +37,8 @@ use pf_types::{Interner, LsmOperation, PfResult, Verdict};
 
 use pf_mac::MacPolicy;
 
-use crate::chain::{ChainName, RuleBase};
+use crate::chain::ChainName;
+use crate::compile::MergeDispatch;
 use crate::config::{OptLevel, PfConfig};
 use crate::context::Packet;
 use crate::env::{CtxError, EvalEnv, Fetched};
@@ -206,6 +207,7 @@ impl ProcessFirewall {
                 t0.elapsed().as_nanos() as u64,
                 before.rule_diff(&after),
                 after.len() as u64,
+                after.compile_ns(),
             );
         }
     }
@@ -288,6 +290,7 @@ impl ProcessFirewall {
             0,
             0,
             before.len() as u64,
+            0,
         );
         match self.shared.update(|d| {
             for cmd in cmds {
@@ -324,6 +327,7 @@ impl ProcessFirewall {
             t0.elapsed().as_nanos() as u64,
             before.rule_diff(&after),
             after.len() as u64,
+            after.compile_ns(),
         );
     }
 
@@ -337,6 +341,7 @@ impl ProcessFirewall {
             t0.elapsed().as_nanos() as u64,
             0,
             before.len() as u64,
+            0,
         );
     }
 
@@ -372,9 +377,10 @@ impl ProcessFirewall {
             0,
             0,
             before.len() as u64,
+            0,
         );
         match self.shared.update(|d| {
-            d.base = RuleBase::new();
+            d.reset_base();
             for cmd in cmds {
                 apply_command(d, cmd)?;
             }
@@ -1011,46 +1017,120 @@ impl<'a> Invocation<'a> {
         } else {
             ChainName::Input
         };
-        if self.config.entrypoint_chains && start == ChainName::Input {
-            let input = snap.chain(&ChainName::Input);
-            if snap.entrypoint_chain_count() == 0 {
-                // No entrypoint-bound rules: the generic indices are the
-                // whole chain, and no unwind is needed to walk it.
-                let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
-                return self.run_seq(&ChainName::Input, generic, pkt, op, 0);
-            }
-            // Bound chains exist, so which rules apply depends on the
-            // caller's entrypoint — resolve it *before* traversal so the
-            // generic and bound partitions can be merged back into
-            // install order. Interleaved ACCEPT/RETURN/LOG/STATE rules
-            // make relative order verdict-relevant, so a generic-first
-            // walk would diverge from FULL.
+        if start == ChainName::Input && self.config.compiled_dispatch && !snap.is_empty() {
+            self.run_input_dispatch(pkt, op)
+        } else if self.config.entrypoint_chains && start == ChainName::Input {
+            self.run_input_eptspc(pkt, op)
+        } else {
+            self.run_chain(&start, pkt, op, 0)
+        }
+    }
+
+    /// RULESETC: walk the input chain through the compiled dispatch
+    /// tables. Only the buckets whose indexed selectors could accept
+    /// this invocation are consulted, merged back into install order
+    /// (see `compile.rs` for the soundness argument). Fetch failures
+    /// never consult the index: a failed entrypoint unwind degrades to
+    /// the full-chain walk exactly like EPTSPC, and a failed object
+    /// fetch falls back one rung to the EPTSPC merged walk — in both
+    /// cases every indexed rule's `--ctx-missing` policy gets its say.
+    fn run_input_dispatch(
+        &mut self,
+        pkt: &mut Packet<'_>,
+        op: LsmOperation,
+    ) -> Option<EvalDecision> {
+        let snap = self.snap;
+        let input = snap.chain(&ChainName::Input);
+        let dispatch = snap.input_dispatch();
+        // Each constrained dimension is resolved *before* traversal
+        // (same reasoning as EPTSPC: interleaved ACCEPT/RETURN/LOG/
+        // STATE rules make relative order verdict-relevant, so the
+        // applicable buckets must be known up front to merge them).
+        // Unconstrained dimensions skip the fetch — and its failure
+        // modes — entirely.
+        let ept = if dispatch.has_ept_buckets() {
             match pkt.entrypoint_value(self.metrics) {
-                Fetched::Value(ept) => {
-                    let bound = snap.input_for_entrypoint(ept).unwrap_or(&[]);
-                    let merged =
-                        MergeIndices::new(snap.input_generic(), bound).map(|i| (i, &input[i]));
-                    self.run_seq(&ChainName::Input, merged, pkt, op, 0)
-                }
-                // Benign absence (e.g. a sanitized malformed stack,
-                // Section 4.4): no entrypoint chain applies — only the
-                // generic rules can match.
-                Fetched::Missing => {
-                    let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
-                    self.run_seq(&ChainName::Input, generic, pkt, op, 0)
-                }
-                // Degraded path: without a trusted entrypoint the
-                // partition cannot be consulted, so walk the *whole*
-                // input chain in install order — exactly the FULL
-                // traversal — and let each rule's `--ctx-missing`
-                // policy decide.
+                Fetched::Value(ept) => Some(ept),
+                // Benign absence: only entrypoint-wildcard buckets apply.
+                Fetched::Missing => None,
                 Fetched::Failed(_) => {
+                    // Degraded path, identical to EPTSPC's: without a
+                    // trusted entrypoint no bucket can be excluded.
                     self.degraded = true;
-                    self.run_seq(&ChainName::Input, input.iter().enumerate(), pkt, op, 0)
+                    self.metrics.bump_rulesetc_fallback();
+                    return self.run_seq(&ChainName::Input, input.iter().enumerate(), pkt, op, 0);
                 }
             }
         } else {
-            self.run_chain(&start, pkt, op, 0)
+            None
+        };
+        let label = if dispatch.has_label_buckets() {
+            match pkt.object_sid_value(self.metrics) {
+                Fetched::Value(sid) => Some(sid),
+                // No object, no label: only label-wildcard buckets
+                // apply (a positive `-d` set cannot match, exactly the
+                // selector's own Missing → NoMatch semantics).
+                Fetched::Missing => None,
+                Fetched::Failed(_) => {
+                    // The object fetch failed: label buckets cannot be
+                    // consulted, but the entrypoint partition still
+                    // can (the unwind is memoized above, so the EPTSPC
+                    // walk re-reads the same value). Not `degraded` by
+                    // itself — the rules that actually need the label
+                    // will arbitrate through `--ctx-missing` as usual.
+                    self.metrics.bump_rulesetc_fallback();
+                    return self.run_input_eptspc(pkt, op);
+                }
+            }
+        } else {
+            None
+        };
+        self.metrics.bump_rulesetc_dispatch();
+        let mut slices: [&[usize]; 8] = [&[]; 8];
+        let n = dispatch.select(op, label, ept, &mut slices);
+        let merged = MergeDispatch::new(&slices[..n]).map(|i| (i, &input[i]));
+        self.run_seq(&ChainName::Input, merged, pkt, op, 0)
+    }
+
+    /// EPTSPC: walk the input chain as a two-way merge of the generic
+    /// partition and the caller's entrypoint-bound partition.
+    fn run_input_eptspc(&mut self, pkt: &mut Packet<'_>, op: LsmOperation) -> Option<EvalDecision> {
+        let snap = self.snap;
+        let input = snap.chain(&ChainName::Input);
+        if snap.entrypoint_chain_count() == 0 {
+            // No entrypoint-bound rules: the generic indices are the
+            // whole chain, and no unwind is needed to walk it.
+            let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
+            return self.run_seq(&ChainName::Input, generic, pkt, op, 0);
+        }
+        // Bound chains exist, so which rules apply depends on the
+        // caller's entrypoint — resolve it *before* traversal so the
+        // generic and bound partitions can be merged back into
+        // install order. Interleaved ACCEPT/RETURN/LOG/STATE rules
+        // make relative order verdict-relevant, so a generic-first
+        // walk would diverge from FULL.
+        match pkt.entrypoint_value(self.metrics) {
+            Fetched::Value(ept) => {
+                let bound = snap.input_for_entrypoint(ept).unwrap_or(&[]);
+                let merged = MergeIndices::new(snap.input_generic(), bound).map(|i| (i, &input[i]));
+                self.run_seq(&ChainName::Input, merged, pkt, op, 0)
+            }
+            // Benign absence (e.g. a sanitized malformed stack,
+            // Section 4.4): no entrypoint chain applies — only the
+            // generic rules can match.
+            Fetched::Missing => {
+                let generic = snap.input_generic().iter().map(|&i| (i, &input[i]));
+                self.run_seq(&ChainName::Input, generic, pkt, op, 0)
+            }
+            // Degraded path: without a trusted entrypoint the
+            // partition cannot be consulted, so walk the *whole*
+            // input chain in install order — exactly the FULL
+            // traversal — and let each rule's `--ctx-missing`
+            // policy decide.
+            Fetched::Failed(_) => {
+                self.degraded = true;
+                self.run_seq(&ChainName::Input, input.iter().enumerate(), pkt, op, 0)
+            }
         }
     }
 
@@ -2000,6 +2080,7 @@ mod tests {
             OptLevel::LazyCon,
             OptLevel::EptSpc,
             OptLevel::Vcache,
+            OptLevel::RulesetC,
         ] {
             let pf = ProcessFirewall::new(level);
             let mut vs = Vec::new();
@@ -2084,6 +2165,7 @@ mod tests {
             OptLevel::LazyCon,
             OptLevel::EptSpc,
             OptLevel::Vcache,
+            OptLevel::RulesetC,
         ] {
             let pf = Arc::new(ProcessFirewall::new(level));
             let mut env0 = MockEnv::new();
@@ -2634,6 +2716,59 @@ mod tests {
                 .field_failures(crate::context::CtxField::ObjectSid)
                 >= 1
         );
+    }
+
+    #[test]
+    fn rulesetc_dispatch_walks_only_applicable_buckets() {
+        let pf = ProcessFirewall::new(OptLevel::RulesetC);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_WRITE -d etc_t -j DROP");
+        install(&pf, &mut env, "pftables -o SOCKET_BIND -j DROP");
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        assert_eq!(d.dropped_by, Some(("input".into(), 2)));
+        assert_eq!(pf.metrics().rulesetc_dispatch(), 1);
+        assert_eq!(pf.metrics().rulesetc_fallback(), 0);
+        // Only the (FILE_OPEN, tmp_t) bucket was walked: the other two
+        // rules were excluded by the index, not evaluated and skipped.
+        assert_eq!(pf.metrics().rules_evaluated(), 1);
+    }
+
+    #[test]
+    fn rulesetc_failed_unwind_degrades_to_full_walk() {
+        // Same contract as EPTSPC: a failed unwind means no bucket can
+        // be excluded, so the whole input chain walks and the bound
+        // rule's fail-closed default still denies.
+        let pf = ProcessFirewall::new(OptLevel::RulesetC);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(
+            &pf,
+            &mut env,
+            "pftables -p /usr/bin/apache2 -i 0x100 -o FILE_OPEN -j DROP",
+        );
+        env.fail_unwind = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "must fail closed");
+        assert!(d.degraded);
+        assert_eq!(pf.metrics().rulesetc_fallback(), 1);
+        assert_eq!(pf.metrics().rulesetc_dispatch(), 0);
+    }
+
+    #[test]
+    fn rulesetc_failed_object_falls_back_to_eptspc_walk() {
+        // A failed object fetch disables the label dimension only: the
+        // walk degrades one rung (EPTSPC merge) and the label-bearing
+        // DROP rule still fails closed through `--ctx-missing`.
+        let pf = ProcessFirewall::new(OptLevel::RulesetC);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        env.fail_object = true;
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "DROP rule fails closed");
+        assert!(d.degraded);
+        assert_eq!(pf.metrics().rulesetc_fallback(), 1);
+        assert_eq!(pf.metrics().rulesetc_dispatch(), 0);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub const EVENT_SHARDS: usize = 8;
 pub const EVENT_RING_CAP: usize = 1024;
 
 /// Words of payload per slot (the packed [`DecisionEvent`] encoding).
-const EVENT_WORDS: usize = 12;
+const EVENT_WORDS: usize = 13;
 
 /// Slot-seqlock sentinel: a writer is mid-publish.
 const BUSY: u64 = u64::MAX;
@@ -342,6 +342,10 @@ pub struct DecisionEvent {
     pub aux: u64,
     /// Control-plane payload: total rules after a commit.
     pub aux2: u64,
+    /// Control-plane payload: nanoseconds the snapshot compile took
+    /// (EPTSPC partition + RULESETC dispatch + cacheability analysis)
+    /// inside the commit; 0 when the edit touched no rules.
+    pub aux3: u64,
 }
 
 impl DecisionEvent {
@@ -368,6 +372,7 @@ impl DecisionEvent {
             latency_ns: 0,
             aux: 0,
             aux2: 0,
+            aux3: 0,
         }
     }
 
@@ -427,6 +432,7 @@ impl DecisionEvent {
             self.latency_ns,
             self.aux,
             self.aux2,
+            self.aux3,
         ]
     }
 
@@ -457,6 +463,7 @@ impl DecisionEvent {
             latency_ns: w[9],
             aux: w[10],
             aux2: w[11],
+            aux3: w[12],
         }
     }
 
@@ -504,8 +511,9 @@ impl DecisionEvent {
             _ => {
                 let _ = write!(
                     s,
-                    ",\"duration_ns\":{},\"rule_diff\":{},\"rule_count\":{}}}",
-                    self.latency_ns, self.aux, self.aux2
+                    ",\"duration_ns\":{},\"rule_diff\":{},\"rule_count\":{},\
+                     \"compile_ns\":{}}}",
+                    self.latency_ns, self.aux, self.aux2, self.aux3
                 );
             }
         }
@@ -730,6 +738,7 @@ impl EventPlane {
         duration_ns: u64,
         rule_diff: u64,
         rule_count: u64,
+        compile_ns: u64,
     ) {
         if self.mode.load(Ordering::Relaxed) == 0 {
             return;
@@ -741,6 +750,7 @@ impl EventPlane {
         ev.latency_ns = duration_ns;
         ev.aux = rule_diff;
         ev.aux2 = rule_count;
+        ev.aux3 = compile_ns;
         self.emit(thread_shard(), &ev);
     }
 
@@ -839,6 +849,7 @@ mod tests {
         c.latency_ns = 12_000;
         c.aux = 3;
         c.aux2 = 1218;
+        c.aux3 = 450_000;
         assert_eq!(DecisionEvent::decode(&c.encode()), c);
     }
 
@@ -997,16 +1008,18 @@ mod tests {
     #[test]
     fn control_events_respect_off() {
         let plane = EventPlane::new();
-        plane.emit_control(EventKind::ReloadCommit, 1, 10, 0, 5);
+        plane.emit_control(EventKind::ReloadCommit, 1, 10, 0, 5, 0);
         assert_eq!(plane.emitted(), 0, "off: control events are silent");
         plane.set_sampling(SamplingMode::ErrorsOnly);
-        plane.emit_control(EventKind::ReloadCommit, 2, 10, 1, 6);
+        plane.emit_control(EventKind::ReloadCommit, 2, 10, 1, 6, 800);
         assert_eq!(plane.emitted(), 1);
         let drained = plane.drain();
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].kind, EventKind::ReloadCommit);
         assert_eq!(drained[0].generation, 2);
         assert_eq!(drained[0].aux2, 6);
+        assert_eq!(drained[0].aux3, 800);
+        assert!(drained[0].to_json().contains("\"compile_ns\":800"));
     }
 
     #[test]

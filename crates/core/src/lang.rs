@@ -1129,6 +1129,7 @@ mod tests {
             ("DISABLED", OptLevel::Disabled),
             ("eptspc", OptLevel::EptSpc),
             ("VCACHE", OptLevel::Vcache),
+            ("rulesetc", OptLevel::RulesetC),
         ] {
             let cmd = parse_command(&format!("pftables -O {tok}"), &mut mac, &mut progs).unwrap();
             assert_eq!(cmd, Command::SetLevel(want), "{tok}");

@@ -33,10 +33,13 @@
 //!   implements to expose process and resource state;
 //! * [`config`] holds the optimization toggles that form the columns of
 //!   Table 6 (DISABLED / BASE / FULL / CONCACHE / LAZYCON / EPTSPC),
-//!   plus the VCACHE extension;
+//!   plus the VCACHE and RULESETC extensions;
 //! * [`vcache`] is the per-task verdict cache behind VCACHE: whole
 //!   traversal outcomes memoized by key context, guarded by the static
 //!   cacheability analysis in [`chain`]/[`rule`];
+//! * [`compile`] is the RULESETC dispatch compiler: per-(op, label,
+//!   entrypoint) bucket tables built at snapshot compile time, walked
+//!   as an order-preserving k-way merge on the verdict-cache miss path;
 //! * [`log`] is the LOG target's JSON record, consumed by `pf-rulegen`;
 //! * [`metrics`] is the observability registry: the legacy counters,
 //!   per-rule/per-operation/per-field detail, latency histograms, the
@@ -75,6 +78,7 @@
 //! ```
 
 pub mod chain;
+pub mod compile;
 pub mod config;
 pub mod context;
 pub mod engine;
@@ -94,6 +98,7 @@ pub mod value;
 pub mod vcache;
 
 pub use chain::{ChainName, RuleBase};
+pub use compile::{CompiledDispatch, MergeDispatch};
 pub use config::{OptLevel, PfConfig};
 pub use context::CtxField;
 pub use engine::{EvalDecision, ProcessFirewall, ThrottleOccupancy};

@@ -432,6 +432,15 @@ pub struct Metrics {
     ratelimit_throttled: AtomicU64,
     /// Accesses rejected by a QUOTA windowed counter. Always on.
     quota_exceeded: AtomicU64,
+    /// Input-chain walks served through the RULESETC compiled dispatch
+    /// tables. Always on: together with `rulesetc_fallback` it proves
+    /// (or disproves) that the compiled path is actually taken.
+    rulesetc_dispatch: AtomicU64,
+    /// RULESETC walks that could not use the index because a dimension
+    /// fetch *failed* (entrypoint → full-chain walk, object label →
+    /// EPTSPC walk). Always on: a rising rate means the fast path is
+    /// being starved by fetch failures — a security *and* perf signal.
+    rulesetc_fallback: AtomicU64,
     // --- detail layer (gated by `detailed`) ---
     detailed: AtomicBool,
     per_op: PerOp,
@@ -495,6 +504,8 @@ impl Metrics {
         self.jump_depth_exceeded.store(0, Ordering::Relaxed);
         self.ratelimit_throttled.store(0, Ordering::Relaxed);
         self.quota_exceeded.store(0, Ordering::Relaxed);
+        self.rulesetc_dispatch.store(0, Ordering::Relaxed);
+        self.rulesetc_fallback.store(0, Ordering::Relaxed);
         for per_op in [
             &self.per_op,
             &self.vcache_hits_op,
@@ -629,6 +640,16 @@ impl Metrics {
         self.jump_depth_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn bump_rulesetc_dispatch(&self) {
+        self.rulesetc_dispatch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn bump_rulesetc_fallback(&self) {
+        self.rulesetc_fallback.fetch_add(1, Ordering::Relaxed);
+    }
+
     // --- throttle counters (always-on totals, detail splits) ---
 
     #[inline]
@@ -755,6 +776,18 @@ impl Metrics {
     /// Accesses rejected by a QUOTA windowed counter.
     pub fn quota_exceeded(&self) -> u64 {
         self.quota_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Input-chain walks served through the RULESETC compiled dispatch
+    /// tables.
+    pub fn rulesetc_dispatch(&self) -> u64 {
+        self.rulesetc_dispatch.load(Ordering::Relaxed)
+    }
+
+    /// RULESETC walks that fell back to a full or EPTSPC walk because a
+    /// dimension fetch failed.
+    pub fn rulesetc_fallback(&self) -> u64 {
+        self.rulesetc_fallback.load(Ordering::Relaxed)
     }
 
     /// `(ratelimit_throttled, quota_exceeded)` for one operation
@@ -1006,6 +1039,16 @@ impl Metrics {
         let _ = writeln!(out, "pf_quota_exceeded_total {}", self.quota_exceeded());
         let _ = writeln!(
             out,
+            "pf_rulesetc_dispatch_total {}",
+            self.rulesetc_dispatch()
+        );
+        let _ = writeln!(
+            out,
+            "pf_rulesetc_fallback_total {}",
+            self.rulesetc_fallback()
+        );
+        let _ = writeln!(
+            out,
             "pf_trace_events_dropped_total {}",
             self.trace_dropped()
         );
@@ -1126,6 +1169,7 @@ impl Metrics {
              \"degraded_allows\":{},\"vcache_hits\":{},\"vcache_misses\":{},\
              \"vcache_uncacheable\":{},\"jump_depth_exceeded\":{},\
              \"ratelimit_throttled\":{},\"quota_exceeded\":{},\
+             \"rulesetc_dispatch\":{},\"rulesetc_fallback\":{},\
              \"trace_dropped\":{}}}",
             self.invocations(),
             self.rules_evaluated(),
@@ -1142,6 +1186,8 @@ impl Metrics {
             self.jump_depth_exceeded(),
             self.ratelimit_throttled(),
             self.quota_exceeded(),
+            self.rulesetc_dispatch(),
+            self.rulesetc_fallback(),
             self.trace_dropped(),
         );
         s.push_str(",\"ops\":{");
@@ -1517,6 +1563,25 @@ mod tests {
         m.bump_quota_exceeded(LsmOperation::FileCreate, &ChainName::Input, 0);
         assert_eq!(m.quota_exceeded(), 1);
         assert_eq!(m.throttle_op_counts(LsmOperation::FileCreate), (0, 0));
+    }
+
+    #[test]
+    fn rulesetc_counters_export_and_reset() {
+        let m = Metrics::new();
+        m.bump_rulesetc_dispatch();
+        m.bump_rulesetc_dispatch();
+        m.bump_rulesetc_fallback();
+        assert_eq!(m.rulesetc_dispatch(), 2);
+        assert_eq!(m.rulesetc_fallback(), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("pf_rulesetc_dispatch_total 2"));
+        assert!(text.contains("pf_rulesetc_fallback_total 1"));
+        let json = m.to_json();
+        assert!(json.contains("\"rulesetc_dispatch\":2"));
+        assert!(json.contains("\"rulesetc_fallback\":1"));
+        m.reset();
+        assert_eq!(m.rulesetc_dispatch(), 0);
+        assert_eq!(m.rulesetc_fallback(), 0);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct RulesetSnapshot {
     config: PfConfig,
     base: RuleBase,
     generation: u64,
+    /// Wall-clock nanoseconds the deferred snapshot compile took inside
+    /// the [`SharedRuleset::update`] that published this snapshot; 0
+    /// when the edit touched no rules (e.g. a level change).
+    compile_ns: u64,
 }
 
 impl RulesetSnapshot {
@@ -70,6 +74,12 @@ impl RulesetSnapshot {
     /// The publication generation: 0 for a fresh firewall, +1 per swap.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Nanoseconds spent compiling this snapshot's rule base (EPTSPC
+    /// partition + RULESETC dispatch tables + cacheability analysis).
+    pub fn compile_ns(&self) -> u64 {
+        self.compile_ns
     }
 
     /// The original text of the rule at `index` in `chain`, if any.
@@ -138,6 +148,18 @@ pub struct RulesetDraft {
     pub base: RuleBase,
 }
 
+impl RulesetDraft {
+    /// Replaces the draft's rule base with an empty one — the
+    /// `pftables-restore` wipe — keeping the batch-compile deferral
+    /// active so the rebuilt base still compiles exactly once at
+    /// publication. (Assigning `draft.base` a fresh `RuleBase` directly
+    /// also works, but recompiles per mutation.)
+    pub fn reset_base(&mut self) {
+        self.base = RuleBase::new();
+        self.base.set_deferred();
+    }
+}
+
 /// The shared swap cell holding the currently published snapshot.
 pub struct SharedRuleset {
     current: Mutex<Arc<RulesetSnapshot>>,
@@ -166,6 +188,7 @@ impl SharedRuleset {
                 config,
                 base: RuleBase::new(),
                 generation: 0,
+                compile_ns: 0,
             })),
             generation: AtomicU64::new(0),
         }
@@ -211,6 +234,10 @@ impl SharedRuleset {
             config: current.config,
             base: current.base.clone(),
         };
+        // Batch-compile: a restore-style edit adds thousands of rules,
+        // and recompiling the EPTSPC partition + RULESETC dispatch per
+        // mutation is quadratic. Defer, then compile once (timed) below.
+        draft.base.set_deferred();
         let value = edit(&mut draft)?;
         // Throttle-state carryover: RATELIMIT/QUOTA rules re-submitted
         // verbatim (a hot `reload()` re-parses every line into fresh
@@ -218,11 +245,19 @@ impl SharedRuleset {
         // start fresh. Clone-path edits already share cells through
         // `Rule::clone`, for which this is a no-op re-adoption.
         draft.base.carry_throttle_state(&current.base);
+        let t0 = std::time::Instant::now();
+        let recompiled = draft.base.finish_deferred();
+        let compile_ns = if recompiled {
+            t0.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         let generation = current.generation + 1;
         *current = Arc::new(RulesetSnapshot {
             config: draft.config,
             base: draft.base,
             generation,
+            compile_ns,
         });
         self.generation.store(generation, Ordering::Release);
         Ok((value, generation))

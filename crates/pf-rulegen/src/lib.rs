@@ -17,17 +17,22 @@
 //! * [`suggest`] — rule suggestion from runtime traces and rule
 //!   generation from known-vulnerability records;
 //! * [`deployment`] — the §6.3.2 deployment-consistency analysis (which
-//!   programs always launch in the environment the distributor tested).
+//!   programs always launch in the environment the distributor tested);
+//! * [`synth`] — seeded synthetic multi-tenant rule bases (10k–100k
+//!   rules) for the RULESETC dispatch benchmark and the cross-level
+//!   differential fuzz harness.
 
 pub mod classify;
 pub mod coverage;
 pub mod deployment;
 pub mod suggest;
+pub mod synth;
 pub mod templates;
 pub mod trace;
 
 pub use classify::{sweep_thresholds, EntrypointClass, EntrypointStats, Table8Row};
 pub use coverage::{replay_attacks, CoverageReport, Protection, RuleCoverage};
 pub use suggest::{rules_from_trace, rules_from_vulnerability, VulnRecord};
+pub use synth::{synth_probes, synth_ruleset, SynthConfig, SynthProbe, Xorshift64};
 pub use templates::{instantiate_t1, instantiate_t2, T1, T2};
 pub use trace::{synthetic_trace, trace_from_logs, TraceEvent, PAPER_THRESHOLDS};

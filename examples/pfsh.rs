@@ -103,7 +103,8 @@ impl Shell {
                 let s = self.kernel.firewall.stats();
                 Ok(format!(
                     "invocations={} rules_evaluated={} ctx_fetches={} cache_hits={} drops={} \
-                     vcache_hits={} vcache_misses={} vcache_uncacheable={}",
+                     vcache_hits={} vcache_misses={} vcache_uncacheable={} \
+                     rulesetc_dispatch={} rulesetc_fallback={}",
                     s.invocations(),
                     s.rules_evaluated(),
                     s.ctx_fetches(),
@@ -111,7 +112,9 @@ impl Shell {
                     s.drops(),
                     s.vcache_hits(),
                     s.vcache_misses(),
-                    s.vcache_uncacheable()
+                    s.vcache_uncacheable(),
+                    s.rulesetc_dispatch(),
+                    s.rulesetc_fallback()
                 ))
             }
             ["as", pid, rest @ ..] => {

@@ -134,7 +134,20 @@ struct Observation {
 
 #[test]
 fn concurrent_stress_with_hot_reloads_has_no_torn_reads() {
-    let fw = Arc::new(ProcessFirewall::new(OptLevel::Full));
+    stress_with_hot_reloads(OptLevel::Full);
+}
+
+/// The same stress at RULESETC: every reload rebuilds the compiled
+/// dispatch artifact, and a verdict must come from exactly one
+/// generation's artifact — a torn or stale dispatch table would
+/// misroute the walk and break the per-generation verdict mapping.
+#[test]
+fn rulesetc_stress_rebuilds_dispatch_atomically_per_generation() {
+    stress_with_hot_reloads(OptLevel::RulesetC);
+}
+
+fn stress_with_hot_reloads(level: OptLevel) {
+    let fw = Arc::new(ProcessFirewall::new(level));
     // Generation → variant map. The initial install and every reload
     // record which ruleset each published generation carries.
     let published: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::new());
@@ -252,6 +265,16 @@ fn concurrent_stress_with_hot_reloads_has_no_torn_reads() {
         m.invocations(),
         "lost counter updates under contention"
     );
+
+    // At RULESETC the workers must actually have gone through the
+    // compiled artifact (at minimum on every per-generation cache
+    // miss), and never through the degradation fallback.
+    if level == OptLevel::RulesetC {
+        assert!(m.rulesetc_dispatch() > 0, "no compiled dispatch ran");
+        assert_eq!(m.rulesetc_fallback(), 0, "fault-free run fell back");
+    } else {
+        assert_eq!(m.rulesetc_dispatch(), 0);
+    }
 }
 
 /// A session pinned before a reload must keep evaluating under its old
@@ -259,7 +282,20 @@ fn concurrent_stress_with_hot_reloads_has_no_torn_reads() {
 /// must stay internally consistent for the whole overlap.
 #[test]
 fn pinned_sessions_and_fresh_sessions_coexist_across_reload() {
-    let fw = ProcessFirewall::new(OptLevel::Full);
+    pinned_and_fresh_coexist(OptLevel::Full);
+}
+
+/// At RULESETC the pinned session keeps evaluating through the **old**
+/// generation's compiled artifact (its snapshot owns the artifact, so
+/// the reload's rebuild cannot be observed mid-walk), while fresh
+/// sessions dispatch through the new one.
+#[test]
+fn rulesetc_pinned_sessions_keep_the_old_compiled_artifact() {
+    pinned_and_fresh_coexist(OptLevel::RulesetC);
+}
+
+fn pinned_and_fresh_coexist(level: OptLevel) {
+    let fw = ProcessFirewall::new(level);
     let mut env = Env::new();
     fw.install_all(
         variant_lines(0).iter().map(String::as_str),
@@ -294,4 +330,61 @@ fn pinned_sessions_and_fresh_sessions_coexist_across_reload() {
         let d_new = fresh.evaluate(&fw, &mut env, LsmOperation::FileOpen);
         assert_eq!((d_new.generation, d_new.verdict), (new_gen, Verdict::Deny));
     }
+    if level == OptLevel::RulesetC {
+        assert!(fw.metrics().rulesetc_dispatch() > 0);
+        assert_eq!(fw.metrics().rulesetc_fallback(), 0);
+    }
+}
+
+/// Hot reload × RULESETC × throttle state: a QUOTA rule whose text is
+/// unchanged across a reload must keep its bucket (consumed grants
+/// survive), even though the compiled dispatch artifact is rebuilt from
+/// scratch — the impure rule evaluates live against carried-over state
+/// through the new artifact.
+#[test]
+fn rulesetc_reload_carries_throttle_state_for_unchanged_rules() {
+    let fw = ProcessFirewall::new(OptLevel::RulesetC);
+    let mut env = Env::new();
+    let quota = "pftables -o FILE_OPEN -d tmp_t -j QUOTA --limit 3 --window 512 --exceed drop";
+    fw.install_all([quota], &mut env.mac, &mut env.programs)
+        .unwrap();
+
+    let mut session = TaskSession::new();
+    env.current = 0; // tmp_t
+    for i in 0..2 {
+        let d = session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Allow, "grant {i} within quota");
+    }
+
+    // Reload keeps the quota rule's text identical and adds one
+    // unrelated rule, so the artifact rebuilds but the bucket carries.
+    let extra = "pftables -o FILE_OPEN -d etc_t -j DROP";
+    fw.reload([quota, extra], &mut env.mac, &mut env.programs)
+        .unwrap();
+
+    let d3 = session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+    assert_eq!(d3.verdict, Verdict::Allow, "third grant exhausts the quota");
+    let d4 = session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+    assert_eq!(
+        d4.verdict,
+        Verdict::Deny,
+        "the carried bucket must remember the pre-reload grants"
+    );
+
+    // The new artifact routes the new rule too.
+    env.current = 1; // etc_t
+    let d = session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+    assert_eq!(d.verdict, Verdict::Deny);
+
+    // A reload that *changes* the rule text resets the bucket.
+    let retuned = "pftables -o FILE_OPEN -d tmp_t -j QUOTA --limit 4 --window 512 --exceed drop";
+    fw.reload([retuned, extra], &mut env.mac, &mut env.programs)
+        .unwrap();
+    env.current = 0;
+    let d = session.evaluate(&fw, &mut env, LsmOperation::FileOpen);
+    assert_eq!(d.verdict, Verdict::Allow, "fresh bucket after text change");
+
+    let m = fw.metrics();
+    assert!(m.rulesetc_dispatch() > 0);
+    assert_eq!(m.rulesetc_fallback(), 0);
 }

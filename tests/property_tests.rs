@@ -214,6 +214,7 @@ proptest! {
             OptLevel::LazyCon,
             OptLevel::EptSpc,
             OptLevel::Vcache,
+            OptLevel::RulesetC,
         ] {
             let mut k = standard_world();
             for &(lbl, with_ept, pc) in &rule_specs {
