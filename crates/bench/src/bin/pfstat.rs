@@ -263,6 +263,20 @@ fn report(k: &pf_os::Kernel, workload: &str) {
     }
     println!();
 
+    // The bounded log sink: drop accounting is always-on, so a fleet
+    // that outruns its collector shows up here as `overwritten`, never
+    // as unbounded memory.
+    let sink = k.firewall.log_sink();
+    println!("== log sink (capacity {}) ==", sink.capacity());
+    println!(
+        "emitted {} / drained {} / overwritten {} / buffered {}",
+        sink.emitted(),
+        sink.drained(),
+        sink.dropped(),
+        sink.len()
+    );
+    println!();
+
     // Live per-key throttle bucket occupancy, straight off the packed
     // atomic words — no locks taken, buckets keep moving underneath.
     let occupancy = k.firewall.throttle_occupancy();

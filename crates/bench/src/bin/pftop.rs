@@ -12,6 +12,14 @@
 //! its oldest slot and the reader accounts the loss), and at quiescence
 //! the books balance exactly: `emitted == drained + dropped`.
 //!
+//! The same drain loop also consumes the bounded **log sink** (a LOG
+//! rule fires on every fourth invocation, and the sink runs at a small
+//! capacity so writers lap the consumer): a saturated fleet can only
+//! cost the collector *records* — counted in `logs_dropped` and marked
+//! with a gap on the next drain, the TRACE discipline — never memory or
+//! writer progress. Log accounting must balance at quiescence exactly
+//! like the event plane's.
+//!
 //! ```text
 //! usage: pftop [target-events] [--jsonl]
 //! ```
@@ -46,11 +54,16 @@ const OPS: [LsmOperation; 4] = [
     LsmOperation::FileWrite,
     LsmOperation::FileGetattr,
 ];
-const RULES: [&str; 3] = [
+const RULES: [&str; 4] = [
     "pftables -o FILE_OPEN -r 0x5 -j DROP",
     "pftables -o FILE_READ -j ACCEPT",
     "pftables -o FILE_WRITE -j RATELIMIT --rate 1 --burst 4096 --per subject --exceed drop",
+    "pftables -o FILE_GETATTR -j LOG --tag pftop",
 ];
+/// Deliberately small log-sink capacity: one writer iteration in four
+/// emits a record, so the sink laps between drains and the gap-marking
+/// path is exercised, not just the happy path.
+const LOG_RING_CAP: usize = 8_192;
 /// Cap on the `--jsonl` export so a 1M-event run does not write a
 /// multi-hundred-megabyte file; the cap is reported, never silent.
 const JSONL_CAP: usize = 50_000;
@@ -152,6 +165,8 @@ struct Aggregation {
     throttle: HashMap<&'static str, u64>,
     latency: Histogram,
     errors: u64,
+    log_records: u64,
+    log_gaps: u64,
 }
 
 impl Aggregation {
@@ -228,6 +243,7 @@ fn main() {
             .unwrap();
     }
     fw.set_sampling(SamplingMode::Always);
+    fw.set_log_capacity(LOG_RING_CAP);
     let rules_by_key = rule_table(&fw);
     let label_of: HashMap<u32, String> = {
         let mac = ubuntu_mini();
@@ -266,8 +282,12 @@ fn main() {
 
         start.wait();
         // The live consumer: drain, fold, repeat. Writers never wait on
-        // this loop — a slow consumer only shows up as `dropped`.
+        // this loop — a slow consumer only shows up as `dropped` (and,
+        // for the log sink, as a gap marker on the next drain).
         while fw.events().drained() < target {
+            let logs = fw.drain_logs();
+            agg.log_records += logs.entries.len() as u64;
+            agg.log_gaps += u64::from(logs.gap);
             let batch = fw.events().drain();
             if batch.is_empty() {
                 std::thread::yield_now();
@@ -289,6 +309,9 @@ fn main() {
     let wall = t0.elapsed();
 
     // Quiescence: writers joined; one final drain settles the books.
+    let tail_logs = fw.drain_logs();
+    agg.log_records += tail_logs.entries.len() as u64;
+    agg.log_gaps += u64::from(tail_logs.gap);
     let tail = fw.events().drain();
     agg.fold(&tail);
     if jsonl {
@@ -347,6 +370,16 @@ fn main() {
         agg.latency.percentile(99.9),
     );
     println!("decision latency: p50 {p50} ns, p99 {p99} ns, p99.9 {p999} ns");
+    let (logs_emitted, logs_drained, logs_dropped) = (
+        fw.log_sink().emitted(),
+        fw.log_sink().drained(),
+        fw.log_sink().dropped(),
+    );
+    println!(
+        "log sink (cap {LOG_RING_CAP}): {logs_emitted} emitted, {logs_drained} drained, \
+         {logs_dropped} overwritten, {} gap-marked drains",
+        agg.log_gaps
+    );
     println!("{:-<72}", "");
 
     let mut json = String::from("{");
@@ -356,12 +389,15 @@ fn main() {
          \"emitted\":{emitted},\"drained\":{drained},\"dropped\":{dropped},\
          \"invocations\":{invocations},\"decisions\":{},\"controls\":{},\
          \"errors\":{},\"latency_p50_ns\":{p50},\"latency_p99_ns\":{p99},\
-         \"latency_p999_ns\":{p999},\"wall_s\":{:.3},\"jsonl_exported\":{}",
+         \"latency_p999_ns\":{p999},\"wall_s\":{:.3},\"jsonl_exported\":{},\
+         \"logs_emitted\":{logs_emitted},\"logs_drained\":{logs_drained},\
+         \"logs_dropped\":{logs_dropped},\"log_gaps\":{}",
         agg.decisions,
         agg.controls,
         agg.errors,
         wall.as_secs_f64(),
-        jsonl_lines.len()
+        jsonl_lines.len(),
+        agg.log_gaps
     );
     json.push('}');
     let path = std::path::Path::new("results").join("pftop.json");
@@ -393,8 +429,15 @@ fn main() {
         "event accounting must balance at quiescence"
     );
     assert_eq!(agg.decisions + agg.controls, drained);
+    assert_eq!(
+        logs_emitted,
+        logs_drained + logs_dropped,
+        "log accounting must balance at quiescence"
+    );
+    assert_eq!(agg.log_records, logs_drained, "every drained record folded");
     println!(
         "acceptance: drained {drained} >= {target}, emitted {emitted} == \
-         drained {drained} + dropped {dropped} — OK"
+         drained {drained} + dropped {dropped}, logs {logs_emitted} == \
+         {logs_drained} + {logs_dropped} — OK"
     );
 }

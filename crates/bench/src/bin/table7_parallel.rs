@@ -43,26 +43,11 @@ use pf_bench::table7::{
     aggregate, cpu_speedup_4_vs_1, render_full_json, render_trajectory_run, ConfigResult,
     SoakResult, ThreadStats,
 };
-use pf_bench::{world_at, RuleSet};
+use pf_bench::{thread_cpu_ns, world_at, RuleSet};
 use pf_core::{OptLevel, ProcessFirewall};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WEB_CLIENTS: usize = 10;
-
-/// This thread's CPU time (user + system) in nanoseconds, from
-/// `/proc/thread-self/stat`. Returns `None` off Linux or on parse
-/// failure; callers fall back to wall-clock.
-fn thread_cpu_ns() -> Option<u64> {
-    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
-    // Fields 14 (utime) and 15 (stime), 1-indexed, are clock ticks at
-    // USER_HZ (100 on Linux). The comm field may contain spaces, so
-    // split after the closing paren.
-    let rest = stat.rsplit_once(')')?.1;
-    let fields: Vec<&str> = rest.split_whitespace().collect();
-    let utime: u64 = fields.get(11)?.parse().ok()?;
-    let stime: u64 = fields.get(12)?.parse().ok()?;
-    Some((utime + stime) * 10_000_000)
-}
 
 /// Runs `threads` workers against one shared firewall; returns
 /// per-thread stats plus the shared invocation-counter delta

@@ -122,6 +122,26 @@ pub fn append_trajectory(path: &str, schema: &str, run: &str) {
     }
 }
 
+/// This thread's CPU time (user + system) in nanoseconds, from
+/// `/proc/thread-self/stat`. Returns `None` off Linux or on parse
+/// failure; callers fall back to wall-clock.
+///
+/// On a single-core container wall-clock scaling curves are
+/// necessarily flat (the threads timeshare one CPU); normalizing by
+/// per-thread CPU time instead exposes whether per-hook *CPU cost*
+/// inflates as workers are added — the lock-convoy signature.
+pub fn thread_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // Fields 14 (utime) and 15 (stime), 1-indexed, are clock ticks at
+    // USER_HZ (100 on Linux). The comm field may contain spaces, so
+    // split after the closing paren.
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) * 10_000_000)
+}
+
 /// Joins named metrics documents into one JSON object:
 /// `{"name1": <doc1>, "name2": <doc2>, …}`.
 pub fn combine_metrics_json(sections: &[(String, String)]) -> String {
@@ -139,6 +159,7 @@ pub fn combine_metrics_json(sections: &[(String, String)]) -> String {
     out
 }
 
+pub mod fleet;
 pub mod table7;
 
 /// The Table 6 microbenchmark operations.

@@ -27,10 +27,14 @@
 //! LOG records buffer in invocation-local scratch and are appended to
 //! the shared log sink once, after the verdict is known — so the
 //! DROP-patches-same-invocation-LOG rule (`docs/OBSERVABILITY.md`)
-//! holds even with interleaved concurrent invocations.
+//! holds even with interleaved concurrent invocations. The sink itself
+//! is a bounded overwrite-oldest ring ([`LogSink`]) with always-on
+//! `emitted == drained + dropped` accounting, so a fleet of tasks
+//! logging faster than the collector drains degrades to counted record
+//! loss instead of unbounded memory growth.
 
 use std::cell::RefCell;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
 
 use pf_types::{Interner, LsmOperation, PfResult, Verdict};
@@ -47,7 +51,7 @@ use crate::events::{
     VcacheOutcome,
 };
 use crate::lang::{parse_command, Command, RuleOp};
-use crate::log::LogEntry;
+use crate::log::{LogDrain, LogEntry, LogSink};
 use crate::metrics::{prom_label_esc, Metrics, TraceEvent};
 use crate::ratelimit::{ExceedPolicy, PerKey, ThrottleSlotState};
 use crate::rule::{CtxPolicy, MatchModule, Rule, Target};
@@ -91,7 +95,7 @@ impl EvalDecision {
 pub struct ProcessFirewall {
     shared: SharedRuleset,
     metrics: Metrics,
-    logs: Mutex<Vec<LogEntry>>,
+    logs: LogSink,
     events: EventPlane,
 }
 
@@ -163,7 +167,7 @@ impl ProcessFirewall {
         ProcessFirewall {
             shared: SharedRuleset::new(level.config()),
             metrics: Metrics::new(),
-            logs: Mutex::new(Vec::new()),
+            logs: LogSink::default(),
             events: EventPlane::new(),
         }
     }
@@ -487,7 +491,10 @@ impl ProcessFirewall {
 
     /// Renders the firewall-wide Prometheus exposition: everything in
     /// [`Metrics::render_prometheus`] plus the decision-event plane
-    /// counters and live throttle bucket occupancy.
+    /// counters, the bounded LOG sink accounting
+    /// (`pf_logs_{emitted,drained,dropped}_total` and the
+    /// `pf_logs_buffered`/`pf_logs_capacity` gauges), and live throttle
+    /// bucket occupancy.
     ///
     /// Occupancy values are gauges: token balance for RATELIMIT rules,
     /// window grant count for QUOTA rules, keyed by
@@ -499,6 +506,11 @@ impl ProcessFirewall {
         let _ = writeln!(out, "pf_events_emitted_total {}", self.events.emitted());
         let _ = writeln!(out, "pf_events_drained_total {}", self.events.drained());
         let _ = writeln!(out, "pf_events_dropped_total {}", self.events.dropped());
+        let _ = writeln!(out, "pf_logs_emitted_total {}", self.logs.emitted());
+        let _ = writeln!(out, "pf_logs_drained_total {}", self.logs.drained());
+        let _ = writeln!(out, "pf_logs_dropped_total {}", self.logs.dropped());
+        let _ = writeln!(out, "pf_logs_buffered {}", self.logs.len());
+        let _ = writeln!(out, "pf_logs_capacity {}", self.logs.capacity());
         out.push_str("pf_event_sampling_mode{mode=\"");
         prom_label_esc(&mut out, &self.events.sampling().render());
         out.push_str("\"} 1\n");
@@ -525,7 +537,9 @@ impl ProcessFirewall {
 
     /// Renders the firewall-wide JSON snapshot: everything in
     /// [`Metrics::to_json`] plus an `events` object (plane counters and
-    /// the active sampling mode) and a `throttle_occupancy` array with
+    /// the active sampling mode), a `logs` object (bounded-sink
+    /// accounting: emitted/drained/dropped/buffered/capacity), and a
+    /// `throttle_occupancy` array with
     /// one entry per live bucket slot (`value` is the token balance for
     /// RATELIMIT rules, the window grant count for QUOTA rules).
     pub fn to_json(&self) -> String {
@@ -538,7 +552,17 @@ impl ProcessFirewall {
         let _ = write!(s, ",\"dropped\":{}", self.events.dropped());
         s.push_str(",\"sampling\":\"");
         crate::log::esc(&mut s, &self.events.sampling().render());
-        s.push_str("\"},\"throttle_occupancy\":[");
+        s.push_str("\"},\"logs\":{");
+        let _ = write!(
+            s,
+            "\"emitted\":{},\"drained\":{},\"dropped\":{},\"buffered\":{},\"capacity\":{}",
+            self.logs.emitted(),
+            self.logs.drained(),
+            self.logs.dropped(),
+            self.logs.len(),
+            self.logs.capacity()
+        );
+        s.push_str("},\"throttle_occupancy\":[");
         let mut first = true;
         for occ in self.throttle_occupancy() {
             for slot in &occ.slots {
@@ -568,23 +592,33 @@ impl ProcessFirewall {
         s
     }
 
-    /// Locks the LOG sink, recovering from poisoning. A task that
-    /// panicked while holding the guard must not take logging down for
-    /// every later evaluation: the buffer is append-only (whole `Vec`
-    /// pushes, no partial records), so the recovered contents are
-    /// consistent.
-    fn lock_logs(&self) -> MutexGuard<'_, Vec<LogEntry>> {
-        self.logs.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The bounded LOG sink (counters, capacity, gap-marked drains).
+    pub fn log_sink(&self) -> &LogSink {
+        &self.logs
     }
 
-    /// Drains accumulated LOG records.
+    /// Rebounds the LOG sink to `capacity` records (minimum 1).
+    /// Shrinking below the current occupancy drops the oldest records,
+    /// counted like any other overwrite.
+    pub fn set_log_capacity(&self, capacity: usize) {
+        self.logs.set_capacity(capacity);
+    }
+
+    /// Drains accumulated LOG records, oldest first.
     pub fn take_logs(&self) -> Vec<LogEntry> {
-        std::mem::take(&mut *self.lock_logs())
+        self.logs.take()
     }
 
-    /// Number of buffered LOG records.
+    /// Drains accumulated LOG records with the overflow gap marker (the
+    /// TRACE-ring discipline: `gap` is `true` when records were
+    /// overwritten since the previous drain).
+    pub fn drain_logs(&self) -> LogDrain {
+        self.logs.drain()
+    }
+
+    /// Number of buffered LOG records. Never exceeds the sink capacity.
     pub fn log_count(&self) -> usize {
-        self.lock_logs().len()
+        self.logs.len()
     }
 
     /// Resolves a decision's `dropped_by` attribution to the original
@@ -706,7 +740,7 @@ impl ProcessFirewall {
                                 if let Some(log) = &entry.log {
                                     let mut log = log.clone();
                                     log.ts = pkt.env_ref().now();
-                                    self.lock_logs().push(log);
+                                    self.logs.push(log);
                                 }
                                 self.metrics.observe_eval(t0);
                                 let verdict = match entry.kind {
@@ -825,9 +859,7 @@ impl ProcessFirewall {
                 );
             }
         }
-        if !scratch.is_empty() {
-            self.lock_logs().append(scratch);
-        }
+        self.logs.append(scratch);
         self.metrics.observe_eval(t0);
         let verdict = match kind {
             VerdictKind::Drop => EventVerdict::Deny,
@@ -2817,7 +2849,7 @@ mod tests {
         // One thread panics while holding the log-sink guard…
         let pf2 = Arc::clone(&pf);
         let worker = std::thread::spawn(move || {
-            let _guard = pf2.logs.lock().unwrap();
+            let _guard = pf2.logs.lock_raw();
             panic!("worker dies mid-append");
         });
         assert!(worker.join().is_err(), "worker panicked as intended");

@@ -109,7 +109,7 @@ pub use events::{
 };
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyEnv};
 pub use lang::render_rule;
-pub use log::LogEntry;
+pub use log::{LogDrain, LogEntry, LogSink, DEFAULT_LOG_CAPACITY};
 pub use metrics::{ChainSnapshot, Histogram, Metrics, ShardedHistogram, TraceEvent};
 pub use ratelimit::{ExceedPolicy, PerKey, ThrottleCell, ThrottleSlotState};
 pub use render::render_rules;

@@ -1,12 +1,23 @@
-//! The LOG target's JSON records.
+//! The LOG target's JSON records and the bounded shared log sink.
 //!
 //! The paper's LOG target "logs a variety of information about the current
 //! resource access in JSON format" (Section 5.2); OS distributors feed
 //! these records to the rule-generation scripts of Section 6.3. The JSON
 //! codec here is hand-rolled (flat objects, string/number/bool values) to
 //! keep the dependency set at the sanctioned crates.
+//!
+//! [`LogSink`] is the firewall-wide buffer those records land in. It is
+//! **bounded**: once the ring is at capacity the oldest record is
+//! overwritten (and counted), so a fleet of tasks emitting faster than
+//! the collector drains can never grow the firewall's memory without
+//! limit. The accounting discipline mirrors the decision-event plane
+//! (`crate::events`): `emitted() == drained() + dropped()` holds exactly
+//! once the sink is quiescent and fully drained.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use pf_types::{LsmOperation, PfError, PfResult};
 
@@ -142,6 +153,193 @@ impl LogEntry {
             tag: get_s("tag")?,
             verdict: get_s("verdict")?,
         })
+    }
+}
+
+/// Default [`LogSink`] capacity: roomy enough that every existing
+/// workload drains losslessly, small enough that a runaway LOG flood
+/// tops out at a few tens of megabytes instead of eating the host.
+pub const DEFAULT_LOG_CAPACITY: usize = 65_536;
+
+/// One gap-marked drain of the [`LogSink`].
+#[derive(Debug, Default)]
+pub struct LogDrain {
+    /// The drained records, oldest first.
+    pub entries: Vec<LogEntry>,
+    /// Overflow gap marker, same discipline as the TRACE ring: `true`
+    /// when one or more records were overwritten since the previous
+    /// drain, i.e. "records are missing immediately before the first
+    /// entry here". Stamped by the reader, never by writers.
+    pub gap: bool,
+    /// How many records were overwritten since the previous drain.
+    pub dropped_since_last: u64,
+}
+
+/// The firewall-wide LOG buffer: a bounded overwrite-oldest ring.
+///
+/// Writers append whole invocations' worth of records under **one**
+/// lock acquisition ([`LogSink::append`]); when the ring is full the
+/// oldest records are overwritten and counted in [`LogSink::dropped`].
+/// All three counters are always on — a saturated collector is an
+/// operational signal, not profiling detail — and are updated under the
+/// ring lock, so `emitted == drained + dropped + len` is exact at every
+/// quiescent point, not merely eventually.
+#[derive(Debug)]
+pub struct LogSink {
+    ring: Mutex<VecDeque<LogEntry>>,
+    capacity: AtomicUsize,
+    emitted: AtomicU64,
+    drained: AtomicU64,
+    dropped: AtomicU64,
+    /// The `dropped` total the last drain observed; the delta since
+    /// then decides whether the next drain reports a gap.
+    drop_mark: AtomicU64,
+}
+
+impl Default for LogSink {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_LOG_CAPACITY)
+    }
+}
+
+impl LogSink {
+    /// Creates a sink bounded at `capacity` records (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        LogSink {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: AtomicUsize::new(capacity.max(1)),
+            emitted: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            drop_mark: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the ring, recovering from poisoning: pushes and drains are
+    /// whole-record operations, so contents left by a panicked writer
+    /// are still structurally consistent.
+    fn lock(&self) -> MutexGuard<'_, VecDeque<LogEntry>> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Rebounds the sink to `capacity` records (minimum 1). Shrinking
+    /// below the current occupancy drops the oldest records, counted
+    /// like any other overwrite.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut ring = self.lock();
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut overwritten = 0u64;
+        while ring.len() > capacity {
+            ring.pop_front();
+            overwritten += 1;
+        }
+        if overwritten > 0 {
+            self.dropped.fetch_add(overwritten, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one record, overwriting the oldest when full.
+    pub fn push(&self, entry: LogEntry) {
+        let cap = self.capacity();
+        let mut ring = self.lock();
+        if ring.len() >= cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends a whole batch (one invocation's scratch) under a single
+    /// lock acquisition, draining `batch` in place — the batch keeps its
+    /// allocation for reuse. Oldest records are overwritten when the
+    /// batch does not fit.
+    pub fn append(&self, batch: &mut Vec<LogEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        let cap = self.capacity();
+        let n = batch.len() as u64;
+        let mut ring = self.lock();
+        let mut overwritten = 0u64;
+        for entry in batch.drain(..) {
+            if ring.len() >= cap {
+                ring.pop_front();
+                overwritten += 1;
+            }
+            ring.push_back(entry);
+        }
+        if overwritten > 0 {
+            self.dropped.fetch_add(overwritten, Ordering::Relaxed);
+        }
+        self.emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Drains every buffered record, oldest first (no gap marking; see
+    /// [`LogSink::drain`] for the marked flavour).
+    pub fn take(&self) -> Vec<LogEntry> {
+        self.drain().entries
+    }
+
+    /// Drains every buffered record and reports whether records were
+    /// overwritten since the previous drain (the TRACE-ring gap
+    /// discipline: the mark is swapped under the ring lock, so
+    /// concurrent drains never double-report a gap).
+    pub fn drain(&self) -> LogDrain {
+        let mut ring = self.lock();
+        // Swap in an empty deque of the same capacity: `mem::take`
+        // would reset it to zero and make writers re-pay the doubling
+        // growth after every drain.
+        let fresh = VecDeque::with_capacity(ring.capacity());
+        let entries: Vec<LogEntry> = std::mem::replace(&mut *ring, fresh).into();
+        self.drained
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let total = self.dropped.load(Ordering::Relaxed);
+        let mark = self.drop_mark.swap(total, Ordering::Relaxed);
+        LogDrain {
+            entries,
+            gap: total > mark,
+            dropped_since_last: total - mark,
+        }
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the sink is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Records ever appended (including later-overwritten ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Records handed to a drainer.
+    pub fn drained(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+
+    /// Records overwritten before any drainer saw them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: takes the ring lock without poison recovery, so a
+    /// test can poison it by panicking while holding the guard.
+    #[cfg(test)]
+    pub(crate) fn lock_raw(&self) -> MutexGuard<'_, VecDeque<LogEntry>> {
+        #[allow(clippy::unwrap_used)]
+        self.ring.lock().unwrap()
     }
 }
 
@@ -324,5 +522,104 @@ mod tests {
     #[test]
     fn missing_field_is_an_error() {
         assert!(LogEntry::parse_json("{\"ts\":1}").is_err());
+    }
+
+    fn stamped(ts: u64) -> LogEntry {
+        let mut e = entry();
+        e.ts = ts;
+        e
+    }
+
+    #[test]
+    fn sink_overwrites_oldest_and_accounts_exactly() {
+        let sink = LogSink::with_capacity(4);
+        for ts in 0..10 {
+            sink.push(stamped(ts));
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.emitted(), 10);
+        assert_eq!(sink.dropped(), 6);
+        let drain = sink.drain();
+        assert!(drain.gap, "overwrites since last drain mark a gap");
+        assert_eq!(drain.dropped_since_last, 6);
+        let kept: Vec<u64> = drain.entries.iter().map(|e| e.ts).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "newest records survive");
+        assert_eq!(sink.emitted(), sink.drained() + sink.dropped());
+        // A second drain with no traffic in between is gap-free.
+        let drain = sink.drain();
+        assert!(!drain.gap);
+        assert!(drain.entries.is_empty());
+    }
+
+    #[test]
+    fn sink_batch_append_preserves_order_and_allocation() {
+        let sink = LogSink::with_capacity(8);
+        let mut batch: Vec<LogEntry> = (0..5).map(stamped).collect();
+        let cap_before = batch.capacity();
+        sink.append(&mut batch);
+        assert!(batch.is_empty(), "batch is drained in place");
+        assert_eq!(batch.capacity(), cap_before, "scratch keeps its allocation");
+        let got: Vec<u64> = sink.take().iter().map(|e| e.ts).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sink.emitted(), 5);
+        assert_eq!(sink.drained(), 5);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn sink_shrink_drops_oldest() {
+        let sink = LogSink::with_capacity(8);
+        for ts in 0..8 {
+            sink.push(stamped(ts));
+        }
+        sink.set_capacity(3);
+        assert_eq!(sink.capacity(), 3);
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 5);
+        let kept: Vec<u64> = sink.take().iter().map(|e| e.ts).collect();
+        assert_eq!(kept, vec![5, 6, 7]);
+        assert_eq!(sink.emitted(), sink.drained() + sink.dropped());
+    }
+
+    #[test]
+    fn sink_capacity_floor_is_one() {
+        let sink = LogSink::with_capacity(0);
+        assert_eq!(sink.capacity(), 1);
+        sink.set_capacity(0);
+        assert_eq!(sink.capacity(), 1);
+        sink.push(stamped(1));
+        sink.push(stamped(2));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn sink_accounting_is_exact_under_concurrent_writers() {
+        use std::sync::Arc;
+        let sink = Arc::new(LogSink::with_capacity(64));
+        let mut total_drained = 0u64;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    let mut batch = Vec::new();
+                    for round in 0..200u64 {
+                        for ts in 0..5 {
+                            batch.push(stamped(round * 5 + ts));
+                        }
+                        sink.append(&mut batch);
+                    }
+                });
+            }
+            // A racing drainer, like pftop's loop.
+            for _ in 0..50 {
+                total_drained += sink.drain().entries.len() as u64;
+                std::thread::yield_now();
+            }
+        });
+        total_drained += sink.drain().entries.len() as u64;
+        assert_eq!(sink.emitted(), 4 * 200 * 5);
+        assert_eq!(sink.drained(), total_drained);
+        assert_eq!(sink.emitted(), sink.drained() + sink.dropped());
     }
 }

@@ -163,6 +163,36 @@ impl ChainCounters {
             self.throttled.resize(index + 1, 0);
         }
     }
+
+    /// Element-wise sum of another shard's tallies into this one.
+    fn merge(&mut self, other: &ChainCounters) {
+        if !other.evaluated.is_empty() {
+            self.ensure(other.evaluated.len() - 1);
+        }
+        for (i, v) in other.evaluated.iter().enumerate() {
+            self.evaluated[i] += v;
+        }
+        for (i, v) in other.hits.iter().enumerate() {
+            self.hits[i] += v;
+        }
+        for (i, v) in other.throttled.iter().enumerate() {
+            self.throttled[i] += v;
+        }
+    }
+}
+
+/// The per-rule detail maps, sharded like [`ShardedHistogram`]: each
+/// recording thread takes its round-robin shard's lock, so the
+/// per-rule-scanned recorders — the hottest detail-layer site — stop
+/// convoying a fleet of workers on one global mutex. Exports merge the
+/// shards into one `BTreeMap`, keeping the ordering stable.
+#[derive(Debug)]
+struct ChainShards([Mutex<BTreeMap<ChainName, ChainCounters>>; HISTOGRAM_SHARDS]);
+
+impl Default for ChainShards {
+    fn default() -> Self {
+        ChainShards(std::array::from_fn(|_| Mutex::new(BTreeMap::new())))
+    }
 }
 
 /// A snapshot of one chain's per-rule counters.
@@ -450,7 +480,11 @@ pub struct Metrics {
     ratelimit_throttled_op: PerOp,
     quota_exceeded_op: PerOp,
     fields: PerField,
-    chains: Mutex<BTreeMap<ChainName, ChainCounters>>,
+    chains: ChainShards,
+    /// When set, every per-rule recorder uses shard 0 — the pre-shard
+    /// single-lock behaviour. A bench/regression knob
+    /// ([`Metrics::set_chain_shards_pinned`]), not a production mode.
+    chain_shards_pinned: AtomicBool,
     eval_ns: ShardedHistogram,
     fetch_ns: ShardedHistogram,
     // --- TRACE ring (driven by rules, not by `detailed`) ---
@@ -524,7 +558,12 @@ impl Metrics {
             f.misses.store(0, Ordering::Relaxed);
             f.failures.store(0, Ordering::Relaxed);
         }
-        self.lock_chains().clear();
+        for shard in &self.chains.0 {
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
         self.eval_ns.reset();
         self.fetch_ns.reset();
         self.lock_trace().clear();
@@ -532,13 +571,45 @@ impl Metrics {
         self.trace_drop_mark.store(0, Ordering::Relaxed);
     }
 
-    /// Locks the per-chain counter map, recovering from poisoning: the
-    /// map only ever grows monotonic tallies, so contents left by a
-    /// panicked recorder are still valid statistics.
-    fn lock_chains(&self) -> std::sync::MutexGuard<'_, BTreeMap<ChainName, ChainCounters>> {
-        self.chains
+    /// Locks this thread's per-chain counter shard (shard 0 when
+    /// pinned), recovering from poisoning: the maps only ever grow
+    /// monotonic tallies, so contents left by a panicked recorder are
+    /// still valid statistics.
+    fn lock_chain_shard(&self) -> std::sync::MutexGuard<'_, BTreeMap<ChainName, ChainCounters>> {
+        let shard = if self.chain_shards_pinned.load(Ordering::Relaxed) {
+            0
+        } else {
+            shard_index()
+        };
+        self.chains.0[shard]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pins every per-rule recorder to one shard, restoring the
+    /// pre-shard single-global-lock behaviour. Benchmarks use this to
+    /// measure what the sharding buys; leave it off otherwise.
+    pub fn set_chain_shards_pinned(&self, pinned: bool) {
+        self.chain_shards_pinned.store(pinned, Ordering::Relaxed);
+    }
+
+    /// Whether per-rule recorders are pinned to one shard.
+    pub fn chain_shards_pinned(&self) -> bool {
+        self.chain_shards_pinned.load(Ordering::Relaxed)
+    }
+
+    /// Merges every shard's tallies for one chain, if any recorded.
+    fn merged_chain(&self, chain: &ChainName) -> Option<ChainCounters> {
+        let mut merged: Option<ChainCounters> = None;
+        for shard in &self.chains.0 {
+            let guard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(c) = guard.get(chain) {
+                merged.get_or_insert_with(ChainCounters::default).merge(c);
+            }
+        }
+        merged
     }
 
     /// Locks the TRACE ring, recovering from poisoning: pushes and
@@ -677,7 +748,7 @@ impl Metrics {
 
     #[cold]
     fn rule_throttled_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.lock_chains();
+        let mut chains = self.lock_chain_shard();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.throttled[index] += 1;
@@ -827,7 +898,7 @@ impl Metrics {
 
     #[cold]
     fn rule_evaluated_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.lock_chains();
+        let mut chains = self.lock_chain_shard();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.evaluated[index] += 1;
@@ -842,24 +913,33 @@ impl Metrics {
 
     #[cold]
     fn rule_hit_slow(&self, chain: &ChainName, index: usize) {
-        let mut chains = self.lock_chains();
+        let mut chains = self.lock_chain_shard();
         let c = chains.entry(chain.clone()).or_default();
         c.ensure(index);
         c.hits[index] += 1;
     }
 
-    /// Snapshot of one chain's per-rule counters, if any were recorded.
+    /// Snapshot of one chain's per-rule counters, if any were recorded:
+    /// every shard's tallies merged element-wise.
     pub fn chain_snapshot(&self, chain: &ChainName) -> Option<ChainSnapshot> {
-        self.lock_chains().get(chain).map(|c| ChainSnapshot {
-            evaluated: c.evaluated.clone(),
-            hits: c.hits.clone(),
-            throttled: c.throttled.clone(),
+        self.merged_chain(chain).map(|c| ChainSnapshot {
+            evaluated: c.evaluated,
+            hits: c.hits,
+            throttled: c.throttled,
         })
     }
 
-    /// Names of chains with recorded per-rule counters.
+    /// Names of chains with recorded per-rule counters, in stable
+    /// (`BTreeMap`) order regardless of which shards recorded them.
     pub fn chains_seen(&self) -> Vec<ChainName> {
-        self.lock_chains().keys().cloned().collect()
+        let mut seen: std::collections::BTreeSet<ChainName> = std::collections::BTreeSet::new();
+        for shard in &self.chains.0 {
+            let guard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            seen.extend(guard.keys().cloned());
+        }
+        seen.into_iter().collect()
     }
 
     // --- per-field counters ---
@@ -1396,6 +1476,44 @@ mod tests {
         assert_eq!(m.op_invocations(LsmOperation::FileOpen), 20_000);
         let snap = m.chain_snapshot(&ChainName::Input).unwrap();
         assert_eq!(snap.evaluated, [0, 20_000]);
+    }
+
+    #[test]
+    fn sharded_chain_detail_merges_to_exact_totals() {
+        // Four threads spread their per-rule bumps across the chain
+        // shards; the export-side merge must recover exact totals in
+        // stable order, and pinned mode (all recorders on shard 0)
+        // must report the same numbers.
+        for pinned in [false, true] {
+            let m = std::sync::Arc::new(Metrics::new());
+            m.set_detailed(true);
+            m.set_chain_shards_pinned(pinned);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let m = m.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..2500 {
+                        m.rule_evaluated(&ChainName::Input, 0);
+                        m.rule_evaluated(&ChainName::Input, 2);
+                        m.rule_hit(&ChainName::Input, 2);
+                        m.rule_throttled_slow(&ChainName::Output, 1);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                m.chains_seen(),
+                vec![ChainName::Input, ChainName::Output],
+                "pinned={pinned}: export order is stable"
+            );
+            let input = m.chain_snapshot(&ChainName::Input).unwrap();
+            assert_eq!(input.evaluated, [10_000, 0, 10_000]);
+            assert_eq!(input.hits, [0, 0, 10_000]);
+            let output = m.chain_snapshot(&ChainName::Output).unwrap();
+            assert_eq!(output.throttled, [0, 10_000]);
+        }
     }
 
     #[test]

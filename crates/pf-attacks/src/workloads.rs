@@ -141,6 +141,60 @@ pub fn web_serve(k: &mut Kernel, clients: usize, requests_per_client: usize) -> 
     Ok(k.now() - t0)
 }
 
+/// A fork storm: one parent forks `forks` short-lived children, each of
+/// which reads a config file and exits. Stresses per-task session
+/// creation/teardown (cold verdict caches, fresh generations) rather
+/// than steady-state evaluation.
+///
+/// Returns the syscall count.
+pub fn fork_storm(k: &mut Kernel, forks: usize) -> PfResult<u64> {
+    let parent = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+    let t0 = k.now();
+    for _ in 0..forks {
+        let child = k.fork(parent)?;
+        let fd = k.open(child, "/etc/passwd", OpenFlags::rdonly())?;
+        k.read(child, fd)?;
+        k.close(child, fd)?;
+        k.exit(child)?;
+    }
+    let count = k.now() - t0;
+    k.exit(parent)?;
+    Ok(count)
+}
+
+/// An adversary probe loop: an untrusted subject repeatedly goes after
+/// `/etc/shadow` — directly and through a planted `/tmp` symlink — the
+/// way the exploit scenarios do, interleaved with innocuous opens so
+/// the traffic is not pure denials.
+///
+/// Returns `(syscalls, denials)`; under a `-d shadow_t -j DROP` rule
+/// (or plain DAC) every shadow probe must be denied.
+pub fn adversary_probe(k: &mut Kernel, probes: usize) -> PfResult<(u64, u64)> {
+    let attacker = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let t0 = k.now();
+    let mut denials = 0u64;
+    for i in 0..probes {
+        if k.open(attacker, "/etc/shadow", OpenFlags::rdonly())
+            .is_err()
+        {
+            denials += 1;
+        }
+        let link = format!("/tmp/.probe{}", i % 8);
+        let _ = k.symlink(attacker, "/etc/shadow", &link);
+        if k.open(attacker, &link, OpenFlags::rdonly()).is_err() {
+            denials += 1;
+        }
+        // Innocuous cover traffic the rules allow.
+        if let Ok(fd) = k.open(attacker, "/etc/passwd", OpenFlags::rdonly()) {
+            k.read(attacker, fd)?;
+            k.close(attacker, fd)?;
+        }
+    }
+    let count = k.now() - t0;
+    k.exit(attacker)?;
+    Ok((count, denials))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +233,23 @@ mod tests {
         let mut k = world(OptLevel::EptSpc, true);
         let n = web_serve(&mut k, 10, 5).unwrap();
         assert!(n >= 50, "50 requests issued: {n}");
+    }
+
+    #[test]
+    fn fork_storm_runs_under_full_rules() {
+        let mut k = world(OptLevel::EptSpc, true);
+        let n = fork_storm(&mut k, 20).unwrap();
+        assert!(n >= 100, "each forked child issues several syscalls: {n}");
+    }
+
+    #[test]
+    fn adversary_probe_is_always_denied_shadow() {
+        let mut k = world(OptLevel::EptSpc, true);
+        k.install_rules(vec!["pftables -o FILE_OPEN -d shadow_t -j DROP"])
+            .unwrap();
+        let (n, denials) = adversary_probe(&mut k, 16).unwrap();
+        assert!(n > 0);
+        assert_eq!(denials, 32, "every direct and symlink probe is denied");
     }
 
     #[test]

@@ -213,6 +213,33 @@ impl Kernel {
         pid
     }
 
+    /// Creates a process with `depth` pre-pushed caller frames, so the
+    /// unwinder walks a realistic stack before reaching whatever
+    /// per-call-site frame the caller pushes with [`Kernel::with_frame`].
+    ///
+    /// Fleet-scale harnesses use this to give each simulated task a
+    /// persistent stack without re-pushing filler frames per syscall.
+    pub fn spawn_with_stack(
+        &mut self,
+        label: &str,
+        binary: &str,
+        uid: Uid,
+        gid: Gid,
+        depth: usize,
+    ) -> Pid {
+        let pid = self.spawn(label, binary, uid, gid);
+        let prog = self.programs.intern(binary);
+        if let Some(t) = self.tasks.get_mut(&pid) {
+            for i in 0..depth {
+                t.push_frame(Frame {
+                    program: prog,
+                    pc: 0x9000 + (i as u64) * 0x10,
+                });
+            }
+        }
+        pid
+    }
+
     /// Shared access to a task.
     pub fn task(&self, pid: Pid) -> PfResult<&Task> {
         self.tasks.get(&pid).ok_or(PfError::NoSuchProcess(pid.0))
