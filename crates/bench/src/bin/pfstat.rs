@@ -99,6 +99,12 @@ fn report(k: &pf_os::Kernel, workload: &str) {
         m.ratelimit_throttled(),
         m.quota_exceeded()
     );
+    println!(
+        "origin           {} transitions / {} widened / {} vcache invalidations",
+        m.origin_transitions(),
+        m.origin_widened(),
+        m.origin_vcache_invalidations()
+    );
     println!();
 
     println!("== per-operation invocations ==");

@@ -139,6 +139,7 @@ fn main() {
         link_fail: 0.02,
         state_fail: 0.02,
         clock_fail: 0.02,
+        origin_fail: 0.02,
     };
 
     println!("Table 6 (faults): microbenchmarks under injected context-fetch failures");

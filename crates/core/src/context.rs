@@ -38,12 +38,14 @@ pub enum CtxField {
     Arg(u8),
     /// The signal number being delivered (`C_SIGNAL`).
     SignalNum,
+    /// The subject's monotone origin (taint) level (`C_ORIGIN`).
+    SubjectOrigin,
 }
 
 impl CtxField {
     /// Every context field, for exhaustive iteration in metrics export.
     /// Indexed by [`CtxField::bit`].
-    pub const ALL: [CtxField; 12] = [
+    pub const ALL: [CtxField; 13] = [
         CtxField::Entrypoint,
         CtxField::ResourceId,
         CtxField::ObjectSid,
@@ -56,6 +58,7 @@ impl CtxField {
         CtxField::Arg(2),
         CtxField::Arg(3),
         CtxField::SignalNum,
+        CtxField::SubjectOrigin,
     ];
 
     /// Bit index in the collected-context mask.
@@ -70,6 +73,7 @@ impl CtxField {
             CtxField::AdvRead => 6,
             CtxField::Arg(n) => 7 + n as u32,
             CtxField::SignalNum => 11,
+            CtxField::SubjectOrigin => 12,
         }
     }
 
@@ -88,6 +92,7 @@ impl CtxField {
             CtxField::Arg(2) => "C_ARG2",
             CtxField::Arg(_) => "C_ARG3",
             CtxField::SignalNum => "C_SIGNAL",
+            CtxField::SubjectOrigin => "C_ORIGIN",
         }
     }
 
@@ -106,6 +111,7 @@ impl CtxField {
             "C_ARG2" => CtxField::Arg(2),
             "C_ARG3" => CtxField::Arg(3),
             "C_SIGNAL" => CtxField::SignalNum,
+            "C_ORIGIN" => CtxField::SubjectOrigin,
             _ => return None,
         })
     }
@@ -146,6 +152,7 @@ pub struct Packet<'e> {
     adv_write: Option<Fetched<bool>>,
     adv_read: Option<Fetched<bool>>,
     signal_num: Option<Fetched<u64>>,
+    subject_origin: Option<Fetched<u64>>,
 }
 
 /// Records one tri-state fetch in the metrics registry: the detailed
@@ -174,6 +181,7 @@ impl<'e> Packet<'e> {
             adv_write: None,
             adv_read: None,
             signal_num: None,
+            subject_origin: None,
         }
     }
 
@@ -233,6 +241,7 @@ impl<'e> Packet<'e> {
         self.adv_read_value(metrics);
         self.tgt_dac_owner_value(metrics);
         self.signal_value(metrics);
+        self.subject_origin_value(metrics);
         for n in 0..4 {
             let _ = self.arg_value(n, metrics);
         }
@@ -383,6 +392,23 @@ impl<'e> Packet<'e> {
         self.signal_num.unwrap()
     }
 
+    /// The subject's monotone origin (taint) level (`C_ORIGIN`).
+    /// `Missing` on substrates that do not track origin — an `--origin`
+    /// selector then simply never matches; `Failed` when the taint
+    /// label itself could not be read (fail-closed arbitration applies,
+    /// like every other field).
+    pub fn subject_origin_value(&mut self, metrics: &Metrics) -> Fetched<u64> {
+        if self.subject_origin.is_none() {
+            self.mark(CtxField::SubjectOrigin);
+            metrics.bump_ctx_fetches();
+            let t0 = metrics.timer();
+            let v = self.env.try_subject_origin();
+            note(metrics, CtxField::SubjectOrigin, t0, &v);
+            self.subject_origin = Some(v);
+        }
+        self.subject_origin.unwrap()
+    }
+
     /// Syscall argument `n` (arg 0 is the syscall number). Arguments are
     /// register reads, not context-module fetches, so only the per-field
     /// detail counter moves — never `ctx_fetches`.
@@ -413,6 +439,7 @@ impl<'e> Packet<'e> {
             CtxField::AdvRead => self.adv_read_value(metrics).map(u64::from),
             CtxField::Arg(n) => Fetched::Value(self.arg_value(n, metrics)),
             CtxField::SignalNum => self.signal_value(metrics),
+            CtxField::SubjectOrigin => self.subject_origin_value(metrics),
         }
     }
 }
@@ -434,6 +461,7 @@ mod tests {
             CtxField::Arg(0),
             CtxField::Arg(3),
             CtxField::SignalNum,
+            CtxField::SubjectOrigin,
         ] {
             assert_eq!(CtxField::parse_cname(f.cname()), Some(f));
         }
@@ -462,6 +490,7 @@ mod tests {
             CtxField::Arg(2),
             CtxField::Arg(3),
             CtxField::SignalNum,
+            CtxField::SubjectOrigin,
         ];
         let mut mask = 0u32;
         for f in fields {

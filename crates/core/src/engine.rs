@@ -78,6 +78,14 @@ pub struct EvalDecision {
     /// decide the outcome. Degraded decisions are counted separately in
     /// the metrics registry (`degraded_drops` / `degraded_allows`).
     pub degraded: bool,
+    /// The adversary-model generation (policy edits + taint widenings,
+    /// see `MacPolicy::adversary_generation`) the decision was computed
+    /// under. A widening mid-trace changes which rule *would* fire for
+    /// the same context, so attribution of a decision held across a
+    /// widening goes through [`ProcessFirewall::attribute_at`], which
+    /// refuses on an epoch mismatch instead of naming a rule the
+    /// current adversary model would not select.
+    pub adv_generation: u64,
 }
 
 impl EvalDecision {
@@ -87,6 +95,7 @@ impl EvalDecision {
             dropped_by: None,
             generation,
             degraded: false,
+            adv_generation: 0,
         }
     }
 }
@@ -636,6 +645,20 @@ impl ProcessFirewall {
             .map(str::to_owned)
     }
 
+    /// Like [`attribute`](Self::attribute), but additionally refuses
+    /// when the decision predates the current *adversary-model*
+    /// generation (`adv_generation` — pass
+    /// `MacPolicy::adversary_generation()`). A taint widening between
+    /// the walk and the resolution means the stored index names a rule
+    /// the *pre*-widening adversary model selected; resolving it as if
+    /// it were current would misattribute the deny.
+    pub fn attribute_at(&self, decision: &EvalDecision, adv_generation: u64) -> Option<String> {
+        if decision.adv_generation != adv_generation {
+            return None;
+        }
+        self.attribute(decision)
+    }
+
     /// The PF hook: decide whether this operation may proceed.
     ///
     /// Called by the OS substrate *after* DAC and MAC authorize the
@@ -686,8 +709,13 @@ impl ProcessFirewall {
         shard: usize,
     ) -> EvalDecision {
         let config = snap.config();
+        // One atomic load; also stamps every decision this invocation
+        // produces so `attribute_at` can detect cross-widening holds.
+        let adv_gen = env.adversary_generation();
         if !config.enabled {
-            return EvalDecision::allow(snap.generation());
+            let mut d = EvalDecision::allow(snap.generation());
+            d.adv_generation = adv_gen;
+            return d;
         }
         self.metrics.bump_invocations();
         self.metrics.op_invoked(op);
@@ -713,6 +741,14 @@ impl ProcessFirewall {
         let mut cache_ctx = None;
         if let Some(vc) = cache {
             if config.verdict_cache && !snap.is_empty() {
+                // Adversary-model soundness: a taint widening (or a
+                // policy edit) changes the `C_ADV_WRITE`/`C_ADV_READ`
+                // answers for cached keys that don't themselves change,
+                // so a stale generation discards the whole cache before
+                // any lookup can replay a pre-widening verdict.
+                if vc.validate_adv_generation(adv_gen) {
+                    self.metrics.bump_origin_vcache_invalidation();
+                }
                 // The snapshot's compile-time summary is the fast-path
                 // filter: if any reachable rule is impure, no walk can
                 // ever be cached, so skip the key build entirely — it
@@ -820,6 +856,7 @@ impl ProcessFirewall {
                 )
             }
         };
+        decision.adv_generation = adv_gen;
         decision.degraded |= degraded;
         if decision.degraded {
             match decision.verdict {
@@ -1229,6 +1266,7 @@ impl<'a> Invocation<'a> {
                         dropped_by: Some((chain.name(), index)),
                         generation: self.snap.generation(),
                         degraded: true,
+                        adv_generation: 0,
                     });
                 }
                 RuleEval::Match => {}
@@ -1248,6 +1286,7 @@ impl<'a> Invocation<'a> {
                         dropped_by: Some((chain.name(), index)),
                         generation: self.snap.generation(),
                         degraded: self.degraded,
+                        adv_generation: 0,
                     });
                 }
                 Target::Accept => {
@@ -1339,6 +1378,7 @@ impl<'a> Invocation<'a> {
                             dropped_by: Some((chain.name(), index)),
                             generation: self.snap.generation(),
                             degraded: true,
+                            adv_generation: 0,
                         })
                     }
                     // Explicit opt-out (`--ctx-missing skip`): the rule
@@ -1405,6 +1445,7 @@ impl<'a> Invocation<'a> {
                     dropped_by: Some((chain.name(), index)),
                     generation: self.snap.generation(),
                     degraded: self.degraded,
+                    adv_generation: 0,
                 })
             }
             ExceedPolicy::Log => {
@@ -1515,6 +1556,25 @@ impl<'a> Invocation<'a> {
                         return RuleEval::NoMatch;
                     }
                 }
+                Fetched::Missing => return RuleEval::NoMatch,
+                Fetched::Failed(_) => {
+                    if let Some(eval) = self.ctx_fail(rule, chain) {
+                        return eval;
+                    }
+                }
+            }
+        }
+        if let Some(min) = rule.def.origin {
+            match pkt.subject_origin_value(self.metrics) {
+                Fetched::Value(level) => {
+                    if level < min {
+                        return RuleEval::NoMatch;
+                    }
+                }
+                // An environment that doesn't track origin never
+                // satisfies an `--origin` rule: the selector exists to
+                // *restrict* post-compromise subjects, and absence of
+                // tracking must not be read as "tainted".
                 Fetched::Missing => return RuleEval::NoMatch,
                 Fetched::Failed(_) => {
                     if let Some(eval) = self.ctx_fail(rule, chain) {
@@ -1664,6 +1724,11 @@ mod tests {
         fail_object: bool,
         /// Same for `try_state_get`.
         fail_state: bool,
+        /// The subject's origin (taint) label; `None` models a
+        /// substrate that does not track origin.
+        origin: Option<u64>,
+        /// Same for `try_subject_origin`.
+        fail_origin: bool,
     }
 
     impl MockEnv {
@@ -1688,6 +1753,8 @@ mod tests {
                 fail_unwind: false,
                 fail_object: false,
                 fail_state: false,
+                origin: None,
+                fail_origin: false,
             }
         }
 
@@ -1774,6 +1841,15 @@ mod tests {
                 return Fetched::Failed(CtxError::StateLoss);
             }
             Fetched::from_option(self.state_get(key))
+        }
+        fn subject_origin(&self) -> Option<u64> {
+            self.origin
+        }
+        fn try_subject_origin(&mut self) -> crate::env::Fetched<u64> {
+            if self.fail_origin {
+                return Fetched::Failed(CtxError::OriginFault);
+            }
+            Fetched::from_option(self.subject_origin())
         }
     }
 
@@ -3112,5 +3188,142 @@ mod tests {
             "a failed key fetch bypasses the cache"
         );
         assert_eq!(session.vcache_len(), 0, "degraded walks are not inserted");
+    }
+
+    // --- origin (taint) selectors and adversary-model generations ---
+
+    #[test]
+    fn origin_selector_gates_on_taint_threshold() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        env.origin = Some(pf_mac::ORIGIN_TRUSTED);
+        install(
+            &pf,
+            &mut env,
+            "pftables -o FILE_OPEN --origin tainted -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow,
+            "an untainted subject passes an --origin tainted rule"
+        );
+        env.origin = Some(pf_mac::ORIGIN_EXTERNAL);
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow,
+            "below-threshold origin still passes"
+        );
+        env.origin = Some(pf_mac::ORIGIN_TAINTED);
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "at-threshold origin is caught");
+        assert_eq!(d.dropped_by, Some(("input".into(), 0)));
+    }
+
+    #[test]
+    fn origin_missing_means_the_selector_never_matches() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        assert_eq!(env.origin, None);
+        install(
+            &pf,
+            &mut env,
+            "pftables -o FILE_OPEN --origin external -j DROP",
+        );
+        assert_eq!(
+            pf.evaluate(&mut env, LsmOperation::FileOpen).verdict,
+            Verdict::Allow,
+            "a substrate without origin tracking never matches --origin"
+        );
+    }
+
+    #[test]
+    fn origin_fetch_failure_fails_closed_on_drop_rules() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        env.origin = Some(pf_mac::ORIGIN_TRUSTED);
+        env.fail_origin = true;
+        install(
+            &pf,
+            &mut env,
+            "pftables -o FILE_OPEN --origin tainted -j DROP",
+        );
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(
+            d.verdict,
+            Verdict::Deny,
+            "a lost taint label must not silently allow"
+        );
+        assert!(d.degraded);
+        assert_eq!(pf.metrics().degraded_drops(), 1);
+    }
+
+    #[test]
+    fn taint_widening_invalidates_the_verdict_cache_exactly_once() {
+        let pf = ProcessFirewall::new(OptLevel::Vcache);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        env.origin = Some(pf_mac::ORIGIN_TRUSTED);
+        install(
+            &pf,
+            &mut env,
+            "pftables -o FILE_OPEN --origin tainted -j DROP",
+        );
+        let mut session = TaskSession::new();
+        // Warm the cache with a pre-taint allow.
+        for _ in 0..2 {
+            assert_eq!(
+                session
+                    .evaluate(&pf, &mut env, LsmOperation::FileOpen)
+                    .verdict,
+                Verdict::Allow
+            );
+        }
+        assert_eq!(pf.metrics().vcache_hits(), 1);
+        assert_eq!(session.vcache_len(), 1);
+        assert_eq!(pf.metrics().origin_vcache_invalidations(), 0);
+        // The subject gets compromised: the substrate raises its label
+        // and records the widening in the MAC policy.
+        let subject = env.subject;
+        assert!(env.mac.taint_subject(subject));
+        env.origin = Some(pf_mac::ORIGIN_TAINTED);
+        let d = session.evaluate(&pf, &mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny, "post-taint pivot is contained");
+        assert_eq!(
+            pf.metrics().origin_vcache_invalidations(),
+            1,
+            "the widening dropped the warm cache"
+        );
+        assert_eq!(pf.metrics().vcache_hits(), 1, "no stale hit was served");
+        // Steady state after the widening: the cache re-warms and the
+        // invalidation counter stays put (exact accounting — empty or
+        // same-generation revalidations are not invalidations).
+        session.evaluate(&pf, &mut env, LsmOperation::FileOpen);
+        assert_eq!(pf.metrics().vcache_hits(), 2);
+        assert_eq!(pf.metrics().origin_vcache_invalidations(), 1);
+    }
+
+    #[test]
+    fn attribute_at_refuses_across_adversary_epochs() {
+        let pf = ProcessFirewall::new(OptLevel::Full);
+        let mut env = MockEnv::new().with_object("tmp_t", 5, 1000);
+        install(&pf, &mut env, "pftables -o FILE_OPEN -d tmp_t -j DROP");
+        let d = pf.evaluate(&mut env, LsmOperation::FileOpen);
+        assert_eq!(d.verdict, Verdict::Deny);
+        let epoch = env.mac.adversary_generation();
+        assert_eq!(d.adv_generation, epoch);
+        assert_eq!(
+            pf.attribute_at(&d, epoch).as_deref(),
+            Some("pftables -o FILE_OPEN -d tmp_t -j DROP")
+        );
+        // A widening between the walk and the resolution: the stored
+        // index names a rule the pre-widening model selected, so the
+        // epoch-checked resolution refuses rather than misattribute.
+        let subject = env.subject;
+        assert!(env.mac.taint_subject(subject));
+        let now = env.mac.adversary_generation();
+        assert_ne!(now, epoch);
+        assert_eq!(pf.attribute_at(&d, now), None);
+        // The snapshot-only resolution still works — the ruleset itself
+        // did not change.
+        assert!(pf.attribute(&d).is_some());
     }
 }

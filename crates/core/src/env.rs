@@ -63,6 +63,10 @@ pub enum CtxError {
     /// it, and a stopped clock would otherwise let every access through
     /// a rate limit.
     ClockFault,
+    /// The subject's origin (taint) label could not be read. Origin
+    /// gates post-compromise containment rules, so a lost origin must
+    /// not silently read as "untainted".
+    OriginFault,
 }
 
 impl CtxError {
@@ -74,6 +78,7 @@ impl CtxError {
             CtxError::LinkRace => "link_race",
             CtxError::StateLoss => "state_loss",
             CtxError::ClockFault => "clock_fault",
+            CtxError::OriginFault => "origin_fault",
         }
     }
 }
@@ -250,5 +255,33 @@ pub trait EvalEnv {
     /// wrappers override this to model a clock the hook cannot read.
     fn try_now(&self) -> Fetched<u64> {
         Fetched::Value(self.now())
+    }
+
+    /// The subject's monotone origin (taint) level, per the OAMAC
+    /// adversary model (see `pf_mac::origin`). Substrates that do not
+    /// track origin keep the default `None` — origin selectors then see
+    /// benign `Missing` context and simply never match.
+    fn subject_origin(&self) -> Option<u64> {
+        None
+    }
+
+    /// Tri-state origin fetch. Default: legacy `None` is `Missing`.
+    /// Fault injectors override this to model a lost taint label; the
+    /// engine's `--ctx-missing` arbitration then decides (DROP-target
+    /// rules fail closed by default, so a lost origin never silently
+    /// allows a post-compromise pivot).
+    fn try_subject_origin(&mut self) -> Fetched<u64> {
+        Fetched::from_option(self.subject_origin())
+    }
+
+    /// The adversary-model generation the substrate's MAC policy is at
+    /// (see `MacPolicy::adversary_generation`): bumped on policy edits
+    /// and on first-time taint widenings. The engine revalidates each
+    /// per-task verdict cache against this stamp before every lookup,
+    /// so a widening can never replay a pre-widening verdict. The
+    /// default reads the policy exposed through [`EvalEnv::mac`]; a
+    /// substrate sharing one policy across wrappers need not override.
+    fn adversary_generation(&self) -> u64 {
+        self.mac().adversary_generation()
     }
 }

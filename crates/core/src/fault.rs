@@ -44,6 +44,10 @@ pub struct FaultConfig {
     /// ([`CtxError::ClockFault`]) — the channel RATELIMIT/QUOTA
     /// targets depend on.
     pub clock_fail: f64,
+    /// Probability a subject-origin (taint label) read fails
+    /// ([`CtxError::OriginFault`]) — the channel `--origin`
+    /// post-compromise containment rules depend on.
+    pub origin_fail: f64,
 }
 
 impl FaultConfig {
@@ -61,6 +65,7 @@ impl FaultConfig {
             link_fail: rate,
             state_fail: rate,
             clock_fail: rate,
+            origin_fail: rate,
         }
     }
 }
@@ -79,12 +84,14 @@ pub struct FaultStats {
     pub state: u64,
     /// Injected [`CtxError::ClockFault`]s.
     pub clock: u64,
+    /// Injected [`CtxError::OriginFault`]s.
+    pub origin: u64,
 }
 
 impl FaultStats {
     /// Total injected faults across every channel.
     pub fn total(&self) -> u64 {
-        self.unwind + self.object + self.link + self.state + self.clock
+        self.unwind + self.object + self.link + self.state + self.clock + self.origin
     }
 }
 
@@ -103,6 +110,7 @@ pub struct FaultInjector {
     link: AtomicU64,
     state: AtomicU64,
     clock: AtomicU64,
+    origin: AtomicU64,
 }
 
 impl FaultInjector {
@@ -118,6 +126,7 @@ impl FaultInjector {
             link: AtomicU64::new(0),
             state: AtomicU64::new(0),
             clock: AtomicU64::new(0),
+            origin: AtomicU64::new(0),
         }
     }
 
@@ -134,6 +143,7 @@ impl FaultInjector {
             link: self.link.load(Ordering::Relaxed),
             state: self.state.load(Ordering::Relaxed),
             clock: self.clock.load(Ordering::Relaxed),
+            origin: self.origin.load(Ordering::Relaxed),
         }
     }
 
@@ -204,6 +214,14 @@ impl FaultInjector {
         let hit = self.roll(self.cfg.clock_fail);
         if hit {
             self.clock.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn roll_origin(&self) -> bool {
+        let hit = self.roll(self.cfg.origin_fail);
+        if hit {
+            self.origin.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
@@ -336,6 +354,17 @@ impl EvalEnv for FaultyEnv<'_> {
         }
         self.inner.try_now()
     }
+
+    fn subject_origin(&self) -> Option<u64> {
+        self.inner.subject_origin()
+    }
+
+    fn try_subject_origin(&mut self) -> Fetched<u64> {
+        if self.injector.roll_origin() {
+            return Fetched::Failed(CtxError::OriginFault);
+        }
+        self.inner.try_subject_origin()
+    }
 }
 
 #[cfg(test)]
@@ -388,16 +417,18 @@ mod tests {
             link_fail: 1.0,
             state_fail: 0.0,
             clock_fail: 1.0,
+            origin_fail: 1.0,
         });
         assert!(inj.roll_unwind());
         assert!(!inj.roll_object());
         assert!(inj.roll_link());
         assert!(!inj.roll_state());
         assert!(inj.roll_clock());
+        assert!(inj.roll_origin());
         let s = inj.stats();
         assert_eq!(
-            (s.unwind, s.object, s.link, s.state, s.clock),
-            (1, 0, 1, 0, 1)
+            (s.unwind, s.object, s.link, s.state, s.clock, s.origin),
+            (1, 0, 1, 0, 1, 1)
         );
     }
 }

@@ -288,6 +288,14 @@ pub fn parse_rule(
                 let res = cur.need("resource id after -r")?;
                 def.resource = Some(parse_num(&res)?);
             }
+            "--origin" => {
+                let level = cur.need("origin level after --origin")?;
+                def.origin = Some(pf_mac::parse_origin(&level).ok_or_else(|| {
+                    err(format!(
+                        "unknown origin level `{level}` (trusted|external|tainted|N)"
+                    ))
+                })?);
+            }
             "--ctx-missing" => {
                 let pol = cur.need("policy after --ctx-missing")?;
                 ctx_policy = Some(
@@ -694,6 +702,16 @@ pub fn render_rule(rule: &Rule, chain: &ChainName, mac: &MacPolicy, programs: &I
     if let Some(res) = rule.def.resource {
         let _ = write!(out, " -r 0x{res:x}");
     }
+    if let Some(level) = rule.def.origin {
+        match pf_mac::origin_name(level) {
+            "custom" => {
+                let _ = write!(out, " --origin {level}");
+            }
+            name => {
+                let _ = write!(out, " --origin {name}");
+            }
+        }
+    }
     if let Some(pol) = rule.ctx_policy {
         let _ = write!(out, " --ctx-missing {}", pol.name());
     }
@@ -949,6 +967,8 @@ mod tests {
             "pftables -x -j DROP",
             "pftables -o FILE_OPEN --ctx-missing wat -j DROP",
             "pftables -o FILE_OPEN --ctx-missing -j DROP",
+            "pftables -o FILE_OPEN --origin -j DROP",
+            "pftables -o FILE_OPEN --origin pristine -j DROP",
             // Throttle targets: degenerate and oversized parameters.
             "pftables -o FILE_OPEN -j RATELIMIT",
             "pftables -o FILE_OPEN -j RATELIMIT --rate 0",
@@ -1064,6 +1084,9 @@ mod tests {
             "pftables -o FILE_CREATE -d tmp_t -j QUOTA --limit 8",
             "pftables -o FILE_CREATE -d tmp_t --ctx-missing skip \
              -j QUOTA --limit 8 --window 4096 --per resource --exceed log",
+            "pftables -s httpd_t -d etc_t -o FILE_OPEN --origin tainted -j DROP",
+            "pftables -o FILE_CREATE --origin external --ctx-missing drop -j DROP",
+            "pftables -o FILE_OPEN --origin 7 -j LOG --tag origin",
         ];
         for line in lines {
             let p1 = parse_rule(line, &mut mac, &mut progs).unwrap();
@@ -1088,6 +1111,25 @@ mod tests {
             let r2 = render_rule(&p2.rule, &chain, &mac, &progs);
             assert_eq!(r1, r2, "render not a fixed point for `{line}`");
         }
+    }
+
+    #[test]
+    fn parses_origin_levels() {
+        let (mut mac, mut progs) = setup();
+        for (tok, want) in [("trusted", 0), ("external", 1), ("tainted", 2), ("5", 5)] {
+            let p = parse_rule(
+                &format!("pftables -o FILE_OPEN --origin {tok} -j DROP"),
+                &mut mac,
+                &mut progs,
+            )
+            .unwrap();
+            assert_eq!(p.rule.def.origin, Some(want), "--origin {tok}");
+            // Origin is key-determined context: the selector must not
+            // block verdict caching.
+            assert!(p.rule.vc_pure(), "--origin rules stay cacheable");
+        }
+        let p = parse_rule("pftables -o FILE_OPEN -j DROP", &mut mac, &mut progs).unwrap();
+        assert_eq!(p.rule.def.origin, None);
     }
 
     #[test]

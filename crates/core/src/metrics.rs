@@ -471,6 +471,21 @@ pub struct Metrics {
     /// EPTSPC walk). Always on: a rising rate means the fast path is
     /// being starved by fetch failures — a security *and* perf signal.
     rulesetc_fallback: AtomicU64,
+    /// Monotone origin (taint) raises observed on processes — every
+    /// time a subject's origin label actually went up. Always on: each
+    /// transition is a step toward (or past) the taint threshold.
+    origin_transitions: AtomicU64,
+    /// Subject labels whose origin crossed the taint threshold,
+    /// dynamically widening adversary accessibility (one count per
+    /// label, the first time only). Always on: a widening rewrites the
+    /// adversary model at runtime — the headline security signal of the
+    /// origin layer.
+    origin_widened: AtomicU64,
+    /// Per-task verdict caches discarded because the adversary-model
+    /// generation moved (taint widening or policy edit) while they held
+    /// entries. Always on, and exact: an empty cache observing a bump
+    /// is not counted.
+    origin_vcache_invalidations: AtomicU64,
     // --- detail layer (gated by `detailed`) ---
     detailed: AtomicBool,
     per_op: PerOp,
@@ -540,6 +555,9 @@ impl Metrics {
         self.quota_exceeded.store(0, Ordering::Relaxed);
         self.rulesetc_dispatch.store(0, Ordering::Relaxed);
         self.rulesetc_fallback.store(0, Ordering::Relaxed);
+        self.origin_transitions.store(0, Ordering::Relaxed);
+        self.origin_widened.store(0, Ordering::Relaxed);
+        self.origin_vcache_invalidations.store(0, Ordering::Relaxed);
         for per_op in [
             &self.per_op,
             &self.vcache_hits_op,
@@ -721,6 +739,29 @@ impl Metrics {
         self.rulesetc_fallback.fetch_add(1, Ordering::Relaxed);
     }
 
+    // --- origin (taint) counters (always on) ---
+
+    /// Records one monotone origin raise on a process. Public: the OS
+    /// substrate performs propagation (reads, exec, IPC) and reports it
+    /// here.
+    #[inline]
+    pub fn bump_origin_transition(&self) {
+        self.origin_transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one subject label crossing the taint threshold (first
+    /// time only — callers gate on `MacPolicy::taint_subject`'s return).
+    #[inline]
+    pub fn bump_origin_widened(&self) {
+        self.origin_widened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn bump_origin_vcache_invalidation(&self) {
+        self.origin_vcache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     // --- throttle counters (always-on totals, detail splits) ---
 
     #[inline]
@@ -859,6 +900,23 @@ impl Metrics {
     /// dimension fetch failed.
     pub fn rulesetc_fallback(&self) -> u64 {
         self.rulesetc_fallback.load(Ordering::Relaxed)
+    }
+
+    /// Monotone origin (taint) raises observed on processes.
+    pub fn origin_transitions(&self) -> u64 {
+        self.origin_transitions.load(Ordering::Relaxed)
+    }
+
+    /// Subject labels whose origin crossed the taint threshold (one per
+    /// label: adversary-accessibility widenings).
+    pub fn origin_widened(&self) -> u64 {
+        self.origin_widened.load(Ordering::Relaxed)
+    }
+
+    /// Per-task verdict caches discarded because the adversary-model
+    /// generation moved while they held entries.
+    pub fn origin_vcache_invalidations(&self) -> u64 {
+        self.origin_vcache_invalidations.load(Ordering::Relaxed)
     }
 
     /// `(ratelimit_throttled, quota_exceeded)` for one operation
@@ -1129,6 +1187,17 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "pf_origin_transitions_total {}",
+            self.origin_transitions()
+        );
+        let _ = writeln!(out, "pf_origin_widened_total {}", self.origin_widened());
+        let _ = writeln!(
+            out,
+            "pf_origin_vcache_invalidations_total {}",
+            self.origin_vcache_invalidations()
+        );
+        let _ = writeln!(
+            out,
             "pf_trace_events_dropped_total {}",
             self.trace_dropped()
         );
@@ -1250,6 +1319,8 @@ impl Metrics {
              \"vcache_uncacheable\":{},\"jump_depth_exceeded\":{},\
              \"ratelimit_throttled\":{},\"quota_exceeded\":{},\
              \"rulesetc_dispatch\":{},\"rulesetc_fallback\":{},\
+             \"origin_transitions\":{},\"origin_widened\":{},\
+             \"origin_vcache_invalidations\":{},\
              \"trace_dropped\":{}}}",
             self.invocations(),
             self.rules_evaluated(),
@@ -1268,6 +1339,9 @@ impl Metrics {
             self.quota_exceeded(),
             self.rulesetc_dispatch(),
             self.rulesetc_fallback(),
+            self.origin_transitions(),
+            self.origin_widened(),
+            self.origin_vcache_invalidations(),
             self.trace_dropped(),
         );
         s.push_str(",\"ops\":{");
@@ -1700,6 +1774,30 @@ mod tests {
         m.reset();
         assert_eq!(m.rulesetc_dispatch(), 0);
         assert_eq!(m.rulesetc_fallback(), 0);
+    }
+
+    #[test]
+    fn origin_counters_export_and_reset() {
+        let m = Metrics::new();
+        m.bump_origin_transition();
+        m.bump_origin_transition();
+        m.bump_origin_widened();
+        m.bump_origin_vcache_invalidation();
+        assert_eq!(m.origin_transitions(), 2);
+        assert_eq!(m.origin_widened(), 1);
+        assert_eq!(m.origin_vcache_invalidations(), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("pf_origin_transitions_total 2"));
+        assert!(text.contains("pf_origin_widened_total 1"));
+        assert!(text.contains("pf_origin_vcache_invalidations_total 1"));
+        let json = m.to_json();
+        assert!(json.contains("\"origin_transitions\":2"));
+        assert!(json.contains("\"origin_widened\":1"));
+        assert!(json.contains("\"origin_vcache_invalidations\":1"));
+        m.reset();
+        assert_eq!(m.origin_transitions(), 0);
+        assert_eq!(m.origin_widened(), 0);
+        assert_eq!(m.origin_vcache_invalidations(), 0);
     }
 
     #[test]

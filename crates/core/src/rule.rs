@@ -29,6 +29,12 @@ pub struct DefaultMatches {
     pub op: Option<LsmOperation>,
     /// Explicit resource identifier (inode/signal folded to `u64`).
     pub resource: Option<u64>,
+    /// `--origin`: minimum subject origin (taint) level. The selector
+    /// matches when the subject's monotone origin is at or above this
+    /// level — the post-compromise predicate of the OAMAC adversary
+    /// model. Origin is part of the verdict-cache key, so the selector
+    /// stays key-determined (cacheable).
+    pub origin: Option<u64>,
 }
 
 impl DefaultMatches {
@@ -420,6 +426,7 @@ fn value_is_key_determined(v: &ValueExpr) -> bool {
                 | CtxField::ObjectSid
                 | CtxField::AdvWrite
                 | CtxField::AdvRead
+                | CtxField::SubjectOrigin
         ),
     }
 }

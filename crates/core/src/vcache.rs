@@ -59,6 +59,11 @@ pub struct VerdictKey {
     pub adv_write: Option<bool>,
     /// Adversary read accessibility of the object.
     pub adv_read: Option<bool>,
+    /// The subject's monotone origin (taint) level. Keying on origin
+    /// keeps `--origin` selectors cacheable: a taint transition changes
+    /// the key, so pre-taint verdicts can never be replayed for the
+    /// post-taint subject.
+    pub origin: Option<u64>,
 }
 
 impl VerdictKey {
@@ -82,6 +87,7 @@ impl VerdictKey {
         let label = field(pkt.object_sid_value(metrics)).ok()?;
         let adv_write = field(pkt.adv_write_value(metrics)).ok()?;
         let adv_read = field(pkt.adv_read_value(metrics)).ok()?;
+        let origin = field(pkt.subject_origin_value(metrics)).ok()?;
         Some(VerdictKey {
             op,
             subject: pkt.env_ref().subject_sid(),
@@ -91,6 +97,7 @@ impl VerdictKey {
             label,
             adv_write,
             adv_read,
+            origin,
         })
     }
 }
@@ -127,6 +134,13 @@ const CACHE_CAP: usize = 4096;
 #[derive(Debug, Default)]
 pub struct VerdictCache {
     map: HashMap<VerdictKey, CacheEntry>,
+    /// The adversary-model generation (policy edits + taint widenings,
+    /// see `MacPolicy::adversary_generation`) the entries were computed
+    /// under. Entries also key on the *subject's own* origin, but a
+    /// widening changes the `C_ADV_WRITE`/`C_ADV_READ` answers for
+    /// *other* subjects' cached walks — those keys don't change, so the
+    /// whole cache must go.
+    adv_generation: u64,
 }
 
 /// Cloning a session (fork) starts the child with an *empty* cache:
@@ -159,6 +173,22 @@ impl VerdictCache {
         self.map.clear();
     }
 
+    /// Validates the cache against the current adversary-model
+    /// generation. On a stale stamp the whole cache is discarded —
+    /// returns `true` iff entries were actually dropped (the exact
+    /// invalidation accounting the `origin_vcache_invalidations`
+    /// counter wants; an empty cache revalidating is not an
+    /// invalidation).
+    pub(crate) fn validate_adv_generation(&mut self, generation: u64) -> bool {
+        if self.adv_generation == generation {
+            return false;
+        }
+        let dropped = !self.map.is_empty();
+        self.map.clear();
+        self.adv_generation = generation;
+        dropped
+    }
+
     pub(crate) fn lookup(&self, key: &VerdictKey) -> Option<&CacheEntry> {
         self.map.get(key)
     }
@@ -186,6 +216,7 @@ mod tests {
                 dropped_by: None,
                 generation: 7,
                 degraded: false,
+                adv_generation: 0,
             },
             kind,
             log: None,
@@ -202,6 +233,7 @@ mod tests {
             label: Some(InternId(3)),
             adv_write: Some(false),
             adv_read: Some(true),
+            origin: Some(0),
         }
     }
 
@@ -217,6 +249,25 @@ mod tests {
         assert!(vc.lookup(&key(LsmOperation::FileWrite, Some(5))).is_none());
         assert!(vc.lookup(&key(LsmOperation::FileOpen, Some(6))).is_none());
         assert!(vc.lookup(&key(LsmOperation::FileOpen, None)).is_none());
+    }
+
+    #[test]
+    fn origin_is_part_of_the_key_and_generation_invalidates() {
+        let mut vc = VerdictCache::new();
+        let mut k = key(LsmOperation::FileOpen, Some(5));
+        vc.insert(k, entry(VerdictKind::DefaultAllow));
+        k.origin = Some(2);
+        assert!(vc.lookup(&k).is_none(), "tainted subject must miss");
+        k.origin = Some(0);
+        assert!(vc.lookup(&k).is_some());
+
+        // A generation move with live entries is an invalidation…
+        assert!(vc.validate_adv_generation(9));
+        assert!(vc.is_empty());
+        // …revalidating the same generation is not…
+        assert!(!vc.validate_adv_generation(9));
+        // …and neither is a move observed by an already-empty cache.
+        assert!(!vc.validate_adv_generation(10));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   (firewall blocks it), and a benign twin (no false positive);
 //! * [`floods`] — abuse floods (signal storm, inode-squat flood, LFI
 //!   probe burst) mitigated by `RATELIMIT`/`QUOTA` throttle rules;
+//! * [`origin`] — post-compromise pivots the static Table 5 rules
+//!   provably miss, contained only by `--origin` (taint) rules that
+//!   widen the adversary model dynamically;
 //! * [`webserver`] — the Apache model used for the
 //!   `SymLinksIfOwnerMatch` comparison of Figure 5 and the
 //!   directory-traversal scenarios;
@@ -21,6 +24,7 @@
 
 pub mod exploits;
 pub mod floods;
+pub mod origin;
 pub mod races;
 pub mod ruleset;
 pub mod safe_open;

@@ -1,0 +1,167 @@
+//! Post-compromise containment: the pivots static rules provably miss.
+//!
+//! The Table 5 rules decide from accessibility the policy fixes before
+//! boot. Both scenarios here stage a compromise those static rules
+//! *cannot* express: the pivoting subject is SYSHIGH, and the pivot
+//! access is one the very same subject performs legitimately before the
+//! compromise — so any static rule separating the two either misses the
+//! attack or denies the benign twin. The `--origin` selector adds the
+//! missing dynamic fact (has this subject consumed adversary-controlled
+//! input?), widening the adversary model per OAMAC exactly when the
+//! taint threshold is crossed.
+
+use pf_os::{standard_world, Kernel, OpenFlags};
+use pf_types::{Gid, PfResult, Pid, Uid};
+
+/// Contains a compromised Apache worker: once tainted, its writes are
+/// denied wholesale. Before the compromise the selector never matches,
+/// so routine log writes by the same subject stay allowed.
+pub const HTTPD_ORIGIN_RULE: &str = "pftables -s httpd_t --origin tainted -o FILE_WRITE -j DROP";
+
+/// Contains a compromised sshd worker: a tainted daemon may no longer
+/// open the authentication secrets it legitimately reads pre-compromise.
+pub const SSHD_ORIGIN_RULE: &str =
+    "pftables -s sshd_t --origin tainted -d shadow_t -o FILE_OPEN -j DROP";
+
+/// What one pivot run observed.
+#[derive(Debug, Clone, Copy)]
+pub struct PivotOutcome {
+    /// The benign twin: the same access performed before the compromise.
+    pub pre_compromise_ok: bool,
+    /// Did consuming adversary input widen the adversary model (the
+    /// subject's label crossed the taint threshold)?
+    pub widened: bool,
+    /// Was the post-compromise pivot dropped by the firewall?
+    pub pivot_blocked: bool,
+}
+
+fn write_via_syscalls(k: &mut Kernel, pid: Pid, path: &str, data: &[u8]) -> PfResult<()> {
+    let fd = k.open(pid, path, OpenFlags::creat(0o644))?;
+    k.write(pid, fd, data)?;
+    k.close(pid, fd)
+}
+
+fn read_via_syscalls(k: &mut Kernel, pid: Pid, path: &str) -> PfResult<()> {
+    let fd = k.open(pid, path, OpenFlags::rdonly())?;
+    k.read(pid, fd)?;
+    k.close(pid, fd)
+}
+
+/// An Apache worker serves user-published content (the compromise
+/// channel), then pivots to scrub its own access log. Returns what each
+/// phase observed under the given rule base.
+pub fn httpd_userdir_pivot(rules: &[impl AsRef<str>]) -> PfResult<PivotOutcome> {
+    let mut k = standard_world();
+    k.install_rules(rules.iter().map(AsRef::as_ref))?;
+    k.put_file("/var/log/access.log", b"", 0o600, Uid::ROOT, Gid::ROOT)?;
+    let worker = k.spawn("httpd_t", "/usr/bin/apache2", Uid::ROOT, Gid::ROOT);
+
+    // The worker's routine log write is legitimate pre-compromise.
+    let pre_compromise_ok =
+        write_via_syscalls(&mut k, worker, "/var/log/access.log", b"GET / 200\n").is_ok();
+
+    // Compromise: the adversary publishes homedir content, the worker
+    // serves (reads) it — the OAMAC read edge taints the worker.
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    write_via_syscalls(
+        &mut k,
+        adversary,
+        "/home/user/index.html",
+        b"<!-- exploit payload -->",
+    )?;
+    read_via_syscalls(&mut k, worker, "/home/user/index.html")?;
+
+    let widened = k
+        .mac
+        .is_tainted(k.mac.lookup_label("httpd_t").expect("httpd_t declared"));
+    // The pivot: the same log write the worker performed legitimately.
+    let pivot = write_via_syscalls(&mut k, worker, "/var/log/access.log", b"\n");
+    let pivot_blocked = pivot.err().map(|e| e.is_firewall_denial()).unwrap_or(false);
+    Ok(PivotOutcome {
+        pre_compromise_ok,
+        widened,
+        pivot_blocked,
+    })
+}
+
+/// An sshd worker displays an adversary-squatted banner (the compromise
+/// channel), then pivots to re-open the shadow file it reads
+/// legitimately during authentication.
+pub fn sshd_shadow_pivot(rules: &[impl AsRef<str>]) -> PfResult<PivotOutcome> {
+    let mut k = standard_world();
+    k.install_rules(rules.iter().map(AsRef::as_ref))?;
+    let daemon = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+
+    // Routine authentication read, pre-compromise.
+    let pre_compromise_ok = read_via_syscalls(&mut k, daemon, "/etc/shadow").is_ok();
+
+    // Compromise: the adversary squats the banner the daemon displays.
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    write_via_syscalls(&mut k, adversary, "/tmp/motd", b"pwned banner")?;
+    read_via_syscalls(&mut k, daemon, "/tmp/motd")?;
+
+    let widened = k
+        .mac
+        .is_tainted(k.mac.lookup_label("sshd_t").expect("sshd_t declared"));
+    let pivot = read_via_syscalls(&mut k, daemon, "/etc/shadow");
+    let pivot_blocked = pivot.err().map(|e| e.is_firewall_denial()).unwrap_or(false);
+    Ok(PivotOutcome {
+        pre_compromise_ok,
+        widened,
+        pivot_blocked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ruleset::table5_rules;
+
+    #[test]
+    fn static_table5_rules_provably_miss_both_pivots() {
+        for (name, outcome) in [
+            ("httpd", httpd_userdir_pivot(&table5_rules()).unwrap()),
+            ("sshd", sshd_shadow_pivot(&table5_rules()).unwrap()),
+        ] {
+            assert!(outcome.pre_compromise_ok, "{name}: benign twin runs");
+            assert!(outcome.widened, "{name}: the compromise widens the model");
+            assert!(
+                !outcome.pivot_blocked,
+                "{name}: no static rule can separate the pivot from the \
+                 benign twin — it sails through"
+            );
+        }
+    }
+
+    #[test]
+    fn origin_rules_deny_only_the_post_compromise_pivot() {
+        let mut rules: Vec<&str> = table5_rules();
+        rules.push(HTTPD_ORIGIN_RULE);
+        rules.push(SSHD_ORIGIN_RULE);
+        for (name, outcome) in [
+            ("httpd", httpd_userdir_pivot(&rules).unwrap()),
+            ("sshd", sshd_shadow_pivot(&rules).unwrap()),
+        ] {
+            assert!(
+                outcome.pre_compromise_ok,
+                "{name}: the origin selector never matches pre-compromise"
+            );
+            assert!(outcome.widened, "{name}: taint threshold crossed");
+            assert!(outcome.pivot_blocked, "{name}: the pivot is contained");
+        }
+    }
+
+    #[test]
+    fn widening_is_counted_once_per_label() {
+        let mut k = standard_world();
+        let daemon = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        write_via_syscalls(&mut k, adversary, "/tmp/a", b"x").unwrap();
+        write_via_syscalls(&mut k, adversary, "/tmp/b", b"y").unwrap();
+        read_via_syscalls(&mut k, daemon, "/tmp/a").unwrap();
+        read_via_syscalls(&mut k, daemon, "/tmp/b").unwrap();
+        let m = k.firewall.metrics();
+        assert_eq!(m.origin_widened(), 1, "second read is not a new widening");
+        assert!(m.origin_transitions() > 0);
+    }
+}

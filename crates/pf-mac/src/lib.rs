@@ -24,8 +24,13 @@
 //! accessibility) but do not block accesses, so every block observed in
 //! the experiments is attributable to the Process Firewall.
 
+pub mod origin;
 pub mod parse;
 pub mod policy;
 
+pub use origin::{
+    origin_name, parse_origin, propagate_origin, ORIGIN_EXTERNAL, ORIGIN_TAINTED, ORIGIN_TRUSTED,
+    TAINT_THRESHOLD,
+};
 pub use parse::{parse_policy, render_policy};
 pub use policy::{ubuntu_mini, Access, MacPolicy, PermSet};

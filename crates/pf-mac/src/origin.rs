@@ -1,0 +1,95 @@
+//! Origin (taint) labels, after OAMAC's origin-aware adversary model.
+//!
+//! The static adversary model answers "could an adversary have touched
+//! this resource *under the shipped policy*?". It is blind to the
+//! post-compromise world: a SYSHIGH worker that has already consumed
+//! adversary-controlled input keeps its pre-compromise accessibility
+//! set. Origin labels close that gap. Every process and file carries a
+//! monotone origin level; levels only ever go *up* (`max(current,
+//! incoming)`, never decreasing — the wintermute propagation rule), and
+//! once a subject's origin crosses [`TAINT_THRESHOLD`] the MAC layer
+//! treats that subject label as adversarial, dynamically widening
+//! adversary accessibility (see `MacPolicy::taint_subject`).
+//!
+//! Levels form a three-point lattice:
+//!
+//! | level | name       | meaning                                     |
+//! |------:|------------|---------------------------------------------|
+//! | 0     | `trusted`  | produced entirely inside the TCB            |
+//! | 1     | `external` | touched data from outside the TCB boundary  |
+//! | 2     | `tainted`  | consumed adversary-controlled input         |
+
+/// Origin level: produced entirely inside the TCB.
+pub const ORIGIN_TRUSTED: u64 = 0;
+/// Origin level: touched data that crossed the TCB boundary.
+pub const ORIGIN_EXTERNAL: u64 = 1;
+/// Origin level: consumed adversary-controlled input.
+pub const ORIGIN_TAINTED: u64 = 2;
+
+/// A subject whose origin reaches this level is treated as adversarial
+/// by the dynamic accessibility model.
+pub const TAINT_THRESHOLD: u64 = ORIGIN_TAINTED;
+
+/// Monotone label propagation: the result never decreases either input.
+#[inline]
+pub fn propagate_origin(current: u64, incoming: u64) -> u64 {
+    current.max(incoming)
+}
+
+/// Canonical name for an origin level (numeric fallback for levels
+/// outside the shipped lattice).
+pub fn origin_name(level: u64) -> &'static str {
+    match level {
+        ORIGIN_TRUSTED => "trusted",
+        ORIGIN_EXTERNAL => "external",
+        ORIGIN_TAINTED => "tainted",
+        _ => "custom",
+    }
+}
+
+/// Parses an origin level: a canonical name or a bare integer.
+pub fn parse_origin(text: &str) -> Option<u64> {
+    match text {
+        "trusted" => Some(ORIGIN_TRUSTED),
+        "external" => Some(ORIGIN_EXTERNAL),
+        "tainted" => Some(ORIGIN_TAINTED),
+        _ => text.parse::<u64>().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_is_monotone() {
+        assert_eq!(
+            propagate_origin(ORIGIN_TRUSTED, ORIGIN_TAINTED),
+            ORIGIN_TAINTED
+        );
+        assert_eq!(
+            propagate_origin(ORIGIN_TAINTED, ORIGIN_TRUSTED),
+            ORIGIN_TAINTED
+        );
+        assert_eq!(
+            propagate_origin(ORIGIN_EXTERNAL, ORIGIN_EXTERNAL),
+            ORIGIN_EXTERNAL
+        );
+        // Never decreases: max(a, b) >= a and >= b.
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let p = propagate_origin(a, b);
+                assert!(p >= a && p >= b);
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for level in [ORIGIN_TRUSTED, ORIGIN_EXTERNAL, ORIGIN_TAINTED] {
+            assert_eq!(parse_origin(origin_name(level)), Some(level));
+        }
+        assert_eq!(parse_origin("7"), Some(7));
+        assert_eq!(parse_origin("bogus"), None);
+    }
+}

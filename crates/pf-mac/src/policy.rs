@@ -1,9 +1,12 @@
 //! The MAC policy: types, allow rules, file contexts, adversary queries.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use pf_types::{Interner, SecId};
+
+use crate::origin::TAINT_THRESHOLD;
 
 /// A MAC access kind, mirroring the DAC triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,8 +86,44 @@ pub struct MacPolicy {
     default_label: SecId,
     /// `true` = MAC denials block; `false` (default) = permissive.
     pub enforcing: bool,
-    adv_write_cache: RefCell<HashMap<SecId, bool>>,
-    adv_read_cache: RefCell<HashMap<SecId, bool>>,
+    /// Monotone adversary-model generation. Bumped on every mutation
+    /// that can change adversary accessibility — policy edits *and*
+    /// runtime taint transitions — so cached accessibility answers can
+    /// be validated (and per-task verdict caches invalidated) without
+    /// ever handing out a stale bit.
+    adv_generation: AtomicU64,
+    adv_write_cache: Mutex<AdvCache>,
+    adv_read_cache: Mutex<AdvCache>,
+    /// Subject labels whose origin crossed [`TAINT_THRESHOLD`] at
+    /// runtime: they count as adversarial even when inside SYSHIGH.
+    tainted: Mutex<HashSet<SecId>>,
+}
+
+/// A generation-stamped accessibility cache. The map is only trusted
+/// while its stamp matches the policy's `adv_generation`; a stale stamp
+/// means some policy edit or taint transition happened since the
+/// entries were computed, so the whole map is discarded first.
+#[derive(Debug, Default)]
+struct AdvCache {
+    generation: u64,
+    map: HashMap<SecId, bool>,
+}
+
+impl AdvCache {
+    /// Looks up (or computes and caches) the answer for `object`,
+    /// discarding the map first if `generation` moved on.
+    fn lookup(&mut self, generation: u64, object: SecId, compute: impl FnOnce() -> bool) -> bool {
+        if self.generation != generation {
+            self.map.clear();
+            self.generation = generation;
+        }
+        if let Some(&v) = self.map.get(&object) {
+            return v;
+        }
+        let v = compute();
+        self.map.insert(object, v);
+        v
+    }
 }
 
 impl Default for MacPolicy {
@@ -107,15 +146,71 @@ impl MacPolicy {
             file_contexts: Vec::new(),
             default_label,
             enforcing: false,
-            adv_write_cache: RefCell::new(HashMap::new()),
-            adv_read_cache: RefCell::new(HashMap::new()),
+            adv_generation: AtomicU64::new(1),
+            adv_write_cache: Mutex::new(AdvCache::default()),
+            adv_read_cache: Mutex::new(AdvCache::default()),
+            tainted: Mutex::new(HashSet::new()),
         }
     }
 
+    /// Invalidation = generation bump. The cached maps themselves are
+    /// lazily discarded on the next query that observes the new stamp,
+    /// which keeps this callable from `&self` contexts (runtime taint
+    /// transitions race with concurrent accessibility queries).
     fn invalidate_caches(&mut self) {
-        self.adv_write_cache.borrow_mut().clear();
-        self.adv_read_cache.borrow_mut().clear();
+        self.bump_adversary_generation();
     }
+
+    fn bump_adversary_generation(&self) {
+        self.adv_generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current adversary-model generation. Consumers that cache
+    /// anything derived from adversary accessibility (per-task verdict
+    /// caches, baked surface bits) must re-validate against this.
+    pub fn adversary_generation(&self) -> u64 {
+        self.adv_generation.load(Ordering::Acquire)
+    }
+
+    /// Marks a subject label as tainted (its origin crossed
+    /// [`TAINT_THRESHOLD`]), widening adversary accessibility: every
+    /// object writable/readable by this subject becomes
+    /// adversary-accessible on the next query. Returns `true` iff the
+    /// label was not already tainted (a *widening* transition); the
+    /// adversary generation is bumped only in that case, so widening
+    /// accounting stays exact. Taint is monotone — there is no untaint.
+    pub fn taint_subject(&self, sid: SecId) -> bool {
+        let newly = self
+            .tainted
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(sid);
+        if newly {
+            self.bump_adversary_generation();
+        }
+        newly
+    }
+
+    /// Returns `true` if the subject label has crossed the taint
+    /// threshold at runtime.
+    pub fn is_tainted(&self, sid: SecId) -> bool {
+        self.tainted
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(&sid)
+    }
+
+    /// Number of runtime-tainted subject labels.
+    pub fn tainted_count(&self) -> usize {
+        self.tainted
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// The origin level at which a subject label starts counting as
+    /// adversarial (re-exported for propagation call sites).
+    pub const TAINT_THRESHOLD: u64 = TAINT_THRESHOLD;
 
     /// Interns (or looks up) a label name.
     pub fn intern_label(&mut self, name: &str) -> SecId {
@@ -226,12 +321,13 @@ impl MacPolicy {
     /// answer means an adversary can have *planted or modified* the
     /// resource. Results are cached until the policy changes.
     pub fn adversary_writable(&self, object: SecId) -> bool {
-        if let Some(&v) = self.adv_write_cache.borrow().get(&object) {
-            return v;
-        }
-        let v = self.scan_adversary(object, Access::Write);
-        self.adv_write_cache.borrow_mut().insert(object, v);
-        v
+        let generation = self.adversary_generation();
+        self.adv_write_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(generation, object, || {
+                self.scan_adversary(object, Access::Write)
+            })
     }
 
     /// Is `object` readable by any subject outside the TCB?
@@ -240,18 +336,24 @@ impl MacPolicy {
     /// is *not* a new disclosure. High-secrecy files (e.g. `shadow_t`)
     /// answer `false`.
     pub fn adversary_readable(&self, object: SecId) -> bool {
-        if let Some(&v) = self.adv_read_cache.borrow().get(&object) {
-            return v;
-        }
-        let v = self.scan_adversary(object, Access::Read);
-        self.adv_read_cache.borrow_mut().insert(object, v);
-        v
+        let generation = self.adversary_generation();
+        self.adv_read_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(generation, object, || {
+                self.scan_adversary(object, Access::Read)
+            })
     }
 
+    /// A subject counts as adversarial if it sits outside the TCB *or*
+    /// its origin crossed the taint threshold at runtime (the OAMAC
+    /// widening: compromise makes yesterday's trusted worker an
+    /// adversary today).
     fn scan_adversary(&self, object: SecId, access: Access) -> bool {
+        let tainted = self.tainted.lock().unwrap_or_else(PoisonError::into_inner);
         self.subjects
             .iter()
-            .filter(|s| !self.syshigh.contains(s))
+            .filter(|s| !self.syshigh.contains(s) || tainted.contains(s))
             .any(|&s| self.decides(s, object, access))
     }
 
@@ -525,5 +627,85 @@ mod tests {
         sorted.dedup();
         assert_eq!(set, sorted);
         assert!(set.contains(&p.lookup_label("lib_t").unwrap()));
+    }
+
+    #[test]
+    fn tainting_a_syshigh_subject_widens_adversary_access() {
+        let p = ubuntu_mini();
+        let httpd = p.lookup_label("httpd_t").unwrap();
+        let config = p.lookup_label("httpd_config_t").unwrap();
+        let lib = p.lookup_label("lib_t").unwrap();
+        let gen0 = p.adversary_generation();
+
+        // Pre-compromise: config is TCB-only, so not adversary-writable.
+        // (httpd_t has only RX on it, but RWX on tmp/var_run/var_log —
+        // use var_log_t, which only TCB subjects may write.)
+        let var_log = p.lookup_label("var_log_t").unwrap();
+        assert!(!p.adversary_writable(var_log));
+        assert!(!p.adversary_writable(config));
+
+        // httpd_t consumes adversary-controlled input → tainted.
+        assert!(p.taint_subject(httpd), "first taint is a widening");
+        assert!(!p.taint_subject(httpd), "taint is idempotent");
+        assert!(p.is_tainted(httpd));
+        assert_eq!(p.adversary_generation(), gen0 + 1, "exactly one bump");
+
+        // Widened: everything httpd_t can write is now reachable by an
+        // adversary; read-only grants do not become writable.
+        assert!(p.adversary_writable(var_log));
+        assert!(!p.adversary_writable(config), "RX grant stays unwritable");
+        assert!(!p.adversary_writable(lib));
+    }
+
+    #[test]
+    fn concurrent_taint_and_accessibility_queries_do_not_race() {
+        use std::sync::Arc;
+
+        // Regression: the old RefCell caches panicked (or corrupted)
+        // under exactly this pattern — shared policy, one thread
+        // mutating accessibility via taint while others query.
+        let p = Arc::new(ubuntu_mini());
+        let subjects: Vec<SecId> = ["httpd_t", "sshd_t", "staff_t", "system_dbusd_t"]
+            .iter()
+            .map(|n| p.lookup_label(n).unwrap())
+            .collect();
+        let objects: Vec<SecId> = ["tmp_t", "var_log_t", "etc_t", "lib_t", "shadow_t"]
+            .iter()
+            .map(|n| p.lookup_label(n).unwrap())
+            .collect();
+
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let p = Arc::clone(&p);
+            let subjects = subjects.clone();
+            let objects = objects.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut widenings = 0u64;
+                for i in 0..2000usize {
+                    let o = objects[(i + t) % objects.len()];
+                    // Queries must never panic or deadlock while taint
+                    // transitions land concurrently.
+                    let _ = p.adversary_writable(o);
+                    let _ = p.adversary_readable(o);
+                    if i % 503 == 0 {
+                        let s = subjects[(i / 503 + t) % subjects.len()];
+                        if p.taint_subject(s) {
+                            widenings += 1;
+                        }
+                    }
+                }
+                widenings
+            }));
+        }
+        let total_widenings: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        // Exactly one widening per distinct label, no matter how many
+        // threads raced to taint it.
+        assert_eq!(total_widenings, subjects.len() as u64);
+        assert_eq!(p.tainted_count(), subjects.len());
+        // Post-join, every queried answer reflects the fully widened
+        // model: staff_t writes user_home_t, httpd_t writes var_log_t.
+        assert!(p.adversary_writable(p.lookup_label("var_log_t").unwrap()));
+        assert!(p.adversary_writable(p.lookup_label("var_run_t").unwrap()));
     }
 }

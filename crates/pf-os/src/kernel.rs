@@ -146,7 +146,11 @@ pub struct SurfaceEntry {
     pub dir_label: SecId,
     /// The component being looked up in it.
     pub component: String,
-    /// Whether the directory's label is adversary-writable.
+    /// Whether the directory's label was adversary-writable *at record
+    /// time*. The adversary model can widen after recording (a trusted
+    /// label crosses the taint threshold), so consumers must re-resolve
+    /// through [`MacPolicy::adversary_writable`] at query time; this
+    /// snapshot exists so staleness is observable, not to be trusted.
     pub adversary_writable: bool,
 }
 
@@ -208,9 +212,69 @@ impl Kernel {
         let prog = self.programs.intern(binary);
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
-        let task = Task::new(pid, uid, gid, sid, prog, self.vfs.root());
+        let mut task = Task::new(pid, uid, gid, sid, prog, self.vfs.root());
+        // OAMAC spawn rule: system-high subjects start trusted; anything
+        // the adversary model already owns produces tainted data from
+        // its first write.
+        task.origin = if self.mac.is_syshigh(sid) {
+            pf_mac::ORIGIN_TRUSTED
+        } else {
+            pf_mac::ORIGIN_TAINTED
+        };
         self.tasks.insert(pid, task);
         pid
+    }
+
+    // ------------------------------------------------------------------
+    // Origin (taint) propagation — the OAMAC adversary model.
+    // ------------------------------------------------------------------
+
+    /// Raises a task's origin to `max(current, incoming)`; origin is
+    /// monotone, so a lower `incoming` is a no-op.
+    ///
+    /// Every actual raise counts one `origin_transition`. A raise that
+    /// carries a *system-high* subject across the taint threshold widens
+    /// the adversary model: the label joins the adversary set
+    /// ([`MacPolicy::taint_subject`]), which bumps the adversary-model
+    /// generation — every per-task verdict cache self-invalidates on its
+    /// next lookup, and `origin_widened` counts the event.
+    pub fn raise_task_origin(&mut self, pid: Pid, incoming: u64) -> PfResult<()> {
+        let task = self
+            .tasks
+            .get_mut(&pid)
+            .ok_or(PfError::NoSuchProcess(pid.0))?;
+        let next = pf_mac::propagate_origin(task.origin, incoming);
+        if next == task.origin {
+            return Ok(());
+        }
+        task.origin = next;
+        let sid = task.sid;
+        self.firewall.metrics().bump_origin_transition();
+        if next >= pf_mac::TAINT_THRESHOLD
+            && self.mac.is_syshigh(sid)
+            && self.mac.taint_subject(sid)
+        {
+            self.firewall.metrics().bump_origin_widened();
+        }
+        Ok(())
+    }
+
+    /// Stains an inode's content origin with a writer's level
+    /// (`max(current, incoming)`), counting a transition on every
+    /// actual raise. File origin, like task origin, never decreases.
+    pub fn stain_inode(&mut self, obj: ObjRef, incoming: u64) -> PfResult<()> {
+        let inode = self.vfs.inode_mut(obj)?;
+        let next = pf_mac::propagate_origin(inode.origin, incoming);
+        if next != inode.origin {
+            inode.origin = next;
+            self.firewall.metrics().bump_origin_transition();
+        }
+        Ok(())
+    }
+
+    /// A task's current origin level (tests and scenario harnesses).
+    pub fn task_origin(&self, pid: Pid) -> PfResult<u64> {
+        Ok(self.task(pid)?.origin)
     }
 
     /// Creates a process with `depth` pre-pushed caller frames, so the
@@ -770,6 +834,10 @@ impl EvalEnv for KernelEnv<'_> {
             .last()
             .map(|f| (f.script.clone(), f.line))
     }
+
+    fn subject_origin(&self) -> Option<u64> {
+        Some(self.task.origin)
+    }
 }
 
 #[cfg(test)]
@@ -863,5 +931,85 @@ mod tests {
         let root = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
         assert!(k.authorize_access(user, shadow, AccessKind::Read).is_err());
         assert!(k.authorize_access(root, shadow, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn spawn_origin_tracks_the_adversary_model() {
+        let mut k = kernel();
+        let daemon = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        let user = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        assert_eq!(k.task_origin(daemon).unwrap(), pf_mac::ORIGIN_TRUSTED);
+        assert_eq!(k.task_origin(user).unwrap(), pf_mac::ORIGIN_TAINTED);
+    }
+
+    #[test]
+    fn raise_task_origin_is_monotone_and_counted() {
+        let mut k = kernel();
+        let daemon = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        let fw = Arc::clone(&k.firewall);
+        let m = fw.metrics();
+        k.raise_task_origin(daemon, pf_mac::ORIGIN_EXTERNAL)
+            .unwrap();
+        assert_eq!(k.task_origin(daemon).unwrap(), pf_mac::ORIGIN_EXTERNAL);
+        // A lower incoming level never lowers the label, and a no-op
+        // raise is not a transition.
+        k.raise_task_origin(daemon, pf_mac::ORIGIN_TRUSTED).unwrap();
+        k.raise_task_origin(daemon, pf_mac::ORIGIN_EXTERNAL)
+            .unwrap();
+        assert_eq!(k.task_origin(daemon).unwrap(), pf_mac::ORIGIN_EXTERNAL);
+        assert_eq!(m.origin_transitions(), 1);
+        assert_eq!(m.origin_widened(), 0, "EXTERNAL is below the threshold");
+        // Crossing the threshold widens the adversary model exactly once.
+        let gen_before = k.mac.adversary_generation();
+        k.raise_task_origin(daemon, pf_mac::ORIGIN_TAINTED).unwrap();
+        assert_eq!(m.origin_transitions(), 2);
+        assert_eq!(m.origin_widened(), 1);
+        assert!(k.mac.adversary_generation() > gen_before);
+        assert!(k.mac.is_tainted(k.mac.lookup_label("sshd_t").unwrap()));
+    }
+
+    #[test]
+    fn origin_flows_along_write_read_exec_and_fork_edges() {
+        use crate::OpenFlags;
+
+        let mut k = kernel();
+        k.mount_tmpfs("/tmp").unwrap();
+        let user = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+        // write: a tainted writer stains the inode.
+        let fd = k
+            .open(user, "/tmp/payload", OpenFlags::creat(0o755))
+            .unwrap();
+        k.write(user, fd, b"#!/bin/sh").unwrap();
+        k.close(user, fd).unwrap();
+        let obj = k.lookup("/tmp/payload").unwrap();
+        assert_eq!(k.vfs.inode(obj).unwrap().origin, pf_mac::ORIGIN_TAINTED);
+
+        // read: consuming the stained content taints the reader...
+        let daemon = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+        let fd = k.open(daemon, "/tmp/payload", OpenFlags::rdonly()).unwrap();
+        k.read(daemon, fd).unwrap();
+        k.close(daemon, fd).unwrap();
+        assert_eq!(k.task_origin(daemon).unwrap(), pf_mac::ORIGIN_TAINTED);
+
+        // exec: executing the stained image taints the executor.
+        let daemon2 = k.spawn("init_t", "/sbin/init", Uid::ROOT, Gid::ROOT);
+        k.execve(daemon2, "/tmp/payload").unwrap();
+        assert_eq!(k.task_origin(daemon2).unwrap(), pf_mac::ORIGIN_TAINTED);
+
+        // fork: the child inherits the parent's label.
+        let child = k.fork(daemon2).unwrap();
+        assert_eq!(k.task_origin(child).unwrap(), pf_mac::ORIGIN_TAINTED);
+    }
+
+    #[test]
+    fn signal_delivery_propagates_the_sender_origin() {
+        let mut k = kernel();
+        let victim = k.spawn("sshd_t", "/usr/sbin/sshd", Uid::ROOT, Gid::ROOT);
+        // Root-uid but untrusted-label sender, so delivery is permitted.
+        let sender = k.spawn("user_t", "/bin/sh", Uid::ROOT, Gid::ROOT);
+        assert_eq!(k.task_origin(victim).unwrap(), pf_mac::ORIGIN_TRUSTED);
+        k.kill(sender, victim, pf_types::SignalNum::SIGTERM)
+            .unwrap();
+        assert_eq!(k.task_origin(victim).unwrap(), pf_mac::ORIGIN_TAINTED);
     }
 }

@@ -73,6 +73,8 @@ impl Kernel {
                     self.vfs.unlink(r.parent, &r.final_name)?;
                     return Err(e);
                 }
+                let origin = self.task(pid)?.origin;
+                self.stain_inode(obj, origin)?;
                 self.vfs.open_ref(obj)?;
                 Ok(self.task_mut(pid)?.alloc_fd(OpenFile {
                     obj,
@@ -101,6 +103,10 @@ impl Kernel {
             return Err(PfError::PermissionDenied("fd not readable".into()));
         }
         self.hook(pid, LsmOperation::FileRead, Some(file.obj), None, None)?;
+        // The read was authorized under the reader's *current* origin;
+        // the consumed content taints it for every subsequent access.
+        let origin = self.vfs.inode(file.obj)?.origin;
+        self.raise_task_origin(pid, origin)?;
         self.vfs.read(file.obj)
     }
 
@@ -112,6 +118,8 @@ impl Kernel {
             return Err(PfError::PermissionDenied("fd not writable".into()));
         }
         self.hook(pid, LsmOperation::FileWrite, Some(file.obj), None, None)?;
+        let origin = self.task(pid)?.origin;
+        self.stain_inode(file.obj, origin)?;
         self.vfs.write(file.obj, Bytes::copy_from_slice(data))
     }
 
@@ -211,6 +219,8 @@ impl Kernel {
             self.vfs.rmdir(r.parent, &r.final_name)?;
             return Err(e);
         }
+        let origin = self.task(pid)?.origin;
+        self.stain_inode(obj, origin)?;
         Ok(obj)
     }
 
@@ -253,6 +263,8 @@ impl Kernel {
             self.vfs.unlink(r.parent, &r.final_name)?;
             return Err(e);
         }
+        let origin = self.task(pid)?.origin;
+        self.stain_inode(obj, origin)?;
         Ok(obj)
     }
 
@@ -330,7 +342,11 @@ impl Kernel {
     pub fn mmap(&mut self, pid: Pid, fd: Fd) -> PfResult<()> {
         self.syscall_enter(pid, SyscallNr::Mmap)?;
         let file = self.task(pid)?.fd(fd).ok_or(PfError::BadFd(fd.0))?;
-        self.hook(pid, LsmOperation::FileMmap, Some(file.obj), None, None)
+        self.hook(pid, LsmOperation::FileMmap, Some(file.obj), None, None)?;
+        // Mapped code taints the mapper the way `read(2)` content does
+        // (the Figure 1(b) library-load channel).
+        let origin = self.vfs.inode(file.obj)?.origin;
+        self.raise_task_origin(pid, origin)
     }
 }
 

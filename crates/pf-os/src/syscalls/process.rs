@@ -41,6 +41,9 @@ impl Kernel {
         self.authorize_access(pid, obj, AccessKind::Execute)?;
         self.hook(pid, LsmOperation::FileExec, Some(obj), None, None)?;
         self.hook(pid, LsmOperation::ProcessExec, Some(obj), None, None)?;
+        // Executing a tainted image taints the process (OAMAC exec rule).
+        let binary_origin = self.vfs.inode(obj)?.origin;
+        self.raise_task_origin(pid, binary_origin)?;
         let inode = self.vfs.inode(obj)?;
         let (setuid, owner, setgid, group) = (
             inode.mode.is_setuid(),

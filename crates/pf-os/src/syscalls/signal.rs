@@ -88,6 +88,10 @@ impl Kernel {
             self.force_exit(to)?;
             return Ok(true);
         }
+        // A delivered signal is adversary-controlled input: the receiver
+        // inherits the sender's origin (the IPC edge of the OAMAC model).
+        let sender_origin = self.task(from)?.origin;
+        self.raise_task_origin(to, sender_origin)?;
         if info.has_handler {
             // The handler starts executing: its frame appears on the
             // receiver's user stack, so resource accesses made *inside*

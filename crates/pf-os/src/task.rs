@@ -106,6 +106,13 @@ pub struct Task {
     /// Ring buffer of recent syscall numbers (process context for
     /// TOCTTOU-class invariants).
     pub syscall_trace: VecDeque<SyscallNr>,
+    /// Monotone origin (taint) level per the OAMAC adversary model
+    /// (`pf_mac::origin`): only ever raised — on reads/execs of tainted
+    /// content and on signals from tainted senders. Forked children
+    /// inherit it through `Clone`. The kernel raises it exclusively via
+    /// `Kernel::raise_task_origin`, which keeps the firewall's counters
+    /// and the adversary-model generation in step.
+    pub origin: u64,
     /// Set on `exit`.
     pub exited: bool,
 }
@@ -140,6 +147,7 @@ impl Task {
             pf_session: TaskSession::new(),
             syscall: (SyscallNr::Null, [0; 4]),
             syscall_trace: VecDeque::with_capacity(SYSCALL_TRACE_LEN),
+            origin: 0,
             exited: false,
         }
     }

@@ -88,7 +88,15 @@ pub fn record_surface(victim: &dyn Victim) -> PfResult<Vec<AttackSite>> {
     kernel.record_surface = true;
     let _ = victim.run(&mut kernel)?;
     let mut sites: Vec<AttackSite> = Vec::new();
-    for entry in kernel.surface.iter().filter(|e| e.adversary_writable) {
+    // Resolve adversary accessibility at *query* time, not from the bit
+    // baked into the entry at record time: a run can widen the adversary
+    // model mid-trace (a trusted subject crosses the taint threshold),
+    // and a stale snapshot would silently drop the newly-reachable sites.
+    for entry in kernel
+        .surface
+        .iter()
+        .filter(|e| kernel.mac.adversary_writable(e.dir_label))
+    {
         let SurfaceEntry {
             dir,
             component,
@@ -238,7 +246,13 @@ pub fn verify_fix(victim: &dyn Victim, finding: &Finding) -> PfResult<bool> {
         probe.surface
     };
     let adversary = kernel.spawn("user_t", "/bin/sh", ADVERSARY_UID, Gid(ADVERSARY_UID.0));
-    for entry in sites.iter().filter(|e| e.adversary_writable) {
+    // Same query-time resolution as `record_surface`: trust the current
+    // adversary model, not the snapshot taken when the probe ran.
+    let sites: Vec<_> = sites
+        .into_iter()
+        .filter(|e| kernel.mac.adversary_writable(e.dir_label))
+        .collect();
+    for entry in sites.iter() {
         if entry.component != finding.component {
             continue;
         }
@@ -350,6 +364,49 @@ mod tests {
         // is removed or refused, the canary untouched.
         let findings = test_victim(&SafeInitScript).unwrap();
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn baked_surface_bits_go_stale_but_query_time_resolution_tracks_widening() {
+        // Regression: surface entries bake `adversary_writable` at record
+        // time. When the adversary model widens afterwards (a system-high
+        // subject crosses the taint threshold), the baked bit is stale —
+        // trusting it silently drops the newly reachable sites.
+        let mut kernel = pf_os::standard_world();
+        kernel.record_surface = true;
+        let init = kernel.spawn("init_t", "/bin/bash", Uid::ROOT, Gid::ROOT);
+        let fd = kernel
+            .open(init, "/var/log/boot.log", OpenFlags::creat(0o600))
+            .unwrap();
+        kernel.close(init, fd).unwrap();
+
+        // At record time /var/log is writable only by system-high
+        // subjects: the baked bit and the live resolution agree.
+        let var_log_t = kernel.mac.lookup_label("var_log_t").unwrap();
+        let entry = kernel
+            .surface
+            .iter()
+            .find(|e| e.dir_label == var_log_t)
+            .expect("the boot.log lookup searches /var/log");
+        assert!(!entry.adversary_writable);
+        assert!(!kernel.mac.adversary_writable(var_log_t));
+
+        // A system-high writer of /var/log becomes tainted...
+        let httpd_t = kernel.mac.lookup_label("httpd_t").unwrap();
+        assert!(kernel.mac.taint_subject(httpd_t));
+
+        // ...the snapshot is now stale by design (it exists to make
+        // staleness observable); query-time resolution sees the widening.
+        let entry = kernel
+            .surface
+            .iter()
+            .find(|e| e.dir_label == var_log_t)
+            .unwrap();
+        assert!(!entry.adversary_writable, "snapshot must not mutate");
+        assert!(
+            kernel.mac.adversary_writable(var_log_t),
+            "query-time resolution tracks the widened adversary model"
+        );
     }
 
     #[test]

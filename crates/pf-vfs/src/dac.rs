@@ -47,6 +47,7 @@ impl AccessKind {
 ///     nlink: 1,
 ///     open_count: 0,
 ///     generation: 0,
+///     origin: 0,
 /// };
 /// assert!(dac_permits(&inode, Uid(1000), Gid(7), AccessKind::Write)); // owner
 /// assert!(dac_permits(&inode, Uid(2), Gid(100), AccessKind::Read));   // group
@@ -96,6 +97,7 @@ mod tests {
             nlink: 1,
             open_count: 0,
             generation: 0,
+            origin: 0,
         }
     }
 

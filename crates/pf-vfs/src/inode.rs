@@ -117,6 +117,11 @@ pub struct Inode {
     /// Bumped every time this inode *number* is reused for a new object,
     /// so tests can detect recycling explicitly.
     pub generation: u64,
+    /// Monotone origin (taint) level of the *content*, per the OAMAC
+    /// adversary model (`pf_mac::origin`): raised to the writer's level
+    /// on every write and never lowered, so data a compromised process
+    /// produced stays marked across rename/link aliases. `0` is trusted.
+    pub origin: u64,
 }
 
 impl Inode {
@@ -163,6 +168,7 @@ mod tests {
             nlink: 1,
             open_count: 0,
             generation: 0,
+            origin: 0,
         }
     }
 

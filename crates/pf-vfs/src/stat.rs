@@ -100,6 +100,7 @@ mod tests {
             nlink: 1,
             open_count: 0,
             generation: 0,
+            origin: 0,
         }
     }
 

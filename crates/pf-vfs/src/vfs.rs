@@ -107,6 +107,7 @@ impl Vfs {
             nlink: 1,
             open_count: 0,
             generation: 0,
+            origin: 0,
         };
         let mut inodes = HashMap::new();
         inodes.insert(root_ino, root);
@@ -250,6 +251,7 @@ impl Vfs {
             nlink: 1,
             open_count: 0,
             generation,
+            origin: 0,
         };
         self.devices[dev_idx].inodes.insert(ino, inode);
         if let InodeKind::Dir { entries, .. } = &mut self.inode_mut(dir)?.kind {

@@ -137,6 +137,165 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Origin-mutating traces: taint mid-trace, fork inheritance, reload
+// churn. A stale cached verdict would break the parity below, because
+// an origin transition flips what the `--origin` rules match.
+// ---------------------------------------------------------------------
+
+/// A rule line that may carry an `--origin` selector: `origin % 3`
+/// picks none / `tainted` / `external`.
+fn origin_rule_line(kind: usize, lbl: usize, origin: usize) -> String {
+    let l = label_pool()[lbl];
+    let og = match origin % 3 {
+        1 => "--origin tainted ",
+        2 => "--origin external ",
+        _ => "",
+    };
+    match kind % 4 {
+        0 => format!("pftables -s sshd_t -o FILE_OPEN -d {l} {og}-j DROP"),
+        1 => format!("pftables -o FILE_OPEN -d {l} {og}-j ACCEPT"),
+        2 => format!("pftables -o FILE_OPEN -d {l} {og}-j LOG --tag og{kind}{lbl}"),
+        3 => format!("pftables -o FILE_OPEN -d {l} {og}-j RETURN"),
+        _ => unreachable!(),
+    }
+}
+
+/// Replays an origin-mutating trace at `level`. Steps `0..5` open the
+/// corresponding label; `5` taints the victim (it reads a file an
+/// adversary wrote); `6` forks (the child, inheriting the origin,
+/// continues the trace); `7` hot-reloads the same ruleset.
+fn run_origin_trace(
+    level: OptLevel,
+    rules: &[(usize, usize, usize)],
+    trace: &[usize],
+) -> (Vec<bool>, u64) {
+    let mut k = standard_world();
+    let lines: Vec<String> = rules
+        .iter()
+        .map(|&(kind, lbl, origin)| origin_rule_line(kind, lbl, origin))
+        .collect();
+    k.install_rules(lines.iter().map(String::as_str)).unwrap();
+    k.firewall.set_level(level).unwrap();
+
+    // Adversary bait: content written by a tainted subject.
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let fd = k
+        .open(adversary, "/tmp/evil", OpenFlags::creat(0o644))
+        .unwrap();
+    k.write(adversary, fd, b"payload").unwrap();
+    k.close(adversary, fd).unwrap();
+
+    let mut victim = k.spawn("sshd_t", "/bin/victim", Uid::ROOT, Gid::ROOT);
+    let mut outcomes = Vec::new();
+    for &step in trace {
+        let ok = match step {
+            0..=4 => k
+                .open(victim, label_path(step), OpenFlags::rdonly())
+                .map(|fd| k.close(victim, fd).unwrap())
+                .is_ok(),
+            5 => k
+                .open(victim, "/tmp/evil", OpenFlags::rdonly())
+                .and_then(|fd| {
+                    k.read(victim, fd)?;
+                    k.close(victim, fd)
+                })
+                .is_ok(),
+            6 => {
+                victim = k.fork(victim).unwrap();
+                true
+            }
+            7 => {
+                let fw = k.firewall.clone();
+                fw.reload(
+                    lines.iter().map(String::as_str),
+                    &mut k.mac,
+                    &mut k.programs,
+                )
+                .unwrap();
+                true
+            }
+            _ => unreachable!(),
+        };
+        outcomes.push(ok);
+    }
+    (outcomes, k.task_origin(victim).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // FULL ≡ EPTSPC ≡ VCACHE while the subject's origin mutates
+    // mid-trace (taints, forks, reload churn). The trace is doubled so
+    // the second half runs against a cache warmed *before* any
+    // second-round transitions — precisely where a stale hit would
+    // surface as a verdict divergence.
+    #[test]
+    fn origin_mutating_traces_agree_across_levels(
+        rules in prop::collection::vec(
+            (0usize..4, 0usize..5, 0usize..3),
+            1..10
+        ),
+        trace in prop::collection::vec(0usize..8, 1..12),
+    ) {
+        let doubled: Vec<usize> =
+            trace.iter().chain(trace.iter()).copied().collect();
+        let (v_full, o_full) = run_origin_trace(OptLevel::Full, &rules, &doubled);
+        let (v_ept, o_ept) = run_origin_trace(OptLevel::EptSpc, &rules, &doubled);
+        let (v_vc, o_vc) = run_origin_trace(OptLevel::Vcache, &rules, &doubled);
+
+        prop_assert_eq!(&v_full, &v_ept, "FULL vs EPTSPC verdicts");
+        prop_assert_eq!(&v_full, &v_vc, "FULL vs VCACHE verdicts");
+        prop_assert_eq!(o_full, o_ept, "final origin FULL vs EPTSPC");
+        prop_assert_eq!(o_full, o_vc, "final origin FULL vs VCACHE");
+    }
+}
+
+#[test]
+fn origin_transition_invalidates_warm_verdict_cache() {
+    // The stale-cache bug this PR fixes: warm the verdict cache while
+    // the subject is trusted, taint it, and re-issue the same access.
+    // A stale hit would replay the cached Allow; the origin transition
+    // must miss (new origin keys the entry) and the generation bump
+    // must flush the stale entries — observable in the counter.
+    let mut k = standard_world();
+    k.install_rules(["pftables -s sshd_t --origin tainted -o FILE_OPEN -d etc_t -j DROP"])
+        .unwrap();
+    k.firewall.set_level(OptLevel::Vcache).unwrap();
+
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let fd = k
+        .open(adversary, "/tmp/evil", OpenFlags::creat(0o644))
+        .unwrap();
+    k.write(adversary, fd, b"payload").unwrap();
+    k.close(adversary, fd).unwrap();
+
+    let victim = k.spawn("sshd_t", "/bin/victim", Uid::ROOT, Gid::ROOT);
+    for _ in 0..3 {
+        let fd = k.open(victim, "/etc/passwd", OpenFlags::rdonly()).unwrap();
+        k.close(victim, fd).unwrap();
+    }
+    assert!(k.firewall.metrics().vcache_hits() > 0, "cache is warm");
+
+    // Taint: the victim consumes adversary-written content.
+    let fd = k.open(victim, "/tmp/evil", OpenFlags::rdonly()).unwrap();
+    k.read(victim, fd).unwrap();
+    k.close(victim, fd).unwrap();
+
+    // The very same access must now flip to Deny — no stale replay.
+    let e = k
+        .open(victim, "/etc/passwd", OpenFlags::rdonly())
+        .unwrap_err();
+    assert!(e.is_firewall_denial(), "tainted open must be denied");
+    let m = k.firewall.metrics();
+    assert!(m.origin_transitions() > 0);
+    assert!(m.origin_widened() > 0, "sshd_t crossed the threshold");
+    assert!(
+        m.origin_vcache_invalidations() > 0,
+        "the widening flushed the warm cache"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Directed VCACHE behaviour through the whole kernel stack.
 // ---------------------------------------------------------------------
 

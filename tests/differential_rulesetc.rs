@@ -353,6 +353,132 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Origin-mutating traces, four ways. The victim taints mid-trace,
+// forks (the child inherits the origin), and rides a hot reload; a
+// stale cached verdict or a mis-bucketed `--origin` rule in the
+// compiled dispatch would break the parity.
+// ---------------------------------------------------------------------
+
+fn origin_rule(rng: &mut Xorshift64) -> String {
+    let labels = label_pool();
+    let lbl = labels[rng.below(5) as usize];
+    let mut line = String::from("pftables -A INPUT");
+    if rng.chance(40) {
+        line.push_str(" -s sshd_t");
+    }
+    if rng.chance(70) {
+        line.push_str(&format!(" -d {lbl}"));
+    }
+    line.push_str(" -o FILE_OPEN");
+    if rng.chance(60) {
+        let level = ["tainted", "external"][usize::from(rng.chance(40))];
+        line.push_str(&format!(" --origin {level}"));
+    }
+    let target = match rng.below(100) {
+        0..=39 => "DROP",
+        40..=69 => "ACCEPT",
+        70..=84 => "RETURN",
+        _ => "LOG --tag og",
+    };
+    line.push_str(&format!(" -j {target}"));
+    line
+}
+
+/// Steps: `0..5` open the label's path, `5` taints the victim (reads
+/// adversary-written bait), `6` forks, `7` hot-reloads the ruleset.
+fn run_origin_trace(level: OptLevel, seed: u64) -> (Vec<bool>, u64, u64, u64) {
+    let mut rng = Xorshift64::new(seed);
+    let rules: Vec<String> = (0..6 + rng.below(8))
+        .map(|_| origin_rule(&mut rng))
+        .collect();
+    let steps: Vec<u64> = (0..10).map(|_| rng.below(8)).collect();
+
+    let mut k = standard_world();
+    // Bait first: the generated rules may well drop tainted tmp_t
+    // writes, and the adversary (user_t) is born tainted.
+    let adversary = k.spawn("user_t", "/bin/sh", Uid(1000), Gid(1000));
+    let fd = k
+        .open(adversary, "/tmp/evil", OpenFlags::creat(0o644))
+        .unwrap();
+    k.write(adversary, fd, b"payload").unwrap();
+    k.close(adversary, fd).unwrap();
+
+    k.install_rules(rules.iter().map(String::as_str)).unwrap();
+    k.firewall.set_level(level).unwrap();
+    let mut victim = k.spawn("sshd_t", "/bin/victim", Uid::ROOT, Gid::ROOT);
+    let mut outcomes = Vec::new();
+    // Doubled so the second half replays against caches warmed before
+    // the second round of transitions.
+    for &step in steps.iter().chain(steps.iter()) {
+        let ok = match step {
+            0..=4 => k
+                .open(victim, label_path(step as usize), OpenFlags::rdonly())
+                .map(|fd| k.close(victim, fd).unwrap())
+                .is_ok(),
+            5 => k
+                .open(victim, "/tmp/evil", OpenFlags::rdonly())
+                .and_then(|fd| {
+                    k.read(victim, fd)?;
+                    k.close(victim, fd)
+                })
+                .is_ok(),
+            6 => {
+                victim = k.fork(victim).unwrap();
+                true
+            }
+            7 => {
+                let fw = k.firewall.clone();
+                fw.reload(
+                    rules.iter().map(String::as_str),
+                    &mut k.mac,
+                    &mut k.programs,
+                )
+                .unwrap();
+                true
+            }
+            _ => unreachable!(),
+        };
+        outcomes.push(ok);
+    }
+    let m = k.firewall.metrics();
+    let (dispatch, fallback) = (m.rulesetc_dispatch(), m.rulesetc_fallback());
+    (outcomes, k.task_origin(victim).unwrap(), dispatch, fallback)
+}
+
+fn assert_four_way_origin(seed: u64) {
+    let (v_full, o_full, _, _) = run_origin_trace(OptLevel::Full, seed);
+    let (v_ept, o_ept, _, _) = run_origin_trace(OptLevel::EptSpc, seed);
+    let (v_vc, o_vc, _, _) = run_origin_trace(OptLevel::Vcache, seed);
+    let (v_rc, o_rc, dispatch, fallback) = run_origin_trace(OptLevel::RulesetC, seed);
+
+    assert_eq!(v_full, v_ept, "FULL vs EPTSPC, seed {seed:#x}");
+    assert_eq!(v_full, v_vc, "FULL vs VCACHE, seed {seed:#x}");
+    assert_eq!(v_full, v_rc, "FULL vs RULESETC, seed {seed:#x}");
+    assert_eq!(o_full, o_ept, "origin FULL vs EPTSPC, seed {seed:#x}");
+    assert_eq!(o_full, o_vc, "origin FULL vs VCACHE, seed {seed:#x}");
+    assert_eq!(o_full, o_rc, "origin FULL vs RULESETC, seed {seed:#x}");
+    assert!(dispatch > 0, "compiled dispatch idle, seed {seed:#x}");
+    assert_eq!(
+        fallback, 0,
+        "origin rules must ride the compiled path fault-free, seed {seed:#x}"
+    );
+}
+
+#[test]
+fn four_way_origin_differential_fixed_seed() {
+    assert_four_way_origin(0x5EED_0419_0419_0001);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn four_way_origin_differential_random_seeds(seed in any::<u64>()) {
+        assert_four_way_origin(seed);
+    }
+}
+
 /// Directed: with a high unwind-fault rate at RULESETC, the engine
 /// degrades to the full-chain walk (counted as fallbacks), still denies
 /// what the ruleset denies fault-free, and flags decisions degraded.

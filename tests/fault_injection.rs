@@ -43,6 +43,7 @@ struct AttackEnv {
     link_owner: Option<Uid>,
     state: std::collections::HashMap<u64, u64>,
     signal: Option<SignalInfo>,
+    origin: Option<u64>,
 }
 
 impl AttackEnv {
@@ -81,6 +82,7 @@ impl AttackEnv {
             link_owner: None,
             state: std::collections::HashMap::new(),
             signal: None,
+            origin: None,
         }
     }
 }
@@ -109,6 +111,9 @@ impl EvalEnv for AttackEnv {
     }
     fn signal(&self) -> Option<SignalInfo> {
         self.signal
+    }
+    fn subject_origin(&self) -> Option<u64> {
+        self.origin
     }
     fn mac(&self) -> &MacPolicy {
         &self.mac
@@ -281,7 +286,7 @@ fn table5_firewall(level: OptLevel) -> (ProcessFirewall, Interner) {
 }
 
 /// Every fallible context channel, failed individually at 100%.
-fn single_field_configs() -> [(&'static str, FaultConfig); 4] {
+fn single_field_configs() -> [(&'static str, FaultConfig); 5] {
     let off = FaultConfig::off(1);
     [
         (
@@ -309,6 +314,13 @@ fn single_field_configs() -> [(&'static str, FaultConfig); 4] {
             "state",
             FaultConfig {
                 state_fail: 1.0,
+                ..off
+            },
+        ),
+        (
+            "origin",
+            FaultConfig {
+                origin_fail: 1.0,
                 ..off
             },
         ),
@@ -394,6 +406,63 @@ fn unwind_faults_fail_closed_for_every_entrypoint_rule() {
             assert!(d.degraded, "{} fail-closed deny is degraded", attack.rule);
             assert_eq!(pf.metrics().degraded_drops(), 1, "{}", attack.rule);
         }
+    }
+}
+
+#[test]
+fn origin_faults_fail_closed_for_origin_rules() {
+    // The post-compromise containment rule: tainted httpd workers may
+    // not write. When the origin (taint label) fetch errors, the DROP
+    // rule must fail closed — a blinded taint check never turns into a
+    // silent allow for a subject that *is* tainted.
+    const RULE: &str = "pftables -s httpd_t --origin tainted -o FILE_WRITE -j DROP";
+    for level in [OptLevel::Full, OptLevel::EptSpc] {
+        let mut mac = ubuntu_mini();
+        let mut programs = Interner::new();
+        let pf = ProcessFirewall::new(level);
+        pf.install(RULE, &mut mac, &mut programs).unwrap();
+
+        let mut env = AttackEnv::new(
+            programs.clone(),
+            "httpd_t",
+            "/usr/bin/apache2",
+            0x2d637,
+            "var_log_t",
+            21,
+            0,
+        );
+        env.origin = Some(2); // tainted
+        let d = pf.evaluate(&mut env, LsmOperation::FileWrite);
+        assert_eq!(d.verdict, Verdict::Deny, "tainted write denied fault-free");
+        assert!(!d.degraded);
+
+        let injector = FaultInjector::new(FaultConfig {
+            origin_fail: 1.0,
+            ..FaultConfig::off(3)
+        });
+        let mut faulty = FaultyEnv::new(&mut env, &injector);
+        let d = pf.evaluate(&mut faulty, LsmOperation::FileWrite);
+        assert_eq!(
+            d.verdict,
+            Verdict::Deny,
+            "origin fault must fail closed at {level:?}"
+        );
+        assert!(d.degraded, "fail-closed deny is reported degraded");
+        assert_eq!(pf.metrics().degraded_drops(), 1);
+        assert!(injector.stats().origin > 0, "the origin channel fired");
+
+        // The benign twin: an untainted worker is allowed fault-free,
+        // and under an origin fault may only pass *visibly* degraded.
+        env.origin = Some(0);
+        let d = pf.evaluate(&mut env, LsmOperation::FileWrite);
+        assert_eq!(d.verdict, Verdict::Allow, "untainted write is benign");
+        assert!(!d.degraded);
+        let mut faulty = FaultyEnv::new(&mut env, &injector);
+        let d = pf.evaluate(&mut faulty, LsmOperation::FileWrite);
+        assert!(
+            d.verdict == Verdict::Deny || d.degraded,
+            "no silent allow under a blinded taint check at {level:?}"
+        );
     }
 }
 
